@@ -1,0 +1,45 @@
+//! Criterion: cost side of the DESIGN.md ablations — Atlas table size
+//! and SC capacity sweeps (quality side: `repro ablations`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nvcache_core::PolicyKind;
+use nvcache_trace::Line;
+
+fn drive(kind: &PolicyKind, stream: &[Line]) -> u64 {
+    let mut p = kind.build();
+    let mut out = Vec::with_capacity(64);
+    let mut flushes = 0u64;
+    for (i, &l) in stream.iter().enumerate() {
+        p.on_store(l, &mut out);
+        flushes += out.len() as u64;
+        out.clear();
+        if i % 500 == 499 {
+            p.on_fase_end(&mut out);
+            flushes += out.len() as u64;
+            out.clear();
+        }
+    }
+    flushes
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let stream: Vec<Line> = (0..50_000u64).map(|i| Line((i * 7 + i / 11) % 40)).collect();
+    let mut g = c.benchmark_group("ablation");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for size in [4usize, 8, 16, 32, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("atlas_table", size),
+            &size,
+            |b, &size| b.iter(|| black_box(drive(&PolicyKind::Atlas { size }, &stream))),
+        );
+    }
+    for cap in [10usize, 25, 50, 100] {
+        g.bench_with_input(BenchmarkId::new("sc_capacity", cap), &cap, |b, &cap| {
+            b.iter(|| black_box(drive(&PolicyKind::ScFixed { capacity: cap }, &stream)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion: the full online-adaptation pipeline — burst sampling →
+//! linear-time MRC → knee selection → resize (the cost Figure 8
+//! budgets at 1–10% of execution).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nvcache_core::adaptive::{AdaptiveConfig, AdaptiveScPolicy};
+use nvcache_core::PersistPolicy;
+use nvcache_locality::{reuse_all_k, select_cache_size, KneeConfig, Mrc};
+use nvcache_trace::Line;
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive");
+    g.sample_size(20);
+
+    // analysis only: MRC + knee from a 64k-write burst
+    let burst: Vec<u64> = (0..65_536u64).map(|i| i % 23).collect();
+    g.throughput(Throughput::Elements(burst.len() as u64));
+    g.bench_function("mrc_plus_knee_64k", |b| {
+        b.iter(|| {
+            let mrc = Mrc::from_reuse(&reuse_all_k(&burst), 50);
+            black_box(select_cache_size(&mrc, &KneeConfig::default()))
+        })
+    });
+
+    // end-to-end: adaptive policy over a 256k-write stream
+    let stream: Vec<Line> = (0..262_144u64).map(|i| Line(i % 23)).collect();
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.bench_function("adaptive_policy_256k", |b| {
+        b.iter_batched(
+            || {
+                AdaptiveScPolicy::new(AdaptiveConfig {
+                    burst_len: 65_536,
+                    ..Default::default()
+                })
+            },
+            |mut p| {
+                let mut out = Vec::with_capacity(64);
+                for (i, &l) in stream.iter().enumerate() {
+                    p.on_store(l, &mut out);
+                    out.clear();
+                    if i % 1000 == 999 {
+                        p.on_fase_end(&mut out);
+                        out.clear();
+                    }
+                }
+                black_box(p.capacity())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

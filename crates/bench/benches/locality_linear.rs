@@ -1,0 +1,35 @@
+//! Criterion: the linear-time all-k reuse computation (paper Section
+//! III-B). Throughput mode shows ~constant ns/element across trace
+//! lengths — the linearity claim.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nvcache_locality::{footprint_all_k, lru_mrc, reuse_all_k};
+
+fn trace(n: usize) -> Vec<u64> {
+    (0..n).map(|i| ((i * 31 + i / 7) % 997) as u64).collect()
+}
+
+fn bench_locality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locality");
+    g.sample_size(20);
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let t = trace(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("reuse_all_k", n), &t, |b, t| {
+            b.iter(|| black_box(reuse_all_k(t)))
+        });
+        g.bench_with_input(BenchmarkId::new("footprint_all_k", n), &t, |b, t| {
+            b.iter(|| black_box(footprint_all_k(t)))
+        });
+    }
+    // exact Mattson oracle for comparison (O(n log n))
+    let t = trace(100_000);
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("mattson_lru_mrc_100k", |b| {
+        b.iter(|| black_box(lru_mrc(&t, 50)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_locality);
+criterion_main!(benches);

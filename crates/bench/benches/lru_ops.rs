@@ -1,0 +1,48 @@
+//! Criterion: O(1) software-cache operations (paper Section III-C "The
+//! Cache": hash map + doubly linked list, all ops constant time).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvcache_core::LruCache;
+use nvcache_trace::Line;
+
+fn bench_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru");
+    for cap in [8usize, 50, 1024] {
+        g.bench_with_input(BenchmarkId::new("hit", cap), &cap, |b, &cap| {
+            let mut cache = LruCache::new(cap);
+            for i in 0..cap as u64 {
+                cache.touch(Line(i));
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % cap as u64;
+                black_box(cache.touch(Line(i)))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("miss_evict", cap), &cap, |b, &cap| {
+            let mut cache = LruCache::new(cap);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1; // always a fresh line → always evicts once full
+                black_box(cache.touch(Line(i)))
+            });
+        });
+    }
+    g.bench_function("drain_50", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = LruCache::new(50);
+                for i in 0..50u64 {
+                    cache.touch(Line(i));
+                }
+                cache
+            },
+            |mut cache| black_box(cache.drain_lru_first()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lru);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: per-store cost of each persistence policy (the
+//! instruction-overhead dimension of paper Table IV).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nvcache_core::PolicyKind;
+use nvcache_trace::Line;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_store");
+    let kinds = [
+        ("ER", PolicyKind::Eager),
+        ("LA", PolicyKind::Lazy),
+        ("AT8", PolicyKind::Atlas { size: 8 }),
+        ("SC23", PolicyKind::ScFixed { capacity: 23 }),
+        ("SC-adaptive", PolicyKind::ScAdaptive(Default::default())),
+        ("BEST", PolicyKind::Best),
+    ];
+    // water-spatial-like stream: 23-line working set with FASE breaks
+    let stream: Vec<Line> = (0..100_000u64).map(|i| Line(i % 23)).collect();
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for (name, kind) in kinds {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, kind| {
+            b.iter_batched(
+                || kind.build(),
+                |mut p| {
+                    let mut out = Vec::with_capacity(64);
+                    for (i, &l) in stream.iter().enumerate() {
+                        p.on_store(l, &mut out);
+                        out.clear();
+                        if i % 500 == 499 {
+                            p.on_fase_end(&mut out);
+                            out.clear();
+                        }
+                    }
+                    black_box(p.store_overhead_instrs())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

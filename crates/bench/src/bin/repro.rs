@@ -1,0 +1,142 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale S] [--threads a,b,c] [--json]
+//!
+//! experiments: table1 table2 table3 table4
+//!              fig2 fig4 fig5 fig6 fig7 fig8
+//!              ablation-knee ablation-atlas ablation-bound ablation-burst
+//!              all          (tables + figures)
+//!              ablations    (all four ablations)
+//! ```
+//!
+//! `--scale` is the fraction of the paper's problem sizes (default
+//! 0.05); absolute numbers shrink with it but orderings and ratios are
+//! scale-stable (EXPERIMENTS.md). Use `--scale 1.0` for paper sizes
+//! (minutes, not seconds).
+
+use nvcache_bench::experiments::{ablations, figs, tables, DEFAULT_SCALE, THREAD_SWEEP};
+use nvcache_bench::Table;
+
+struct Args {
+    experiment: String,
+    scale: f64,
+    threads: Vec<usize>,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: String::new(),
+        scale: DEFAULT_SCALE,
+        threads: THREAD_SWEEP.to_vec(),
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --scale"));
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| usage("missing --threads"));
+                args.threads = v
+                    .split(',')
+                    .map(|x| x.parse().unwrap_or_else(|_| usage("bad thread count")))
+                    .collect();
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => usage(""),
+            other if args.experiment.is_empty() => args.experiment = other.to_string(),
+            other => usage(&format!("unexpected argument {other}")),
+        }
+    }
+    if args.experiment.is_empty() {
+        usage("missing experiment name");
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro <experiment> [--scale S] [--threads a,b,c] [--json]\n\
+         experiments: table1 table2 table3 table4 fig2 fig4 fig5 fig6 fig7 fig8\n\
+         \x20            ablation-knee ablation-atlas ablation-bound ablation-burst\n\
+         \x20            ablation-clwb ablation-phased ablation-groups\n\
+         \x20            all | ablations"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn run_one(name: &str, scale: f64, threads: &[usize]) -> Vec<Table> {
+    match name {
+        "table1" => vec![tables::table1(scale)],
+        "table2" => vec![tables::table2(scale)],
+        "table3" => vec![tables::table3(scale)],
+        "table4" => vec![tables::table4(scale, threads)],
+        "fig2" => vec![figs::fig2(scale)],
+        "fig4" => vec![figs::fig4(scale)],
+        "fig5" => vec![figs::fig5(scale, threads)],
+        "fig6" => vec![figs::fig6(scale, threads)],
+        "fig7" => vec![figs::fig7(scale)],
+        "fig8" => vec![figs::fig8(scale)],
+        "ablation-knee" => vec![ablations::ablation_knee(scale)],
+        "ablation-clwb" => vec![ablations::ablation_clwb(scale)],
+        "ablation-phased" => vec![ablations::ablation_phased(scale)],
+        "ablation-groups" => vec![ablations::ablation_groups(scale, 8)],
+        "ablation-atlas" => vec![ablations::ablation_atlas(scale)],
+        "ablation-bound" => vec![ablations::ablation_bound(scale)],
+        "ablation-burst" => vec![ablations::ablation_burst(scale)],
+        "all" => {
+            let mut v = Vec::new();
+            for e in [
+                "table1", "table2", "table3", "table4", "fig2", "fig4", "fig5", "fig6",
+                "fig7", "fig8",
+            ] {
+                v.extend(run_one(e, scale, threads));
+            }
+            v
+        }
+        "ablations" => {
+            let mut v = Vec::new();
+            for e in [
+                "ablation-knee",
+                "ablation-atlas",
+                "ablation-bound",
+                "ablation-burst",
+                "ablation-clwb",
+                "ablation-phased",
+                "ablation-groups",
+            ] {
+                v.extend(run_one(e, scale, threads));
+            }
+            v
+        }
+        other => usage(&format!("unknown experiment {other}")),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let start = std::time::Instant::now();
+    let results = run_one(&args.experiment, args.scale, &args.threads);
+    for t in &results {
+        if args.json {
+            println!("{}", nvcache_bench::report::to_json(t));
+        } else {
+            t.print();
+        }
+    }
+    eprintln!(
+        "[{} at scale {} in {:.1}s]",
+        args.experiment,
+        args.scale,
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,62 @@
+//! One module per paper experiment; shared driving helpers here.
+
+pub mod ablations;
+pub mod figs;
+pub mod tables;
+
+use crate::calibrate::{adaptive_config_for, machine_for, offline_capacity};
+use nvcache_core::{run_policy, PolicyKind, RunConfig, RunReport};
+use nvcache_locality::KneeConfig;
+use nvcache_trace::Trace;
+
+/// Default scale for harness runs (fraction of paper problem size).
+pub const DEFAULT_SCALE: f64 = 0.05;
+
+/// The thread counts of the paper's parallel experiments (Figures 5–6,
+/// Table IV).
+pub const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8, 16, 32];
+
+/// Run `kind` over `trace` with the calibrated machine for its thread
+/// count.
+pub fn timed(trace: &Trace, kind: &PolicyKind) -> RunReport {
+    let cfg = RunConfig {
+        machine: machine_for(trace.num_threads()),
+    };
+    run_policy(trace, kind, &cfg)
+}
+
+/// The online-adaptive SC policy kind for a trace.
+pub fn sc_online(trace: &Trace) -> PolicyKind {
+    PolicyKind::ScAdaptive(adaptive_config_for(trace))
+}
+
+/// The SC-offline policy kind: capacity from exact offline profiling.
+pub fn sc_offline(trace: &Trace) -> PolicyKind {
+    PolicyKind::ScFixed {
+        capacity: offline_capacity(trace, &KneeConfig::default()),
+    }
+}
+
+/// The paper's Atlas baseline (8-entry table).
+pub fn atlas() -> PolicyKind {
+    PolicyKind::Atlas { size: 8 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_trace::synth::{cyclic, SynthOpts};
+
+    #[test]
+    fn helpers_produce_expected_kinds() {
+        let tr = cyclic(23, 2000, &SynthOpts::default());
+        assert_eq!(sc_online(&tr).label(), "SC");
+        match sc_offline(&tr) {
+            PolicyKind::ScFixed { capacity } => assert_eq!(capacity, 23),
+            _ => panic!("wrong kind"),
+        }
+        assert_eq!(atlas().label(), "AT");
+        let r = timed(&tr, &atlas());
+        assert!(r.cycles > 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Reproduction harness: regenerates every table and figure of the
+//! paper's evaluation (Section IV) from this workspace's implementation.
+//!
+//! The `repro` binary exposes one subcommand per experiment
+//! (`repro table3`, `repro fig5`, …, `repro all`); see EXPERIMENTS.md
+//! for the paper-vs-measured record. Criterion benches in `benches/`
+//! cover component costs (LRU ops, linear-time MRC, policy throughput)
+//! and the ablations called out in DESIGN.md.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod experiments;
+pub mod report;
+
+pub use calibrate::{adaptive_config_for, machine_for, offline_capacity, Calibration};
+pub use report::Table;

@@ -1,0 +1,401 @@
+//! Set-associative write-back LRU cache with flush/invalidate support.
+//!
+//! Models the hardware L1D the paper measures with perf: `clflush`
+//! invalidates the line, so the program's next access to flushed data
+//! misses — the *indirect* cost of persistence (paper Section II-A).
+
+use nvcache_trace::Line;
+use serde::{Deserialize, Serialize};
+
+/// Whether an access is a load or a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store (allocates and dirties the line).
+    Write,
+}
+
+/// Geometry of a simulated cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in lines.
+    pub lines: usize,
+    /// Ways per set.
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 8-way L1D with 64-byte lines (the paper's Xeon E7-4890).
+    pub fn l1d() -> Self {
+        CacheConfig {
+            lines: 512,
+            associativity: 8,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.lines / self.associativity).max(1)
+    }
+}
+
+/// Hit/miss/writeback counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub evict_writebacks: u64,
+    /// Explicit flushes that found the line present.
+    pub flush_present: u64,
+    /// Explicit flushes of absent lines (no-ops at the cache).
+    pub flush_absent: u64,
+}
+
+impl CacheStats {
+    /// Misses / accesses (0.0 for no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64, // larger = more recent
+}
+
+/// The outcome of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Did the access hit?
+    pub hit: bool,
+    /// A dirty line written back to satisfy the allocation, if any.
+    pub writeback: Option<Line>,
+}
+
+/// A set-associative, write-back, write-allocate cache with true-LRU
+/// replacement within each set.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Build a cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.associativity > 0 && cfg.lines >= cfg.associativity);
+        let sets = vec![
+            vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0
+                };
+                cfg.associativity
+            ];
+            cfg.sets()
+        ];
+        SetAssocCache {
+            cfg,
+            sets,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset counters (keep contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_index(&self, line: Line) -> usize {
+        (line.0 % self.sets.len() as u64) as usize
+    }
+
+    /// Perform a load or store of `line`.
+    pub fn access(&mut self, line: Line, kind: AccessKind) -> AccessResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let sidx = self.set_index(line);
+        let sets_len = self.sets.len() as u64;
+        let set = &mut self.sets[sidx];
+        let tag = line.0 / sets_len;
+
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.lru = tick;
+            if kind == AccessKind::Write {
+                w.dirty = true;
+            }
+            self.stats.hits += 1;
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
+        }
+
+        self.stats.misses += 1;
+        // victim: invalid way if any, else LRU
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
+            .expect("associativity > 0");
+        let mut writeback = None;
+        if victim.valid && victim.dirty {
+            writeback = Some(Line(victim.tag * sets_len + sidx as u64));
+            self.stats.evict_writebacks += 1;
+        }
+        victim.tag = tag;
+        victim.valid = true;
+        victim.dirty = kind == AccessKind::Write;
+        victim.lru = tick;
+        AccessResult {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// `clflush` semantics: write back (if dirty) and invalidate the
+    /// line. Returns true iff the line was present.
+    pub fn flush(&mut self, line: Line) -> bool {
+        let sidx = self.set_index(line);
+        let sets_len = self.sets.len() as u64;
+        let tag = line.0 / sets_len;
+        let set = &mut self.sets[sidx];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.valid = false;
+            w.dirty = false;
+            self.stats.flush_present += 1;
+            true
+        } else {
+            self.stats.flush_absent += 1;
+            false
+        }
+    }
+
+    /// `clwb` semantics: write the line back (clear dirty) but keep it
+    /// resident — the program's next access still hits.
+    pub fn writeback_keep(&mut self, line: Line) -> bool {
+        let sidx = self.set_index(line);
+        let sets_len = self.sets.len() as u64;
+        let tag = line.0 / sets_len;
+        let set = &mut self.sets[sidx];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.dirty = false;
+            self.stats.flush_present += 1;
+            true
+        } else {
+            self.stats.flush_absent += 1;
+            false
+        }
+    }
+
+    /// Invalidate without counting as a flush — used by the contention
+    /// model to evict a line "from outside" (another core / the OS).
+    pub fn invalidate_silent(&mut self, line: Line) -> bool {
+        let sidx = self.set_index(line);
+        let sets_len = self.sets.len() as u64;
+        let tag = line.0 / sets_len;
+        let set = &mut self.sets[sidx];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.valid = false;
+            w.dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is the line currently cached?
+    pub fn contains(&self, line: Line) -> bool {
+        let sidx = self.set_index(line);
+        let sets_len = self.sets.len() as u64;
+        let tag = line.0 / sets_len;
+        self.sets[sidx].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Is the line cached and dirty?
+    pub fn is_dirty(&self, line: Line) -> bool {
+        let sidx = self.set_index(line);
+        let sets_len = self.sets.len() as u64;
+        let tag = line.0 / sets_len;
+        self.sets[sidx]
+            .iter()
+            .any(|w| w.valid && w.dirty && w.tag == tag)
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|w| w.valid).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        SetAssocCache::new(CacheConfig {
+            lines: 8,
+            associativity: 2,
+        })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = small();
+        assert!(!c.access(Line(1), AccessKind::Read).hit);
+        assert!(c.access(Line(1), AccessKind::Read).hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn write_dirties_line() {
+        let mut c = small();
+        c.access(Line(1), AccessKind::Write);
+        assert!(c.is_dirty(Line(1)));
+        c.access(Line(2), AccessKind::Read);
+        assert!(!c.is_dirty(Line(2)));
+    }
+
+    #[test]
+    fn lru_within_set_evicts_oldest() {
+        let mut c = small(); // 4 sets × 2 ways
+        // lines 0, 4, 8 all map to set 0
+        c.access(Line(0), AccessKind::Read);
+        c.access(Line(4), AccessKind::Read);
+        c.access(Line(0), AccessKind::Read); // refresh 0
+        c.access(Line(8), AccessKind::Read); // evicts 4 (LRU)
+        assert!(c.contains(Line(0)));
+        assert!(!c.contains(Line(4)));
+        assert!(c.contains(Line(8)));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(Line(0), AccessKind::Write);
+        c.access(Line(4), AccessKind::Read);
+        let r = c.access(Line(8), AccessKind::Read); // evicts dirty 0
+        assert_eq!(r.writeback, Some(Line(0)));
+        assert_eq!(c.stats().evict_writebacks, 1);
+    }
+
+    #[test]
+    fn flush_invalidates_and_next_access_misses() {
+        let mut c = small();
+        c.access(Line(3), AccessKind::Write);
+        assert!(c.flush(Line(3)));
+        assert!(!c.contains(Line(3)));
+        assert!(!c.access(Line(3), AccessKind::Read).hit);
+        assert!(!c.flush(Line(99)));
+        assert_eq!(c.stats().flush_present, 1);
+        assert_eq!(c.stats().flush_absent, 1);
+    }
+
+    #[test]
+    fn writeback_keep_clears_dirty_but_stays_resident() {
+        let mut c = small();
+        c.access(Line(3), AccessKind::Write);
+        assert!(c.is_dirty(Line(3)));
+        assert!(c.writeback_keep(Line(3)));
+        assert!(!c.is_dirty(Line(3)));
+        assert!(c.contains(Line(3)), "clwb keeps the line");
+        assert!(c.access(Line(3), AccessKind::Read).hit);
+        assert!(!c.writeback_keep(Line(99)));
+    }
+
+    #[test]
+    fn silent_invalidate_does_not_count() {
+        let mut c = small();
+        c.access(Line(3), AccessKind::Write);
+        assert!(c.invalidate_silent(Line(3)));
+        assert!(!c.invalidate_silent(Line(3)));
+        assert_eq!(c.stats().flush_present, 0);
+        assert_eq!(c.stats().flush_absent, 0);
+    }
+
+    #[test]
+    fn resident_count_tracks_validity() {
+        let mut c = small();
+        for i in 0..5 {
+            c.access(Line(i), AccessKind::Read);
+        }
+        assert_eq!(c.resident(), 5);
+        c.flush(Line(0));
+        assert_eq!(c.resident(), 4);
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_after_warmup() {
+        let mut c = SetAssocCache::new(CacheConfig::l1d());
+        // 256-line working set fits in a 512-line cache
+        for round in 0..10 {
+            for i in 0..256u64 {
+                let r = c.access(Line(i), AccessKind::Write);
+                if round > 0 {
+                    assert!(r.hit, "round {round} line {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn miss_ratio_computation() {
+        let mut c = small();
+        c.access(Line(1), AccessKind::Read); // miss
+        c.access(Line(1), AccessKind::Read); // hit
+        c.access(Line(1), AccessKind::Read); // hit
+        c.access(Line(2), AccessKind::Read); // miss
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(c.stats().accesses(), 4);
+    }
+
+    #[test]
+    fn tag_reconstruction_on_writeback_is_correct() {
+        // Make sure the reported writeback line id round-trips through
+        // set/tag decomposition.
+        let mut c = SetAssocCache::new(CacheConfig {
+            lines: 4,
+            associativity: 1,
+        });
+        let victim = Line(0x1234 * 4 + 2); // maps to set 2
+        c.access(victim, AccessKind::Write);
+        let r = c.access(Line(0x9999 * 4 + 2), AccessKind::Read);
+        assert_eq!(r.writeback, Some(victim));
+    }
+}

@@ -1,0 +1,143 @@
+//! AT — the Atlas table (paper Section II-A): the state-of-the-art
+//! baseline. A fixed-size, direct-mapped table of modified cache-line
+//! addresses. On a write whose address is absent, the conflicting slot's
+//! occupant (if any) is flushed and replaced; at FASE end the whole
+//! table is flushed. Equivalent to a direct-mapped, fixed-size software
+//! cache — cheap, but conflict misses force avoidable flushes.
+
+use crate::policy::PersistPolicy;
+use nvcache_trace::Line;
+
+/// The Atlas-table policy. The paper's Atlas uses 8 entries.
+#[derive(Debug, Clone)]
+pub struct AtlasPolicy {
+    table: Vec<Option<Line>>,
+}
+
+impl AtlasPolicy {
+    /// New table with `size` entries (paper default: 8).
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1);
+        AtlasPolicy {
+            table: vec![None; size],
+        }
+    }
+
+    /// Table entries.
+    pub fn size(&self) -> usize {
+        self.table.len()
+    }
+
+    #[inline]
+    fn slot(&self, line: Line) -> usize {
+        (line.0 % self.table.len() as u64) as usize
+    }
+}
+
+impl PersistPolicy for AtlasPolicy {
+    fn name(&self) -> &'static str {
+        "AT"
+    }
+
+    fn on_store(&mut self, line: Line, out: &mut Vec<Line>) {
+        let s = self.slot(line);
+        match self.table[s] {
+            Some(existing) if existing == line => {} // combined
+            Some(conflicting) => {
+                out.push(conflicting);
+                self.table[s] = Some(line);
+            }
+            None => self.table[s] = Some(line),
+        }
+    }
+
+    fn on_fase_end(&mut self, out: &mut Vec<Line>) {
+        for slot in self.table.iter_mut() {
+            if let Some(line) = slot.take() {
+                out.push(line);
+            }
+        }
+    }
+
+    fn store_overhead_instrs(&self) -> u64 {
+        2 // modulo + compare
+    }
+
+    fn reset(&mut self) {
+        self.table.iter_mut().for_each(|s| *s = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_writes_combine() {
+        let mut p = AtlasPolicy::new(8);
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            p.on_store(Line(3), &mut out);
+        }
+        assert!(out.is_empty());
+        p.on_fase_end(&mut out);
+        assert_eq!(out, vec![Line(3)]);
+    }
+
+    #[test]
+    fn conflict_evicts_old_entry() {
+        let mut p = AtlasPolicy::new(8);
+        let mut out = Vec::new();
+        p.on_store(Line(1), &mut out);
+        p.on_store(Line(9), &mut out); // 9 % 8 == 1 % 8
+        assert_eq!(out, vec![Line(1)], "conflicting line flushed");
+        out.clear();
+        p.on_fase_end(&mut out);
+        assert_eq!(out, vec![Line(9)]);
+    }
+
+    #[test]
+    fn no_conflict_no_flush() {
+        let mut p = AtlasPolicy::new(8);
+        let mut out = Vec::new();
+        for i in 0..8u64 {
+            p.on_store(Line(i), &mut out);
+        }
+        assert!(out.is_empty(), "distinct slots fit");
+        p.on_fase_end(&mut out);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn direct_mapping_thrashes_where_lru_would_not() {
+        // Alternating 0, 8 conflicts in every slot-0 access: AT flushes
+        // every time — the weakness SC's full associativity removes.
+        let mut p = AtlasPolicy::new(8);
+        let mut out = Vec::new();
+        for i in 0..100 {
+            p.on_store(Line(if i % 2 == 0 { 0 } else { 8 }), &mut out);
+        }
+        assert_eq!(out.len(), 99);
+    }
+
+    #[test]
+    fn fase_end_clears_table() {
+        let mut p = AtlasPolicy::new(4);
+        let mut out = Vec::new();
+        p.on_store(Line(1), &mut out);
+        p.on_fase_end(&mut out);
+        out.clear();
+        p.on_fase_end(&mut out);
+        assert!(out.is_empty(), "second end flushes nothing");
+    }
+
+    #[test]
+    fn reset_empties_without_flushing() {
+        let mut p = AtlasPolicy::new(4);
+        let mut out = Vec::new();
+        p.on_store(Line(1), &mut out);
+        p.reset();
+        p.on_fase_end(&mut out);
+        assert!(out.is_empty());
+    }
+}

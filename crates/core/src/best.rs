@@ -1,0 +1,51 @@
+//! BEST — no flushes at all. Not a valid persistence technique (a crash
+//! loses everything), but the paper's upper bound: minimal flush count
+//! (zero) and perfect overlap, used to bound how much headroom remains
+//! above SC (Figures 4 and 6).
+
+use crate::policy::PersistPolicy;
+use nvcache_trace::Line;
+
+/// The no-op upper-bound policy.
+#[derive(Debug, Default, Clone)]
+pub struct BestPolicy;
+
+impl BestPolicy {
+    /// New instance.
+    pub fn new() -> Self {
+        BestPolicy
+    }
+}
+
+impl PersistPolicy for BestPolicy {
+    fn name(&self) -> &'static str {
+        "BEST"
+    }
+
+    fn on_store(&mut self, _line: Line, _out: &mut Vec<Line>) {}
+
+    fn on_fase_end(&mut self, _out: &mut Vec<Line>) {}
+
+    fn store_overhead_instrs(&self) -> u64 {
+        0
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_flushes() {
+        let mut p = BestPolicy::new();
+        let mut out = Vec::new();
+        for i in 0..100 {
+            p.on_store(Line(i), &mut out);
+        }
+        p.on_fase_end(&mut out);
+        assert!(out.is_empty());
+        assert_eq!(p.store_overhead_instrs(), 0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Trace replay drivers: policy × trace → flush counts and/or simulated
+//! execution.
+//!
+//! Two modes:
+//! * [`flush_stats`] — exact flush accounting only (no timing); this is
+//!   how Table III's flush ratios are produced, and it is fast enough
+//!   for the paper-size write counts.
+//! * [`run_policy`] — full machine simulation: cycles, instructions and
+//!   L1 behaviour per thread (Tables I/II/IV, Figures 4–6). Threads are
+//!   simulated independently (per-thread software caches share nothing,
+//!   paper Section II-B); parallel execution time is the maximum
+//!   per-thread cycle count.
+
+use crate::policy::PolicyKind;
+use nvcache_cachesim::{Machine, MachineConfig, MachineReport};
+use nvcache_trace::{Event, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Exact flush accounting of one policy over one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlushStats {
+    /// Technique label ("ER", "AT", …).
+    pub label: String,
+    /// Persistent stores observed.
+    pub stores: u64,
+    /// Flushes issued mid-FASE (async-eligible).
+    pub flushes_async: u64,
+    /// Flushes issued at FASE ends.
+    pub flushes_sync: u64,
+}
+
+impl FlushStats {
+    /// Total flushes.
+    pub fn flushes(&self) -> u64 {
+        self.flushes_async + self.flushes_sync
+    }
+
+    /// Flushes per persistent store — the paper's "data flush ratio"
+    /// (Table III).
+    pub fn flush_ratio(&self) -> f64 {
+        if self.stores == 0 {
+            0.0
+        } else {
+            self.flushes() as f64 / self.stores as f64
+        }
+    }
+}
+
+/// Count flushes exactly, without the timing model.
+pub fn flush_stats(trace: &Trace, kind: &PolicyKind) -> FlushStats {
+    let mut stores = 0u64;
+    let mut fl_async = 0u64;
+    let mut fl_sync = 0u64;
+    let mut buf = Vec::new();
+    for thread in &trace.threads {
+        let mut policy = kind.build();
+        let mut depth = 0usize;
+        for e in &thread.events {
+            match e {
+                Event::Write(l) => {
+                    stores += 1;
+                    policy.on_store(*l, &mut buf);
+                    fl_async += buf.len() as u64;
+                    buf.clear();
+                }
+                Event::FaseBegin => {
+                    depth += 1;
+                    if depth == 1 {
+                        policy.on_fase_begin();
+                    }
+                }
+                Event::FaseEnd => {
+                    if depth == 1 {
+                        policy.on_fase_end(&mut buf);
+                        fl_sync += buf.len() as u64;
+                        buf.clear();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                Event::Read(_) | Event::Work(_) => {}
+            }
+        }
+        // program exit: remaining buffered lines must still be persisted
+        policy.on_fase_end(&mut buf);
+        fl_sync += buf.len() as u64;
+        buf.clear();
+    }
+    FlushStats {
+        label: kind.label().to_string(),
+        stores,
+        flushes_async: fl_async,
+        flushes_sync: fl_sync,
+    }
+}
+
+/// Configuration of a timed run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct RunConfig {
+    /// Per-thread hardware context configuration.
+    pub machine: MachineConfig,
+}
+
+
+/// Outcome of a timed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Technique label.
+    pub label: String,
+    /// Persistent stores.
+    pub stores: u64,
+    /// Simulated execution time: max cycles over threads.
+    pub cycles: u64,
+    /// Total instructions over threads.
+    pub instructions: u64,
+    /// Aggregate L1 miss ratio over threads.
+    pub l1_miss_ratio: f64,
+    /// Per-thread machine reports.
+    pub per_thread: Vec<MachineReport>,
+}
+
+impl RunReport {
+    /// Total flushes over threads.
+    pub fn flushes(&self) -> u64 {
+        self.per_thread.iter().map(|r| r.flushes()).sum()
+    }
+
+    /// Flush ratio over the whole run.
+    pub fn flush_ratio(&self) -> f64 {
+        if self.stores == 0 {
+            0.0
+        } else {
+            self.flushes() as f64 / self.stores as f64
+        }
+    }
+
+    /// Speedup of this run over `base` (cycles ratio).
+    pub fn speedup_over(&self, base: &RunReport) -> f64 {
+        base.cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Replay `trace` under `kind` with full timing. Each thread gets a
+/// fresh policy instance and hardware context (per-thread seeds differ
+/// so contention schedules decorrelate).
+pub fn run_policy(trace: &Trace, kind: &PolicyKind, cfg: &RunConfig) -> RunReport {
+    let mut per_thread = Vec::with_capacity(trace.num_threads());
+    let mut stores = 0u64;
+    let mut buf = Vec::new();
+    for (tid, thread) in trace.threads.iter().enumerate() {
+        let mut policy = kind.build();
+        let mut mcfg = cfg.machine;
+        mcfg.seed = cfg.machine.seed.wrapping_add(tid as u64 * 0x9e37_79b9);
+        let mut m = Machine::new(mcfg);
+        let mut depth = 0usize;
+        for e in &thread.events {
+            match e {
+                Event::Write(l) => {
+                    stores += 1;
+                    m.store(*l);
+                    policy.on_store(*l, &mut buf);
+                    m.software_overhead(policy.store_overhead_instrs());
+                    let extra = policy.drain_extra_instrs();
+                    if extra > 0 {
+                        m.software_overhead(extra);
+                    }
+                    for victim in buf.drain(..) {
+                        m.flush_async(victim);
+                    }
+                }
+                Event::Read(l) => m.load(*l),
+                Event::Work(u) => m.work(*u),
+                Event::FaseBegin => {
+                    depth += 1;
+                    if depth == 1 {
+                        policy.on_fase_begin();
+                    }
+                }
+                Event::FaseEnd => {
+                    if depth == 1 {
+                        policy.on_fase_end(&mut buf);
+                        for line in buf.drain(..) {
+                            m.flush_sync(line);
+                        }
+                        m.fence();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+            }
+        }
+        // flush whatever the policy still buffers at program end
+        policy.on_fase_end(&mut buf);
+        for line in buf.drain(..) {
+            m.flush_sync(line);
+        }
+        m.fence();
+        per_thread.push(m.finish());
+    }
+
+    let cycles = per_thread.iter().map(|r| r.cycles).max().unwrap_or(0);
+    let instructions = per_thread.iter().map(|r| r.instructions).sum();
+    let (hits, misses) = per_thread.iter().fold((0u64, 0u64), |(h, m_), r| {
+        (h + r.l1.hits, m_ + r.l1.misses)
+    });
+    let l1_miss_ratio = if hits + misses == 0 {
+        0.0
+    } else {
+        misses as f64 / (hits + misses) as f64
+    };
+
+    RunReport {
+        label: kind.label().to_string(),
+        stores,
+        cycles,
+        instructions,
+        l1_miss_ratio,
+        per_thread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_trace::synth::{cyclic, sequential, SynthOpts};
+    use nvcache_trace::{Line, ThreadTrace};
+
+    fn opts(wpf: usize) -> SynthOpts {
+        SynthOpts {
+            writes_per_fase: wpf,
+            work_per_write: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn eager_flush_ratio_is_one() {
+        let tr = cyclic(8, 100, &opts(50));
+        let s = flush_stats(&tr, &PolicyKind::Eager);
+        assert_eq!(s.stores, 800);
+        assert!((s.flush_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lazy_reaches_minimum_flush_count() {
+        // 8-line working set, 50 writes per FASE → ≥ 8 flushes per FASE
+        let tr = cyclic(8, 100, &opts(50));
+        let s = flush_stats(&tr, &PolicyKind::Lazy);
+        // 800 writes / 50 per fase = 16 fases; each flushes 8 lines
+        assert_eq!(s.flushes(), 16 * 8);
+        assert_eq!(s.flushes_async, 0, "LA never flushes mid-FASE");
+    }
+
+    #[test]
+    fn best_never_flushes() {
+        let tr = cyclic(8, 100, &opts(50));
+        let s = flush_stats(&tr, &PolicyKind::Best);
+        assert_eq!(s.flushes(), 0);
+    }
+
+    #[test]
+    fn policy_ordering_on_thrashy_trace() {
+        // Working set 12 > Atlas table 8 but ≤ SC capacity 12:
+        // ER > AT > SC = LA must hold on flush counts. (12 is chosen so
+        // only slots 0–3 of the mod-8 table conflict; a multiple of 8
+        // would conflict on every store and degenerate AT to ER.)
+        let tr = cyclic(12, 200, &opts(100));
+        let er = flush_stats(&tr, &PolicyKind::Eager).flushes();
+        let at = flush_stats(&tr, &PolicyKind::Atlas { size: 8 }).flushes();
+        let sc = flush_stats(&tr, &PolicyKind::ScFixed { capacity: 12 }).flushes();
+        let la = flush_stats(&tr, &PolicyKind::Lazy).flushes();
+        assert!(er > at, "ER {er} !> AT {at}");
+        assert!(at > sc, "AT {at} !> SC {sc}");
+        assert_eq!(sc, la, "right-sized SC reaches the LA minimum");
+    }
+
+    #[test]
+    fn adaptive_sc_approaches_lazy_minimum() {
+        // Long enough that the pre-adaptation thrash (cache still at the
+        // default size 8 during the first burst) is amortized away.
+        let tr = cyclic(23, 10_000, &opts(500));
+        let cfg = crate::adaptive::AdaptiveConfig {
+            burst_len: 2000,
+            ..Default::default()
+        };
+        let sc = flush_stats(&tr, &PolicyKind::ScAdaptive(cfg));
+        let la = flush_stats(&tr, &PolicyKind::Lazy);
+        let ratio = sc.flushes() as f64 / la.flushes() as f64;
+        assert!(
+            ratio < 1.3,
+            "adaptive SC must be near the LA minimum: {ratio}"
+        );
+    }
+
+    #[test]
+    fn exit_flushes_unterminated_fase_state() {
+        // a trace ending mid-FASE still persists buffered lines
+        let mut t = ThreadTrace::new();
+        t.fase_begin();
+        t.write(Line(1));
+        t.write(Line(2));
+        let tr = Trace { threads: vec![t] };
+        let s = flush_stats(&tr, &PolicyKind::ScFixed { capacity: 8 });
+        assert_eq!(s.flushes(), 2);
+    }
+
+    #[test]
+    fn timed_run_ordering_matches_paper_figure4() {
+        // On a thrashy working set (12 lines vs AT's 8-entry table),
+        // simulated times must order ER > AT > SC > BEST.
+        let tr = cyclic(12, 500, &opts(100));
+        let cfg = RunConfig::default();
+        let er = run_policy(&tr, &PolicyKind::Eager, &cfg);
+        let at = run_policy(&tr, &PolicyKind::Atlas { size: 8 }, &cfg);
+        let sc = run_policy(&tr, &PolicyKind::ScFixed { capacity: 12 }, &cfg);
+        let best = run_policy(&tr, &PolicyKind::Best, &cfg);
+        assert!(er.cycles > at.cycles, "ER {} !> AT {}", er.cycles, at.cycles);
+        assert!(at.cycles > sc.cycles, "AT {} !> SC {}", at.cycles, sc.cycles);
+        assert!(
+            sc.cycles > best.cycles,
+            "SC {} !> BEST {}",
+            sc.cycles,
+            best.cycles
+        );
+    }
+
+    #[test]
+    fn lazy_pays_fase_end_stall() {
+        let tr = cyclic(32, 200, &opts(64));
+        let cfg = RunConfig::default();
+        let la = run_policy(&tr, &PolicyKind::Lazy, &cfg);
+        let sc = run_policy(&tr, &PolicyKind::ScFixed { capacity: 32 }, &cfg);
+        let la_stall: u64 = la.per_thread.iter().map(|r| r.fase_stall_cycles).sum();
+        let sc_stall: u64 = sc.per_thread.iter().map(|r| r.fase_stall_cycles).sum();
+        // LA and right-sized SC flush identical line sets at FASE end;
+        // both stall — but LA must not stall *less* (it has no async
+        // head start). Equal sets ⇒ similar stalls; key property is the
+        // flush counts match while ER's stall profile differs.
+        assert!(la_stall > 0 && sc_stall > 0);
+        assert_eq!(la.flushes(), sc.flushes());
+    }
+
+    #[test]
+    fn fewer_flushes_means_fewer_l1_misses() {
+        let tr = sequential(16, 400, &opts(100));
+        let cfg = RunConfig::default();
+        let er = run_policy(&tr, &PolicyKind::Eager, &cfg);
+        let best = run_policy(&tr, &PolicyKind::Best, &cfg);
+        assert!(
+            er.l1_miss_ratio > best.l1_miss_ratio,
+            "flushing must hurt L1: ER {} vs BEST {}",
+            er.l1_miss_ratio,
+            best.l1_miss_ratio
+        );
+    }
+
+    #[test]
+    fn multithreaded_cycles_is_max_not_sum() {
+        let single = cyclic(8, 100, &opts(50));
+        let tr = nvcache_trace::synth::replicate(&single, 4);
+        let cfg = RunConfig::default();
+        let r1 = run_policy(&single, &PolicyKind::Atlas { size: 8 }, &cfg);
+        let r4 = run_policy(&tr, &PolicyKind::Atlas { size: 8 }, &cfg);
+        assert_eq!(r4.per_thread.len(), 4);
+        // identical per-thread work ⇒ parallel time ≈ single time
+        assert!(r4.cycles <= r1.cycles * 11 / 10);
+        assert!(r4.instructions >= r1.instructions * 4);
+    }
+
+    #[test]
+    fn flush_stats_and_run_policy_agree_on_counts() {
+        let tr = cyclic(12, 300, &opts(80));
+        for kind in [
+            PolicyKind::Eager,
+            PolicyKind::Lazy,
+            PolicyKind::Atlas { size: 8 },
+            PolicyKind::ScFixed { capacity: 12 },
+            PolicyKind::Best,
+        ] {
+            let fast = flush_stats(&tr, &kind);
+            let timed = run_policy(&tr, &kind, &RunConfig::default());
+            assert_eq!(fast.flushes(), timed.flushes(), "{}", kind.label());
+            assert_eq!(fast.stores, timed.stores);
+        }
+    }
+}

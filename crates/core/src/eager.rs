@@ -1,0 +1,55 @@
+//! ER — eager write-back: flush every persistent store immediately.
+//!
+//! Maximal overlap with computation (each flush is asynchronous), but
+//! one flush per store — no write combining at all. Table I measures the
+//! consequence: 22× average slowdown on SPLASH2.
+
+use crate::policy::PersistPolicy;
+use nvcache_trace::Line;
+
+/// The eager policy.
+#[derive(Debug, Default, Clone)]
+pub struct EagerPolicy;
+
+impl EagerPolicy {
+    /// New instance.
+    pub fn new() -> Self {
+        EagerPolicy
+    }
+}
+
+impl PersistPolicy for EagerPolicy {
+    fn name(&self) -> &'static str {
+        "ER"
+    }
+
+    fn on_store(&mut self, line: Line, out: &mut Vec<Line>) {
+        out.push(line);
+    }
+
+    fn on_fase_end(&mut self, _out: &mut Vec<Line>) {}
+
+    fn store_overhead_instrs(&self) -> u64 {
+        1 // issue the flush, nothing to look up
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_store_flushes() {
+        let mut p = EagerPolicy::new();
+        let mut out = Vec::new();
+        for i in 0..10 {
+            p.on_store(Line(i % 2), &mut out);
+        }
+        assert_eq!(out.len(), 10, "no combining, ever");
+        out.clear();
+        p.on_fase_end(&mut out);
+        assert!(out.is_empty(), "nothing left at FASE end");
+    }
+}

@@ -1,0 +1,160 @@
+//! Thread-grouped MRC analysis — the paper's stated future work
+//! (Section III-C): "we could group threads with similar write locality
+//! and calculate one MRC for each group" to cut the per-thread analysis
+//! overhead.
+//!
+//! Greedy clustering: each thread's sampled MRC joins the first group
+//! whose representative curve is within `max_distance` mean absolute
+//! error; the group's representative is the point-wise mean of its
+//! members, and one knee selection serves every member. For `T` threads
+//! with `G` distinct behaviours this reduces analysis cost from `T` to
+//! `G` selections (and, online, would let `T − G` threads skip sampling
+//! entirely).
+
+use nvcache_locality::{select_cache_size, KneeConfig, Mrc};
+
+/// Result of grouping: member thread ids per group, the representative
+/// curve, and the capacity selected for the group.
+#[derive(Debug, Clone)]
+pub struct ThreadGroup {
+    /// Thread indices in this group.
+    pub members: Vec<usize>,
+    /// Point-wise mean MRC of the members.
+    pub representative: Mrc,
+    /// Capacity selected from the representative.
+    pub capacity: usize,
+}
+
+fn mean_curves(curves: &[&Mrc]) -> Mrc {
+    let len = curves.iter().map(|m| m.miss_ratio.len()).min().unwrap_or(1);
+    let mut mr = vec![0.0f64; len];
+    for m in curves {
+        for (i, v) in mr.iter_mut().enumerate() {
+            *v += m.miss_ratio[i];
+        }
+    }
+    for v in mr.iter_mut() {
+        *v /= curves.len() as f64;
+    }
+    Mrc {
+        miss_ratio: mr,
+        accesses: curves.iter().map(|m| m.accesses).sum(),
+    }
+}
+
+/// Cluster per-thread MRCs and select one capacity per group.
+///
+/// `max_distance` is the mean-absolute-error threshold for two curves to
+/// share a group (0.02 ≈ "within the knee-selection tolerance").
+pub fn group_threads(mrcs: &[Mrc], cfg: &KneeConfig, max_distance: f64) -> Vec<ThreadGroup> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut reps: Vec<Mrc> = Vec::new();
+    for (tid, mrc) in mrcs.iter().enumerate() {
+        match reps
+            .iter()
+            .position(|rep| rep.mean_abs_error(mrc) <= max_distance)
+        {
+            Some(g) => {
+                groups[g].push(tid);
+                let members: Vec<&Mrc> = groups[g].iter().map(|&t| &mrcs[t]).collect();
+                reps[g] = mean_curves(&members);
+            }
+            None => {
+                groups.push(vec![tid]);
+                reps.push(mrc.clone());
+            }
+        }
+    }
+    groups
+        .into_iter()
+        .zip(reps)
+        .map(|(members, representative)| {
+            let capacity = select_cache_size(&representative, cfg);
+            ThreadGroup {
+                members,
+                representative,
+                capacity,
+            }
+        })
+        .collect()
+}
+
+/// Per-thread capacities via grouping: `capacities[tid]` is the shared
+/// selection of `tid`'s group.
+pub fn grouped_capacities(mrcs: &[Mrc], cfg: &KneeConfig, max_distance: f64) -> Vec<usize> {
+    let groups = group_threads(mrcs, cfg, max_distance);
+    let mut out = vec![cfg.default_size; mrcs.len()];
+    for g in &groups {
+        for &t in &g.members {
+            out[t] = g.capacity;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_locality::lru_mrc;
+
+    fn cyclic_mrc(w: u64, n: usize) -> Mrc {
+        let trace: Vec<u64> = (0..n).map(|i| i as u64 % w).collect();
+        lru_mrc(&trace, 50)
+    }
+
+    #[test]
+    fn homogeneous_threads_form_one_group() {
+        let mrcs: Vec<Mrc> = (0..8).map(|_| cyclic_mrc(23, 5000)).collect();
+        let groups = group_threads(&mrcs, &KneeConfig::default(), 0.02);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members.len(), 8);
+        assert_eq!(groups[0].capacity, 23);
+    }
+
+    #[test]
+    fn distinct_behaviours_split() {
+        let mut mrcs: Vec<Mrc> = (0..4).map(|_| cyclic_mrc(5, 5000)).collect();
+        mrcs.extend((0..4).map(|_| cyclic_mrc(40, 5000)));
+        let groups = group_threads(&mrcs, &KneeConfig::default(), 0.02);
+        assert_eq!(groups.len(), 2);
+        let caps: Vec<usize> = groups.iter().map(|g| g.capacity).collect();
+        assert!(caps.contains(&5) && caps.contains(&40), "{caps:?}");
+    }
+
+    #[test]
+    fn grouped_capacities_index_by_thread() {
+        let mrcs = vec![cyclic_mrc(5, 5000), cyclic_mrc(40, 5000), cyclic_mrc(5, 5000)];
+        let caps = grouped_capacities(&mrcs, &KneeConfig::default(), 0.02);
+        assert_eq!(caps, vec![5, 40, 5]);
+    }
+
+    #[test]
+    fn group_selection_matches_individual_selection_quality() {
+        // sharing one analysis must not pick a materially worse size
+        let cfg = KneeConfig::default();
+        let mrcs: Vec<Mrc> = (0..6).map(|i| cyclic_mrc(20 + (i % 2), 6000)).collect();
+        let caps = grouped_capacities(&mrcs, &cfg, 0.05);
+        for (tid, &cap) in caps.iter().enumerate() {
+            let own = select_cache_size(&mrcs[tid], &cfg);
+            let own_mr = mrcs[tid].mr(own);
+            let grp_mr = mrcs[tid].mr(cap);
+            assert!(
+                grp_mr <= own_mr + 0.05,
+                "thread {tid}: group cap {cap} (mr {grp_mr:.3}) vs own {own} (mr {own_mr:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(group_threads(&[], &KneeConfig::default(), 0.02).is_empty());
+        assert!(grouped_capacities(&[], &KneeConfig::default(), 0.02).is_empty());
+    }
+
+    #[test]
+    fn loose_threshold_merges_everything() {
+        let mrcs = vec![cyclic_mrc(5, 5000), cyclic_mrc(40, 5000)];
+        let groups = group_threads(&mrcs, &KneeConfig::default(), 1.0);
+        assert_eq!(groups.len(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! LA — lazy write-back: record dirty lines, flush them all at FASE end.
+//!
+//! Achieves the minimum possible flush count (each line once per FASE),
+//! but every flush lands in the synchronous end-of-FASE drain where it
+//! cannot overlap computation — the paper reports LA 17.8× slower than
+//! AT on volrend despite the lowest flush ratio.
+
+use crate::policy::PersistPolicy;
+use nvcache_trace::Line;
+use std::collections::HashSet;
+
+/// The lazy policy.
+#[derive(Debug, Default, Clone)]
+pub struct LazyPolicy {
+    dirty: HashSet<Line>,
+    /// Insertion order, so the drain is deterministic.
+    order: Vec<Line>,
+}
+
+impl LazyPolicy {
+    /// New instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lines currently recorded.
+    pub fn pending(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+impl PersistPolicy for LazyPolicy {
+    fn name(&self) -> &'static str {
+        "LA"
+    }
+
+    fn on_store(&mut self, line: Line, _out: &mut Vec<Line>) {
+        if self.dirty.insert(line) {
+            self.order.push(line);
+        }
+    }
+
+    fn on_fase_end(&mut self, out: &mut Vec<Line>) {
+        out.append(&mut self.order);
+        self.dirty.clear();
+    }
+
+    fn store_overhead_instrs(&self) -> u64 {
+        3 // hash-set probe + conditional insert
+    }
+
+    fn reset(&mut self) {
+        self.dirty.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_within_fase() {
+        let mut p = LazyPolicy::new();
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            p.on_store(Line(1), &mut out);
+            p.on_store(Line(2), &mut out);
+        }
+        assert!(out.is_empty(), "no mid-FASE flushes");
+        p.on_fase_end(&mut out);
+        assert_eq!(out, vec![Line(1), Line(2)]);
+    }
+
+    #[test]
+    fn state_clears_between_fases() {
+        let mut p = LazyPolicy::new();
+        let mut out = Vec::new();
+        p.on_store(Line(1), &mut out);
+        p.on_fase_end(&mut out);
+        out.clear();
+        p.on_store(Line(1), &mut out);
+        p.on_fase_end(&mut out);
+        assert_eq!(out, vec![Line(1)], "same line flushed again next FASE");
+    }
+
+    #[test]
+    fn reset_drops_pending() {
+        let mut p = LazyPolicy::new();
+        let mut out = Vec::new();
+        p.on_store(Line(9), &mut out);
+        assert_eq!(p.pending(), 1);
+        p.reset();
+        assert_eq!(p.pending(), 0);
+        p.on_fase_end(&mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! The adaptive software write-combining cache (the paper's primary
+//! contribution) and the persistence policies it is evaluated against.
+//!
+//! A persistence policy decides *when* each dirty cache line written
+//! inside a failure-atomic section (FASE) is flushed to NVRAM:
+//!
+//! | Policy | Paper name | Behaviour |
+//! |---|---|---|
+//! | [`EagerPolicy`] | ER | flush at every persistent store |
+//! | [`LazyPolicy`] | LA | record addresses, flush all at FASE end |
+//! | [`AtlasPolicy`] | AT | 8-entry direct-mapped address table (state of the art) |
+//! | [`ScPolicy`] | SC-offline | fully-associative LRU software cache, fixed capacity |
+//! | [`AdaptiveScPolicy`] | SC | LRU cache whose capacity is chosen online from a burst-sampled MRC knee |
+//! | [`BestPolicy`] | BEST | no flushes (upper bound, not crash-consistent) |
+//!
+//! The cache itself ([`lru::LruCache`]) is the paper's hash-map +
+//! doubly-linked-list design with O(1) lookup, insertion, promotion,
+//! eviction and resize. It is strictly per-thread: policies are `!Sync`
+//! by construction and each simulated or real thread owns one instance,
+//! so there is no locking anywhere on the store path (paper Section
+//! II-B).
+//!
+//! [`driver`] replays recorded traces through a policy, either counting
+//! flushes exactly (Table III) or against the full machine timing model
+//! (Tables I/II/IV, Figures 4–6).
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod atlas;
+pub mod best;
+pub mod driver;
+pub mod eager;
+pub mod group;
+pub mod lazy;
+pub mod lru;
+pub mod policy;
+pub mod sc;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveScPolicy};
+pub use atlas::AtlasPolicy;
+pub use best::BestPolicy;
+pub use driver::{flush_stats, run_policy, FlushStats, RunConfig, RunReport};
+pub use eager::EagerPolicy;
+pub use group::{group_threads, grouped_capacities, ThreadGroup};
+pub use lazy::LazyPolicy;
+pub use lru::LruCache;
+pub use policy::{PersistPolicy, PolicyKind};
+pub use sc::ScPolicy;

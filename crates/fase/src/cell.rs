@@ -1,0 +1,283 @@
+//! Typed persistent variables — the ergonomic face of the
+//! instrumentation API (DESIGN.md §2.4): where Atlas's LLVM pass rewrites
+//! raw stores, Rust code declares `PVar<T>` / `PArray<T>` handles whose
+//! accessors route through the runtime's store/load hooks, giving the
+//! same instrumentation points with compile-time types.
+
+use crate::runtime::FaseRuntime;
+use std::marker::PhantomData;
+
+/// Values storable in persistent memory: fixed-size, byte-serializable.
+/// Implemented for the primitive scalars; the representation is
+/// little-endian, so regions are portable across hosts.
+pub trait PValue: Copy {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Encode into `buf[..SIZE]`.
+    fn encode(&self, buf: &mut [u8]);
+    /// Decode from `buf[..SIZE]`.
+    fn decode(buf: &[u8]) -> Self;
+}
+
+macro_rules! pvalue_int {
+    ($($t:ty),*) => {$(
+        impl PValue for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            fn encode(&self, buf: &mut [u8]) {
+                buf[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf[..Self::SIZE].try_into().expect("size"))
+            }
+        }
+    )*};
+}
+
+pvalue_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl PValue for f64 {
+    const SIZE: usize = 8;
+    fn encode(&self, buf: &mut [u8]) {
+        buf[..8].copy_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &[u8]) -> Self {
+        f64::from_le_bytes(buf[..8].try_into().expect("size"))
+    }
+}
+
+impl PValue for f32 {
+    const SIZE: usize = 4;
+    fn encode(&self, buf: &mut [u8]) {
+        buf[..4].copy_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &[u8]) -> Self {
+        f32::from_le_bytes(buf[..4].try_into().expect("size"))
+    }
+}
+
+impl PValue for bool {
+    const SIZE: usize = 1;
+    fn encode(&self, buf: &mut [u8]) {
+        buf[0] = *self as u8;
+    }
+    fn decode(buf: &[u8]) -> Self {
+        buf[0] != 0
+    }
+}
+
+/// A typed persistent variable at a fixed offset.
+///
+/// The handle is plain data (offset + type); all accesses go through an
+/// explicit `&mut FaseRuntime`, keeping ownership of the region visible
+/// at every use site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PVar<T: PValue> {
+    offset: usize,
+    _t: PhantomData<T>,
+}
+
+impl<T: PValue> PVar<T> {
+    /// A variable at byte `offset` of the runtime's data area.
+    pub fn at(offset: usize) -> Self {
+        PVar {
+            offset,
+            _t: PhantomData,
+        }
+    }
+
+    /// Byte offset.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Persistent store (undo-logged inside a FASE).
+    pub fn set(&self, rt: &mut FaseRuntime, value: T) {
+        let mut buf = [0u8; 16];
+        value.encode(&mut buf);
+        rt.store(self.offset, &buf[..T::SIZE]);
+    }
+
+    /// Load the current value.
+    pub fn get(&self, rt: &mut FaseRuntime) -> T {
+        let mut buf = [0u8; 16];
+        rt.load(self.offset, &mut buf[..T::SIZE]);
+        T::decode(&buf)
+    }
+
+    /// Read-modify-write.
+    pub fn update(&self, rt: &mut FaseRuntime, f: impl FnOnce(T) -> T) -> T {
+        let v = f(self.get(rt));
+        self.set(rt, v);
+        v
+    }
+}
+
+/// A typed persistent array at a fixed offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PArray<T: PValue> {
+    offset: usize,
+    len: usize,
+    /// Element stride (≥ `T::SIZE`; use `LINE_SIZE` to give each element
+    /// its own cache line, like padded hot structures).
+    stride: usize,
+    _t: PhantomData<T>,
+}
+
+impl<T: PValue> PArray<T> {
+    /// A dense array of `len` elements at `offset`.
+    pub fn at(offset: usize, len: usize) -> Self {
+        Self::with_stride(offset, len, T::SIZE)
+    }
+
+    /// An array whose elements are `stride` bytes apart.
+    pub fn with_stride(offset: usize, len: usize, stride: usize) -> Self {
+        assert!(stride >= T::SIZE, "stride must fit the element");
+        PArray {
+            offset,
+            len,
+            stride,
+            _t: PhantomData,
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes this array spans.
+    pub fn byte_len(&self) -> usize {
+        self.len * self.stride
+    }
+
+    fn elem(&self, i: usize) -> PVar<T> {
+        assert!(i < self.len, "index {i} out of bounds {}", self.len);
+        PVar::at(self.offset + i * self.stride)
+    }
+
+    /// Persistent store of element `i`.
+    pub fn set(&self, rt: &mut FaseRuntime, i: usize, value: T) {
+        self.elem(i).set(rt, value);
+    }
+
+    /// Load element `i`.
+    pub fn get(&self, rt: &mut FaseRuntime, i: usize) -> T {
+        self.elem(i).get(rt)
+    }
+
+    /// Load all elements (test/diagnostic helper).
+    pub fn to_vec(&self, rt: &mut FaseRuntime) -> Vec<T> {
+        (0..self.len).map(|i| self.get(rt, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_core::PolicyKind;
+    use nvcache_pmem::CrashMode;
+
+    fn rt() -> FaseRuntime {
+        FaseRuntime::new(4096, 1 << 16, &PolicyKind::ScFixed { capacity: 8 })
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut r = rt();
+        let a = PVar::<u64>::at(0);
+        let b = PVar::<f64>::at(8);
+        let c = PVar::<bool>::at(16);
+        let d = PVar::<i32>::at(24);
+        r.fase(|r| {
+            a.set(r, 0xdead_beef);
+            b.set(r, 3.25);
+            c.set(r, true);
+            d.set(r, -42);
+        });
+        assert_eq!(a.get(&mut r), 0xdead_beef);
+        assert_eq!(b.get(&mut r), 3.25);
+        assert!(c.get(&mut r));
+        assert_eq!(d.get(&mut r), -42);
+    }
+
+    #[test]
+    fn update_is_read_modify_write() {
+        let mut r = rt();
+        let v = PVar::<u64>::at(0);
+        r.fase(|r| {
+            v.set(r, 10);
+            assert_eq!(v.update(r, |x| x * 3), 30);
+        });
+        assert_eq!(v.get(&mut r), 30);
+    }
+
+    #[test]
+    fn typed_vars_are_undo_logged() {
+        let mut r = rt();
+        let v = PVar::<f64>::at(0);
+        r.fase(|r| v.set(r, 1.5));
+        r.begin_fase();
+        v.set(&mut r, 9.9);
+        r.crash_and_recover(&CrashMode::AllInFlightLands);
+        assert_eq!(v.get(&mut r), 1.5, "torn typed store rolled back");
+    }
+
+    #[test]
+    fn array_dense_and_strided() {
+        let mut r = rt();
+        let dense = PArray::<u32>::at(0, 10);
+        let padded = PArray::<u64>::with_stride(256, 8, 64); // line-padded
+        r.fase(|r| {
+            for i in 0..10 {
+                dense.set(r, i, i as u32 * 2);
+            }
+            for i in 0..8 {
+                padded.set(r, i, i as u64 + 100);
+            }
+        });
+        assert_eq!(
+            dense.to_vec(&mut r),
+            (0..10u32).map(|i| i * 2).collect::<Vec<_>>()
+        );
+        assert_eq!(padded.get(&mut r, 7), 107);
+        assert_eq!(padded.byte_len(), 512);
+        assert!(!dense.is_empty());
+        assert_eq!(dense.len(), 10);
+    }
+
+    #[test]
+    fn line_padded_array_writes_distinct_lines() {
+        // a padded array gives each element its own cache line — the
+        // per-line flush counting must see 8 distinct lines
+        let mut r = rt();
+        r.record_trace();
+        let padded = PArray::<u64>::with_stride(0, 8, 64);
+        r.fase(|r| {
+            for i in 0..8 {
+                padded.set(r, i, 1);
+            }
+        });
+        let t = r.take_trace().unwrap();
+        let tr = nvcache_trace::Trace { threads: vec![t] };
+        assert_eq!(tr.distinct_lines(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_bounds_checked() {
+        let mut r = rt();
+        let a = PArray::<u64>::at(0, 4);
+        r.fase(|r| a.set(r, 4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must fit")]
+    fn stride_must_fit_element() {
+        PArray::<u64>::with_stride(0, 4, 4);
+    }
+}

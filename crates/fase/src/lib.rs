@@ -1,0 +1,36 @@
+//! Atlas-style failure-atomic sections (FASEs) over emulated NVRAM.
+//!
+//! The paper's system sits on Atlas (Chakrabarti et al., OOPSLA'14):
+//! programs group invariant-violating updates into FASEs; upon failure,
+//! either all or none of a FASE's updates are visible in NVRAM. Atlas
+//! implements this with undo logging — a log entry holding the old value
+//! is made durable *before* the data store — plus cache-line write-backs
+//! of the modified data before the FASE commits.
+//!
+//! This crate provides:
+//!
+//! * [`log::UndoLog`] — the in-region undo log (append, commit,
+//!   truncate, recovery scan) with the log-before-data ordering
+//!   discipline.
+//! * [`runtime::FaseRuntime`] — the per-thread runtime that Atlas's LLVM
+//!   instrumentation pass would drive (DESIGN.md §2.4): every persistent
+//!   store routes through [`runtime::FaseRuntime::store`], which logs,
+//!   writes, and hands the touched cache line to the pluggable
+//!   persistence policy (ER/LA/AT/SC/…) from `nvcache-core`.
+//! * [`cell::PVar`] / [`cell::PArray`] — typed persistent variables over
+//!   the runtime: the ergonomic equivalent of compiler-instrumented
+//!   stores.
+//! * crash/recovery — [`runtime::FaseRuntime::crash_and_recover`]
+//!   injects a power failure via any [`nvcache_pmem::CrashMode`] and
+//!   rolls back incomplete FASEs, restoring the "all or none" guarantee
+//!   that the property tests in `tests/` verify.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod log;
+pub mod runtime;
+
+pub use cell::{PArray, PValue, PVar};
+pub use log::{LogStats, UndoLog};
+pub use runtime::{FaseRuntime, FaseStats};

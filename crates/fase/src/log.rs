@@ -1,0 +1,337 @@
+//! The persistent undo log.
+//!
+//! Lives in a reserved suffix of the data region so that crash injection
+//! hits data and log with a single consistent cut. Layout (offsets
+//! relative to the log base):
+//!
+//! ```text
+//! 0   magic   u64
+//! 8   tail    u64   (next free offset, starts at 16)
+//! 16… records: [offset u64][len u64][old bytes, padded to 8]
+//!              COMMIT record: offset == u64::MAX, len == 0
+//! ```
+//!
+//! Discipline:
+//! * `append_entry` persists the record **and then** the tail bump, each
+//!   with flush+fence, before returning — so by the time the caller
+//!   performs the data store, the undo information is durable
+//!   (log-before-data).
+//! * `commit` appends a COMMIT record, persists it, then truncates
+//!   (tail←16, persisted). A crash between the two leaves a log whose
+//!   last record is COMMIT; recovery just truncates.
+//! * `recover` rolls back any non-committed records in reverse order,
+//!   persisting each restored value, then truncates.
+
+use nvcache_pmem::PmemRegion;
+
+const LOG_MAGIC: u64 = 0x4641_5345_4c4f_4731; // "FASELOG1"
+const OFF_MAGIC: usize = 0;
+const OFF_TAIL: usize = 8;
+const RECORDS_START: u64 = 16;
+const COMMIT_MARK: u64 = u64::MAX;
+
+/// Counters for log activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogStats {
+    /// Undo entries appended.
+    pub entries: u64,
+    /// Commits.
+    pub commits: u64,
+    /// Rollbacks performed by recovery.
+    pub rollbacks: u64,
+    /// Bytes of old-value data logged.
+    pub bytes_logged: u64,
+}
+
+/// An undo log occupying `[base, base+len)` of a region.
+#[derive(Debug, Clone)]
+pub struct UndoLog {
+    base: usize,
+    len: usize,
+    stats: LogStats,
+}
+
+impl UndoLog {
+    /// Format a fresh log in `[base, base+len)`.
+    pub fn format(region: &mut PmemRegion, base: usize, len: usize) -> Self {
+        assert!(base + len <= region.len());
+        assert!(len >= 64, "log area too small");
+        region.write_u64(base + OFF_MAGIC, LOG_MAGIC);
+        region.write_u64(base + OFF_TAIL, RECORDS_START);
+        region.persist(base, 16);
+        UndoLog {
+            base,
+            len,
+            stats: LogStats::default(),
+        }
+    }
+
+    /// Attach to an existing log formatted at `[base, base+len)`.
+    /// Returns `None` when the magic is missing.
+    pub fn open(region: &PmemRegion, base: usize, len: usize) -> Option<Self> {
+        if base + 16 <= region.len() && region.read_u64(base + OFF_MAGIC) == LOG_MAGIC {
+            Some(UndoLog {
+                base,
+                len,
+                stats: LogStats::default(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> LogStats {
+        self.stats
+    }
+
+    fn tail(&self, region: &PmemRegion) -> u64 {
+        region.read_u64(self.base + OFF_TAIL)
+    }
+
+    fn set_tail(&self, region: &mut PmemRegion, tail: u64) {
+        region.write_u64(self.base + OFF_TAIL, tail);
+        region.persist(self.base + OFF_TAIL, 8);
+    }
+
+    /// Bytes currently used by records.
+    pub fn used(&self, region: &PmemRegion) -> u64 {
+        self.tail(region) - RECORDS_START
+    }
+
+    /// Record the old value of `[offset, offset+old.len())` durably.
+    /// Must be called *before* the data store it protects.
+    ///
+    /// # Panics
+    /// When the log area overflows (size the log for the largest FASE).
+    pub fn append_entry(&mut self, region: &mut PmemRegion, offset: u64, old: &[u8]) {
+        let tail = self.tail(region);
+        let padded = old.len().div_ceil(8) * 8;
+        let rec_len = 16 + padded as u64;
+        assert!(
+            (tail + rec_len) as usize <= self.len,
+            "undo log overflow: FASE touches more than {} bytes of log",
+            self.len
+        );
+        let at = self.base + tail as usize;
+        region.write_u64(at, offset);
+        region.write_u64(at + 8, old.len() as u64);
+        if !old.is_empty() {
+            region.write(at + 16, old);
+        }
+        region.persist(at, 16 + old.len());
+        self.set_tail(region, tail + rec_len);
+        self.stats.entries += 1;
+        self.stats.bytes_logged += old.len() as u64;
+    }
+
+    /// Commit the open FASE: durable COMMIT record, then truncation.
+    pub fn commit(&mut self, region: &mut PmemRegion) {
+        let tail = self.tail(region);
+        assert!((tail + 16) as usize <= self.len, "undo log overflow at commit");
+        let at = self.base + tail as usize;
+        region.write_u64(at, COMMIT_MARK);
+        region.write_u64(at + 8, 0);
+        region.persist(at, 16);
+        self.set_tail(region, tail + 16);
+        // Truncate: the FASE is durable; drop the records.
+        self.set_tail(region, RECORDS_START);
+        self.stats.commits += 1;
+    }
+
+    /// Scan the log after a restart and roll back an incomplete FASE, if
+    /// any. Restored bytes are persisted before the log is truncated.
+    /// Returns the number of undo entries applied.
+    pub fn recover(&mut self, region: &mut PmemRegion) -> usize {
+        let tail = self.tail(region);
+        if tail <= RECORDS_START {
+            return 0;
+        }
+        // Parse records into (offset, len, data_at).
+        let mut recs: Vec<(u64, usize, usize)> = Vec::new();
+        let mut pos = RECORDS_START;
+        let mut committed = false;
+        while pos + 16 <= tail {
+            let at = self.base + pos as usize;
+            let offset = region.read_u64(at);
+            let len = region.read_u64(at + 8) as usize;
+            if offset == COMMIT_MARK {
+                committed = true;
+                pos += 16;
+                // records before a COMMIT belong to a completed FASE
+                recs.clear();
+                continue;
+            }
+            committed = false;
+            let padded = len.div_ceil(8) * 8;
+            if pos + 16 + padded as u64 > tail {
+                break; // torn final record: its data store never happened
+            }
+            recs.push((offset, len, at + 16));
+            pos += 16 + padded as u64;
+        }
+
+        let mut applied = 0usize;
+        if !committed {
+            for &(offset, len, data_at) in recs.iter().rev() {
+                let mut old = vec![0u8; len];
+                region.read(data_at, &mut old);
+                region.write(offset as usize, &old);
+                region.persist(offset as usize, len);
+                applied += 1;
+            }
+            if applied > 0 {
+                self.stats.rollbacks += 1;
+            }
+        }
+        self.set_tail(region, RECORDS_START);
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_pmem::CrashMode;
+
+    const LOG_BASE: usize = 4096;
+    const LOG_LEN: usize = 4096;
+
+    fn setup() -> (PmemRegion, UndoLog) {
+        let mut r = PmemRegion::new(LOG_BASE + LOG_LEN);
+        let l = UndoLog::format(&mut r, LOG_BASE, LOG_LEN);
+        (r, l)
+    }
+
+    #[test]
+    fn entry_then_commit_truncates() {
+        let (mut r, mut l) = setup();
+        l.append_entry(&mut r, 0, &[1, 2, 3, 4]);
+        assert!(l.used(&r) > 0);
+        l.commit(&mut r);
+        assert_eq!(l.used(&r), 0);
+        assert_eq!(l.stats().entries, 1);
+        assert_eq!(l.stats().commits, 1);
+    }
+
+    #[test]
+    fn rollback_restores_old_values_in_reverse() {
+        let (mut r, mut l) = setup();
+        // initial durable state
+        r.write(0, b"AAAA");
+        r.persist(0, 4);
+        // FASE: log old, then mutate — twice on the same location
+        let mut old = [0u8; 4];
+        r.read(0, &mut old);
+        l.append_entry(&mut r, 0, &old);
+        r.write(0, b"BBBB");
+        r.persist(0, 4); // data may be durable — log already is
+        r.read(0, &mut old);
+        l.append_entry(&mut r, 0, &old);
+        r.write(0, b"CCCC");
+        r.persist(0, 4);
+        // crash before commit
+        r.crash(&CrashMode::AllInFlightLands);
+        let mut l2 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
+        let applied = l2.recover(&mut r);
+        assert_eq!(applied, 2);
+        assert_eq!(r.slice(0, 4), b"AAAA", "reverse order restores oldest");
+    }
+
+    #[test]
+    fn committed_fase_is_not_rolled_back() {
+        let (mut r, mut l) = setup();
+        r.write(0, b"AAAA");
+        r.persist(0, 4);
+        l.append_entry(&mut r, 0, b"AAAA");
+        r.write(0, b"BBBB");
+        r.persist(0, 4);
+        l.commit(&mut r);
+        r.crash(&CrashMode::StrictDurableOnly);
+        let mut l2 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
+        assert_eq!(l2.recover(&mut r), 0);
+        assert_eq!(r.slice(0, 4), b"BBBB");
+    }
+
+    #[test]
+    fn crash_between_commit_record_and_truncation() {
+        // Simulate: commit record persisted, truncation lost. Recovery
+        // must not roll back.
+        let (mut r, mut l) = setup();
+        r.write(0, b"AAAA");
+        r.persist(0, 4);
+        l.append_entry(&mut r, 0, b"AAAA");
+        r.write(0, b"BBBB");
+        r.persist(0, 4);
+        // hand-craft the commit record without truncating
+        let tail = r.read_u64(LOG_BASE + OFF_TAIL);
+        let at = LOG_BASE + tail as usize;
+        r.write_u64(at, COMMIT_MARK);
+        r.write_u64(at + 8, 0);
+        r.persist(at, 16);
+        r.write_u64(LOG_BASE + OFF_TAIL, tail + 16);
+        r.persist(LOG_BASE + OFF_TAIL, 8);
+        r.crash(&CrashMode::StrictDurableOnly);
+        let mut l2 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
+        assert_eq!(l2.recover(&mut r), 0, "last record is COMMIT");
+        assert_eq!(r.slice(0, 4), b"BBBB");
+    }
+
+    #[test]
+    fn log_before_data_makes_early_durable_data_safe() {
+        // The dangerous interleaving: data lands in NVRAM, log entry is
+        // required to undo it. Because append_entry persists before the
+        // data store, rollback always has what it needs.
+        let (mut r, mut l) = setup();
+        r.write(100, b"OLD!");
+        r.persist(100, 4);
+        l.append_entry(&mut r, 100, b"OLD!");
+        r.write(100, b"NEW!");
+        // crash where the dirty data line *lands* but nothing else
+        r.crash(&CrashMode::random(0.0, 1.0, 3));
+        let mut l2 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
+        l2.recover(&mut r);
+        assert_eq!(r.slice(100, 4), b"OLD!");
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let (mut r, mut l) = setup();
+        r.write(0, b"AAAA");
+        r.persist(0, 4);
+        l.append_entry(&mut r, 0, b"AAAA");
+        r.write(0, b"BBBB");
+        r.persist(0, 4);
+        r.crash(&CrashMode::AllInFlightLands);
+        let mut l2 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
+        l2.recover(&mut r);
+        assert_eq!(r.slice(0, 4), b"AAAA");
+        // crash again mid-"nothing" and recover again
+        r.crash(&CrashMode::StrictDurableOnly);
+        let mut l3 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
+        assert_eq!(l3.recover(&mut r), 0);
+        assert_eq!(r.slice(0, 4), b"AAAA");
+    }
+
+    #[test]
+    fn open_rejects_unformatted_area() {
+        let r = PmemRegion::new(8192);
+        assert!(UndoLog::open(&r, 4096, 4096).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "undo log overflow")]
+    fn overflow_panics() {
+        let mut r = PmemRegion::new(4096 + 128);
+        let mut l = UndoLog::format(&mut r, 4096, 128);
+        for i in 0..10 {
+            l.append_entry(&mut r, i * 8, &[0u8; 32]);
+        }
+    }
+
+    #[test]
+    fn empty_log_recovers_to_nothing() {
+        let (mut r, mut l) = setup();
+        assert_eq!(l.recover(&mut r), 0);
+    }
+}

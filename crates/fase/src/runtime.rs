@@ -1,0 +1,544 @@
+//! The per-thread FASE runtime: the piece Atlas implements with an LLVM
+//! instrumentation pass plus a runtime library. Every persistent store
+//! goes through [`FaseRuntime::store`], which
+//!
+//! 1. makes the undo entry durable (log-before-data),
+//! 2. updates the data in place (volatile),
+//! 3. reports the touched cache line(s) to the pluggable persistence
+//!    policy, and issues whatever flushes the policy requests,
+//! 4. optionally records the event stream for offline analysis.
+//!
+//! At the end of an outermost FASE the policy's buffered lines are
+//! flushed, a fence orders them, and the log commits — making the
+//! FASE's updates durable atomically.
+
+use nvcache_core::{PersistPolicy, PolicyKind};
+use nvcache_pmem::{CrashMode, PAlloc, PmemRegion};
+use nvcache_trace::{Line, ThreadTrace, TraceRecorder, StoreSink};
+
+use crate::log::UndoLog;
+
+/// Counters of runtime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaseStats {
+    /// Outermost FASEs completed.
+    pub fases: u64,
+    /// Persistent store operations.
+    pub stores: u64,
+    /// Cache lines touched by stores (≥ stores; a store may span lines).
+    pub store_lines: u64,
+    /// Data-line flushes issued by the policy (the paper's flush count).
+    pub data_flushes: u64,
+    /// Fences issued for data (not log) ordering.
+    pub fences: u64,
+    /// Recoveries that rolled back an incomplete FASE.
+    pub rollbacks: u64,
+}
+
+impl FaseStats {
+    /// Data flushes per store-line — the paper's flush ratio.
+    pub fn flush_ratio(&self) -> f64 {
+        if self.store_lines == 0 {
+            0.0
+        } else {
+            self.data_flushes as f64 / self.store_lines as f64
+        }
+    }
+}
+
+/// A per-thread failure-atomic-section runtime over one region.
+pub struct FaseRuntime {
+    region: PmemRegion,
+    log: UndoLog,
+    policy: Box<dyn PersistPolicy + Send>,
+    heap: Option<PAlloc>,
+    data_len: usize,
+    depth: usize,
+    flush_buf: Vec<Line>,
+    recorder: Option<TraceRecorder>,
+    stats: FaseStats,
+}
+
+impl std::fmt::Debug for FaseRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaseRuntime")
+            .field("data_len", &self.data_len)
+            .field("depth", &self.depth)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl FaseRuntime {
+    /// Create a runtime over a fresh region: `data_len` bytes of user
+    /// data followed by a `log_len`-byte undo log.
+    pub fn new(data_len: usize, log_len: usize, policy: &PolicyKind) -> Self {
+        let data_len = data_len.div_ceil(64) * 64;
+        let mut region = PmemRegion::new(data_len + log_len);
+        let log = UndoLog::format(&mut region, data_len, log_len);
+        FaseRuntime {
+            region,
+            log,
+            policy: policy.build(),
+            heap: None,
+            data_len,
+            depth: 0,
+            flush_buf: Vec::new(),
+            recorder: None,
+            stats: FaseStats::default(),
+        }
+    }
+
+    /// Like [`FaseRuntime::new`], with a persistent heap formatted over
+    /// the data area (for pointer-based structures such as the MDB
+    /// B+-tree).
+    pub fn with_heap(data_len: usize, log_len: usize, policy: &PolicyKind) -> Self {
+        let mut rt = Self::new(data_len, log_len, policy);
+        rt.heap = Some(PAlloc::format_with_limit(
+            &mut rt.region,
+            rt.data_len as u64,
+        ));
+        rt
+    }
+
+    /// Re-attach to a region that previously backed a runtime (e.g.
+    /// reopened from disk or after a crash), running recovery first.
+    pub fn reopen(mut region: PmemRegion, data_len: usize, log_len: usize, policy: &PolicyKind) -> Self {
+        let data_len = data_len.div_ceil(64) * 64;
+        let mut log = UndoLog::open(&region, data_len, log_len)
+            .expect("region does not contain a FASE log");
+        let rolled = log.recover(&mut region);
+        let heap = PAlloc::open(&region);
+        let mut stats = FaseStats::default();
+        if rolled > 0 {
+            stats.rollbacks = 1;
+        }
+        FaseRuntime {
+            region,
+            log,
+            policy: policy.build(),
+            heap,
+            data_len,
+            depth: 0,
+            flush_buf: Vec::new(),
+            recorder: None,
+            stats,
+        }
+    }
+
+    /// Enable event recording; the trace is retrieved with
+    /// [`FaseRuntime::take_trace`].
+    pub fn record_trace(&mut self) {
+        self.recorder = Some(TraceRecorder::new());
+    }
+
+    /// The recorded event stream so far (drains the recorder).
+    pub fn take_trace(&mut self) -> Option<ThreadTrace> {
+        self.recorder.as_mut().map(|r| r.finish())
+    }
+
+    /// Usable data bytes.
+    pub fn data_len(&self) -> usize {
+        self.data_len
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> FaseStats {
+        self.stats
+    }
+
+    /// The underlying region (read access for verification).
+    pub fn region(&self) -> &PmemRegion {
+        &self.region
+    }
+
+    /// Current FASE nesting depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    // ----- FASE control -------------------------------------------------
+
+    /// Enter a FASE (sections nest; only the outermost pair commits).
+    pub fn begin_fase(&mut self) {
+        self.depth += 1;
+        if self.depth == 1 {
+            self.policy.on_fase_begin();
+            if let Some(r) = &mut self.recorder {
+                r.fase_begin();
+            }
+        } else if let Some(r) = &mut self.recorder {
+            r.fase_begin();
+        }
+    }
+
+    /// Leave a FASE; the outermost exit flushes, fences and commits.
+    pub fn end_fase(&mut self) {
+        assert!(self.depth > 0, "end_fase without begin_fase");
+        if let Some(r) = &mut self.recorder {
+            r.fase_end();
+        }
+        if self.depth == 1 {
+            self.policy.on_fase_end(&mut self.flush_buf);
+            let n = self.flush_buf.len() as u64;
+            for line in self.flush_buf.drain(..) {
+                self.region.flush_line(line.0);
+            }
+            self.stats.data_flushes += n;
+            self.region.fence();
+            self.stats.fences += 1;
+            self.log.commit(&mut self.region);
+            self.stats.fases += 1;
+        }
+        self.depth -= 1;
+    }
+
+    /// Run `f` inside a FASE (exception-safe only insofar as Rust
+    /// unwinding is not used across it; panics abort the section).
+    pub fn fase<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.begin_fase();
+        let r = f(self);
+        self.end_fase();
+        r
+    }
+
+    // ----- persistent accesses -------------------------------------------
+
+    /// Persistent store of `bytes` at `offset` (must lie in the data
+    /// area). Inside a FASE the old value is undo-logged first.
+    pub fn store(&mut self, offset: usize, bytes: &[u8]) {
+        assert!(
+            offset + bytes.len() <= self.data_len,
+            "store outside data area"
+        );
+        if self.depth > 0 {
+            let mut old = vec![0u8; bytes.len()];
+            self.region.read(offset, &mut old);
+            self.log.append_entry(&mut self.region, offset as u64, &old);
+        }
+        self.region.write(offset, bytes);
+        self.stats.stores += 1;
+        for line in PmemRegion::lines_of(offset, bytes.len()) {
+            self.stats.store_lines += 1;
+            if let Some(r) = &mut self.recorder {
+                r.persistent_store(Line(line));
+            }
+            self.policy.on_store(Line(line), &mut self.flush_buf);
+            let n = self.flush_buf.len() as u64;
+            for victim in self.flush_buf.drain(..) {
+                self.region.flush_line(victim.0);
+            }
+            self.stats.data_flushes += n;
+        }
+    }
+
+    /// Persistent store of a little-endian u64.
+    pub fn store_u64(&mut self, offset: usize, v: u64) {
+        self.store(offset, &v.to_le_bytes());
+    }
+
+    /// Load bytes (records a read event when tracing).
+    pub fn load(&mut self, offset: usize, buf: &mut [u8]) {
+        self.region.read(offset, buf);
+        if let Some(r) = &mut self.recorder {
+            for line in PmemRegion::lines_of(offset, buf.len()) {
+                r.load(Line(line));
+            }
+        }
+    }
+
+    /// Load a little-endian u64.
+    pub fn load_u64(&mut self, offset: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.load(offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Mark `units` of computation (for the recorded trace's timing).
+    pub fn work(&mut self, units: u32) {
+        if let Some(r) = &mut self.recorder {
+            r.work(units);
+        }
+    }
+
+    // ----- heap ----------------------------------------------------------
+
+    /// Allocate from the persistent heap (requires
+    /// [`FaseRuntime::with_heap`]).
+    pub fn alloc(&mut self, size: usize) -> Option<u64> {
+        let heap = self.heap.expect("runtime has no heap");
+        heap.alloc(&mut self.region, size)
+    }
+
+    /// Free a heap block.
+    pub fn free(&mut self, offset: u64, size: usize) {
+        let heap = self.heap.expect("runtime has no heap");
+        heap.free(&mut self.region, offset, size);
+    }
+
+    /// Durable root pointer.
+    pub fn root(&self) -> u64 {
+        self.heap.expect("runtime has no heap").root(&self.region)
+    }
+
+    /// Set the durable root pointer.
+    pub fn set_root(&mut self, offset: u64) {
+        let heap = self.heap.expect("runtime has no heap");
+        heap.set_root(&mut self.region, offset);
+    }
+
+    // ----- shutdown / failure ---------------------------------------------
+
+    /// Persist everything the policy still buffers (clean shutdown).
+    pub fn sync(&mut self) {
+        self.policy.on_fase_end(&mut self.flush_buf);
+        let n = self.flush_buf.len() as u64;
+        for line in self.flush_buf.drain(..) {
+            self.region.flush_line(line.0);
+        }
+        self.stats.data_flushes += n;
+        self.region.fence();
+        self.stats.fences += 1;
+    }
+
+    /// Inject a power failure under `mode`, then run recovery; the
+    /// runtime continues over the recovered state. Any open FASE is
+    /// rolled back (all-or-nothing).
+    pub fn crash_and_recover(&mut self, mode: &CrashMode) {
+        self.region.crash(mode);
+        self.depth = 0;
+        self.flush_buf.clear();
+        self.policy.reset();
+        let rolled = self.log.recover(&mut self.region);
+        if rolled > 0 {
+            self.stats.rollbacks += 1;
+        }
+    }
+
+    /// Tear down, returning the region (e.g. to save it to disk).
+    pub fn into_region(mut self) -> PmemRegion {
+        self.sync();
+        self.region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(kind: PolicyKind) -> FaseRuntime {
+        FaseRuntime::new(1 << 16, 1 << 16, &kind)
+    }
+
+    #[test]
+    fn committed_fase_survives_strict_crash() {
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.fase(|r| {
+            r.store(0, b"hello persistent world");
+        });
+        r.crash_and_recover(&CrashMode::StrictDurableOnly);
+        assert_eq!(r.region().slice(0, 22), b"hello persistent world");
+    }
+
+    #[test]
+    fn uncommitted_fase_rolls_back() {
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.fase(|r| r.store_u64(0, 111));
+        r.begin_fase();
+        r.store_u64(0, 222);
+        r.store_u64(8, 333);
+        // crash with everything in flight landing — worst case for
+        // atomicity
+        r.crash_and_recover(&CrashMode::AllInFlightLands);
+        assert_eq!(r.load_u64(0), 111, "rolled back to committed value");
+        assert_eq!(r.load_u64(8), 0, "uncommitted store undone");
+        assert_eq!(r.stats().rollbacks, 1);
+    }
+
+    #[test]
+    fn all_policies_preserve_atomicity() {
+        for kind in [
+            PolicyKind::Eager,
+            PolicyKind::Lazy,
+            PolicyKind::Atlas { size: 8 },
+            PolicyKind::ScFixed { capacity: 4 },
+            PolicyKind::ScAdaptive(Default::default()),
+        ] {
+            for mode in [
+                CrashMode::StrictDurableOnly,
+                CrashMode::AllInFlightLands,
+                CrashMode::random(0.5, 0.5, 17),
+            ] {
+                let mut r = rt(kind.clone());
+                r.fase(|r| {
+                    for i in 0..32 {
+                        r.store_u64(i * 8, 1000 + i as u64);
+                    }
+                });
+                r.begin_fase();
+                for i in 0..32 {
+                    r.store_u64(i * 8, 2000 + i as u64);
+                }
+                r.crash_and_recover(&mode);
+                for i in 0..32 {
+                    assert_eq!(
+                        r.load_u64(i * 8),
+                        1000 + i as u64,
+                        "policy {} mode {:?} slot {i}",
+                        kind.label(),
+                        mode
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_policy_is_not_crash_consistent_outside_log_protection() {
+        // BEST never flushes; committed FASE data is still protected by
+        // the undo log only while a FASE is open. After commit with no
+        // flush, a strict crash loses data — demonstrating why BEST is
+        // an upper bound, not a technique.
+        let mut r = rt(PolicyKind::Best);
+        r.fase(|r| r.store_u64(0, 777));
+        r.crash_and_recover(&CrashMode::StrictDurableOnly);
+        assert_eq!(r.load_u64(0), 0, "BEST loses unflushed data");
+    }
+
+    #[test]
+    fn nested_fases_commit_once_at_outermost() {
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.begin_fase();
+        r.store_u64(0, 1);
+        r.begin_fase();
+        r.store_u64(8, 2);
+        r.end_fase(); // inner: no commit
+        assert_eq!(r.stats().fases, 0);
+        r.end_fase();
+        assert_eq!(r.stats().fases, 1);
+        r.crash_and_recover(&CrashMode::StrictDurableOnly);
+        assert_eq!(r.load_u64(0), 1);
+        assert_eq!(r.load_u64(8), 2);
+    }
+
+    #[test]
+    fn nested_rollback_undoes_inner_updates_too() {
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.begin_fase();
+        r.store_u64(0, 1);
+        r.begin_fase();
+        r.store_u64(8, 2);
+        r.end_fase();
+        // outer still open → crash rolls back everything
+        r.crash_and_recover(&CrashMode::AllInFlightLands);
+        assert_eq!(r.load_u64(0), 0);
+        assert_eq!(r.load_u64(8), 0);
+    }
+
+    #[test]
+    fn flush_counting_matches_policy_expectation() {
+        // 4-line working set in an 8-capacity SC: exactly 4 flushes per
+        // FASE (all at the end), like LA.
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        for _ in 0..10 {
+            r.fase(|r| {
+                for rep in 0..5 {
+                    for i in 0..4usize {
+                        r.store_u64(i * 64, rep * 10 + i as u64);
+                    }
+                }
+            });
+        }
+        let s = r.stats();
+        assert_eq!(s.stores, 200);
+        assert_eq!(s.data_flushes, 40, "4 lines × 10 FASEs");
+        assert!((s.flush_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eager_flushes_every_store_line() {
+        let mut r = rt(PolicyKind::Eager);
+        r.fase(|r| {
+            for i in 0..10usize {
+                r.store_u64(i * 8, i as u64);
+            }
+        });
+        assert_eq!(r.stats().data_flushes, 10);
+    }
+
+    #[test]
+    fn trace_recording_captures_events() {
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.record_trace();
+        r.fase(|r| {
+            r.store_u64(0, 1);
+            r.work(5);
+            r.store_u64(128, 2);
+        });
+        let t = r.take_trace().unwrap();
+        assert_eq!(t.write_count(), 2);
+        assert_eq!(t.fase_count(), 1);
+        assert_eq!(t.events.iter().filter(|e| matches!(e, nvcache_trace::Event::Work(_))).count(), 1);
+    }
+
+    #[test]
+    fn stores_outside_fases_persist_on_sync() {
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.store_u64(0, 42); // not atomic, but must be persistable
+        r.sync();
+        r.crash_and_recover(&CrashMode::StrictDurableOnly);
+        assert_eq!(r.load_u64(0), 42);
+    }
+
+    #[test]
+    fn reopen_recovers_incomplete_fase() {
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.fase(|r| r.store_u64(0, 5));
+        r.begin_fase();
+        r.store_u64(0, 99);
+        // simulate process death: crash the raw region, then reopen
+        let data_len = r.data_len();
+        let mut region = {
+            // take the region with the open FASE still in the log
+            let FaseRuntime { region, .. } = r;
+            region
+        };
+        region.crash(&CrashMode::AllInFlightLands);
+        let mut r2 = FaseRuntime::reopen(
+            region,
+            data_len,
+            1 << 16,
+            &PolicyKind::ScFixed { capacity: 8 },
+        );
+        assert_eq!(r2.load_u64(0), 5, "reopen rolled back the open FASE");
+        assert_eq!(r2.stats().rollbacks, 1);
+    }
+
+    #[test]
+    fn heap_allocation_roundtrip() {
+        let mut r = FaseRuntime::with_heap(1 << 16, 1 << 16, &PolicyKind::ScFixed { capacity: 8 });
+        let a = r.alloc(64).unwrap() as usize;
+        r.fase(|r| r.store_u64(a, 123));
+        r.set_root(a as u64);
+        r.crash_and_recover(&CrashMode::StrictDurableOnly);
+        let root = r.root() as usize;
+        assert_eq!(root, a);
+        assert_eq!(r.load_u64(root), 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "store outside data area")]
+    fn store_into_log_area_panics() {
+        let mut r = rt(PolicyKind::Best);
+        let off = r.data_len();
+        r.store_u64(off, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "end_fase without begin_fase")]
+    fn unbalanced_end_panics() {
+        let mut r = rt(PolicyKind::Best);
+        r.end_fase();
+    }
+}

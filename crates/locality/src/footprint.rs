@@ -1,0 +1,162 @@
+//! Footprint: average working-set size over all windows of each length
+//! (Xiang et al., paper Eq. 4), computed for all `k` in `O(n)`.
+//!
+//! `fp(k) = m − (1/(n−k+1)) [ Σᵢ (fᵢ−k)⁺ + Σᵢ (lᵢ−k)⁺ + Σ_t (t−k)⁺·nrt(t) ]`
+//!
+//! where `m` is the number of distinct data, `fᵢ` the (1-based) first
+//! access time of datum `i`, `lᵢ = n − tᵢᵃˢᵗ` its reverse last access
+//! time, and `nrt(t)` the number of reuse intervals of length `t`.
+//! All three sums are of the form `Σ (x−k)⁺ · H[x]`, evaluated for every
+//! `k` at once from suffix sums of the merged histogram `H`.
+
+use std::collections::HashMap;
+
+/// Compute `fp(k)` for all `k = 1..=n`. Returns `v` with `v[k] = fp(k)`
+/// (`v[0] = 0`).
+pub fn footprint_all_k(trace: &[u64]) -> Vec<f64> {
+    let n = trace.len();
+    let mut v = vec![0.0f64; n + 1];
+    if n == 0 {
+        return v;
+    }
+
+    // first/last access time per datum and reuse-time histogram
+    let mut first: HashMap<u64, usize> = HashMap::new();
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    let mut hist = vec![0i64; n + 1]; // H[x] for x ∈ 1..=n
+    for (t, &id) in trace.iter().enumerate() {
+        if let Some(&prev) = last.get(&id) {
+            hist[t - prev] += 1; // reuse time
+        } else {
+            first.insert(id, t);
+        }
+        last.insert(id, t);
+    }
+    let m = first.len();
+    for (&id, &f) in &first {
+        let fi = f + 1; // 1-based first access time
+        hist[fi] += 1;
+        let li = n - last[&id]; // reverse last access time
+        hist[li] += 1;
+    }
+
+    // Σ_{x>k} (x−k)·H[x] = S2[k] − k·S1[k] from suffix sums.
+    let mut s1 = 0i64; // Σ_{x>k} H[x]
+    let mut s2 = 0i64; // Σ_{x>k} x·H[x]
+    let mut deficit = vec![0i64; n + 1];
+    for k in (1..=n).rev() {
+        // entering k: include x = k+1..=n, i.e. x > k
+        if k < n {
+            s1 += hist[k + 1];
+            s2 += (k as i64 + 1) * hist[k + 1];
+        }
+        deficit[k] = s2 - k as i64 * s1;
+    }
+
+    for k in 1..=n {
+        v[k] = m as f64 - deficit[k] as f64 / (n - k + 1) as f64;
+    }
+    v
+}
+
+/// Brute-force footprint: enumerate every window. Test oracle only.
+pub fn footprint_all_k_naive(trace: &[u64]) -> Vec<f64> {
+    let n = trace.len();
+    let mut v = vec![0.0f64; n + 1];
+    for k in 1..=n {
+        let mut total = 0usize;
+        for start in 0..=(n - k) {
+            let set: std::collections::HashSet<&u64> =
+                trace[start..start + k].iter().collect();
+            total += set.len();
+        }
+        v[k] = total as f64 / (n - k + 1) as f64;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reuse::reuse_all_k;
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn matches_naive_on_fixed_traces() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![0, 1, 1],
+            vec![1, 2, 1, 3, 2, 1, 1],
+            vec![5, 5, 5, 5],
+            (0..40).map(|i| (i % 7) as u64).collect(),
+            vec![1, 2, 3, 4, 1, 2, 3, 4, 9, 9, 1],
+        ];
+        for trace in cases {
+            let fast = footprint_all_k(&trace);
+            let slow = footprint_all_k_naive(&trace);
+            for k in 1..=trace.len() {
+                assert!(
+                    (fast[k] - slow[k]).abs() < 1e-9,
+                    "k={k} fast={} slow={} trace={trace:?}",
+                    fast[k],
+                    slow[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn duality_reuse_plus_fp_equals_k() {
+        // Paper Eq. 5: reuse(k) + fp(k) = k, for every k.
+        let traces: Vec<Vec<u64>> = vec![
+            (0..300).map(|i| (i * 7 % 23) as u64).collect(),
+            (0..100).map(|i| (i % 2) as u64).collect(),
+            vec![9; 64],
+            (0..128).collect(),
+        ];
+        for trace in traces {
+            let r = reuse_all_k(&trace);
+            let f = footprint_all_k(&trace);
+            for k in 1..=trace.len() {
+                assert!(
+                    (r[k] + f[k] - k as f64).abs() < 1e-6,
+                    "duality fails at k={k}: reuse={} fp={}",
+                    r[k],
+                    f[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn fp_bounds() {
+        // 1 ≤ fp(k) ≤ min(k, m) for non-empty traces.
+        let trace: Vec<u64> = (0..200).map(|i| (i * 13 % 31) as u64).collect();
+        let m = 31f64.min(200.0);
+        let f = footprint_all_k(&trace);
+        for k in 1..=trace.len() {
+            assert!(f[k] >= 1.0 - 1e-9, "fp({k}) = {}", f[k]);
+            assert!(f[k] <= (k as f64).min(m) + 1e-9, "fp({k}) = {}", f[k]);
+        }
+    }
+
+    #[test]
+    fn fp_of_full_trace_is_m() {
+        let trace = vec![1u64, 2, 1, 3, 2];
+        let f = footprint_all_k(&trace);
+        assert!((f[5] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fp_of_one_is_one() {
+        let trace = vec![4u64, 4, 5, 6];
+        let f = footprint_all_k(&trace);
+        assert!((f[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert_eq!(footprint_all_k(&[]), vec![0.0]);
+    }
+}

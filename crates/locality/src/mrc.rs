@@ -1,0 +1,209 @@
+//! Miss-ratio curves (MRC) of the fully-associative LRU software cache.
+//!
+//! The paper's conversion (Eq. 3): at timescale `k`, the cache holds the
+//! data of the previous `k` accesses, i.e. `c = k − reuse(k)` distinct
+//! lines on average, and the hit ratio at that size is the discrete
+//! derivative `hr(c) = reuse(k+1) − reuse(k)`. Because
+//! `c = k − reuse(k) = fp(k)` is non-decreasing in `k`, walking `k`
+//! upward yields the whole curve in one pass.
+
+use serde::{Deserialize, Serialize};
+
+/// A miss-ratio curve: `miss_ratio[c]` is the predicted (or measured)
+/// miss ratio of a fully-associative LRU cache of capacity `c` lines.
+/// `miss_ratio[0] == 1.0` by definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mrc {
+    /// Miss ratio per integer cache size; index is capacity in lines.
+    pub miss_ratio: Vec<f64>,
+    /// Number of accesses the curve was derived from.
+    pub accesses: usize,
+}
+
+impl Mrc {
+    /// Derive the MRC from the all-`k` reuse vector (`reuse[k]` for
+    /// `k ∈ 1..=n`, as produced by [`crate::reuse_all_k`]), up to cache
+    /// size `max_size`.
+    pub fn from_reuse(reuse: &[f64], max_size: usize) -> Self {
+        let n = reuse.len().saturating_sub(1);
+        let mut mr = vec![f64::NAN; max_size + 1];
+        mr[0] = 1.0;
+        if n >= 2 {
+            let mut next_size = 1usize;
+            for k in 1..n {
+                let c = k as f64 - reuse[k];
+                let hr = (reuse[k + 1] - reuse[k]).clamp(0.0, 1.0);
+                while next_size <= max_size && c >= next_size as f64 {
+                    mr[next_size] = 1.0 - hr;
+                    next_size += 1;
+                }
+                if next_size > max_size {
+                    break;
+                }
+            }
+        }
+        // Fill sizes the trace never reached (cache bigger than the
+        // footprint of the whole burst) with the last known value, then
+        // enforce monotone non-increasing miss ratio.
+        let mut lastv = 1.0f64;
+        for v in mr.iter_mut() {
+            if v.is_nan() {
+                *v = lastv;
+            } else {
+                lastv = *v;
+            }
+        }
+        let mut run = f64::INFINITY;
+        for v in mr.iter_mut() {
+            run = run.min(*v);
+            *v = run;
+        }
+        Mrc {
+            miss_ratio: mr,
+            accesses: n,
+        }
+    }
+
+    /// Build an MRC from exact per-size hit counts (`hits[c]` = number of
+    /// accesses that hit in a cache of capacity `c`), e.g. from Mattson
+    /// stack simulation.
+    pub fn from_hits(hits: &[u64], accesses: usize) -> Self {
+        let mr = if accesses == 0 {
+            vec![1.0; hits.len()]
+        } else {
+            hits.iter()
+                .map(|&h| 1.0 - h as f64 / accesses as f64)
+                .collect()
+        };
+        Mrc {
+            miss_ratio: mr,
+            accesses,
+        }
+    }
+
+    /// Miss ratio at capacity `c`; sizes beyond the curve return the last
+    /// value (the curve is flat past the footprint).
+    pub fn mr(&self, c: usize) -> f64 {
+        let i = c.min(self.miss_ratio.len() - 1);
+        self.miss_ratio[i]
+    }
+
+    /// Hit ratio at capacity `c`.
+    pub fn hr(&self, c: usize) -> f64 {
+        1.0 - self.mr(c)
+    }
+
+    /// Largest capacity represented.
+    pub fn max_size(&self) -> usize {
+        self.miss_ratio.len() - 1
+    }
+
+    /// Per-size miss-ratio drops: `drop[c] = mr(c−1) − mr(c)` for
+    /// `c ∈ 1..=max`. This is the gradient the knee detector ranks.
+    pub fn gradient(&self) -> Vec<f64> {
+        let mut g = vec![0.0; self.miss_ratio.len()];
+        for (c, w) in self.miss_ratio.windows(2).enumerate() {
+            g[c + 1] = (w[0] - w[1]).max(0.0);
+        }
+        g
+    }
+
+    /// Mean absolute difference to another curve over the overlapping
+    /// size range (used to score sampled-vs-exact MRC accuracy, Fig. 7).
+    pub fn mean_abs_error(&self, other: &Mrc) -> f64 {
+        let n = self.miss_ratio.len().min(other.miss_ratio.len());
+        if n == 0 {
+            return 0.0;
+        }
+        (0..n)
+            .map(|c| (self.miss_ratio[c] - other.miss_ratio[c]).abs())
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reuse::reuse_all_k;
+
+    #[test]
+    fn abab_pattern_has_cliff_at_two() {
+        let trace: Vec<u64> = (0..2000).map(|i| (i % 2) as u64).collect();
+        let mrc = Mrc::from_reuse(&reuse_all_k(&trace), 8);
+        assert_eq!(mrc.mr(0), 1.0);
+        // size-1 cache: every access misses (alternating lines)
+        assert!(mrc.mr(1) > 0.95, "mr(1)={}", mrc.mr(1));
+        // size-2 cache: ~100% hits (paper's own worked example)
+        assert!(mrc.mr(2) < 0.01, "mr(2)={}", mrc.mr(2));
+        assert!(mrc.mr(8) < 0.01);
+    }
+
+    #[test]
+    fn cyclic_working_set_knee_position() {
+        // round-robin over W lines: LRU of size ≥ W hits everything,
+        // size < W misses everything (the classic cliff). The timescale
+        // prediction smooths the cliff but the big drop must land at W.
+        let w = 10u64;
+        let trace: Vec<u64> = (0..5000).map(|i| i % w).collect();
+        let mrc = Mrc::from_reuse(&reuse_all_k(&trace), 20);
+        assert!(mrc.mr(w as usize) < 0.05, "mr(W)={}", mrc.mr(w as usize));
+        assert!(
+            mrc.mr(w as usize - 1) > 0.5,
+            "mr(W-1)={}",
+            mrc.mr(w as usize - 1)
+        );
+    }
+
+    #[test]
+    fn monotone_non_increasing() {
+        let trace: Vec<u64> = (0..3000).map(|i| (i * i % 97) as u64).collect();
+        let mrc = Mrc::from_reuse(&reuse_all_k(&trace), 64);
+        for c in 1..=mrc.max_size() {
+            assert!(mrc.mr(c) <= mrc.mr(c - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn values_in_unit_interval() {
+        let trace: Vec<u64> = (0..1000).map(|i| (i % 13 + (i / 100) * 20) as u64).collect();
+        let mrc = Mrc::from_reuse(&reuse_all_k(&trace), 64);
+        for &v in &mrc.miss_ratio {
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn from_hits_basic() {
+        let mrc = Mrc::from_hits(&[0, 50, 90, 100], 100);
+        assert_eq!(mrc.mr(0), 1.0);
+        assert!((mrc.mr(1) - 0.5).abs() < 1e-12);
+        assert!((mrc.mr(3) - 0.0).abs() < 1e-12);
+        // out-of-range size clamps to last
+        assert!((mrc.mr(10) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_sums_to_total_drop() {
+        let trace: Vec<u64> = (0..2000).map(|i| (i % 23) as u64).collect();
+        let mrc = Mrc::from_reuse(&reuse_all_k(&trace), 40);
+        let g = mrc.gradient();
+        let total: f64 = g.iter().sum();
+        assert!((total - (mrc.mr(0) - mrc.mr(40))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_abs_error_zero_on_self() {
+        let trace: Vec<u64> = (0..500).map(|i| (i % 5) as u64).collect();
+        let mrc = Mrc::from_reuse(&reuse_all_k(&trace), 16);
+        assert_eq!(mrc.mean_abs_error(&mrc), 0.0);
+    }
+
+    #[test]
+    fn empty_and_tiny_traces() {
+        let mrc = Mrc::from_reuse(&reuse_all_k(&[]), 4);
+        assert_eq!(mrc.miss_ratio, vec![1.0; 5]);
+        let mrc = Mrc::from_reuse(&reuse_all_k(&[3]), 4);
+        assert!(mrc.miss_ratio.iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,283 @@
+//! Timescale reuse: `reuse(k)` for all window lengths `k` in linear time.
+//!
+//! Definitions follow paper Section III-B with 0-based access times:
+//! a trace has accesses at times `0..n`; a *window* of length `k` covers
+//! `k` consecutive accesses; a *reuse interval* `[s, e]` connects an
+//! access at time `s` to the *next* access of the same datum at time `e`.
+//! `reuse(k)` is the mean number of reuse intervals fully enclosed by a
+//! window, over all `n − k + 1` windows of length `k`.
+//!
+//! Rather than scanning every window, we count — for each interval — how
+//! many length-`k` windows enclose it (paper Figure 3's four cases), and
+//! sum. Each interval's window count is a piecewise-linear function of
+//! `k` with at most three segments, so accumulating slope/intercept
+//! difference arrays over `k` yields all values in `O(n + r)` total.
+
+use std::collections::HashMap;
+
+/// A reuse interval: consecutive accesses to one datum at 0-based times
+/// `s < e`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReuseInterval {
+    /// Time of the earlier access.
+    pub s: usize,
+    /// Time of the next access to the same datum.
+    pub e: usize,
+}
+
+impl ReuseInterval {
+    /// Interval span `e − s` (a window must have length ≥ span+1 to
+    /// enclose it).
+    #[inline]
+    pub fn span(&self) -> usize {
+        self.e - self.s
+    }
+}
+
+/// Extract all reuse intervals of `trace` (consecutive same-id pairs).
+pub fn reuse_intervals(trace: &[u64]) -> Vec<ReuseInterval> {
+    let mut last: HashMap<u64, usize> = HashMap::with_capacity(trace.len() / 2 + 1);
+    let mut out = Vec::new();
+    for (t, &id) in trace.iter().enumerate() {
+        if let Some(prev) = last.insert(id, t) {
+            out.push(ReuseInterval { s: prev, e: t });
+        }
+    }
+    out
+}
+
+/// Number of length-`k` windows of an `n`-access trace that enclose
+/// `[s, e]` (reference formula; used directly by tests and by the
+/// brute-force oracle).
+pub fn windows_enclosing(n: usize, s: usize, e: usize, k: usize) -> usize {
+    debug_assert!(s < e && e < n);
+    if e - s + 1 > k || k > n {
+        return 0;
+    }
+    // window start t ∈ [0, n−k]; needs t ≤ s and t ≥ e−k+1
+    let lo = (e + 1).saturating_sub(k);
+    let hi = s.min(n - k);
+    if hi >= lo {
+        hi - lo + 1
+    } else {
+        0
+    }
+}
+
+/// Compute `reuse(k)` for all `k = 1..=n` in `O(n + r)` time.
+///
+/// Returns a vector `v` with `v[k]` = `reuse(k)` for `k ∈ 1..=n`
+/// (`v[0]` is 0 by convention; `reuse(1)` is always 0 since a length-1
+/// window cannot enclose an interval).
+#[allow(clippy::needless_range_loop)] // k is the paper's mathematical index
+pub fn reuse_all_k(trace: &[u64]) -> Vec<f64> {
+    let n = trace.len();
+    let mut v = vec![0.0f64; n + 1];
+    if n == 0 {
+        return v;
+    }
+    let intervals = reuse_intervals(trace);
+
+    // Difference arrays over k ∈ 1..=n for Σ(slope·k + intercept).
+    let mut dslope = vec![0i64; n + 2];
+    let mut dicept = vec![0i64; n + 2];
+    let add = |lo: usize, hi: usize, slope: i64, icept: i64, dslope: &mut [i64], dicept: &mut [i64]| {
+        if lo > hi || lo > n {
+            return;
+        }
+        let hi = hi.min(n);
+        dslope[lo] += slope;
+        dslope[hi + 1] -= slope;
+        dicept[lo] += icept;
+        dicept[hi + 1] -= icept;
+    };
+
+    for iv in &intervals {
+        let (s, e) = (iv.s as i64, iv.e as i64);
+        let d = (e - s) as usize;
+        let ni = n as i64;
+        // Segment boundaries: windows enclosing [s,e] number
+        //   min(s, n−k) − max(e−k+1, 0) + 1   for k ≥ d+1
+        // which is: k−d      while k ≤ m1 = min(n−s, e+1)
+        //           const    while m1 < k ≤ m2 = max(n−s, e+1)
+        //           n−k+1    while k > m2
+        let m1 = (ni - s).min(e + 1) as usize;
+        let m2 = (ni - s).max(e + 1) as usize;
+        let mid = (s + 1).min(ni - e);
+        add(d + 1, m1, 1, -(d as i64), &mut dslope, &mut dicept);
+        add(m1 + 1, m2, 0, mid, &mut dslope, &mut dicept);
+        add(m2 + 1, n, -1, ni + 1, &mut dslope, &mut dicept);
+    }
+
+    let mut slope = 0i64;
+    let mut icept = 0i64;
+    for k in 1..=n {
+        slope += dslope[k];
+        icept += dicept[k];
+        let total = slope * k as i64 + icept;
+        debug_assert!(total >= 0, "negative window count at k={k}");
+        v[k] = total as f64 / (n - k + 1) as f64;
+    }
+    v
+}
+
+/// Brute-force `reuse(k)`: scans every window. `O(n·r)` per `k` — test
+/// oracle only.
+#[allow(clippy::needless_range_loop)] // k is the paper's mathematical index
+pub fn reuse_all_k_naive(trace: &[u64]) -> Vec<f64> {
+    let n = trace.len();
+    let mut v = vec![0.0f64; n + 1];
+    let intervals = reuse_intervals(trace);
+    for k in 1..=n {
+        let mut total = 0usize;
+        for iv in &intervals {
+            total += windows_enclosing(n, iv.s, iv.e, k);
+        }
+        v[k] = total as f64 / (n - k + 1) as f64;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_abb() {
+        // trace "abb": reuse(2) = 1/2 (paper Section III-B)
+        let r = reuse_all_k(&[0, 1, 1]);
+        assert_eq!(r[1], 0.0);
+        assert!((r[2] - 0.5).abs() < 1e-12);
+        assert!((r[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_abab() {
+        // "abab…" repeated: reuse(1)=0, reuse(2)=0, reuse(3)=1, reuse(4)=2
+        // holds exactly in the infinite trace; for a long finite trace the
+        // interior dominates, so check within small tolerance.
+        let n = 10_000usize;
+        let trace: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+        let r = reuse_all_k(&trace);
+        assert_eq!(r[1], 0.0);
+        assert!(r[2] < 0.01);
+        assert!((r[3] - 1.0).abs() < 0.01);
+        assert!((r[4] - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn no_reuse_trace_is_zero() {
+        let trace: Vec<u64> = (0..100).collect();
+        let r = reuse_all_k(&trace);
+        assert!(r.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn all_same_datum() {
+        // "aaaa…": every window of length k has k−1 reuses.
+        let trace = vec![7u64; 50];
+        let r = reuse_all_k(&trace);
+        for k in 1..=50 {
+            assert!(
+                (r[k] - (k as f64 - 1.0)).abs() < 1e-9,
+                "k={k} r={}",
+                r[k]
+            );
+        }
+    }
+
+    #[test]
+    fn reuse_of_full_window_equals_total_reuses() {
+        // reuse(n) = number of reuse intervals (one window encloses all).
+        let trace = vec![1u64, 2, 1, 3, 2, 1, 1];
+        let r = reuse_all_k(&trace);
+        let expected = reuse_intervals(&trace).len() as f64;
+        assert!((r[trace.len()] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn matches_naive_on_fixed_traces() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![0, 1, 1],
+            vec![1, 2, 1, 3, 2, 1, 1],
+            vec![5, 5, 5, 5],
+            (0..40).map(|i| (i % 7) as u64).collect(),
+            vec![1, 2, 3, 4, 1, 2, 3, 4, 9, 9, 1],
+        ];
+        for trace in cases {
+            let fast = reuse_all_k(&trace);
+            let slow = reuse_all_k_naive(&trace);
+            for k in 0..=trace.len() {
+                assert!(
+                    (fast[k] - slow[k]).abs() < 1e-9,
+                    "k={k} fast={} slow={} trace={trace:?}",
+                    fast[k],
+                    slow[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intervals_are_consecutive_pairs() {
+        let iv = reuse_intervals(&[1, 2, 1, 1, 2]);
+        assert_eq!(
+            iv,
+            vec![
+                ReuseInterval { s: 0, e: 2 },
+                ReuseInterval { s: 2, e: 3 },
+                ReuseInterval { s: 1, e: 4 }
+            ]
+        );
+        assert_eq!(iv[0].span(), 2);
+    }
+
+    #[test]
+    fn windows_enclosing_cases() {
+        // n=10, interval [3,5]
+        assert_eq!(windows_enclosing(10, 3, 5, 2), 0); // too short
+        assert_eq!(windows_enclosing(10, 3, 5, 3), 1); // exact fit
+        assert_eq!(windows_enclosing(10, 3, 5, 4), 2);
+        // interval near left edge: [0,1], k=5 → only window starts 0
+        assert_eq!(windows_enclosing(10, 0, 1, 5), 1);
+        // near right edge: [8,9], k=5 → window starts 5
+        assert_eq!(windows_enclosing(10, 8, 9, 5), 1);
+        // k = n encloses everything once
+        assert_eq!(windows_enclosing(10, 3, 5, 10), 1);
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        // reuse(k) is non-decreasing in k (larger windows enclose at
+        // least as many intervals on average — enclosure counts grow and
+        // the reuse per window cannot shrink).
+        let trace: Vec<u64> = (0..500).map(|i| (i * i % 37) as u64).collect();
+        let r = reuse_all_k(&trace);
+        for k in 2..=trace.len() {
+            assert!(
+                r[k] + 1e-9 >= r[k - 1],
+                "reuse must be monotone: k={k} {} < {}",
+                r[k],
+                r[k - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn derivative_bounded_by_one() {
+        // hr = reuse(k+1) − reuse(k) ∈ [0, 1]: it is a hit ratio.
+        let trace: Vec<u64> = (0..600).map(|i| (i % 13 + i / 200) as u64).collect();
+        let r = reuse_all_k(&trace);
+        for k in 1..trace.len() {
+            let d = r[k + 1] - r[k];
+            assert!((-1e-9..=1.0 + 1e-9).contains(&d), "k={k} d={d}");
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert_eq!(reuse_all_k(&[]), vec![0.0]);
+    }
+}

@@ -1,0 +1,258 @@
+//! A small recoverable allocator over a [`PmemRegion`].
+//!
+//! Stands in for the Makalu-style persistent allocation Atlas relies on
+//! (paper Related Work). Metadata lives *inside* the region: a header
+//! with a magic number, a user root pointer, the bump cursor, and
+//! size-segregated free-list heads; freed blocks thread their next
+//! pointer through their own first 8 bytes. Every metadata update is
+//! flushed and fenced before the allocator returns, so a reopened region
+//! always sees a consistent heap. (Atomicity of *user data* inside
+//! allocated blocks is the FASE runtime's job, not the allocator's.)
+
+use crate::region::{PmemRegion, LINE_SIZE};
+
+const MAGIC: u64 = 0x4e56_4341_4348_4531; // "NVCACHE1"
+const OFF_MAGIC: usize = 0;
+const OFF_ROOT: usize = 8;
+const OFF_BUMP: usize = 16;
+const OFF_LIMIT: usize = 24;
+const OFF_FREE: usize = 32;
+/// Size classes: 16, 32, 64, …, 4096 bytes.
+const NUM_CLASSES: usize = 9;
+/// First allocatable offset (header, line-aligned).
+const HEAP_START: usize = ((OFF_FREE + NUM_CLASSES * 8) / LINE_SIZE + 1) * LINE_SIZE;
+
+/// Recoverable bump + free-list allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct PAlloc {
+    _priv: (),
+}
+
+fn class_of(size: usize) -> Option<usize> {
+    if size == 0 {
+        return None;
+    }
+    let mut c = 16usize;
+    for i in 0..NUM_CLASSES {
+        if size <= c {
+            return Some(i);
+        }
+        c *= 2;
+    }
+    None
+}
+
+/// Byte size of class `i`.
+fn class_size(i: usize) -> usize {
+    16usize << i
+}
+
+impl PAlloc {
+    /// Initialize a fresh region as an empty heap spanning the whole
+    /// region.
+    pub fn format(region: &mut PmemRegion) -> Self {
+        let limit = region.len() as u64;
+        Self::format_with_limit(region, limit)
+    }
+
+    /// Initialize a heap that bumps only up to `limit` bytes, leaving
+    /// `[limit, region.len())` for other uses (e.g. a FASE undo log).
+    pub fn format_with_limit(region: &mut PmemRegion, limit: u64) -> Self {
+        assert!(limit as usize <= region.len());
+        assert!(limit as usize > HEAP_START, "region too small for a heap");
+        region.write_u64(OFF_MAGIC, MAGIC);
+        region.write_u64(OFF_ROOT, 0);
+        region.write_u64(OFF_BUMP, HEAP_START as u64);
+        region.write_u64(OFF_LIMIT, limit);
+        for i in 0..NUM_CLASSES {
+            region.write_u64(OFF_FREE + i * 8, 0);
+        }
+        region.persist(0, HEAP_START);
+        PAlloc { _priv: () }
+    }
+
+    /// Open an existing heap; fails if the magic is absent (fresh or
+    /// corrupt region).
+    pub fn open(region: &PmemRegion) -> Option<Self> {
+        if region.len() > HEAP_START && region.read_u64(OFF_MAGIC) == MAGIC {
+            Some(PAlloc { _priv: () })
+        } else {
+            None
+        }
+    }
+
+    /// The user root object offset (0 = unset).
+    pub fn root(&self, region: &PmemRegion) -> u64 {
+        region.read_u64(OFF_ROOT)
+    }
+
+    /// Durably set the user root offset.
+    pub fn set_root(&self, region: &mut PmemRegion, offset: u64) {
+        region.write_u64(OFF_ROOT, offset);
+        region.persist(OFF_ROOT, 8);
+    }
+
+    /// Allocate `size` bytes; returns the offset, or `None` when the
+    /// region is exhausted or the size exceeds the largest class (4 KiB).
+    pub fn alloc(&self, region: &mut PmemRegion, size: usize) -> Option<u64> {
+        let class = class_of(size)?;
+        let head_off = OFF_FREE + class * 8;
+        let head = region.read_u64(head_off);
+        if head != 0 {
+            let next = region.read_u64(head as usize);
+            region.write_u64(head_off, next);
+            region.persist(head_off, 8);
+            return Some(head);
+        }
+        let bump = region.read_u64(OFF_BUMP);
+        let block = class_size(class) as u64;
+        if bump + block > region.read_u64(OFF_LIMIT) {
+            return None;
+        }
+        region.write_u64(OFF_BUMP, bump + block);
+        region.persist(OFF_BUMP, 8);
+        Some(bump)
+    }
+
+    /// Free the block at `offset` previously allocated with `size`.
+    pub fn free(&self, region: &mut PmemRegion, offset: u64, size: usize) {
+        let class = class_of(size).expect("size was allocatable");
+        let head_off = OFF_FREE + class * 8;
+        let head = region.read_u64(head_off);
+        region.write_u64(offset as usize, head);
+        region.persist(offset as usize, 8);
+        region.write_u64(head_off, offset);
+        region.persist(head_off, 8);
+    }
+
+    /// Bytes remaining for fresh (bump) allocation.
+    pub fn bump_remaining(&self, region: &PmemRegion) -> u64 {
+        region.read_u64(OFF_LIMIT) - region.read_u64(OFF_BUMP)
+    }
+
+    /// First allocatable offset (for tests and layout assertions).
+    pub fn heap_start() -> usize {
+        HEAP_START
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::CrashMode;
+
+    fn fresh(len: usize) -> (PmemRegion, PAlloc) {
+        let mut r = PmemRegion::new(len);
+        let a = PAlloc::format(&mut r);
+        (r, a)
+    }
+
+    #[test]
+    fn class_rounding() {
+        assert_eq!(class_of(1), Some(0));
+        assert_eq!(class_of(16), Some(0));
+        assert_eq!(class_of(17), Some(1));
+        assert_eq!(class_of(4096), Some(8));
+        assert_eq!(class_of(4097), None);
+        assert_eq!(class_of(0), None);
+    }
+
+    #[test]
+    fn alloc_returns_distinct_aligned_blocks() {
+        let (mut r, a) = fresh(1 << 16);
+        let x = a.alloc(&mut r, 64).unwrap();
+        let y = a.alloc(&mut r, 64).unwrap();
+        assert_ne!(x, y);
+        assert!(x as usize >= PAlloc::heap_start());
+        assert_eq!(x % 16, 0);
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_block() {
+        let (mut r, a) = fresh(1 << 16);
+        let x = a.alloc(&mut r, 100).unwrap();
+        a.free(&mut r, x, 100);
+        let y = a.alloc(&mut r, 100).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn free_list_is_per_class() {
+        let (mut r, a) = fresh(1 << 16);
+        let x = a.alloc(&mut r, 16).unwrap();
+        a.free(&mut r, x, 16);
+        // different class: must not reuse x
+        let y = a.alloc(&mut r, 1000).unwrap();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let (mut r, a) = fresh(2048);
+        // heap space after header is small; drain it
+        let mut n = 0;
+        while a.alloc(&mut r, 128).is_some() {
+            n += 1;
+            assert!(n < 100, "should exhaust");
+        }
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn heap_survives_crash() {
+        let (mut r, a) = fresh(1 << 16);
+        let x = a.alloc(&mut r, 64).unwrap();
+        a.set_root(&mut r, x);
+        r.crash(&CrashMode::StrictDurableOnly);
+        let a2 = PAlloc::open(&r).expect("magic survives");
+        assert_eq!(a2.root(&r), x);
+        // allocator state is consistent: next alloc returns a block that
+        // does not overlap x
+        let y = a2.alloc(&mut r, 64).unwrap();
+        assert!(y >= x + 64 || y + 64 <= x);
+    }
+
+    #[test]
+    fn open_rejects_unformatted() {
+        let r = PmemRegion::new(1 << 16);
+        assert!(PAlloc::open(&r).is_none());
+    }
+
+    #[test]
+    fn root_roundtrip() {
+        let (mut r, a) = fresh(1 << 16);
+        assert_eq!(a.root(&r), 0);
+        a.set_root(&mut r, 4242);
+        assert_eq!(a.root(&r), 4242);
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let mut r = PmemRegion::new(1 << 16);
+        let limit = (PAlloc::heap_start() + 1024) as u64;
+        let a = PAlloc::format_with_limit(&mut r, limit);
+        let mut n = 0;
+        while a.alloc(&mut r, 256).is_some() {
+            n += 1;
+            assert!(n <= 4, "must stop at the limit");
+        }
+        assert_eq!(n, 4);
+        // space past the limit is untouched by the allocator
+        assert_eq!(r.read_u64(limit as usize), 0);
+    }
+
+    #[test]
+    fn many_alloc_free_cycles_do_not_leak_bump() {
+        let (mut r, a) = fresh(1 << 16);
+        let before = a.bump_remaining(&r);
+        let x = a.alloc(&mut r, 256).unwrap();
+        a.free(&mut r, x, 256);
+        for _ in 0..100 {
+            let y = a.alloc(&mut r, 256).unwrap();
+            assert_eq!(y, x, "free list must recycle");
+            a.free(&mut r, y, 256);
+        }
+        let after = a.bump_remaining(&r);
+        assert_eq!(before - after, 256, "only the first alloc bumped");
+    }
+}

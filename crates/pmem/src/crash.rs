@@ -1,0 +1,128 @@
+//! Crash-injection policies: which un-fenced lines survive a power
+//! failure.
+//!
+//! A correct persistence protocol must recover no matter which subset of
+//! in-flight lines reached NVRAM. Testing under several adversarial
+//! selections (none, all, random subsets across seeds) is how the
+//! integration suite demonstrates FASE atomicity.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What happens to un-fenced lines at a crash.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrashMode {
+    /// Only fenced data survives: all pending flushes and dirty lines are
+    /// lost. Adversarial for missing-flush bugs.
+    StrictDurableOnly,
+    /// Every pending flush *and* every dirty line lands (the cache
+    /// happened to write everything back). Adversarial for
+    /// ordering bugs — data may become durable *before* its log entry if
+    /// the protocol relies on "not flushed ⇒ not durable".
+    AllInFlightLands,
+    /// Each pending flush lands with probability `p_pending`; each dirty
+    /// line lands with probability `p_dirty` (natural eviction).
+    Random {
+        /// Probability a flushed-but-unfenced line landed.
+        p_pending: f64,
+        /// Probability a dirty (never flushed) line landed.
+        p_dirty: f64,
+        /// RNG seed (deterministic failure schedules).
+        seed: u64,
+    },
+}
+
+impl CrashMode {
+    /// Shorthand for [`CrashMode::Random`].
+    pub fn random(p_pending: f64, p_dirty: f64, seed: u64) -> Self {
+        CrashMode::Random {
+            p_pending,
+            p_dirty,
+            seed,
+        }
+    }
+
+    /// Select the lines that reach NVRAM, given the pending-flush lines
+    /// and the dirty lines at the instant of failure.
+    pub fn select_landed(&self, pending: &[u64], dirty: &[u64]) -> Vec<u64> {
+        match self {
+            CrashMode::StrictDurableOnly => Vec::new(),
+            CrashMode::AllInFlightLands => {
+                let mut v: Vec<u64> = pending.iter().chain(dirty).copied().collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            CrashMode::Random {
+                p_pending,
+                p_dirty,
+                seed,
+            } => {
+                let mut rng = SmallRng::seed_from_u64(*seed);
+                // sort for determinism independent of hash iteration order
+                let mut p: Vec<u64> = pending.to_vec();
+                p.sort_unstable();
+                let mut d: Vec<u64> = dirty.to_vec();
+                d.sort_unstable();
+                let mut out = Vec::new();
+                for &l in &p {
+                    if rng.gen::<f64>() < *p_pending {
+                        out.push(l);
+                    }
+                }
+                for &l in &d {
+                    if rng.gen::<f64>() < *p_dirty {
+                        out.push(l);
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_drops_everything() {
+        let m = CrashMode::StrictDurableOnly;
+        assert!(m.select_landed(&[1, 2], &[3]).is_empty());
+    }
+
+    #[test]
+    fn all_lands_everything_deduped() {
+        let m = CrashMode::AllInFlightLands;
+        assert_eq!(m.select_landed(&[2, 1], &[2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let m = CrashMode::random(0.5, 0.5, 42);
+        let pending: Vec<u64> = (0..100).collect();
+        let dirty: Vec<u64> = (100..200).collect();
+        assert_eq!(
+            m.select_landed(&pending, &dirty),
+            m.select_landed(&pending, &dirty)
+        );
+    }
+
+    #[test]
+    fn random_extremes() {
+        let none = CrashMode::random(0.0, 0.0, 1);
+        assert!(none.select_landed(&[1, 2], &[3]).is_empty());
+        let all = CrashMode::random(1.0, 1.0, 1);
+        assert_eq!(all.select_landed(&[1, 2], &[3]).len(), 3);
+    }
+
+    #[test]
+    fn random_order_independent() {
+        let m = CrashMode::random(0.5, 0.5, 9);
+        let a = m.select_landed(&[5, 1, 9], &[7, 3]);
+        let b = m.select_landed(&[9, 5, 1], &[3, 7]);
+        assert_eq!(a, b, "selection must not depend on input order");
+    }
+}

@@ -1,0 +1,43 @@
+//! Emulated byte-addressable persistent memory (NVRAM).
+//!
+//! The paper tests on DRAM emulating NVRAM through `tmpfs`: a directly
+//! mapped, byte-addressable region that survives process termination.
+//! This crate reproduces that substrate in safe Rust, with the extra
+//! capability a real emulator lacks: **deterministic crash injection**.
+//!
+//! A [`region::PmemRegion`] keeps two images of its bytes:
+//!
+//! * the **volatile image** — what the program sees (memory + the dirty
+//!   lines still sitting in the transient CPU cache), and
+//! * the **durable image** — what NVRAM would actually contain after a
+//!   power failure.
+//!
+//! Writes touch only the volatile image and mark their cache lines
+//! dirty. A *flush* captures the line's bytes at flush time; a *fence*
+//! commits captured lines to the durable image (`clflush` + `sfence`
+//! semantics). [`crash::CrashMode`] then simulates failure: the program
+//! state is reset to the durable image, optionally plus an adversarially
+//! chosen subset of un-fenced lines (a real cache may or may not have
+//! evicted them on its own) — exactly the uncertainty that makes
+//! persistence ordering bugs observable.
+//!
+//! [`flush`] additionally exposes the *real* x86 flush instructions
+//! (`clflush`/`clflushopt`/`clwb` + `sfence`) behind runtime feature
+//! detection, so the library exercises the true instruction path on
+//! x86-64 hosts, like the paper's emulator does.
+//!
+//! [`alloc::PAlloc`] is a small recoverable allocator over a region
+//! (bump + size-segregated free lists, metadata in-region), standing in
+//! for the Makalu-style allocation Atlas relies on.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod crash;
+pub mod flush;
+pub mod region;
+
+pub use alloc::PAlloc;
+pub use crash::CrashMode;
+pub use flush::{detect_flush_instr, flush_ptr, sfence, FlushInstr};
+pub use region::{PmemRegion, PmemStats, LINE_SIZE};

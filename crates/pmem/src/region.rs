@@ -1,0 +1,390 @@
+//! The persistent region: volatile/durable dual image with line-granular
+//! flush tracking, plus file-backed persistence across "processes".
+
+use crate::crash::CrashMode;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Cache-line size in bytes (matches the trace model).
+pub const LINE_SIZE: usize = 64;
+
+/// Flush/fence/write counters of a region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmemStats {
+    /// Bytes written (volatile image).
+    pub bytes_written: u64,
+    /// Individual store operations.
+    pub stores: u64,
+    /// Line flushes issued.
+    pub flushes: u64,
+    /// Fences issued.
+    pub fences: u64,
+    /// Crashes injected.
+    pub crashes: u64,
+}
+
+/// An emulated persistent memory region.
+///
+/// Offsets are region-relative byte addresses. Line `i` covers bytes
+/// `[i*64, (i+1)*64)`.
+#[derive(Debug, Clone)]
+pub struct PmemRegion {
+    volatile: Vec<u8>,
+    durable: Vec<u8>,
+    /// Lines whose volatile bytes differ from the last flush capture
+    /// (i.e. dirty in the transient CPU cache).
+    dirty: std::collections::HashSet<u64>,
+    /// Lines flushed but not yet fenced: captured bytes at flush time.
+    pending: HashMap<u64, [u8; LINE_SIZE]>,
+    stats: PmemStats,
+}
+
+impl PmemRegion {
+    /// A fresh zeroed region of `len` bytes (rounded up to a line).
+    pub fn new(len: usize) -> Self {
+        let len = len.div_ceil(LINE_SIZE) * LINE_SIZE;
+        PmemRegion {
+            volatile: vec![0; len],
+            durable: vec![0; len],
+            dirty: Default::default(),
+            pending: Default::default(),
+            stats: PmemStats::default(),
+        }
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.volatile.len()
+    }
+
+    /// True iff zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.volatile.is_empty()
+    }
+
+    /// Number of cache lines.
+    pub fn line_count(&self) -> u64 {
+        (self.volatile.len() / LINE_SIZE) as u64
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PmemStats {
+        self.stats
+    }
+
+    /// Lines currently dirty (unflushed) — what a whole-cache flush
+    /// would have to write back.
+    pub fn dirty_lines(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Read `buf.len()` bytes at `offset` from the program's view.
+    pub fn read(&self, offset: usize, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.volatile[offset..offset + buf.len()]);
+    }
+
+    /// Read a little-endian u64 at `offset`.
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Borrow the program's view of `[offset, offset+len)`.
+    pub fn slice(&self, offset: usize, len: usize) -> &[u8] {
+        &self.volatile[offset..offset + len]
+    }
+
+    /// Write `bytes` at `offset` into the volatile image, dirtying the
+    /// covered lines. Returns the first covered line index (callers
+    /// instrumenting per-line notify their policy via
+    /// [`PmemRegion::lines_of`]).
+    pub fn write(&mut self, offset: usize, bytes: &[u8]) {
+        assert!(
+            offset + bytes.len() <= self.volatile.len(),
+            "write beyond region: {}+{} > {}",
+            offset,
+            bytes.len(),
+            self.volatile.len()
+        );
+        self.volatile[offset..offset + bytes.len()].copy_from_slice(bytes);
+        self.stats.stores += 1;
+        self.stats.bytes_written += bytes.len() as u64;
+        for l in Self::lines_of(offset, bytes.len()) {
+            self.dirty.insert(l);
+        }
+    }
+
+    /// Write a little-endian u64.
+    pub fn write_u64(&mut self, offset: usize, v: u64) {
+        self.write(offset, &v.to_le_bytes());
+    }
+
+    /// Region-relative line indices covering `[offset, offset+len)`.
+    pub fn lines_of(offset: usize, len: usize) -> impl Iterator<Item = u64> {
+        let first = (offset / LINE_SIZE) as u64;
+        let last = if len == 0 {
+            first
+        } else {
+            ((offset + len - 1) / LINE_SIZE) as u64
+        };
+        first..=last
+    }
+
+    /// `clflush` line `line`: capture its current volatile bytes; they
+    /// become durable at the next [`PmemRegion::fence`]. Flushing a clean
+    /// line is a no-op (but still counted — the instruction executes).
+    pub fn flush_line(&mut self, line: u64) {
+        self.stats.flushes += 1;
+        if !self.dirty.remove(&line) {
+            return;
+        }
+        let off = line as usize * LINE_SIZE;
+        let mut buf = [0u8; LINE_SIZE];
+        buf.copy_from_slice(&self.volatile[off..off + LINE_SIZE]);
+        self.pending.insert(line, buf);
+    }
+
+    /// Flush every line covering `[offset, offset+len)`.
+    pub fn flush_range(&mut self, offset: usize, len: usize) {
+        for l in Self::lines_of(offset, len) {
+            self.flush_line(l);
+        }
+    }
+
+    /// `sfence`: commit all pending flush captures to the durable image.
+    pub fn fence(&mut self) {
+        self.stats.fences += 1;
+        for (line, bytes) in self.pending.drain() {
+            let off = line as usize * LINE_SIZE;
+            self.durable[off..off + LINE_SIZE].copy_from_slice(&bytes);
+        }
+    }
+
+    /// Convenience: flush a range and fence (persist).
+    pub fn persist(&mut self, offset: usize, len: usize) {
+        self.flush_range(offset, len);
+        self.fence();
+    }
+
+    /// Inject a power failure. The program's view becomes exactly what
+    /// NVRAM holds: the durable image, plus whichever un-fenced lines the
+    /// crash mode decides "happened to land" (pending flushes racing the
+    /// failure, dirty lines the hardware cache evicted on its own).
+    /// Dirty/pending state is cleared — the cache contents are gone.
+    pub fn crash(&mut self, mode: &CrashMode) {
+        self.stats.crashes += 1;
+        let pending: Vec<u64> = self.pending.keys().copied().collect();
+        let dirty: Vec<u64> = self.dirty.iter().copied().collect();
+        let landed = mode.select_landed(&pending, &dirty);
+        for line in landed {
+            let off = line as usize * LINE_SIZE;
+            // a dirty line that "landed" carries its current volatile
+            // bytes; a pending one carries its flush capture
+            if let Some(bytes) = self.pending.get(&line) {
+                self.durable[off..off + LINE_SIZE].copy_from_slice(bytes);
+            } else {
+                let (d, v) = (&mut self.durable, &self.volatile);
+                d[off..off + LINE_SIZE].copy_from_slice(&v[off..off + LINE_SIZE]);
+            }
+        }
+        self.pending.clear();
+        self.dirty.clear();
+        self.volatile.copy_from_slice(&self.durable);
+    }
+
+    /// The durable image (what a crash right now would preserve, before
+    /// considering in-flight lines).
+    pub fn durable_image(&self) -> &[u8] {
+        &self.durable
+    }
+
+    /// Is the whole region persisted (no dirty or pending lines)?
+    pub fn is_quiescent(&self) -> bool {
+        self.dirty.is_empty() && self.pending.is_empty()
+    }
+
+    /// Write the durable image to `path` (tmpfs-style persistence across
+    /// process termination).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(&self.durable)?;
+        f.sync_all()
+    }
+
+    /// Reopen a region saved by [`PmemRegion::save`]: both images start
+    /// from the file content, as after a clean restart.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut f = fs::File::open(path)?;
+        let mut durable = Vec::new();
+        f.read_to_end(&mut durable)?;
+        if durable.len() % LINE_SIZE != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "region file not line-aligned",
+            ));
+        }
+        Ok(PmemRegion {
+            volatile: durable.clone(),
+            durable,
+            dirty: Default::default(),
+            pending: Default::default(),
+            stats: PmemStats::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::CrashMode;
+
+    #[test]
+    fn write_then_read() {
+        let mut r = PmemRegion::new(256);
+        r.write(10, b"hello");
+        let mut buf = [0u8; 5];
+        r.read(10, &mut buf);
+        assert_eq!(&buf, b"hello");
+        assert_eq!(r.stats().stores, 1);
+        assert_eq!(r.stats().bytes_written, 5);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut r = PmemRegion::new(128);
+        r.write_u64(64, 0xdead_beef_cafe);
+        assert_eq!(r.read_u64(64), 0xdead_beef_cafe);
+    }
+
+    #[test]
+    fn unflushed_writes_do_not_survive_crash() {
+        let mut r = PmemRegion::new(256);
+        r.write(0, b"gone");
+        r.crash(&CrashMode::StrictDurableOnly);
+        let mut buf = [0u8; 4];
+        r.read(0, &mut buf);
+        assert_eq!(&buf, &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn flushed_and_fenced_writes_survive() {
+        let mut r = PmemRegion::new(256);
+        r.write(0, b"kept");
+        r.persist(0, 4);
+        r.write(64, b"lost");
+        r.crash(&CrashMode::StrictDurableOnly);
+        let mut buf = [0u8; 4];
+        r.read(0, &mut buf);
+        assert_eq!(&buf, b"kept");
+        r.read(64, &mut buf);
+        assert_eq!(&buf, &[0; 4]);
+    }
+
+    #[test]
+    fn flush_without_fence_is_not_durable_under_strict_mode() {
+        let mut r = PmemRegion::new(256);
+        r.write(0, b"racy");
+        r.flush_range(0, 4); // no fence
+        r.crash(&CrashMode::StrictDurableOnly);
+        let mut buf = [0u8; 4];
+        r.read(0, &mut buf);
+        assert_eq!(&buf, &[0; 4], "pending lines may be lost");
+    }
+
+    #[test]
+    fn pending_lines_land_under_optimistic_mode() {
+        let mut r = PmemRegion::new(256);
+        r.write(0, b"land");
+        r.flush_range(0, 4);
+        r.crash(&CrashMode::AllInFlightLands);
+        let mut buf = [0u8; 4];
+        r.read(0, &mut buf);
+        assert_eq!(&buf, b"land");
+    }
+
+    #[test]
+    fn flush_captures_bytes_at_flush_time() {
+        let mut r = PmemRegion::new(256);
+        r.write(0, b"AAAA");
+        r.flush_range(0, 4);
+        r.write(0, b"BBBB"); // re-dirties after capture
+        r.fence();
+        r.crash(&CrashMode::StrictDurableOnly);
+        let mut buf = [0u8; 4];
+        r.read(0, &mut buf);
+        assert_eq!(&buf, b"AAAA", "fence commits the captured bytes");
+    }
+
+    #[test]
+    fn dirty_line_may_land_with_natural_eviction() {
+        let mut r = PmemRegion::new(256);
+        r.write(0, b"evict");
+        // probability 1 ⇒ the dirty line always lands
+        r.crash(&CrashMode::random(1.0, 1.0, 7));
+        let mut buf = [0u8; 5];
+        r.read(0, &mut buf);
+        assert_eq!(&buf, b"evict");
+    }
+
+    #[test]
+    fn quiescence_tracking() {
+        let mut r = PmemRegion::new(256);
+        assert!(r.is_quiescent());
+        r.write(0, b"x");
+        assert!(!r.is_quiescent());
+        assert_eq!(r.dirty_lines(), 1);
+        r.flush_range(0, 1);
+        assert!(!r.is_quiescent(), "pending fence");
+        r.fence();
+        assert!(r.is_quiescent());
+    }
+
+    #[test]
+    fn lines_of_spans() {
+        let v: Vec<u64> = PmemRegion::lines_of(60, 8).collect();
+        assert_eq!(v, vec![0, 1]);
+        let v: Vec<u64> = PmemRegion::lines_of(128, 64).collect();
+        assert_eq!(v, vec![2]);
+    }
+
+    #[test]
+    fn save_and_open_roundtrip() {
+        let dir = std::env::temp_dir().join("nvcache_pmem_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("region.img");
+        let mut r = PmemRegion::new(256);
+        r.write(5, b"persist me");
+        r.persist(5, 10);
+        r.write(100, b"not me");
+        r.save(&path).unwrap();
+        let r2 = PmemRegion::open(&path).unwrap();
+        assert_eq!(r2.slice(5, 10), b"persist me");
+        assert_eq!(r2.slice(100, 6), &[0u8; 6], "unfenced data not saved");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "write beyond region")]
+    fn out_of_bounds_write_panics() {
+        let mut r = PmemRegion::new(64);
+        r.write(60, b"overflow!");
+    }
+
+    #[test]
+    fn flush_clean_line_is_counted_noop() {
+        let mut r = PmemRegion::new(128);
+        r.flush_line(0);
+        assert_eq!(r.stats().flushes, 1);
+        assert!(r.is_quiescent());
+    }
+
+    #[test]
+    fn len_rounds_to_line() {
+        let r = PmemRegion::new(100);
+        assert_eq!(r.len(), 128);
+        assert_eq!(r.line_count(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Trace events and the cache-line address newtype.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a hardware cache line in bytes (x86 and the paper's testbed).
+pub const LINE_SIZE: usize = 64;
+
+/// A cache-line address: a byte address shifted right by `log2(LINE_SIZE)`.
+///
+/// Persistence policies, the software cache, and the locality analysis all
+/// operate at cache-line granularity, exactly like Atlas and the paper's
+/// software cache (Section II).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Line(pub u64);
+
+impl Line {
+    /// The line containing byte address `addr`.
+    #[inline]
+    pub fn of_addr(addr: u64) -> Self {
+        Line(addr >> LINE_SIZE.trailing_zeros())
+    }
+
+    /// First byte address covered by this line.
+    #[inline]
+    pub fn base_addr(self) -> u64 {
+        self.0 << LINE_SIZE.trailing_zeros()
+    }
+
+    /// Lines covering the byte range `[addr, addr + len)`.
+    pub fn covering(addr: u64, len: usize) -> impl Iterator<Item = Line> {
+        let first = Line::of_addr(addr).0;
+        let last = if len == 0 {
+            first
+        } else {
+            Line::of_addr(addr + len as u64 - 1).0
+        };
+        (first..=last).map(Line)
+    }
+}
+
+impl std::fmt::Display for Line {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// One event in a per-thread trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A persistent store to the given cache line. This is the event
+    /// persistence policies react to.
+    Write(Line),
+    /// A load from the given cache line. Ignored by policies; consumed by
+    /// the hardware-cache simulator to compute L1 miss ratios.
+    Read(Line),
+    /// Entry into a failure-atomic section. Sections may nest; only the
+    /// outermost pair carries persistence semantics (Atlas semantics).
+    FaseBegin,
+    /// Exit from a failure-atomic section.
+    FaseEnd,
+    /// `Work(n)`: n abstract computation units between persistence events.
+    /// Consumed only by the timing model; gives flushes something to
+    /// overlap with.
+    Work(u32),
+}
+
+impl Event {
+    /// Returns the line touched by this event, if it is a memory access.
+    #[inline]
+    pub fn line(&self) -> Option<Line> {
+        match self {
+            Event::Write(l) | Event::Read(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// True for [`Event::Write`].
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Event::Write(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_of_addr_granularity() {
+        assert_eq!(Line::of_addr(0), Line(0));
+        assert_eq!(Line::of_addr(63), Line(0));
+        assert_eq!(Line::of_addr(64), Line(1));
+        assert_eq!(Line::of_addr(128), Line(2));
+    }
+
+    #[test]
+    fn line_base_addr_roundtrip() {
+        for a in [0u64, 1, 63, 64, 65, 1 << 20, (1 << 20) + 7] {
+            let l = Line::of_addr(a);
+            assert!(l.base_addr() <= a);
+            assert!(a < l.base_addr() + LINE_SIZE as u64);
+        }
+    }
+
+    #[test]
+    fn covering_spans_lines() {
+        let v: Vec<Line> = Line::covering(60, 8).collect();
+        assert_eq!(v, vec![Line(0), Line(1)]);
+        let v: Vec<Line> = Line::covering(64, 64).collect();
+        assert_eq!(v, vec![Line(1)]);
+        let v: Vec<Line> = Line::covering(0, 0).collect();
+        assert_eq!(v, vec![Line(0)]);
+        let v: Vec<Line> = Line::covering(10, 200).collect();
+        assert_eq!(v, vec![Line(0), Line(1), Line(2), Line(3)]);
+    }
+
+    #[test]
+    fn event_line_accessor() {
+        assert_eq!(Event::Write(Line(3)).line(), Some(Line(3)));
+        assert_eq!(Event::Read(Line(4)).line(), Some(Line(4)));
+        assert_eq!(Event::FaseBegin.line(), None);
+        assert_eq!(Event::Work(5).line(), None);
+        assert!(Event::Write(Line(0)).is_write());
+        assert!(!Event::Read(Line(0)).is_write());
+    }
+}

@@ -1,0 +1,313 @@
+//! Trace containers: per-thread event sequences and whole-program traces.
+
+use crate::event::{Event, Line};
+use crate::stats::TraceStats;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::io::{self, Read, Write};
+
+/// The event sequence observed by one thread.
+///
+/// Per the paper, each thread has its own software cache and its own
+/// persistent write stream; there is no data sharing between software
+/// caches even when two threads write the same line.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadTrace {
+    /// Events in program order.
+    pub events: Vec<Event>,
+}
+
+impl ThreadTrace {
+    /// An empty thread trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a persistent store.
+    #[inline]
+    pub fn write(&mut self, line: Line) {
+        self.events.push(Event::Write(line));
+    }
+
+    /// Append a load.
+    #[inline]
+    pub fn read(&mut self, line: Line) {
+        self.events.push(Event::Read(line));
+    }
+
+    /// Append a FASE begin marker.
+    #[inline]
+    pub fn fase_begin(&mut self) {
+        self.events.push(Event::FaseBegin);
+    }
+
+    /// Append a FASE end marker.
+    #[inline]
+    pub fn fase_end(&mut self) {
+        self.events.push(Event::FaseEnd);
+    }
+
+    /// Append `units` of opaque computation. Consecutive work events are
+    /// coalesced to keep traces compact.
+    #[inline]
+    pub fn work(&mut self, units: u32) {
+        if units == 0 {
+            return;
+        }
+        if let Some(Event::Work(w)) = self.events.last_mut() {
+            *w = w.saturating_add(units);
+            return;
+        }
+        self.events.push(Event::Work(units));
+    }
+
+    /// The persistent writes only, in order, ignoring everything else.
+    pub fn writes(&self) -> impl Iterator<Item = Line> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Write(l) => Some(*l),
+            _ => None,
+        })
+    }
+
+    /// Number of persistent writes.
+    pub fn write_count(&self) -> usize {
+        self.events.iter().filter(|e| e.is_write()).count()
+    }
+
+    /// Number of outermost FASEs (counted by `FaseEnd` at depth 1).
+    pub fn fase_count(&self) -> usize {
+        let mut depth = 0usize;
+        let mut n = 0usize;
+        for e in &self.events {
+            match e {
+                Event::FaseBegin => depth += 1,
+                Event::FaseEnd => {
+                    if depth == 1 {
+                        n += 1;
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+        }
+        n
+    }
+
+    /// The write sequence with *FASE renaming* applied (paper Section
+    /// III-B, "Adaptation to FASE Semantics"): the same line written in
+    /// different outermost FASEs is renamed to a fresh identifier, so that
+    /// cross-FASE reuses — which the runtime's end-of-FASE flush
+    /// invalidates — do not count as reuses in the locality analysis.
+    ///
+    /// Returned identifiers are dense-ish composites `(epoch << 40) | line`
+    /// folded into `u64`; only equality matters to the analysis.
+    pub fn renamed_writes(&self) -> Vec<u64> {
+        let mut depth = 0usize;
+        let mut epoch: u64 = 0;
+        let mut out = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            match e {
+                Event::FaseBegin => depth += 1,
+                Event::FaseEnd => {
+                    if depth <= 1 {
+                        epoch += 1;
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                Event::Write(l) => {
+                    // Mix the epoch into the id; collisions across epochs
+                    // are avoided by reserving the top 24 bits.
+                    out.push((epoch << 40) ^ (l.0 & ((1 << 40) - 1)));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// A whole-program trace: one [`ThreadTrace`] per thread.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Per-thread event streams, indexed by thread id.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl Trace {
+    /// A trace with `n` empty threads.
+    pub fn with_threads(n: usize) -> Self {
+        Trace {
+            threads: vec![ThreadTrace::new(); n],
+        }
+    }
+
+    /// Single-threaded trace from an explicit event list.
+    pub fn single(events: Vec<Event>) -> Self {
+        Trace {
+            threads: vec![ThreadTrace { events }],
+        }
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total persistent writes across threads.
+    pub fn total_writes(&self) -> usize {
+        self.threads.iter().map(|t| t.write_count()).sum()
+    }
+
+    /// Total outermost FASEs across threads.
+    pub fn total_fases(&self) -> usize {
+        self.threads.iter().map(|t| t.fase_count()).sum()
+    }
+
+    /// Number of distinct lines written anywhere in the trace.
+    pub fn distinct_lines(&self) -> usize {
+        let mut set = HashSet::new();
+        for t in &self.threads {
+            for l in t.writes() {
+                set.insert(l);
+            }
+        }
+        set.len()
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::of(self)
+    }
+
+    /// Serialize as JSON to a writer (experiment artifacts are
+    /// human-inspectable).
+    pub fn save_json<W: Write>(&self, w: W) -> io::Result<()> {
+        serde_json::to_writer(w, self).map_err(io::Error::other)
+    }
+
+    /// Deserialize from JSON.
+    pub fn load_json<R: Read>(r: R) -> io::Result<Self> {
+        serde_json::from_reader(r).map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(x: u64) -> Line {
+        Line(x)
+    }
+
+    #[test]
+    fn builder_and_counts() {
+        let mut t = ThreadTrace::new();
+        t.fase_begin();
+        t.write(l(1));
+        t.work(3);
+        t.work(2);
+        t.write(l(2));
+        t.fase_end();
+        t.fase_begin();
+        t.write(l(1));
+        t.fase_end();
+        assert_eq!(t.write_count(), 3);
+        assert_eq!(t.fase_count(), 2);
+        // consecutive work coalesced
+        assert_eq!(
+            t.events
+                .iter()
+                .filter(|e| matches!(e, Event::Work(_)))
+                .count(),
+            1
+        );
+        assert_eq!(t.events.iter().find_map(|e| match e {
+            Event::Work(w) => Some(*w),
+            _ => None
+        }), Some(5));
+    }
+
+    #[test]
+    fn nested_fases_count_outermost_only() {
+        let mut t = ThreadTrace::new();
+        t.fase_begin();
+        t.fase_begin();
+        t.write(l(9));
+        t.fase_end();
+        t.fase_end();
+        assert_eq!(t.fase_count(), 1);
+    }
+
+    #[test]
+    fn renamed_writes_distinguish_fases() {
+        let mut t = ThreadTrace::new();
+        // ab|ab  → four distinct ids (paper's abcdef example)
+        t.fase_begin();
+        t.write(l(1));
+        t.write(l(2));
+        t.fase_end();
+        t.fase_begin();
+        t.write(l(1));
+        t.write(l(2));
+        t.fase_end();
+        let r = t.renamed_writes();
+        assert_eq!(r.len(), 4);
+        let set: HashSet<_> = r.iter().collect();
+        assert_eq!(set.len(), 4, "cross-FASE reuse must disappear");
+    }
+
+    #[test]
+    fn renamed_writes_preserve_intra_fase_reuse() {
+        let mut t = ThreadTrace::new();
+        t.fase_begin();
+        t.write(l(1));
+        t.write(l(1));
+        t.fase_end();
+        let r = t.renamed_writes();
+        assert_eq!(r[0], r[1], "intra-FASE reuse must survive renaming");
+    }
+
+    #[test]
+    fn renaming_inside_nested_fase_uses_outermost_epoch() {
+        let mut t = ThreadTrace::new();
+        t.fase_begin();
+        t.write(l(7));
+        t.fase_begin();
+        t.write(l(7));
+        t.fase_end(); // inner end: no epoch bump
+        t.write(l(7));
+        t.fase_end();
+        let r = t.renamed_writes();
+        assert_eq!(r[0], r[1]);
+        assert_eq!(r[1], r[2]);
+    }
+
+    #[test]
+    fn trace_totals_and_distinct() {
+        let mut tr = Trace::with_threads(2);
+        tr.threads[0].fase_begin();
+        tr.threads[0].write(l(1));
+        tr.threads[0].write(l(2));
+        tr.threads[0].fase_end();
+        tr.threads[1].fase_begin();
+        tr.threads[1].write(l(2));
+        tr.threads[1].fase_end();
+        assert_eq!(tr.total_writes(), 3);
+        assert_eq!(tr.total_fases(), 2);
+        assert_eq!(tr.distinct_lines(), 2);
+        assert_eq!(tr.num_threads(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut tr = Trace::with_threads(1);
+        tr.threads[0].fase_begin();
+        tr.threads[0].write(l(42));
+        tr.threads[0].work(7);
+        tr.threads[0].fase_end();
+        let mut buf = Vec::new();
+        tr.save_json(&mut buf).unwrap();
+        let back = Trace::load_json(&buf[..]).unwrap();
+        assert_eq!(tr, back);
+    }
+}

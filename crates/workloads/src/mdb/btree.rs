@@ -1,0 +1,623 @@
+//! A copy-on-write B+-tree over the FASE runtime.
+//!
+//! Same structural behaviour the paper relies on in MDB/LMDB:
+//! writers copy the root-to-leaf path into fresh pages and swing the
+//! root pointer at commit; readers traverse from a root offset they
+//! captured at snapshot time and never lock. A write transaction is one
+//! FASE, so commit is failure-atomic. Old pages are kept until
+//! explicitly reclaimed (LMDB keeps them for its reader table; we expose
+//! [`PBTree::reclaim`] as the simplified equivalent and leak instead of
+//! dangling when snapshots may exist).
+//!
+//! Page layout (256 bytes = 4 cache lines, `CAP = 13` keys):
+//!
+//! ```text
+//! 0   tag     u64   (0 = leaf, 1 = internal)
+//! 8   nkeys   u64
+//! 16  keys    [u64; 13]
+//! 120 vals    [u64; 13]   (leaf)  |  children [u64; 14] (internal)
+//! ```
+
+use nvcache_core::PolicyKind;
+use nvcache_fase::FaseRuntime;
+use std::collections::HashSet;
+
+/// Keys per page.
+pub const CAP: usize = 13;
+const PAGE: usize = 256;
+
+const TAG_LEAF: u64 = 0;
+const TAG_INNER: u64 = 1;
+
+#[inline]
+fn k_off(page: usize, i: usize) -> usize {
+    page + 16 + i * 8
+}
+#[inline]
+fn v_off(page: usize, i: usize) -> usize {
+    page + 120 + i * 8
+}
+
+/// Result of a recursive COW insert.
+enum Ins {
+    /// Subtree replaced by a new page.
+    New(usize),
+    /// Subtree split: left page, separator, right page.
+    Split(usize, u64, usize),
+}
+
+/// The copy-on-write persistent B+-tree.
+#[derive(Debug)]
+pub struct PBTree {
+    rt: FaseRuntime,
+    /// Offset of the meta block (root pointer, txnid, dirty count —
+    /// one cache line, like LMDB's meta page fields).
+    meta: usize,
+    /// Monotone transaction-op counter (LMDB meta-page txnid).
+    txid: u64,
+    /// Pages superseded by COW since the last reclaim.
+    retired: Vec<u64>,
+    /// Pages created or shadow-copied by the open transaction: these are
+    /// modified *in place* on subsequent touches (LMDB dirties a page at
+    /// most once per transaction — the source of MDB's write locality).
+    dirty_txn: HashSet<usize>,
+    in_txn: bool,
+}
+
+impl PBTree {
+    /// New tree with room for roughly `capacity` key/value pairs.
+    pub fn new(capacity: usize, policy: &PolicyKind) -> Self {
+        // COW burns ~tree-depth pages per operation; without reclaim a
+        // bulk load of `capacity` keys in one transaction allocates up
+        // to capacity × depth pages
+        let pages = capacity.max(16) * 4 + 64;
+        let data = 4096 + pages * PAGE;
+        // a single transaction may COW-log every touched page: size the
+        // log for bulk loads of the whole capacity in one FASE
+        let log = (capacity * 2400).max(1 << 20);
+        let mut rt = FaseRuntime::with_heap(data, log, policy);
+        let meta = rt.alloc(64).expect("meta block") as usize;
+        rt.set_root(meta as u64); // discoverable after reopen
+        let mut t = PBTree {
+            rt,
+            meta,
+            txid: 0,
+            retired: Vec::new(),
+            dirty_txn: HashSet::new(),
+            in_txn: false,
+        };
+        let root = t.alloc_page();
+        let m = t.meta;
+        t.rt.fase(|rt| {
+            rt.store_u64(root, TAG_LEAF);
+            rt.store_u64(root + 8, 0);
+            rt.store_u64(m, root as u64);
+        });
+        t
+    }
+
+    fn alloc_page(&mut self) -> usize {
+        self.rt.alloc(PAGE).expect("btree heap exhausted") as usize
+    }
+
+    /// Enable trace recording on the runtime.
+    pub fn record_trace(&mut self) {
+        self.rt.record_trace();
+    }
+
+    /// The underlying runtime.
+    pub fn runtime_mut(&mut self) -> &mut FaseRuntime {
+        &mut self.rt
+    }
+
+    /// Current root page offset — capture it for a snapshot read.
+    pub fn snapshot(&mut self) -> u64 {
+        self.rt.load_u64(self.meta)
+    }
+
+    // ---- transactions ----------------------------------------------------
+
+    /// Open a write transaction (one FASE).
+    pub fn begin_txn(&mut self) {
+        assert!(!self.in_txn, "write transactions do not nest");
+        self.in_txn = true;
+        self.dirty_txn.clear();
+        self.rt.begin_fase();
+    }
+
+    /// Commit the open write transaction.
+    pub fn commit(&mut self) {
+        assert!(self.in_txn);
+        self.rt.end_fase();
+        self.in_txn = false;
+    }
+
+    /// Free pages retired by COW. Only safe when no snapshot captured
+    /// before the retiring transactions is still in use.
+    pub fn reclaim(&mut self) {
+        for p in std::mem::take(&mut self.retired) {
+            self.rt.free(p, PAGE);
+        }
+    }
+
+    // ---- reads -------------------------------------------------------------
+
+    /// Look up `key` in the current tree.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        let root = self.snapshot();
+        self.get_at(root, key)
+    }
+
+    /// Look up `key` in the tree rooted at snapshot `root`.
+    pub fn get_at(&mut self, root: u64, key: u64) -> Option<u64> {
+        let mut page = root as usize;
+        loop {
+            let tag = self.rt.load_u64(page);
+            let n = self.rt.load_u64(page + 8) as usize;
+            self.rt.work(n as u32 + 2); // key comparisons
+            // find first key > search key
+            let mut i = 0;
+            while i < n && self.rt.load_u64(k_off(page, i)) <= key {
+                i += 1;
+            }
+            if tag == TAG_LEAF {
+                if i > 0 && self.rt.load_u64(k_off(page, i - 1)) == key {
+                    return Some(self.rt.load_u64(v_off(page, i - 1)));
+                }
+                return None;
+            }
+            page = self.rt.load_u64(v_off(page, i)) as usize;
+        }
+    }
+
+    /// In-order key/value pairs (test helper / traversal workload).
+    pub fn scan(&mut self) -> Vec<(u64, u64)> {
+        let root = self.snapshot() as usize;
+        let mut out = Vec::new();
+        self.scan_rec(root, &mut out);
+        out
+    }
+
+    fn scan_rec(&mut self, page: usize, out: &mut Vec<(u64, u64)>) {
+        let tag = self.rt.load_u64(page);
+        let n = self.rt.load_u64(page + 8) as usize;
+        if tag == TAG_LEAF {
+            for i in 0..n {
+                out.push((
+                    self.rt.load_u64(k_off(page, i)),
+                    self.rt.load_u64(v_off(page, i)),
+                ));
+            }
+        } else {
+            for i in 0..=n {
+                let c = self.rt.load_u64(v_off(page, i)) as usize;
+                self.scan_rec(c, out);
+            }
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&mut self) -> usize {
+        self.scan().len()
+    }
+
+    /// True iff no keys.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    // ---- writes ------------------------------------------------------------
+
+    /// Insert or update `key → value` inside the open transaction.
+    pub fn insert(&mut self, key: u64, value: u64) {
+        assert!(self.in_txn, "insert requires an open transaction");
+        let root = self.snapshot() as usize;
+        match self.insert_rec(root, key, value) {
+            Ins::New(new_root) => {
+                let m = self.meta;
+                self.rt.store_u64(m, new_root as u64)
+            }
+            Ins::Split(l, sep, r) => {
+                let nr = self.alloc_page();
+                self.dirty_txn.insert(nr);
+                self.rt.store_u64(nr, TAG_INNER);
+                self.rt.store_u64(nr + 8, 1);
+                self.rt.store_u64(k_off(nr, 0), sep);
+                self.rt.store_u64(v_off(nr, 0), l as u64);
+                self.rt.store_u64(v_off(nr, 1), r as u64);
+                let m = self.meta;
+                self.rt.store_u64(m, nr as u64);
+            }
+        }
+        // meta bookkeeping (txnid, dirty count) shares the root line,
+        // like LMDB's meta page fields
+        self.txid += 1;
+        let m = self.meta;
+        self.rt.store_u64(m + 8, self.txid);
+        self.rt.store_u64(m + 16, self.dirty_txn.len() as u64);
+        self.rt.work(4);
+    }
+
+    /// Remove `key` inside the open transaction (lazy: no rebalancing,
+    /// like LMDB's page-level deletes before compaction).
+    pub fn delete(&mut self, key: u64) {
+        assert!(self.in_txn);
+        let root = self.snapshot() as usize;
+        if let Some(new_root) = self.delete_rec(root, key) {
+            let m = self.meta;
+            self.rt.store_u64(m, new_root as u64);
+        }
+        self.rt.work(2);
+    }
+
+    /// Copy `src` into a fresh page, returning its offset.
+    fn cow_page(&mut self, src: usize) -> usize {
+        let dst = self.alloc_page();
+        let tag = self.rt.load_u64(src);
+        let n = self.rt.load_u64(src + 8) as usize;
+        self.rt.store_u64(dst, tag);
+        self.rt.store_u64(dst + 8, n as u64);
+        for i in 0..n {
+            let k = self.rt.load_u64(k_off(src, i));
+            self.rt.store_u64(k_off(dst, i), k);
+        }
+        let vals = if tag == TAG_LEAF { n } else { n + 1 };
+        for i in 0..vals {
+            let v = self.rt.load_u64(v_off(src, i));
+            self.rt.store_u64(v_off(dst, i), v);
+        }
+        dst
+    }
+
+    /// The writable version of `page` for this transaction: pages
+    /// already dirtied are modified in place; clean pages are
+    /// shadow-copied once (and the original retired).
+    fn shadow(&mut self, page: usize) -> usize {
+        if self.dirty_txn.contains(&page) {
+            return page;
+        }
+        let dst = self.cow_page(page);
+        self.retired.push(page as u64);
+        self.dirty_txn.insert(dst);
+        dst
+    }
+
+    fn insert_rec(&mut self, page: usize, key: u64, value: u64) -> Ins {
+        let tag = self.rt.load_u64(page);
+        let n = self.rt.load_u64(page + 8) as usize;
+        self.rt.work(n as u32 + 4); // descent comparisons + bookkeeping
+        if tag == TAG_LEAF {
+            // copy with key inserted/updated
+            let mut keys = Vec::with_capacity(n + 1);
+            let mut vals = Vec::with_capacity(n + 1);
+            let mut placed = false;
+            for i in 0..n {
+                let k = self.rt.load_u64(k_off(page, i));
+                let v = self.rt.load_u64(v_off(page, i));
+                if k == key {
+                    keys.push(key);
+                    vals.push(value);
+                    placed = true;
+                } else {
+                    if !placed && k > key {
+                        keys.push(key);
+                        vals.push(value);
+                        placed = true;
+                    }
+                    keys.push(k);
+                    vals.push(v);
+                }
+            }
+            if !placed {
+                keys.push(key);
+                vals.push(value);
+            }
+            if keys.len() <= CAP {
+                let dst = self.shadow(page);
+                self.fill_leaf(dst, &keys, &vals);
+                Ins::New(dst)
+            } else {
+                let mid = keys.len() / 2;
+                let l = self.write_leaf(&keys[..mid], &vals[..mid]);
+                let r = self.write_leaf(&keys[mid..], &vals[mid..]);
+                self.retired.push(page as u64);
+                // separator: smallest key of the right leaf (search uses
+                // `keys[i] <= key ⇒ go right`, so equal keys go right)
+                Ins::Split(l, keys[mid], r)
+            }
+        } else {
+            let mut i = 0;
+            while i < n && self.rt.load_u64(k_off(page, i)) <= key {
+                i += 1;
+            }
+            let child = self.rt.load_u64(v_off(page, i)) as usize;
+            let res = self.insert_rec(child, key, value);
+            match res {
+                Ins::New(c) => {
+                    let dst = self.shadow(page);
+                    self.rt.store_u64(v_off(dst, i), c as u64);
+                    Ins::New(dst)
+                }
+                Ins::Split(l, sep, r) => {
+                    // gather keys/children with the split spliced in —
+                    // never overfill a page in place (a 14th key would
+                    // overlap the children array)
+                    let mut keys = Vec::with_capacity(n + 1);
+                    let mut kids = Vec::with_capacity(n + 2);
+                    for j in 0..n {
+                        keys.push(self.rt.load_u64(k_off(page, j)));
+                    }
+                    for j in 0..=n {
+                        kids.push(self.rt.load_u64(v_off(page, j)));
+                    }
+                    keys.insert(i, sep);
+                    kids[i] = l as u64;
+                    kids.insert(i + 1, r as u64);
+                    if keys.len() <= CAP {
+                        let dst = self.shadow(page);
+                        self.fill_inner(dst, &keys, &kids);
+                        Ins::New(dst)
+                    } else {
+                        let mid = keys.len() / 2;
+                        let sep_up = keys[mid];
+                        let l2 = self.write_inner(&keys[..mid], &kids[..=mid]);
+                        let r2 = self.write_inner(&keys[mid + 1..], &kids[mid + 1..]);
+                        self.retired.push(page as u64);
+                        Ins::Split(l2, sep_up, r2)
+                    }
+                }
+            }
+        }
+    }
+
+    fn fill_inner(&mut self, dst: usize, keys: &[u64], kids: &[u64]) {
+        debug_assert_eq!(kids.len(), keys.len() + 1);
+        debug_assert!(keys.len() <= CAP);
+        self.rt.store_u64(dst, TAG_INNER);
+        self.rt.store_u64(dst + 8, keys.len() as u64);
+        for (i, &k) in keys.iter().enumerate() {
+            self.rt.store_u64(k_off(dst, i), k);
+        }
+        for (i, &c) in kids.iter().enumerate() {
+            self.rt.store_u64(v_off(dst, i), c);
+        }
+    }
+
+    fn write_inner(&mut self, keys: &[u64], kids: &[u64]) -> usize {
+        let dst = self.alloc_page();
+        self.dirty_txn.insert(dst);
+        self.fill_inner(dst, keys, kids);
+        dst
+    }
+
+    fn fill_leaf(&mut self, dst: usize, keys: &[u64], vals: &[u64]) {
+        debug_assert!(keys.len() <= CAP);
+        self.rt.store_u64(dst, TAG_LEAF);
+        self.rt.store_u64(dst + 8, keys.len() as u64);
+        for (i, &k) in keys.iter().enumerate() {
+            self.rt.store_u64(k_off(dst, i), k);
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            self.rt.store_u64(v_off(dst, i), v);
+        }
+    }
+
+    fn write_leaf(&mut self, keys: &[u64], vals: &[u64]) -> usize {
+        let dst = self.alloc_page();
+        self.dirty_txn.insert(dst);
+        self.fill_leaf(dst, keys, vals);
+        dst
+    }
+
+    /// COW delete; returns the new subtree root, or `None` if the key
+    /// was absent (no copy made).
+    fn delete_rec(&mut self, page: usize, key: u64) -> Option<usize> {
+        let tag = self.rt.load_u64(page);
+        let n = self.rt.load_u64(page + 8) as usize;
+        if tag == TAG_LEAF {
+            let idx = (0..n).find(|&i| self.rt.load_u64(k_off(page, i)) == key)?;
+            let dst = self.shadow(page);
+            // shift the suffix left in place
+            for i in idx..n - 1 {
+                let k = self.rt.load_u64(k_off(dst, i + 1));
+                let v = self.rt.load_u64(v_off(dst, i + 1));
+                self.rt.store_u64(k_off(dst, i), k);
+                self.rt.store_u64(v_off(dst, i), v);
+            }
+            self.rt.store_u64(dst + 8, (n - 1) as u64);
+            Some(dst)
+        } else {
+            let mut i = 0;
+            while i < n && self.rt.load_u64(k_off(page, i)) <= key {
+                i += 1;
+            }
+            let child = self.rt.load_u64(v_off(page, i)) as usize;
+            let new_child = self.delete_rec(child, key)?;
+            let dst = self.shadow(page);
+            self.rt.store_u64(v_off(dst, i), new_child as u64);
+            Some(dst)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_pmem::CrashMode;
+
+    fn tree(cap: usize) -> PBTree {
+        PBTree::new(cap, &PolicyKind::ScFixed { capacity: 20 })
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = tree(256);
+        t.begin_txn();
+        for i in 0..100u64 {
+            t.insert(i * 7 % 101, i);
+        }
+        t.commit();
+        for i in 0..100u64 {
+            assert_eq!(t.get(i * 7 % 101), Some(i), "key {}", i * 7 % 101);
+        }
+        assert_eq!(t.get(777), None);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut t = tree(64);
+        t.begin_txn();
+        t.insert(5, 1);
+        t.insert(5, 2);
+        t.commit();
+        assert_eq!(t.get(5), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn scan_is_sorted() {
+        let mut t = tree(512);
+        t.begin_txn();
+        for i in (0..200u64).rev() {
+            t.insert(i, i * 2);
+        }
+        t.commit();
+        let v = t.scan();
+        assert_eq!(v.len(), 200);
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(v.iter().all(|&(k, val)| val == k * 2));
+    }
+
+    #[test]
+    fn splits_build_a_deep_tree() {
+        let mut t = tree(2048);
+        t.begin_txn();
+        for i in 0..1000u64 {
+            t.insert(i, i);
+        }
+        t.commit();
+        assert_eq!(t.len(), 1000);
+        for i in (0..1000u64).step_by(37) {
+            assert_eq!(t.get(i), Some(i));
+        }
+    }
+
+    #[test]
+    fn delete_removes_and_preserves_rest() {
+        let mut t = tree(256);
+        t.begin_txn();
+        for i in 0..100u64 {
+            t.insert(i, i);
+        }
+        t.commit();
+        t.begin_txn();
+        for i in (0..100u64).step_by(3) {
+            t.delete(i);
+        }
+        t.commit();
+        for i in 0..100u64 {
+            if i % 3 == 0 {
+                assert_eq!(t.get(i), None, "key {i}");
+            } else {
+                assert_eq!(t.get(i), Some(i), "key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn delete_absent_key_is_noop() {
+        let mut t = tree(64);
+        t.begin_txn();
+        t.insert(1, 1);
+        t.delete(99);
+        t.commit();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn committed_txn_survives_crash() {
+        let mut t = tree(256);
+        t.begin_txn();
+        for i in 0..50u64 {
+            t.insert(i, i + 1);
+        }
+        t.commit();
+        t.runtime_mut()
+            .crash_and_recover(&CrashMode::StrictDurableOnly);
+        for i in 0..50u64 {
+            assert_eq!(t.get(i), Some(i + 1));
+        }
+    }
+
+    #[test]
+    fn uncommitted_txn_rolls_back_atomically() {
+        let mut t = tree(256);
+        t.begin_txn();
+        for i in 0..20u64 {
+            t.insert(i, 1);
+        }
+        t.commit();
+        t.begin_txn();
+        for i in 0..20u64 {
+            t.insert(i, 2);
+        }
+        t.insert(1000, 1000);
+        // crash mid-transaction, worst case: everything in flight lands
+        t.runtime_mut()
+            .crash_and_recover(&CrashMode::AllInFlightLands);
+        t.in_txn = false;
+        t.retired.clear(); // rolled-back txn: retirements are void
+        t.dirty_txn.clear();
+        for i in 0..20u64 {
+            assert_eq!(t.get(i), Some(1), "old value visible for {i}");
+        }
+        assert_eq!(t.get(1000), None, "uncommitted insert rolled back");
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        let mut t = tree(256);
+        t.begin_txn();
+        for i in 0..30u64 {
+            t.insert(i, 1);
+        }
+        t.commit();
+        let snap = t.snapshot();
+        // writer moves on (COW: old pages intact, not reclaimed)
+        t.begin_txn();
+        for i in 0..30u64 {
+            t.insert(i, 2);
+        }
+        t.insert(500, 9);
+        t.commit();
+        // reader still sees version 1 everywhere through its snapshot
+        for i in 0..30u64 {
+            assert_eq!(t.get_at(snap, i), Some(1), "snapshot sees v1 for {i}");
+        }
+        assert_eq!(t.get_at(snap, 500), None);
+        // current tree sees version 2
+        assert_eq!(t.get(5), Some(2));
+        assert_eq!(t.get(500), Some(9));
+    }
+
+    #[test]
+    fn reclaim_recycles_pages() {
+        let mut t = tree(256);
+        for round in 0..30 {
+            t.begin_txn();
+            for i in 0..10u64 {
+                t.insert(i, round);
+            }
+            t.commit();
+            t.reclaim();
+        }
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert requires an open transaction")]
+    fn insert_outside_txn_panics() {
+        let mut t = tree(64);
+        t.insert(1, 1);
+    }
+}

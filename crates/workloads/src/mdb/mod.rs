@@ -1,0 +1,10 @@
+//! `mdb` — a memory-mapped-database stand-in (paper Section IV-B/C):
+//! a copy-on-write B+-tree key-value store in the style of LMDB/MDB,
+//! with snapshot reads and failure-atomic write transactions, plus the
+//! Mtest workload used in the paper's case study.
+
+pub mod btree;
+pub mod mtest;
+
+pub use btree::PBTree;
+pub use mtest::MdbWorkload;

@@ -1,0 +1,159 @@
+//! The Mtest workload (paper Section IV-C): insert `n` key/value pairs
+//! in write transactions of ~10 operations, interleaved with traversals
+//! and deletions — ~650 persistent stores per durable FASE at paper
+//! scale (65.5M stores / 100.5K FASEs).
+
+use super::btree::PBTree;
+use crate::workload::{paper_row, PaperRow, Workload};
+use nvcache_core::PolicyKind;
+use nvcache_trace::Trace;
+
+/// The MDB/Mtest workload.
+#[derive(Debug, Clone)]
+pub struct MdbWorkload {
+    /// Keys inserted (paper: 1 000 000).
+    pub n: usize,
+    /// Operations per write transaction (paper: ~10).
+    pub batch: usize,
+}
+
+impl MdbWorkload {
+    /// Paper-shaped instance scaled by `scale` (`1.0` = 1M inserts).
+    pub fn scaled(scale: f64) -> Self {
+        MdbWorkload {
+            n: ((1_000_000.0 * scale) as usize).max(64),
+            batch: 10,
+        }
+    }
+
+    /// Run the workload against a tree; returns (inserted, deleted,
+    /// traversed) op counts for verification.
+    pub fn run(&self, t: &mut PBTree) -> (usize, usize, usize) {
+        let mut inserted = 0usize;
+        let mut deleted = 0usize;
+        let mut traversed = 0usize;
+        let mut i = 0usize;
+        while i < self.n {
+            let hi = (i + self.batch).min(self.n);
+            t.begin_txn();
+            for k in i..hi {
+                // pseudo-random key order, like Mtest's shuffled inserts
+                let key = (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16;
+                t.insert(key, k as u64);
+                inserted += 1;
+            }
+            t.commit();
+            t.reclaim();
+            // periodic traversal (read-only; exercises snapshot reads)
+            if (i / self.batch) % 64 == 63 {
+                traversed += t.scan().len();
+            }
+            // periodic deletions
+            if (i / self.batch) % 16 == 15 {
+                t.begin_txn();
+                for k in (i.saturating_sub(8))..i {
+                    let key = (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16;
+                    t.delete(key);
+                    deleted += 1;
+                }
+                t.commit();
+                t.reclaim();
+            }
+            i = hi;
+        }
+        (inserted, deleted, traversed)
+    }
+}
+
+impl Workload for MdbWorkload {
+    fn name(&self) -> &'static str {
+        "mdb"
+    }
+
+    fn trace(&self, threads: usize) -> Trace {
+        let threads = threads.max(1);
+        let per = (self.n / threads).max(self.batch);
+        let mut recs = Vec::with_capacity(threads);
+        for _t in 0..threads {
+            let w = MdbWorkload {
+                n: per,
+                batch: self.batch,
+            };
+            let mut tree = PBTree::new(per + 64, &PolicyKind::Best);
+            tree.record_trace();
+            w.run(&mut tree);
+            recs.push(tree.runtime_mut().take_trace().unwrap());
+        }
+        Trace { threads: recs }
+    }
+
+    fn paper_row(&self) -> Option<PaperRow> {
+        paper_row("mdb")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_core::{flush_stats, PolicyKind};
+    use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
+
+    #[test]
+    fn run_keeps_tree_consistent() {
+        let w = MdbWorkload { n: 500, batch: 10 };
+        let mut t = PBTree::new(600, &PolicyKind::ScFixed { capacity: 20 });
+        let (ins, del, _) = w.run(&mut t);
+        assert_eq!(ins, 500);
+        assert!(del > 0);
+        assert_eq!(t.len(), ins - del);
+        let v = t.scan();
+        assert!(v.windows(2).all(|x| x[0].0 < x[1].0), "sorted");
+    }
+
+    #[test]
+    fn trace_has_batched_fases() {
+        let w = MdbWorkload { n: 400, batch: 10 };
+        let tr = w.trace(1);
+        // ~40 insert txns + constructor + delete txns
+        assert!(tr.total_fases() >= 40, "fases = {}", tr.total_fases());
+        let s = tr.stats();
+        assert!(
+            s.writes_per_fase > 50.0,
+            "COW path copies give big FASEs: {}",
+            s.writes_per_fase
+        );
+    }
+
+    #[test]
+    fn knee_is_moderate_like_paper() {
+        // paper Section IV-G: mdb selects 20
+        let w = MdbWorkload { n: 1500, batch: 10 };
+        let tr = w.trace(1);
+        let renamed = tr.threads[0].renamed_writes();
+        let mrc = lru_mrc(&renamed, 50);
+        let knee = select_cache_size(&mrc, &KneeConfig::default());
+        assert!(
+            (10..=32).contains(&knee),
+            "mdb knee should be ≈20, got {knee}"
+        );
+    }
+
+    #[test]
+    fn policy_ordering_matches_table3() {
+        // paper: LA 0.052, SC 0.113, AT 0.301
+        let w = MdbWorkload { n: 1000, batch: 10 };
+        let tr = w.trace(1);
+        let la = flush_stats(&tr, &PolicyKind::Lazy).flush_ratio();
+        let at = flush_stats(&tr, &PolicyKind::Atlas { size: 8 }).flush_ratio();
+        let sc = flush_stats(&tr, &PolicyKind::ScFixed { capacity: 20 }).flush_ratio();
+        assert!(la <= sc + 1e-9, "LA {la} ≤ SC {sc}");
+        assert!(sc < at, "SC {sc} < AT {at}");
+    }
+
+    #[test]
+    fn multithreaded_trace() {
+        let w = MdbWorkload { n: 400, batch: 10 };
+        let tr = w.trace(8);
+        assert_eq!(tr.num_threads(), 8);
+    }
+}

@@ -1,0 +1,13 @@
+//! The four micro-benchmarks (paper Section IV-B), implemented as real
+//! recoverable data structures over the FASE runtime. Each doubles as a
+//! [`crate::Workload`] trace generator.
+
+pub mod hash;
+pub mod linked_list;
+pub mod persistent_array;
+pub mod queue;
+
+pub use hash::{HashWorkload, PHashTable};
+pub use linked_list::{LinkedListWorkload, PLinkedList};
+pub use persistent_array::PersistentArray;
+pub use queue::{PQueue, QueueWorkload};

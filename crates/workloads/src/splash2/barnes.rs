@@ -1,0 +1,193 @@
+//! `barnes` — Barnes–Hut N-body. Two phases per timestep:
+//!
+//! 1. **tree build** — bodies are inserted into a quadtree; node
+//!    centre-of-mass records are written along each insertion path
+//!    (scattered writes).
+//! 2. **force + integrate** — bodies are processed in groups (the
+//!    original's cost-zone groups): each body's acceleration line is
+//!    written per accepted tree interaction (hot), then the whole
+//!    group's body records are swept twice (velocity, position). The
+//!    group working set (~13 body lines + node scratch) puts the knee
+//!    at ≈15 (paper Section IV-G).
+
+use super::{partition, record_kernel, Kernel, PArr};
+use crate::workload::{paper_row, PaperRow, Workload};
+use nvcache_trace::{StoreSink, Trace};
+
+/// The barnes kernel.
+#[derive(Debug, Clone)]
+pub struct Barnes {
+    /// Number of bodies (paper: 16384).
+    pub bodies: usize,
+    /// Timesteps.
+    pub steps: usize,
+}
+
+impl Barnes {
+    /// Paper-shaped instance scaled by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        Barnes {
+            bodies: ((16384.0 * scale) as usize).clamp(64, 1 << 20),
+            steps: 3,
+        }
+    }
+}
+
+/// Bodies per force group: 13 body lines + 2 node-scratch lines ≈ the
+/// paper's knee of 15.
+const GROUP: usize = 13;
+
+impl Kernel for Barnes {
+    fn name(&self) -> &'static str {
+        "barnes"
+    }
+
+    fn run(&self, sink: &mut dyn StoreSink, threads: usize, tid: usize) {
+        let body = PArr::new(0, 64); // one 64-byte record per body
+        let node = PArr::new(1, 64); // quadtree nodes
+        let mine = partition(self.bodies, threads, tid);
+        // real positions evolve; forces computed against a coarse tree
+        let mut pos: Vec<(f64, f64)> = (0..self.bodies)
+            .map(|i| {
+                let a = i as f64 * 2.399963; // golden-angle spiral
+                let r = (i as f64 + 1.0).sqrt();
+                (r * a.cos(), r * a.sin())
+            })
+            .collect();
+        let mut vel = vec![(0.0f64, 0.0f64); self.bodies];
+
+        for _step in 0..self.steps {
+            // ---- phase 1: tree build (one FASE per thread) -----------
+            sink.fase_begin();
+            for i in mine.clone() {
+                // insertion path: the root and progressively wider
+                // levels get their centre-of-mass updated; upper levels
+                // are hot, the leaf level is scattered
+                let mut key = i;
+                for depth in 0..4usize {
+                    let width = 1 << (2 * depth); // 1, 4, 16, 64 cells
+                    let level_base = (width - 1) / 3 * 2; // 0, 2, 10, 42
+                    node.store(sink, level_base + key % width);
+                    key /= 4;
+                    sink.work(2);
+                }
+            }
+            sink.fase_end();
+
+            // ---- phase 2: force + integrate per group ----------------
+            let mut g = mine.start;
+            while g < mine.end {
+                let hi = (g + GROUP).min(mine.end);
+                sink.fase_begin();
+                for i in g..hi {
+                    // tree walk: ~32 accepted interactions; each
+                    // accumulates into body i's record (hot line)
+                    let (mut ax, mut ay) = (0.0f64, 0.0f64);
+                    for k in 0..32 {
+                        let j = (i * 17 + k * 97) % self.bodies;
+                        let dx = pos[j].0 - pos[i].0;
+                        let dy = pos[j].1 - pos[i].1;
+                        let d2 = dx * dx + dy * dy + 0.05;
+                        let inv = 1.0 / (d2 * d2.sqrt());
+                        ax += dx * inv;
+                        ay += dy * inv;
+                        body.store(sink, i); // acceleration accumulation
+                        // cell-open counter: near-root cells, hot but
+                        // aliasing the body lines in a mod-8 table
+                        node.store(sink, j % 2);
+                        sink.work(3);
+                    }
+                    vel[i].0 += 0.01 * ax;
+                    vel[i].1 += 0.01 * ay;
+                }
+                // velocity and position sweeps over the whole group:
+                // reuse captured only when the cache holds the group
+                for i in g..hi {
+                    body.store(sink, i); // velocity write-back
+                    sink.work(1);
+                }
+                for i in g..hi {
+                    pos[i].0 += 0.01 * vel[i].0;
+                    pos[i].1 += 0.01 * vel[i].1;
+                    body.store(sink, i); // position write-back
+                    sink.work(1);
+                }
+                sink.fase_end();
+                g = hi;
+            }
+        }
+    }
+}
+
+impl Workload for Barnes {
+    fn name(&self) -> &'static str {
+        "barnes"
+    }
+
+    fn trace(&self, threads: usize) -> Trace {
+        record_kernel(self, threads)
+    }
+
+    fn paper_row(&self) -> Option<PaperRow> {
+        paper_row("barnes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_core::{flush_stats, PolicyKind};
+    use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
+
+    fn small() -> Barnes {
+        Barnes {
+            bodies: 256,
+            steps: 2,
+        }
+    }
+
+    #[test]
+    fn trace_structure() {
+        let w = small();
+        let tr = w.trace(1);
+        // per step: 1 build FASE + ⌈256/13⌉ = 20 group FASEs
+        assert_eq!(tr.total_fases(), 2 * (1 + 20));
+        assert!(tr.total_writes() > 10_000);
+    }
+
+    #[test]
+    fn knee_lands_near_fifteen() {
+        let w = small();
+        let tr = w.trace(1);
+        let renamed = tr.threads[0].renamed_writes();
+        let mrc = lru_mrc(&renamed, 50);
+        let knee = select_cache_size(&mrc, &KneeConfig::default());
+        assert!(
+            (12..=18).contains(&knee),
+            "barnes knee should be ≈15, got {knee}"
+        );
+    }
+
+    #[test]
+    fn sc_with_knee_capacity_near_lazy() {
+        let tr = small().trace(1);
+        let la = flush_stats(&tr, &PolicyKind::Lazy);
+        let sc = flush_stats(&tr, &PolicyKind::ScFixed { capacity: 15 });
+        let at = flush_stats(&tr, &PolicyKind::Atlas { size: 8 });
+        let sc_la = sc.flushes() as f64 / la.flushes() as f64;
+        let at_sc = at.flushes() as f64 / sc.flushes() as f64;
+        // paper: SC/LA = 1.33, AT/SC = 21
+        assert!(sc_la < 2.0, "SC/LA = {sc_la}");
+        assert!(at_sc > 3.0, "AT/SC = {at_sc}");
+    }
+
+    #[test]
+    fn strong_scaling() {
+        let w = small();
+        let t1 = w.trace(1);
+        let t2 = w.trace(2);
+        let ratio = t2.total_writes() as f64 / t1.total_writes() as f64;
+        assert!((0.9..1.1).contains(&ratio));
+        assert!(t2.total_fases() > t1.total_fases());
+    }
+}

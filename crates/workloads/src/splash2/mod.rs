@@ -1,0 +1,161 @@
+//! SPLASH2-style computational kernels (paper Section IV-B).
+//!
+//! The paper instruments the original C programs with an LLVM pass and
+//! persists all non-stack data. Recompiling SPLASH2 is out of scope
+//! (DESIGN.md §2.2); what the persistence policies consume is the
+//! *persistent write stream* — its per-FASE working sets, reuse
+//! structure and FASE granularity. Each module here is a genuine small
+//! computation (floating-point math actually runs) whose persistent
+//! stores follow the corresponding program's structure:
+//!
+//! | kernel | structure | paper knee |
+//! |---|---|---|
+//! | `ocean` | red-black grid relaxation, two aliasing field arrays | 2 |
+//! | `barnes` | quadtree build + per-group force/integrate passes | 15 |
+//! | `fmm` | per-cell multipole coefficient phases | 10 |
+//! | `raytrace` | per-tile ray casting + antialias second pass | 8 |
+//! | `volrend` | per-scanline ray marching with hot accumulators | 3 |
+//! | `water_nsquared` | all-pairs MD, Gear integrator record sweeps | 28 |
+//! | `water_spatial` | cell-list MD, per-cell molecule working set | 23 |
+//!
+//! All kernels are strong-scaling: `threads` partitions a fixed total
+//! (total writes ~constant, FASE count grows with threads — the paper's
+//! Section IV-F observation).
+
+pub mod barnes;
+pub mod fmm;
+pub mod ocean;
+pub mod raytrace;
+pub mod volrend;
+pub mod water_nsquared;
+pub mod water_spatial;
+
+pub use barnes::Barnes;
+pub use fmm::Fmm;
+pub use ocean::Ocean;
+pub use raytrace::Raytrace;
+pub use volrend::Volrend;
+pub use water_nsquared::WaterNsquared;
+pub use water_spatial::WaterSpatial;
+
+use nvcache_trace::{Line, StoreSink, TraceRecorder, Trace};
+
+/// A persistent array laid out in the emulated address space: region
+/// `id` gets a disjoint base address; elements are `elem_bytes` wide.
+#[derive(Debug, Clone, Copy)]
+pub struct PArr {
+    base: u64,
+    elem_bytes: u64,
+}
+
+impl PArr {
+    /// Array `id` (0–255) of elements `elem_bytes` wide. Bases are
+    /// region-spaced at 16 MiB so distinct arrays never share lines but
+    /// *do* alias in a small direct-mapped table (16 MiB is a multiple
+    /// of every table size used) — matching the real aliasing that hurts
+    /// Atlas's table on multi-array codes.
+    pub fn new(id: u32, elem_bytes: usize) -> Self {
+        PArr {
+            base: (id as u64) << 24,
+            elem_bytes: elem_bytes as u64,
+        }
+    }
+
+    /// The line of element `i`.
+    #[inline]
+    pub fn line(&self, i: usize) -> Line {
+        Line::of_addr(self.base + i as u64 * self.elem_bytes)
+    }
+
+    /// Emit a persistent store of element `i`.
+    #[inline]
+    pub fn store(&self, sink: &mut dyn StoreSink, i: usize) {
+        sink.persistent_store(self.line(i));
+    }
+
+    /// Emit a load of element `i`.
+    #[inline]
+    pub fn load(&self, sink: &mut dyn StoreSink, i: usize) {
+        sink.load(self.line(i));
+    }
+}
+
+/// A kernel body: runs thread `tid` of `threads`, emitting instrumented
+/// events. `Sync` so recording can genuinely run one OS thread per
+/// simulated thread.
+pub trait Kernel: Sync {
+    /// Workload name (Table III spelling).
+    fn name(&self) -> &'static str;
+    /// Run one thread's partition.
+    fn run(&self, sink: &mut dyn StoreSink, threads: usize, tid: usize);
+}
+
+/// Record a kernel into a whole-program trace, one recorder per thread —
+/// executed in parallel (the kernels really are data-parallel; per-thread
+/// recorders share nothing, mirroring the paper's per-thread software
+/// caches).
+pub fn record_kernel<K: Kernel>(kernel: &K, threads: usize) -> Trace {
+    let threads = threads.max(1);
+    let recs: Vec<TraceRecorder> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                scope.spawn(move |_| {
+                    let mut r = TraceRecorder::new();
+                    kernel.run(&mut r, threads, tid);
+                    r
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("kernel thread")).collect()
+    })
+    .expect("record scope");
+    TraceRecorder::merge(recs)
+}
+
+/// Split `0..n` into `threads` contiguous chunks; returns thread `tid`'s
+/// range.
+pub fn partition(n: usize, threads: usize, tid: usize) -> std::ops::Range<usize> {
+    let per = n.div_ceil(threads);
+    let lo = (per * tid).min(n);
+    let hi = (lo + per).min(n);
+    lo..hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parr_lines_are_disjoint_across_ids() {
+        let a = PArr::new(0, 8);
+        let b = PArr::new(1, 8);
+        assert_ne!(a.line(0), b.line(0));
+        // 8 f64 per 64-byte line
+        assert_eq!(a.line(0), a.line(7));
+        assert_ne!(a.line(7), a.line(8));
+    }
+
+    #[test]
+    fn parr_bases_alias_mod_small_tables() {
+        // region spacing is a multiple of 8 lines → element 0 of every
+        // array maps to the same direct-mapped slot
+        let a = PArr::new(0, 8);
+        let b = PArr::new(3, 8);
+        assert_eq!(a.line(0).0 % 8, b.line(0).0 % 8);
+    }
+
+    #[test]
+    fn partition_covers_everything_once() {
+        for threads in [1, 2, 3, 7, 32] {
+            let mut total = 0;
+            let mut prev_end = 0;
+            for tid in 0..threads {
+                let r = partition(100, threads, tid);
+                assert!(r.start >= prev_end);
+                prev_end = r.end;
+                total += r.len();
+            }
+            assert_eq!(total, 100, "threads={threads}");
+        }
+    }
+}

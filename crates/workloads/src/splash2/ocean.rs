@@ -1,0 +1,142 @@
+//! `ocean` — red-black Gauss–Seidel relaxation on a square grid, the
+//! core loop of SPLASH2's ocean simulator. Two persistent field arrays
+//! (stream function ψ and residual) are written per sweep; their base
+//! addresses alias in a small direct-mapped table, which is why AT's
+//! ratio is far above LA's here (paper: 0.40 vs 0.09) while the
+//! line-local write pattern needs only a 2-entry software cache
+//! (knee = 2, the smallest in the suite).
+
+use super::{partition, record_kernel, Kernel, PArr};
+use crate::workload::{paper_row, PaperRow, Workload};
+use nvcache_trace::{StoreSink, Trace};
+
+/// The ocean kernel.
+#[derive(Debug, Clone)]
+pub struct Ocean {
+    /// Grid side (paper: 1026).
+    pub n: usize,
+    /// Relaxation sweeps (each sweep = red pass + black pass).
+    pub steps: usize,
+}
+
+impl Ocean {
+    /// Paper-shaped instance scaled by `scale` (`1.0` ≈ paper's grid).
+    pub fn scaled(scale: f64) -> Self {
+        Ocean {
+            n: ((1026.0 * scale.sqrt()) as usize).clamp(16, 4096),
+            steps: 6,
+        }
+    }
+}
+
+impl Kernel for Ocean {
+    fn name(&self) -> &'static str {
+        "ocean"
+    }
+
+    fn run(&self, sink: &mut dyn StoreSink, threads: usize, tid: usize) {
+        let n = self.n;
+        let psi = PArr::new(0, 8); // f64 field
+        let res = PArr::new(1, 8); // residual field — aliases psi mod 8
+        let rows = partition(n.saturating_sub(2), threads, tid);
+        // local numeric state: the actual relaxation runs for real
+        let mut grid = vec![0.0f64; n * n];
+        for (i, g) in grid.iter_mut().enumerate() {
+            *g = ((i * 31) % 101) as f64 / 101.0;
+        }
+        for _step in 0..self.steps {
+            for color in 0..2usize {
+                // one FASE per color sweep per thread (the program's
+                // lock-protected phase)
+                sink.fase_begin();
+                for i in rows.clone() {
+                    let i = i + 1;
+                    let jstart = 1 + ((i + color) % 2);
+                    for j in (jstart..n - 1).step_by(2) {
+                        let idx = i * n + j;
+                        let v = 0.25
+                            * (grid[idx - 1] + grid[idx + 1] + grid[idx - n] + grid[idx + n]);
+                        let r = (v - grid[idx]).abs();
+                        grid[idx] = v;
+                        psi.store(sink, idx);
+                        // residual written for every other updated cell,
+                        // interleaving the two aliasing arrays
+                        if j % 4 == jstart % 4 {
+                            let _ = r;
+                            res.store(sink, idx);
+                        }
+                        sink.work(2);
+                    }
+                }
+                sink.fase_end();
+            }
+        }
+    }
+}
+
+impl Workload for Ocean {
+    fn name(&self) -> &'static str {
+        "ocean"
+    }
+
+    fn trace(&self, threads: usize) -> Trace {
+        record_kernel(self, threads)
+    }
+
+    fn paper_row(&self) -> Option<PaperRow> {
+        paper_row("ocean")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_core::{flush_stats, PolicyKind};
+    use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
+
+    fn small() -> Ocean {
+        Ocean { n: 64, steps: 3 }
+    }
+
+    #[test]
+    fn trace_structure() {
+        let w = small();
+        let tr = w.trace(1);
+        // 2 colors × steps FASEs for a single thread
+        assert_eq!(tr.total_fases(), 6);
+        assert!(tr.total_writes() > 5000);
+    }
+
+    #[test]
+    fn strong_scaling_fase_growth() {
+        let w = small();
+        let t1 = w.trace(1);
+        let t4 = w.trace(4);
+        assert_eq!(t4.total_fases(), 4 * t1.total_fases());
+        let ratio = t4.total_writes() as f64 / t1.total_writes() as f64;
+        assert!((0.9..1.1).contains(&ratio), "writes ~constant: {ratio}");
+    }
+
+    #[test]
+    fn knee_is_tiny_like_paper() {
+        // paper Section IV-G: ocean selects cache size 2
+        let w = small();
+        let tr = w.trace(1);
+        let renamed = tr.threads[0].renamed_writes();
+        let mrc = lru_mrc(&renamed, 50);
+        let knee = select_cache_size(&mrc, &KneeConfig::default());
+        assert!(knee <= 4, "ocean's knee must be tiny, got {knee}");
+    }
+
+    #[test]
+    fn policy_ordering_matches_table3() {
+        let w = small();
+        let tr = w.trace(1);
+        let la = flush_stats(&tr, &PolicyKind::Lazy).flush_ratio();
+        let at = flush_stats(&tr, &PolicyKind::Atlas { size: 8 }).flush_ratio();
+        let sc = flush_stats(&tr, &PolicyKind::ScFixed { capacity: 2 }).flush_ratio();
+        assert!(la <= sc + 1e-9, "LA {la} ≤ SC {sc}");
+        assert!(sc < at, "SC {sc} < AT {at} (paper: 0.16 vs 0.40)");
+        assert!(at > 1.5 * la, "aliasing must hurt AT: {at} vs LA {la}");
+    }
+}

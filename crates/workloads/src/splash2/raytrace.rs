@@ -1,0 +1,167 @@
+//! `raytrace` — tile-based ray casting. Each 64-pixel tile (8 cache
+//! lines of 8-byte pixels) is rendered in one FASE: a primary pass
+//! intersects a ray per pixel against a small sphere scene, then an
+//! antialiasing pass re-writes every pixel from its neighbours. A
+//! per-thread ray-state scratch line is written per pixel and aliases
+//! the framebuffer in a direct-mapped table. The tile working set puts
+//! the knee at 8 (paper Section IV-G).
+
+use super::{partition, record_kernel, Kernel, PArr};
+use crate::workload::{paper_row, PaperRow, Workload};
+use nvcache_trace::{StoreSink, Trace};
+
+/// The raytrace kernel.
+#[derive(Debug, Clone)]
+pub struct Raytrace {
+    /// Image side in pixels (framebuffer is `side × side`).
+    pub side: usize,
+}
+
+impl Raytrace {
+    /// Paper-shaped ("car" input) instance scaled by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        Raytrace {
+            side: ((256.0 * scale.sqrt()) as usize).clamp(16, 2048),
+        }
+    }
+}
+
+const TILE: usize = 64; // pixels per tile = 8 lines of 8-byte pixels
+
+/// A ray-sphere hit test: the real FP math the kernel performs.
+fn trace_ray(x: f64, y: f64) -> f64 {
+    // three fixed spheres
+    let spheres = [(0.0, 0.0, 3.0, 1.0), (1.5, 0.5, 4.0, 0.7), (-1.2, -0.4, 5.0, 1.2)];
+    let (dx, dy, dz) = (x, y, 1.0f64);
+    let norm = (dx * dx + dy * dy + dz * dz).sqrt();
+    let (dx, dy, dz) = (dx / norm, dy / norm, dz / norm);
+    let mut best = f64::INFINITY;
+    for &(cx, cy, cz, r) in &spheres {
+        let b = dx * cx + dy * cy + dz * cz;
+        let c = cx * cx + cy * cy + cz * cz - r * r;
+        let disc = b * b - c;
+        if disc > 0.0 {
+            let t = b - disc.sqrt();
+            if t > 0.0 && t < best {
+                best = t;
+            }
+        }
+    }
+    if best.is_finite() {
+        1.0 / (1.0 + best)
+    } else {
+        0.0
+    }
+}
+
+impl Kernel for Raytrace {
+    fn name(&self) -> &'static str {
+        "raytrace"
+    }
+
+    fn run(&self, sink: &mut dyn StoreSink, threads: usize, tid: usize) {
+        let pixels = self.side * self.side;
+        let tiles = pixels / TILE;
+        let fb = PArr::new(0, 8); // framebuffer, 8-byte pixels
+        let scratch = PArr::new(1, 8); // per-thread ray state
+        let my_tiles = partition(tiles, threads, tid);
+        let mut img = vec![0.0f64; pixels];
+        let scratch_base = tid * 64; // one scratch line per thread
+        for t in my_tiles {
+            sink.fase_begin();
+            let base = t * TILE;
+            // primary rays
+            for p in 0..TILE {
+                let idx = base + p;
+                let x = (idx % self.side) as f64 / self.side as f64 - 0.5;
+                let y = (idx / self.side) as f64 / self.side as f64 - 0.5;
+                let shade = trace_ray(x * 2.0, y * 2.0);
+                img[idx] = shade;
+                scratch.store(sink, scratch_base); // ray stack update
+                fb.store(sink, idx);
+                sink.work(4);
+            }
+            // antialias: box filter within the tile
+            for p in 0..TILE {
+                let idx = base + p;
+                let prev = if p > 0 { img[idx - 1] } else { img[idx] };
+                let next = if p + 1 < TILE { img[idx + 1] } else { img[idx] };
+                img[idx] = 0.5 * img[idx] + 0.25 * (prev + next);
+                fb.store(sink, idx);
+                sink.work(1);
+            }
+            sink.fase_end();
+        }
+    }
+}
+
+impl Workload for Raytrace {
+    fn name(&self) -> &'static str {
+        "raytrace"
+    }
+
+    fn trace(&self, threads: usize) -> Trace {
+        record_kernel(self, threads)
+    }
+
+    fn paper_row(&self) -> Option<PaperRow> {
+        paper_row("raytrace")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_core::{flush_stats, PolicyKind};
+    use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
+
+    fn small() -> Raytrace {
+        Raytrace { side: 64 }
+    }
+
+    #[test]
+    fn ray_math_is_sane() {
+        // center ray hits the front sphere; extreme ray misses
+        assert!(trace_ray(0.0, 0.0) > 0.0);
+        assert_eq!(trace_ray(50.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn one_fase_per_tile() {
+        let w = small();
+        let tr = w.trace(1);
+        assert_eq!(tr.total_fases(), 64 * 64 / TILE);
+        // 3 writes/pixel: scratch + primary + antialias
+        assert_eq!(tr.total_writes(), 64 * 64 * 3);
+    }
+
+    #[test]
+    fn knee_is_near_eight() {
+        let w = small();
+        let tr = w.trace(1);
+        let renamed = tr.threads[0].renamed_writes();
+        let mrc = lru_mrc(&renamed, 50);
+        let knee = select_cache_size(&mrc, &KneeConfig::default());
+        assert!(
+            (6..=10).contains(&knee),
+            "raytrace knee should be ≈8, got {knee}"
+        );
+    }
+
+    #[test]
+    fn la_ratio_near_paper() {
+        // paper LA = 0.071: ~9 distinct lines per 192-write tile FASE
+        let tr = small().trace(1);
+        let la = flush_stats(&tr, &PolicyKind::Lazy).flush_ratio();
+        assert!((0.03..0.12).contains(&la), "LA {la}");
+    }
+
+    #[test]
+    fn sc_between_la_and_at() {
+        let tr = small().trace(1);
+        let la = flush_stats(&tr, &PolicyKind::Lazy).flush_ratio();
+        let at = flush_stats(&tr, &PolicyKind::Atlas { size: 8 }).flush_ratio();
+        let sc = flush_stats(&tr, &PolicyKind::ScFixed { capacity: 8 }).flush_ratio();
+        assert!(la <= sc + 1e-9 && sc < at, "LA {la} ≤ SC {sc} < AT {at}");
+    }
+}

@@ -1,0 +1,156 @@
+//! `volrend` — volume rendering by ray marching. One FASE per scanline;
+//! each ray marches through the volume accumulating opacity and colour
+//! into two hot per-thread accumulator lines (written per sample) and
+//! finally writes its pixel. The tiny hot set puts the knee at 3 (paper
+//! Section IV-G) and lets SC reach LA's minimum exactly (Table III:
+//! SC = LA = 0.00219).
+
+use super::{partition, record_kernel, Kernel, PArr};
+use crate::workload::{paper_row, PaperRow, Workload};
+use nvcache_trace::{StoreSink, Trace};
+
+/// The volrend kernel.
+#[derive(Debug, Clone)]
+pub struct Volrend {
+    /// Image side in pixels.
+    pub side: usize,
+    /// Samples per ray.
+    pub samples: usize,
+}
+
+impl Volrend {
+    /// Paper-shaped ("head" input) instance scaled by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        Volrend {
+            side: ((128.0 * scale.sqrt()) as usize).clamp(16, 1024),
+            samples: 12,
+        }
+    }
+}
+
+/// Synthetic volume density at `(x, y, z)` — a real function of space,
+/// standing in for the head CT data the paper uses.
+fn density(x: f64, y: f64, z: f64) -> f64 {
+    let r2 = x * x + y * y + z * z;
+    ((1.0 - r2).max(0.0) * (1.0 + 0.3 * (8.0 * z).sin())).clamp(0.0, 1.0)
+}
+
+impl Kernel for Volrend {
+    fn name(&self) -> &'static str {
+        "volrend"
+    }
+
+    fn run(&self, sink: &mut dyn StoreSink, threads: usize, tid: usize) {
+        let image = PArr::new(0, 8);
+        let accum = PArr::new(1, 8); // per-thread accumulators
+        let rows = partition(self.side, threads, tid);
+        // two accumulator lines per thread: opacity (line A) and colour
+        // (line B)
+        let acc_op = tid * 16;
+        let acc_col = tid * 16 + 8;
+        for row in rows {
+            sink.fase_begin();
+            for col in 0..self.side {
+                let x = col as f64 / self.side as f64 - 0.5;
+                let y = row as f64 / self.side as f64 - 0.5;
+                let mut opacity = 0.0f64;
+                let mut colour = 0.0f64;
+                for s in 0..self.samples {
+                    let z = s as f64 / self.samples as f64 - 0.5;
+                    let d = density(2.0 * x, 2.0 * y, 2.0 * z);
+                    colour += (1.0 - opacity) * d * 0.8;
+                    opacity += (1.0 - opacity) * d * 0.4;
+                    // the accumulators live in persistent memory and are
+                    // written every sample — the hot set
+                    accum.store(sink, acc_op);
+                    accum.store(sink, acc_col);
+                    sink.work(3);
+                    if opacity > 0.97 {
+                        break; // early ray termination, like the original
+                    }
+                }
+                let _ = colour;
+                image.store(sink, row * self.side + col);
+                sink.work(1);
+            }
+            sink.fase_end();
+        }
+    }
+}
+
+impl Workload for Volrend {
+    fn name(&self) -> &'static str {
+        "volrend"
+    }
+
+    fn trace(&self, threads: usize) -> Trace {
+        record_kernel(self, threads)
+    }
+
+    fn paper_row(&self) -> Option<PaperRow> {
+        paper_row("volrend")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_core::{flush_stats, PolicyKind};
+    use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
+
+    fn small() -> Volrend {
+        Volrend {
+            side: 48,
+            samples: 10,
+        }
+    }
+
+    #[test]
+    fn density_is_bounded() {
+        for i in 0..100 {
+            let v = density(i as f64 / 50.0 - 1.0, 0.1, -0.2);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fase_per_scanline() {
+        let w = small();
+        let tr = w.trace(1);
+        assert_eq!(tr.total_fases(), 48);
+    }
+
+    #[test]
+    fn knee_is_tiny() {
+        // paper: volrend selects size 3
+        let w = small();
+        let tr = w.trace(1);
+        let renamed = tr.threads[0].renamed_writes();
+        let mrc = lru_mrc(&renamed, 50);
+        let knee = select_cache_size(&mrc, &KneeConfig::default());
+        assert!(knee <= 5, "volrend knee must be tiny, got {knee}");
+    }
+
+    #[test]
+    fn tiny_sc_reaches_lazy_minimum() {
+        // Table III: SC ratio equals LA exactly for volrend
+        let tr = small().trace(1);
+        let la = flush_stats(&tr, &PolicyKind::Lazy);
+        let sc = flush_stats(&tr, &PolicyKind::ScFixed { capacity: 3 });
+        let ratio = sc.flushes() as f64 / la.flushes() as f64;
+        assert!(
+            ratio < 1.05,
+            "SC(3) must match LA: SC {} vs LA {}",
+            sc.flushes(),
+            la.flushes()
+        );
+    }
+
+    #[test]
+    fn at_pays_for_accumulator_aliasing() {
+        let tr = small().trace(1);
+        let la = flush_stats(&tr, &PolicyKind::Lazy).flush_ratio();
+        let at = flush_stats(&tr, &PolicyKind::Atlas { size: 8 }).flush_ratio();
+        assert!(at > 3.0 * la, "AT {at} must be well above LA {la}");
+    }
+}

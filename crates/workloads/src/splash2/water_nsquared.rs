@@ -1,0 +1,168 @@
+//! `water-nsquared` — all-pairs molecular dynamics with a Gear
+//! predictor–corrector integrator. One FASE per molecule per timestep
+//! (the original locks each molecule while updating it):
+//!
+//! * the pair loop accumulates forces into the molecule's hot force
+//!   block (2 lines) and, by Newton's third law, into each partner's
+//!   force block (transient 2-line visitors);
+//! * the integrator then sweeps the molecule's full state record —
+//!   9 Gear orders × 3 atoms × 3 dimensions ≈ 224 doubles = 28 lines —
+//!   twice (predict, correct).
+//!
+//! The second sweep's reuse is only captured by a cache holding the
+//! whole record: the knee lands at ≈28, the largest in the suite
+//! (paper Section IV-G), while the partner-block churn wrecks the
+//! direct-mapped Atlas table (Table III: AT/SC ≈ 13×).
+
+use super::{partition, record_kernel, Kernel, PArr};
+use crate::workload::{paper_row, PaperRow, Workload};
+use nvcache_trace::{StoreSink, Trace};
+
+/// Doubles per molecule record: 28 cache lines.
+const REC: usize = 224;
+/// Doubles in the force sub-block (2 lines).
+const FORCE: usize = 16;
+
+/// The water-nsquared kernel.
+#[derive(Debug, Clone)]
+pub struct WaterNsquared {
+    /// Molecules (paper: 512).
+    pub molecules: usize,
+    /// Timesteps.
+    pub steps: usize,
+}
+
+impl WaterNsquared {
+    /// Paper-shaped instance scaled by `scale`.
+    pub fn scaled(scale: f64) -> Self {
+        WaterNsquared {
+            molecules: ((512.0 * scale) as usize).clamp(16, 1 << 16),
+            steps: 3,
+        }
+    }
+}
+
+impl Kernel for WaterNsquared {
+    fn name(&self) -> &'static str {
+        "water-nsquared"
+    }
+
+    fn run(&self, sink: &mut dyn StoreSink, threads: usize, tid: usize) {
+        let state = PArr::new(0, 8); // all molecule records, f64
+        let acc = PArr::new(1, 8); // global potential-energy / virial sums
+        let mine = partition(self.molecules, threads, tid);
+        let n = self.molecules;
+        let mut pos: Vec<f64> = (0..n).map(|i| (i as f64 * 0.715).sin() * 5.0).collect();
+        for _step in 0..self.steps {
+            for i in mine.clone() {
+                sink.fase_begin();
+                let ibase = i * REC;
+                // ---- pair loop (cutoff keeps ~half the partners) -----
+                let mut f_acc = 0.0f64;
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    let d = pos[i] - pos[j];
+                    let d2 = d * d + 0.2;
+                    if d2 > 16.0 {
+                        continue; // outside cutoff: read-only
+                    }
+                    let f = d / (d2 * d2);
+                    f_acc += f;
+                    // own force block: 3 writes (fx, fy, fz of one atom)
+                    for k in 0..3 {
+                        state.store(sink, ibase + (k * 5) % FORCE);
+                    }
+                    // global potential-energy and virial accumulators:
+                    // two hot lines that alias the force block mod 8
+                    acc.store(sink, tid * 16);
+                    acc.store(sink, tid * 16 + 8);
+                    sink.work(4);
+                }
+                // ---- Gear predictor + corrector sweeps ---------------
+                for _pass in 0..2 {
+                    for k in 0..REC {
+                        state.store(sink, ibase + k);
+                        sink.work(1);
+                    }
+                }
+                pos[i] += 0.001 * f_acc;
+                sink.fase_end();
+            }
+        }
+    }
+}
+
+impl Workload for WaterNsquared {
+    fn name(&self) -> &'static str {
+        "water-nsquared"
+    }
+
+    fn trace(&self, threads: usize) -> Trace {
+        record_kernel(self, threads)
+    }
+
+    fn paper_row(&self) -> Option<PaperRow> {
+        paper_row("water-nsquared")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_core::{flush_stats, PolicyKind};
+    use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
+
+    fn small() -> WaterNsquared {
+        WaterNsquared {
+            molecules: 64,
+            steps: 2,
+        }
+    }
+
+    #[test]
+    fn record_is_28_lines() {
+        assert_eq!(REC * 8 / 64, 28);
+    }
+
+    #[test]
+    fn fase_per_molecule_per_step() {
+        let w = small();
+        let tr = w.trace(1);
+        assert_eq!(tr.total_fases(), 64 * 2);
+    }
+
+    #[test]
+    fn knee_lands_near_28() {
+        let w = small();
+        let tr = w.trace(1);
+        let renamed = tr.threads[0].renamed_writes();
+        let mrc = lru_mrc(&renamed, 50);
+        let knee = select_cache_size(&mrc, &KneeConfig::default());
+        assert!(
+            (24..=32).contains(&knee),
+            "water-nsquared knee should be ≈28, got {knee}"
+        );
+    }
+
+    #[test]
+    fn at_far_above_sized_sc() {
+        // paper Table III: AT/SC ≈ 13×
+        let tr = small().trace(1);
+        let at = flush_stats(&tr, &PolicyKind::Atlas { size: 8 });
+        let sc = flush_stats(&tr, &PolicyKind::ScFixed { capacity: 28 });
+        let la = flush_stats(&tr, &PolicyKind::Lazy);
+        let at_sc = at.flushes() as f64 / sc.flushes() as f64;
+        assert!(at_sc > 4.0, "AT/SC = {at_sc}");
+        let sc_la = sc.flushes() as f64 / la.flushes() as f64;
+        assert!(sc_la < 4.0, "SC/LA = {sc_la} (paper: 3.7)");
+    }
+
+    #[test]
+    fn strong_scaling_writes_constant() {
+        let w = small();
+        let r = w.trace(4).total_writes() as f64 / w.trace(1).total_writes() as f64;
+        assert!((0.9..1.1).contains(&r), "{r}");
+    }
+}

@@ -1,0 +1,174 @@
+//! `water-spatial` — cell-list molecular dynamics: the same physics as
+//! water-nsquared but partitioned into spatial cells, so the pair loop
+//! touches only the molecules of a cell and its neighbours. One FASE per
+//! thread per timestep (few, large FASEs — the paper reports only 77).
+//!
+//! Per cell the working set is its ~5 resident molecules' records
+//! (4 lines each) plus a few neighbour force lines ≈ 23 lines — the
+//! paper's Figure 2 MRC with its knee at 23.
+
+use super::{partition, record_kernel, Kernel, PArr};
+use crate::workload::{paper_row, PaperRow, Workload};
+use nvcache_trace::{StoreSink, Trace};
+
+/// Doubles per molecule record: 4 cache lines.
+const REC: usize = 32;
+/// Molecules per cell.
+const PER_CELL: usize = 5;
+
+/// The water-spatial kernel.
+#[derive(Debug, Clone)]
+pub struct WaterSpatial {
+    /// Spatial cells (molecules = 5 × cells).
+    pub cells: usize,
+    /// Timesteps.
+    pub steps: usize,
+}
+
+impl WaterSpatial {
+    /// Paper-shaped instance scaled by `scale` (paper: 512 molecules).
+    pub fn scaled(scale: f64) -> Self {
+        WaterSpatial {
+            cells: ((102.0 * scale) as usize).clamp(8, 1 << 14),
+            steps: 4,
+        }
+    }
+
+    /// Total molecules.
+    pub fn molecules(&self) -> usize {
+        self.cells * PER_CELL
+    }
+}
+
+impl Kernel for WaterSpatial {
+    fn name(&self) -> &'static str {
+        "water-spatial"
+    }
+
+    fn run(&self, sink: &mut dyn StoreSink, threads: usize, tid: usize) {
+        let state = PArr::new(0, 8);
+        let mine = partition(self.cells, threads, tid);
+        let n = self.molecules();
+        let mut pos: Vec<f64> = (0..n).map(|i| (i as f64 * 1.234).cos() * 3.0).collect();
+        for _step in 0..self.steps {
+            // one FASE per thread per timestep — few, large FASEs
+            sink.fase_begin();
+            for cell in mine.clone() {
+                let mols = |m: usize| cell * PER_CELL + m;
+                // intra-cell pair interactions: the 5 molecules' force
+                // lines (first line of each 4-line record) stay hot
+                for a in 0..PER_CELL {
+                    for b in (a + 1)..PER_CELL {
+                        let (ia, ib) = (mols(a), mols(b));
+                        let d = pos[ia] - pos[ib];
+                        let f = d / (d * d + 0.3);
+                        pos[ia] -= 1e-4 * f;
+                        pos[ib] += 1e-4 * f;
+                        for k in 0..3 {
+                            state.store(sink, ia * REC + k);
+                            state.store(sink, ib * REC + k);
+                        }
+                        sink.work(4);
+                    }
+                }
+                // neighbour-cell boundary interactions: a few visitor
+                // force lines from the next cell
+                let ncell = (cell + 1) % self.cells;
+                for a in 0..PER_CELL {
+                    for b in 0..2 {
+                        let (ia, ib) = (mols(a), ncell * PER_CELL + b);
+                        for k in 0..3 {
+                            state.store(sink, ia * REC + k);
+                            state.store(sink, ib * REC + k);
+                        }
+                        sink.work(3);
+                    }
+                }
+                // integrate: sweep each resident molecule's full record
+                // twice (predict/correct) — reuse needs the cell's whole
+                // 20-line molecule set plus visitors ≈ 23
+                for _pass in 0..2 {
+                    for a in 0..PER_CELL {
+                        for k in 0..REC {
+                            state.store(sink, mols(a) * REC + k);
+                        }
+                        sink.work(REC as u32 / 4);
+                    }
+                }
+            }
+            sink.fase_end();
+        }
+    }
+}
+
+impl Workload for WaterSpatial {
+    fn name(&self) -> &'static str {
+        "water-spatial"
+    }
+
+    fn trace(&self, threads: usize) -> Trace {
+        record_kernel(self, threads)
+    }
+
+    fn paper_row(&self) -> Option<PaperRow> {
+        paper_row("water-spatial")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_core::{flush_stats, PolicyKind};
+    use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
+
+    fn small() -> WaterSpatial {
+        WaterSpatial { cells: 24, steps: 2 }
+    }
+
+    #[test]
+    fn record_is_4_lines_and_cell_set_is_20() {
+        assert_eq!(REC * 8 / 64, 4);
+        assert_eq!(PER_CELL * REC * 8 / 64, 20);
+    }
+
+    #[test]
+    fn few_large_fases() {
+        let w = small();
+        let tr = w.trace(1);
+        assert_eq!(tr.total_fases(), 2, "one FASE per thread per step");
+        assert!(tr.stats().writes_per_fase > 1000.0);
+    }
+
+    #[test]
+    fn knee_lands_near_23() {
+        // Figure 2: the water-spatial MRC knee at 23
+        let w = small();
+        let tr = w.trace(1);
+        let renamed = tr.threads[0].renamed_writes();
+        let mrc = lru_mrc(&renamed, 50);
+        let knee = select_cache_size(&mrc, &KneeConfig::default());
+        assert!(
+            (20..=26).contains(&knee),
+            "water-spatial knee should be ≈23, got {knee}"
+        );
+    }
+
+    #[test]
+    fn policy_ratios_match_table3_shape() {
+        let tr = small().trace(1);
+        let la = flush_stats(&tr, &PolicyKind::Lazy);
+        let at = flush_stats(&tr, &PolicyKind::Atlas { size: 8 });
+        let sc = flush_stats(&tr, &PolicyKind::ScFixed { capacity: 23 });
+        // paper: LA 0.00103, SC 0.00157 (1.5× LA), AT 0.071 (45× SC)
+        let sc_la = sc.flushes() as f64 / la.flushes() as f64;
+        let at_sc = at.flushes() as f64 / sc.flushes() as f64;
+        assert!(sc_la < 3.0, "SC/LA = {sc_la}");
+        assert!(at_sc > 5.0, "AT/SC = {at_sc}");
+    }
+
+    #[test]
+    fn fase_count_scales_with_threads() {
+        let w = small();
+        assert_eq!(w.trace(4).total_fases(), 8);
+    }
+}

@@ -1,0 +1,79 @@
+//! Run any of the twelve paper workloads under all six persistence
+//! policies with the full machine timing model, and break down where
+//! the cycles go.
+//!
+//! ```text
+//! cargo run --release --example policy_faceoff -- [workload] [threads]
+//! cargo run --release --example policy_faceoff -- water-spatial 4
+//! ```
+
+use nvcache::core::{flush_stats, run_policy, PolicyKind, RunConfig};
+use nvcache::locality::{lru_mrc, select_cache_size, KneeConfig};
+use nvcache::workloads::registry::workload_by_name;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "water-spatial".to_string());
+    let threads: usize = args
+        .next()
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(1);
+
+    let Some(workload) = workload_by_name(&name, 0.05) else {
+        eprintln!(
+            "unknown workload {name}; try: linked-list persistent-array queue hash \
+             barnes fmm ocean raytrace volrend water-nsquared water-spatial mdb"
+        );
+        std::process::exit(2);
+    };
+
+    let trace = workload.trace(threads);
+    let stats = trace.stats();
+    println!(
+        "{name} ({threads} thread(s)): {} writes, {} FASEs, {:.0} writes/FASE, \
+         mean per-FASE working set {:.1} lines",
+        stats.total_writes, stats.total_fases, stats.writes_per_fase, stats.mean_fase_wss
+    );
+
+    let knee_cfg = KneeConfig::default();
+    let offline = select_cache_size(
+        &lru_mrc(&trace.threads[0].renamed_writes(), knee_cfg.max_size),
+        &knee_cfg,
+    );
+    println!("offline-profiled best capacity: {offline} lines\n");
+
+    let policies = [
+        PolicyKind::Eager,
+        PolicyKind::Lazy,
+        PolicyKind::Atlas { size: 8 },
+        PolicyKind::ScAdaptive(Default::default()),
+        PolicyKind::ScFixed { capacity: offline },
+        PolicyKind::Best,
+    ];
+
+    println!(
+        "{:>10}  {:>11}  {:>10}  {:>9}  {:>9}  {:>9}  {:>7}",
+        "policy", "flush ratio", "cycles(K)", "stall(K)", "drain(K)", "instr(K)", "L1 mr"
+    );
+    let cfg = RunConfig::default();
+    for kind in &policies {
+        let f = flush_stats(&trace, kind);
+        let r = run_policy(&trace, kind, &cfg);
+        let qstall: u64 = r.per_thread.iter().map(|p| p.queue_stall_cycles).sum();
+        let dstall: u64 = r.per_thread.iter().map(|p| p.fase_stall_cycles).sum();
+        println!(
+            "{:>10}  {:>11.5}  {:>10.1}  {:>9.1}  {:>9.1}  {:>9.1}  {:>6.2}%",
+            kind.label(),
+            f.flush_ratio(),
+            r.cycles as f64 / 1e3,
+            qstall as f64 / 1e3,
+            dstall as f64 / 1e3,
+            r.instructions as f64 / 1e3,
+            r.l1_miss_ratio * 100.0,
+        );
+    }
+    println!(
+        "\nstall = mid-FASE write-back queue stalls; drain = end-of-FASE \
+         synchronous flush + fence stalls."
+    );
+}

@@ -1,0 +1,141 @@
+//! Property-based crash-atomicity testing: arbitrary FASE programs,
+//! arbitrary crash points, arbitrary crash adversaries — recovery must
+//! always restore exactly the committed prefix ("all or none" of each
+//! FASE, paper Section II-A).
+
+use nvcache::core::PolicyKind;
+use nvcache::fase::FaseRuntime;
+use nvcache::pmem::CrashMode;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const SLOTS: usize = 32; // u64 slots, one per line
+
+/// A program: a list of FASEs, each a list of (slot, value) stores.
+type Program = Vec<Vec<(usize, u64)>>;
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    prop::collection::vec(
+        prop::collection::vec((0..SLOTS, any::<u64>()), 1..12),
+        1..10,
+    )
+}
+
+fn policy_strategy() -> impl Strategy<Value = u8> {
+    0u8..5
+}
+
+fn build_policy(which: u8) -> PolicyKind {
+    match which {
+        0 => PolicyKind::Eager,
+        1 => PolicyKind::Lazy,
+        2 => PolicyKind::Atlas { size: 8 },
+        3 => PolicyKind::ScFixed { capacity: 4 },
+        _ => PolicyKind::ScAdaptive(nvcache::core::AdaptiveConfig {
+            burst_len: 16,
+            ..Default::default()
+        }),
+    }
+}
+
+fn crash_mode(seed: u64, which: u8) -> CrashMode {
+    match which % 3 {
+        0 => CrashMode::StrictDurableOnly,
+        1 => CrashMode::AllInFlightLands,
+        _ => CrashMode::random(0.5, 0.5, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Crash after `k` completed FASEs (mid-way through FASE k+1):
+    /// recovery must expose exactly the state after FASE k.
+    #[test]
+    fn recovery_exposes_exactly_the_committed_prefix(
+        program in program_strategy(),
+        policy_idx in policy_strategy(),
+        crash_fase in 0usize..10,
+        crash_store in 0usize..12,
+        mode_idx in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let crash_fase = crash_fase % program.len();
+        let mut rt = FaseRuntime::new(SLOTS * 64, 1 << 20, &build_policy(policy_idx));
+        // shadow model: slot values after each committed FASE
+        let mut shadow: HashMap<usize, u64> = HashMap::new();
+
+        for (fi, fase) in program.iter().enumerate() {
+            if fi == crash_fase {
+                // run a prefix of this FASE, then crash
+                rt.begin_fase();
+                for (si, &(slot, val)) in fase.iter().enumerate() {
+                    if si == crash_store % fase.len() {
+                        break;
+                    }
+                    rt.store_u64(slot * 64, val);
+                }
+                rt.crash_and_recover(&crash_mode(seed, mode_idx));
+                break;
+            }
+            rt.begin_fase();
+            for &(slot, val) in fase {
+                rt.store_u64(slot * 64, val);
+                shadow.insert(slot, val);
+            }
+            rt.end_fase();
+        }
+
+        for slot in 0..SLOTS {
+            let expect = shadow.get(&slot).copied().unwrap_or(0);
+            prop_assert_eq!(
+                rt.load_u64(slot * 64),
+                expect,
+                "slot {} policy {} mode {}",
+                slot, policy_idx, mode_idx
+            );
+        }
+    }
+
+    /// Repeated crash/recover cycles are idempotent: recovering twice is
+    /// the same as recovering once.
+    #[test]
+    fn double_crash_recovery_is_idempotent(
+        stores in prop::collection::vec((0..SLOTS, any::<u64>()), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let mut rt = FaseRuntime::new(SLOTS * 64, 1 << 20, &PolicyKind::ScFixed { capacity: 4 });
+        rt.fase(|rt| {
+            for &(s, v) in &stores[..stores.len() / 2] {
+                rt.store_u64(s * 64, v);
+            }
+        });
+        rt.begin_fase();
+        for &(s, v) in &stores[stores.len() / 2..] {
+            rt.store_u64(s * 64, v);
+        }
+        rt.crash_and_recover(&CrashMode::random(0.5, 0.5, seed));
+        let first: Vec<u64> = (0..SLOTS).map(|s| rt.load_u64(s * 64)).collect();
+        rt.crash_and_recover(&CrashMode::random(0.5, 0.5, seed.wrapping_add(1)));
+        let second: Vec<u64> = (0..SLOTS).map(|s| rt.load_u64(s * 64)).collect();
+        prop_assert_eq!(first, second);
+    }
+
+    /// The undo log's rollback restores byte-exact old values even when
+    /// the same location is overwritten many times within one FASE.
+    #[test]
+    fn repeated_overwrites_roll_back_to_original(
+        slot in 0..SLOTS,
+        original in any::<u64>(),
+        overwrites in prop::collection::vec(any::<u64>(), 1..16),
+    ) {
+        let mut rt = FaseRuntime::new(SLOTS * 64, 1 << 20, &PolicyKind::Eager);
+        rt.fase(|rt| rt.store_u64(slot * 64, original));
+        rt.begin_fase();
+        for v in &overwrites {
+            rt.store_u64(slot * 64, *v);
+        }
+        rt.crash_and_recover(&CrashMode::AllInFlightLands);
+        prop_assert_eq!(rt.load_u64(slot * 64), original);
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration: the full pipeline from running workloads
+//! through trace capture, locality analysis, policy simulation, and
+//! persistence across simulated process lifetimes.
+
+use nvcache::core::{flush_stats, run_policy, PolicyKind, RunConfig};
+use nvcache::fase::FaseRuntime;
+use nvcache::locality::{lru_mrc, select_cache_size, KneeConfig};
+use nvcache::pmem::{CrashMode, PmemRegion};
+use nvcache::workloads::{all_workloads, mdb::PBTree, micro::PQueue};
+
+#[test]
+fn every_workload_flows_through_every_policy() {
+    for w in all_workloads(0.003) {
+        let tr = w.trace(1);
+        let er = flush_stats(&tr, &PolicyKind::Eager);
+        let la = flush_stats(&tr, &PolicyKind::Lazy);
+        let at = flush_stats(&tr, &PolicyKind::Atlas { size: 8 });
+        let sc = flush_stats(&tr, &PolicyKind::ScAdaptive(Default::default()));
+        let best = flush_stats(&tr, &PolicyKind::Best);
+        // universal invariants of the flush counts
+        assert_eq!(er.flushes(), er.stores, "{}: ER flushes every store", w.name());
+        assert_eq!(best.flushes(), 0, "{}", w.name());
+        assert!(la.flushes() <= at.flushes(), "{}: LA is the minimum", w.name());
+        assert!(la.flushes() <= sc.flushes(), "{}", w.name());
+        assert!(sc.flushes() <= er.flushes(), "{}", w.name());
+    }
+}
+
+#[test]
+fn offline_knee_never_loses_to_default_capacity() {
+    // The selected capacity must never produce more flushes than the
+    // blind default of 8 (the Atlas-equivalent size).
+    for w in all_workloads(0.003) {
+        let tr = w.trace(1);
+        let knee = select_cache_size(
+            &lru_mrc(&tr.threads[0].renamed_writes(), 50),
+            &KneeConfig::default(),
+        );
+        let tuned = flush_stats(&tr, &PolicyKind::ScFixed { capacity: knee });
+        let blind = flush_stats(&tr, &PolicyKind::ScFixed { capacity: 8 });
+        assert!(
+            tuned.flushes() <= blind.flushes(),
+            "{}: knee {} flushes {} > default-8 {}",
+            w.name(),
+            knee,
+            tuned.flushes(),
+            blind.flushes()
+        );
+    }
+}
+
+#[test]
+fn timed_simulation_is_deterministic() {
+    let w = &all_workloads(0.003)[6]; // ocean
+    let tr = w.trace(2);
+    let cfg = RunConfig::default();
+    let a = run_policy(&tr, &PolicyKind::Atlas { size: 8 }, &cfg);
+    let b = run_policy(&tr, &PolicyKind::Atlas { size: 8 }, &cfg);
+    assert_eq!(a, b, "identical runs must produce identical reports");
+}
+
+#[test]
+fn region_persists_across_process_lifetimes() {
+    let dir = std::env::temp_dir().join("nvcache_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("store.img");
+
+    // "process 1": write, persist, save
+    {
+        let mut rt = FaseRuntime::new(4096, 1 << 16, &PolicyKind::ScFixed { capacity: 8 });
+        rt.fase(|rt| {
+            rt.store_u64(0, 0x1111);
+            rt.store_u64(512, 0x2222);
+        });
+        rt.into_region().save(&path).unwrap();
+    }
+    // "process 2": reopen, verify, mutate, crash before commit
+    {
+        let region = PmemRegion::open(&path).unwrap();
+        let mut rt =
+            FaseRuntime::reopen(region, 4096, 1 << 16, &PolicyKind::ScFixed { capacity: 8 });
+        assert_eq!(rt.load_u64(0), 0x1111);
+        assert_eq!(rt.load_u64(512), 0x2222);
+        rt.begin_fase();
+        rt.store_u64(0, 0x9999);
+        rt.crash_and_recover(&CrashMode::AllInFlightLands);
+        assert_eq!(rt.load_u64(0), 0x1111, "torn update rolled back");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn per_thread_runtimes_are_independent() {
+    // The paper's design: per-thread software caches share nothing.
+    // Run four real queues on four threads; each must be perfectly
+    // consistent afterwards.
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut q = PQueue::new(512, &PolicyKind::ScAdaptive(Default::default()));
+                for i in 0..200u64 {
+                    q.enqueue(t * 1000 + i);
+                }
+                for i in 0..200u64 {
+                    assert_eq!(q.dequeue(), Some(t * 1000 + i));
+                }
+                q.runtime_mut().stats().data_flushes
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().unwrap() > 0);
+    }
+}
+
+#[test]
+fn mdb_store_survives_process_restart_with_recovery() {
+    let mut db = PBTree::new(2_000, &PolicyKind::ScAdaptive(Default::default()));
+    db.begin_txn();
+    for i in 0..300u64 {
+        db.insert(i * 7, i);
+    }
+    db.commit();
+    // crash with arbitrary in-flight subsets, five different schedules
+    for seed in 0..5 {
+        db.runtime_mut()
+            .crash_and_recover(&CrashMode::random(0.5, 0.5, seed));
+        for i in 0..300u64 {
+            assert_eq!(db.get(i * 7), Some(i), "seed {seed} key {}", i * 7);
+        }
+    }
+}
+
+#[test]
+fn trace_json_roundtrip_preserves_policy_results() {
+    let w = &all_workloads(0.003)[7]; // raytrace
+    let tr = w.trace(1);
+    let mut buf = Vec::new();
+    tr.save_json(&mut buf).unwrap();
+    let tr2 = nvcache::trace::Trace::load_json(&buf[..]).unwrap();
+    let a = flush_stats(&tr, &PolicyKind::Atlas { size: 8 });
+    let b = flush_stats(&tr2, &PolicyKind::Atlas { size: 8 });
+    assert_eq!(a, b);
+}

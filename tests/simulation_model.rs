@@ -1,0 +1,178 @@
+//! Property-based invariants of the simulation substrate: the
+//! set-associative cache against a reference model, timing-model
+//! monotonicity, and the persistent-region flush/fence semantics.
+
+use nvcache::cachesim::{AccessKind, CacheConfig, Machine, MachineConfig, SetAssocCache};
+use nvcache::pmem::{CrashMode, PmemRegion};
+use nvcache::trace::Line;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model of one cache set: a plain LRU list of tags.
+#[derive(Default)]
+struct RefSet {
+    tags: Vec<(u64, bool)>, // (tag, dirty), back = MRU
+}
+
+struct RefCache {
+    sets: Vec<RefSet>,
+    assoc: usize,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        RefCache {
+            sets: (0..cfg.sets()).map(|_| RefSet::default()).collect(),
+            assoc: cfg.associativity,
+        }
+    }
+    fn access(&mut self, line: Line, write: bool) -> bool {
+        let n = self.sets.len() as u64;
+        let set = &mut self.sets[(line.0 % n) as usize];
+        let tag = line.0 / n;
+        if let Some(p) = set.tags.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = set.tags.remove(p);
+            set.tags.push((t, d || write));
+            true
+        } else {
+            if set.tags.len() == self.assoc {
+                set.tags.remove(0);
+            }
+            set.tags.push((tag, write));
+            false
+        }
+    }
+    fn flush(&mut self, line: Line) -> bool {
+        let n = self.sets.len() as u64;
+        let set = &mut self.sets[(line.0 % n) as usize];
+        let tag = line.0 / n;
+        if let Some(p) = set.tags.iter().position(|&(t, _)| t == tag) {
+            set.tags.remove(p);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The set-associative cache agrees with an independent per-set LRU
+    /// reference on hits, misses, and flush outcomes.
+    #[test]
+    fn cache_matches_reference(
+        ops in prop::collection::vec((0u64..64, 0u8..3), 0..400),
+    ) {
+        let cfg = CacheConfig { lines: 16, associativity: 4 };
+        let mut dut = SetAssocCache::new(cfg);
+        let mut oracle = RefCache::new(cfg);
+        for (line, op) in ops {
+            let line = Line(line);
+            match op {
+                0 => {
+                    let hit = dut.access(line, AccessKind::Read).hit;
+                    prop_assert_eq!(hit, oracle.access(line, false));
+                }
+                1 => {
+                    let hit = dut.access(line, AccessKind::Write).hit;
+                    prop_assert_eq!(hit, oracle.access(line, true));
+                }
+                _ => {
+                    prop_assert_eq!(dut.flush(line), oracle.flush(line));
+                }
+            }
+        }
+    }
+
+    /// More flushes never make a run faster: adding a flush to an event
+    /// stream is monotone in simulated cycles.
+    #[test]
+    fn extra_flushes_never_speed_up(
+        lines in prop::collection::vec(0u64..32, 1..200),
+        flush_every in 1usize..8,
+    ) {
+        let run = |with_flushes: bool| {
+            let mut m = Machine::new(MachineConfig::default());
+            for (i, &l) in lines.iter().enumerate() {
+                m.store(Line(l));
+                if with_flushes && i % flush_every == 0 {
+                    m.flush_async(Line(l));
+                }
+                m.work(2);
+            }
+            m.finish().cycles
+        };
+        prop_assert!(run(true) >= run(false));
+    }
+
+    /// Work is exactly additive in the absence of memory events.
+    #[test]
+    fn work_is_additive(chunks in prop::collection::vec(1u32..1000, 1..20)) {
+        let mut m = Machine::new(MachineConfig::default());
+        for &c in &chunks {
+            m.work(c);
+        }
+        let total: u64 = chunks.iter().map(|&c| c as u64).sum();
+        prop_assert_eq!(m.finish().cycles, total);
+    }
+
+    /// Region semantics: an arbitrary interleaving of writes, flushes and
+    /// fences, then a strict crash — exactly the fenced prefix of each
+    /// line's flush captures survives.
+    #[test]
+    fn region_crash_exposes_fenced_captures_only(
+        ops in prop::collection::vec((0usize..8, 0u8..3, any::<u64>()), 0..100),
+    ) {
+        let mut r = PmemRegion::new(8 * 64);
+        // model: per line, the value captured by the last fence-committed flush
+        let mut durable: HashMap<usize, u64> = HashMap::new();
+        let mut pending: HashMap<usize, u64> = HashMap::new();
+        let mut volatile: HashMap<usize, u64> = HashMap::new();
+        for (slot, op, val) in ops {
+            match op {
+                0 => {
+                    r.write_u64(slot * 64, val);
+                    volatile.insert(slot, val);
+                }
+                1 => {
+                    r.flush_line(slot as u64);
+                    if let Some(&v) = volatile.get(&slot) {
+                        // capture only if the line is dirty (differs from
+                        // what a previous capture recorded)
+                        pending.insert(slot, v);
+                    }
+                }
+                _ => {
+                    r.fence();
+                    for (s, v) in pending.drain() {
+                        durable.insert(s, v);
+                    }
+                }
+            }
+        }
+        r.crash(&CrashMode::StrictDurableOnly);
+        for slot in 0..8usize {
+            let expect = durable.get(&slot).copied().unwrap_or(0);
+            prop_assert_eq!(r.read_u64(slot * 64), expect, "slot {}", slot);
+        }
+    }
+
+    /// Crashing with `AllInFlightLands` exposes each line's *latest*
+    /// volatile value — never a torn mixture within a line.
+    #[test]
+    fn all_inflight_crash_exposes_latest_values(
+        ops in prop::collection::vec((0usize..8, any::<u64>()), 1..60),
+    ) {
+        let mut r = PmemRegion::new(8 * 64);
+        let mut latest: HashMap<usize, u64> = HashMap::new();
+        for (slot, val) in ops {
+            r.write_u64(slot * 64, val);
+            latest.insert(slot, val);
+        }
+        r.crash(&CrashMode::AllInFlightLands);
+        for (slot, v) in latest {
+            prop_assert_eq!(r.read_u64(slot * 64), v);
+        }
+    }
+}
