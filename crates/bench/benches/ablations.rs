@@ -23,15 +23,15 @@ fn drive(kind: &PolicyKind, stream: &[Line]) -> u64 {
 }
 
 fn bench_ablations(c: &mut Criterion) {
-    let stream: Vec<Line> = (0..50_000u64).map(|i| Line((i * 7 + i / 11) % 40)).collect();
+    let stream: Vec<Line> = (0..50_000u64)
+        .map(|i| Line((i * 7 + i / 11) % 40))
+        .collect();
     let mut g = c.benchmark_group("ablation");
     g.throughput(Throughput::Elements(stream.len() as u64));
     for size in [4usize, 8, 16, 32, 64] {
-        g.bench_with_input(
-            BenchmarkId::new("atlas_table", size),
-            &size,
-            |b, &size| b.iter(|| black_box(drive(&PolicyKind::Atlas { size }, &stream))),
-        );
+        g.bench_with_input(BenchmarkId::new("atlas_table", size), &size, |b, &size| {
+            b.iter(|| black_box(drive(&PolicyKind::Atlas { size }, &stream)))
+        });
     }
     for cap in [10usize, 25, 50, 100] {
         g.bench_with_input(BenchmarkId::new("sc_capacity", cap), &cap, |b, &cap| {

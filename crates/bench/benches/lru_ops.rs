@@ -28,6 +28,24 @@ fn bench_lru(c: &mut Criterion) {
             });
         });
     }
+    // churn: steady-state mix of touches, removes and drains — the
+    // pattern the preallocated node pool (`LruCache::free`) and Fx-hashed
+    // index are sized for; regressions in either show up here first
+    g.bench_function("churn_50", |b| {
+        let mut cache = LruCache::new(50);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let line = Line(i % 80); // 80-line set over 50 slots → evictions
+            black_box(cache.touch(line));
+            if i % 7 == 0 {
+                black_box(cache.remove(Line((i / 7) % 80)));
+            }
+            if i % 1024 == 0 {
+                black_box(cache.drain_lru_first());
+            }
+        });
+    });
     g.bench_function("drain_50", |b| {
         b.iter_batched(
             || {

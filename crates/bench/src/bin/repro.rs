@@ -6,8 +6,10 @@
 //! experiments: table1 table2 table3 table4
 //!              fig2 fig4 fig5 fig6 fig7 fig8
 //!              ablation-knee ablation-atlas ablation-bound ablation-burst
+//!              ablation-clwb ablation-phased ablation-groups
+//!              bench-replay (replay-engine throughput → BENCH_replay.json)
 //!              all          (tables + figures)
-//!              ablations    (all four ablations)
+//!              ablations    (all seven ablations)
 //! ```
 //!
 //! `--scale` is the fraction of the paper's problem sizes (default
@@ -16,7 +18,10 @@
 //! (minutes, not seconds).
 
 use nvcache_bench::experiments::{ablations, figs, tables, DEFAULT_SCALE, THREAD_SWEEP};
+use nvcache_bench::report::json_str;
 use nvcache_bench::Table;
+use nvcache_core::{run_policy_with, PolicyKind, ReplayOptions, RunConfig};
+use nvcache_trace::synth::{cyclic, replicate, SynthOpts};
 
 struct Args {
     experiment: String,
@@ -69,6 +74,7 @@ fn usage(err: &str) -> ! {
          experiments: table1 table2 table3 table4 fig2 fig4 fig5 fig6 fig7 fig8\n\
          \x20            ablation-knee ablation-atlas ablation-bound ablation-burst\n\
          \x20            ablation-clwb ablation-phased ablation-groups\n\
+         \x20            bench-replay (writes BENCH_replay.json)\n\
          \x20            all | ablations"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -96,8 +102,8 @@ fn run_one(name: &str, scale: f64, threads: &[usize]) -> Vec<Table> {
         "all" => {
             let mut v = Vec::new();
             for e in [
-                "table1", "table2", "table3", "table4", "fig2", "fig4", "fig5", "fig6",
-                "fig7", "fig8",
+                "table1", "table2", "table3", "table4", "fig2", "fig4", "fig5", "fig6", "fig7",
+                "fig8",
             ] {
                 v.extend(run_one(e, scale, threads));
             }
@@ -118,8 +124,73 @@ fn run_one(name: &str, scale: f64, threads: &[usize]) -> Vec<Table> {
             }
             v
         }
+        "bench-replay" => vec![bench_replay(scale)],
         other => usage(&format!("unknown experiment {other}")),
     }
+}
+
+/// Wall-clock replay-engine throughput, sequential vs parallel, on an
+/// 8-thread trace. Verifies bit-identical reports at every parallelism,
+/// prints a table, and records the measurements in `BENCH_replay.json`.
+fn bench_replay(scale: f64) -> Table {
+    let rounds = ((100_000.0 * scale) as usize).max(2_000);
+    let tr = replicate(&cyclic(23, rounds, &SynthOpts::default()), 8);
+    let stores = tr.stats().total_writes as u64;
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut pars = vec![1usize, 2, 4, 8];
+    if !pars.contains(&host) {
+        pars.push(host);
+        pars.sort_unstable();
+    }
+    let cfg = RunConfig::default();
+    let mut t = Table::new(
+        &format!("Replay throughput: 8-thread trace, {stores} stores (host parallelism {host})"),
+        &["policy", "parallelism", "secs", "Mwrites/s", "speedup"],
+    );
+    let mut records = Vec::new();
+    for kind in [PolicyKind::Eager, PolicyKind::Atlas { size: 8 }] {
+        let mut seq_secs = 0.0f64;
+        let baseline = run_policy_with(&tr, &kind, &cfg, &ReplayOptions::sequential());
+        for &par in &pars {
+            let opts = ReplayOptions::with_parallelism(par);
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let start = std::time::Instant::now();
+                let r = run_policy_with(&tr, &kind, &cfg, &opts);
+                best = best.min(start.elapsed().as_secs_f64());
+                assert_eq!(r, baseline, "parallel replay must be bit-identical");
+            }
+            if par == 1 {
+                seq_secs = best;
+            }
+            let wps = stores as f64 / best;
+            let speedup = seq_secs / best;
+            t.row(vec![
+                kind.label().to_string(),
+                par.to_string(),
+                format!("{best:.4}"),
+                format!("{:.2}", wps / 1e6),
+                format!("{speedup:.2}x"),
+            ]);
+            records.push(format!(
+                "    {{\"policy\": {}, \"parallelism\": {par}, \"secs\": {best:.6}, \
+                 \"writes_per_sec\": {wps:.0}, \"speedup_vs_seq\": {speedup:.3}}}",
+                json_str(kind.label())
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"replay_throughput\",\n  \"trace_threads\": 8,\n  \
+         \"stores\": {stores},\n  \"host_parallelism\": {host},\n  \
+         \"bit_identical\": true,\n  \"results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    if let Err(e) = std::fs::write("BENCH_replay.json", &json) {
+        eprintln!("warning: could not write BENCH_replay.json: {e}");
+    }
+    t
 }
 
 fn main() {
@@ -128,7 +199,7 @@ fn main() {
     let results = run_one(&args.experiment, args.scale, &args.threads);
     for t in &results {
         if args.json {
-            println!("{}", nvcache_bench::report::to_json(t));
+            println!("{}", t.to_json());
         } else {
             t.print();
         }

@@ -67,9 +67,7 @@ mod tests {
     fn contention_grows_with_threads() {
         assert_eq!(machine_for(1).contention_miss_prob, 0.0);
         assert!(machine_for(8).contention_miss_prob > 0.0);
-        assert!(
-            machine_for(32).contention_miss_prob > machine_for(8).contention_miss_prob
-        );
+        assert!(machine_for(32).contention_miss_prob > machine_for(8).contention_miss_prob);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 
 use super::{sc_online, timed};
 use crate::calibrate::machine_for;
+use crate::pool::par_map;
 use crate::report::{ratio, Table};
 use nvcache_core::{flush_stats, grouped_capacities, run_policy, PolicyKind, RunConfig};
-use nvcache_locality::{lru_mrc, reuse_all_k, select_cache_size, knee::knees, KneeConfig, Mrc};
+use nvcache_locality::{knee::knees, lru_mrc, reuse_all_k, select_cache_size, KneeConfig, Mrc};
 use nvcache_trace::synth::{phased, SynthOpts};
 use nvcache_workloads::registry::splash2_workloads;
 
@@ -15,7 +16,13 @@ use nvcache_workloads::registry::splash2_workloads;
 pub fn ablation_knee(scale: f64) -> Table {
     let mut t = Table::new(
         "Ablation: knee strategy → flush ratio",
-        &["program", "largest-knee", "steepest-knee", "fixed-8", "fixed-50"],
+        &[
+            "program",
+            "largest-knee",
+            "steepest-knee",
+            "fixed-8",
+            "fixed-50",
+        ],
     );
     let cfg = KneeConfig::default();
     for w in splash2_workloads(scale) {
@@ -55,7 +62,7 @@ pub fn ablation_atlas(scale: f64) -> Table {
         "Ablation: Atlas table size → flush ratio",
         &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
-    for w in splash2_workloads(scale) {
+    for row in par_map(&splash2_workloads(scale), |w| {
         let tr = w.trace(1);
         let mut row = vec![
             w.name().to_string(),
@@ -66,6 +73,8 @@ pub fn ablation_atlas(scale: f64) -> Table {
                 flush_stats(&tr, &PolicyKind::Atlas { size: s }).flush_ratio(),
             ));
         }
+        row
+    }) {
         t.row(row);
     }
     t
@@ -83,7 +92,7 @@ pub fn ablation_bound(scale: f64) -> Table {
         "Ablation: max-capacity bound → cycles (M) [chosen size]",
         &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
-    for w in splash2_workloads(scale) {
+    for row in par_map(&splash2_workloads(scale), |w| {
         let tr = w.trace(1);
         let mut row = vec![w.name().to_string()];
         for &b in &bounds {
@@ -96,6 +105,8 @@ pub fn ablation_bound(scale: f64) -> Table {
             let r = timed(&tr, &PolicyKind::ScFixed { capacity: cap });
             row.push(format!("{:.2} [{cap}]", r.cycles as f64 / 1e6));
         }
+        row
+    }) {
         t.row(row);
     }
     t
@@ -139,9 +150,16 @@ pub fn ablation_burst(scale: f64) -> Table {
 pub fn ablation_clwb(scale: f64) -> Table {
     let mut t = Table::new(
         "Ablation: clflush vs clwb → cycles (M), and clwb's saving",
-        &["program", "AT/clflush", "AT/clwb", "SC/clflush", "SC/clwb", "SC saving"],
+        &[
+            "program",
+            "AT/clflush",
+            "AT/clwb",
+            "SC/clflush",
+            "SC/clwb",
+            "SC saving",
+        ],
     );
-    for w in splash2_workloads(scale) {
+    for row in par_map(&splash2_workloads(scale), |w| {
         let tr = w.trace(1);
         let run = |kind: &PolicyKind, invalidates: bool| {
             let mut cfg = RunConfig {
@@ -156,14 +174,16 @@ pub fn ablation_clwb(scale: f64) -> Table {
         let at_wb = run(&at, false);
         let sc_cl = run(&sc, true);
         let sc_wb = run(&sc, false);
-        t.row(vec![
+        vec![
             w.name().into(),
             format!("{at_cl:.2}"),
             format!("{at_wb:.2}"),
             format!("{sc_cl:.2}"),
             format!("{sc_wb:.2}"),
             format!("{:.1}%", (1.0 - sc_wb / sc_cl) * 100.0),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t
 }
@@ -226,10 +246,16 @@ pub fn ablation_phased(scale: f64) -> Table {
 pub fn ablation_groups(scale: f64, threads: usize) -> Table {
     let mut t = Table::new(
         "Ablation: thread-grouped MRC analysis",
-        &["program", "threads", "groups", "per-thread ratio", "grouped ratio"],
+        &[
+            "program",
+            "threads",
+            "groups",
+            "per-thread ratio",
+            "grouped ratio",
+        ],
     );
     let cfg = KneeConfig::default();
-    for w in splash2_workloads(scale) {
+    for row in par_map(&splash2_workloads(scale), |w| {
         let tr = w.trace(threads);
         let mrcs: Vec<Mrc> = tr
             .threads
@@ -258,17 +284,16 @@ pub fn ablation_groups(scale: f64, threads: usize) -> Table {
             }
             flushes as f64 / stores.max(1) as f64
         };
-        let own: Vec<usize> = mrcs
-            .iter()
-            .map(|m| select_cache_size(m, &cfg))
-            .collect();
-        t.row(vec![
+        let own: Vec<usize> = mrcs.iter().map(|m| select_cache_size(m, &cfg)).collect();
+        vec![
             w.name().into(),
             threads.to_string(),
             groups.to_string(),
             ratio(ratio_with(&own)),
             ratio(ratio_with(&grouped)),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t
 }

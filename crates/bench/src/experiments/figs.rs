@@ -2,11 +2,10 @@
 
 use super::{atlas, sc_offline, sc_online, timed, THREAD_SWEEP};
 use crate::calibrate::offline_capacity;
+use crate::pool::par_map;
 use crate::report::{pct, speedup, Table};
 use nvcache_core::PolicyKind;
-use nvcache_locality::{
-    lru_mrc, reuse_all_k, select_cache_size, BurstSampler, KneeConfig, Mrc,
-};
+use nvcache_locality::{lru_mrc, reuse_all_k, select_cache_size, BurstSampler, KneeConfig, Mrc};
 use nvcache_workloads::registry::{splash2_workloads, workload_by_name};
 use nvcache_workloads::{mdb::MdbWorkload, splash2::WaterSpatial, Workload};
 
@@ -40,8 +39,17 @@ pub fn fig4(scale: f64) -> Table {
         "Figure 4: speedup over ER (AT / SC / SC-offline / BEST)",
         &["program", "AT", "SC", "SC-o", "BEST"],
     );
-    let mut runs: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut eval = |name: String, tr: nvcache_trace::Trace| {
+    let mut cells: Vec<(String, Box<dyn Workload>, usize)> = splash2_workloads(scale)
+        .into_iter()
+        .map(|w| (w.name().to_string(), w, 1usize))
+        .collect();
+    cells.push((
+        "mdb(8t)".to_string(),
+        Box::new(MdbWorkload::scaled(scale)),
+        8,
+    ));
+    let runs: Vec<(String, Vec<f64>)> = par_map(&cells, |(name, w, tc)| {
+        let tr = w.trace(*tc);
         let er = timed(&tr, &PolicyKind::Eager);
         let sp = |k: &PolicyKind| {
             let r = timed(&tr, k);
@@ -53,13 +61,8 @@ pub fn fig4(scale: f64) -> Table {
             sp(&sc_offline(&tr)),
             sp(&PolicyKind::Best),
         ];
-        runs.push((name, vals));
-    };
-    for w in splash2_workloads(scale) {
-        eval(w.name().to_string(), w.trace(1));
-    }
-    let mdb = MdbWorkload::scaled(scale);
-    eval("mdb(8t)".to_string(), mdb.trace(8));
+        (name.clone(), vals)
+    });
 
     let mut avg = [0.0f64; 4];
     for (name, vals) in &runs {
@@ -96,16 +99,32 @@ pub fn fig5(scale: f64, threads: &[usize]) -> Table {
         "Figure 5: speedup over AT per thread count",
         &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
-    for w in splash2_workloads(scale) {
+    let workloads = splash2_workloads(scale);
+    // grid cells (workload × thread count) fan out independently; rows
+    // are reassembled per workload in sweep order afterwards
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for wi in 0..workloads.len() {
+        for &tc in threads {
+            cells.push((wi, tc));
+        }
+    }
+    let results = par_map(&cells, |&(wi, tc)| {
+        let tr = workloads[wi].trace(tc);
+        let at = timed(&tr, &atlas());
+        let sc = timed(&tr, &sc_online(&tr));
+        let sco = timed(&tr, &sc_offline(&tr));
+        (
+            speedup(at.cycles as f64 / sc.cycles as f64),
+            speedup(at.cycles as f64 / sco.cycles as f64),
+        )
+    });
+    for (wi, w) in workloads.iter().enumerate() {
         let mut sc_row = vec![w.name().to_string(), "SC".to_string()];
         let mut sco_row = vec![w.name().to_string(), "SC-o".to_string()];
-        for &tc in threads {
-            let tr = w.trace(tc);
-            let at = timed(&tr, &atlas());
-            let sc = timed(&tr, &sc_online(&tr));
-            let sco = timed(&tr, &sc_offline(&tr));
-            sc_row.push(speedup(at.cycles as f64 / sc.cycles as f64));
-            sco_row.push(speedup(at.cycles as f64 / sco.cycles as f64));
+        for ti in 0..threads.len() {
+            let (sc, sco) = &results[wi * threads.len() + ti];
+            sc_row.push(sc.clone());
+            sco_row.push(sco.clone());
         }
         t.row(sc_row);
         t.row(sco_row);
@@ -121,14 +140,26 @@ pub fn fig6(scale: f64, threads: &[usize]) -> Table {
         "Figure 6: slowdown of SC over BEST per thread count",
         &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
-    for w in splash2_workloads(scale) {
-        let mut row = vec![w.name().to_string()];
+    let workloads = splash2_workloads(scale);
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for wi in 0..workloads.len() {
         for &tc in threads {
-            let tr = w.trace(tc);
-            let sc = timed(&tr, &sc_online(&tr));
-            let best = timed(&tr, &PolicyKind::Best);
-            row.push(speedup(sc.cycles as f64 / best.cycles as f64));
+            cells.push((wi, tc));
         }
+    }
+    let results = par_map(&cells, |&(wi, tc)| {
+        let tr = workloads[wi].trace(tc);
+        let sc = timed(&tr, &sc_online(&tr));
+        let best = timed(&tr, &PolicyKind::Best);
+        speedup(sc.cycles as f64 / best.cycles as f64)
+    });
+    for (wi, w) in workloads.iter().enumerate() {
+        let mut row = vec![w.name().to_string()];
+        row.extend(
+            results[wi * threads.len()..(wi + 1) * threads.len()]
+                .iter()
+                .cloned(),
+        );
         t.row(row);
     }
     t
@@ -188,10 +219,8 @@ pub fn fig8(scale: f64) -> Table {
     );
     let mut names: Vec<Box<dyn Workload>> = splash2_workloads(scale);
     names.push(Box::new(MdbWorkload::scaled(scale)));
-    let mut sum = [0.0f64; 2];
-    let mut n = 0usize;
-    for w in &names {
-        let mut row = vec![w.name().to_string()];
+    let overheads: Vec<[f64; 2]> = par_map(&names, |w| {
+        let mut ovhs = [0.0f64; 2];
         for (i, &tc) in [1usize, 8].iter().enumerate() {
             let tr = w.trace(tc);
             let online = timed(&tr, &sc_online(&tr));
@@ -203,13 +232,18 @@ pub fn fig8(scale: f64) -> Table {
                     capacity: offline_capacity(&tr, &KneeConfig::default()),
                 },
             );
-            let ovh =
-                (online.cycles as f64 - preset.cycles as f64) / online.cycles as f64;
-            sum[i] += ovh.max(0.0);
-            row.push(pct(ovh.max(0.0)));
+            let ovh = (online.cycles as f64 - preset.cycles as f64) / online.cycles as f64;
+            ovhs[i] = ovh.max(0.0);
         }
+        ovhs
+    });
+    let mut sum = [0.0f64; 2];
+    let mut n = 0usize;
+    for (w, ovhs) in names.iter().zip(&overheads) {
+        sum[0] += ovhs[0];
+        sum[1] += ovhs[1];
         n += 1;
-        t.row(row);
+        t.row(vec![w.name().to_string(), pct(ovhs[0]), pct(ovhs[1])]);
     }
     t.row(vec![
         "average".into(),
@@ -262,7 +296,11 @@ mod tests {
             assert!(sco >= at * 0.8, "{}: SC-o {sco} far behind AT {at}", r[0]);
             assert!(best >= sc * 0.95, "{}: BEST {best} vs SC {sc}", r[0]);
         }
-        assert!(wins * 3 >= rows.len() * 2, "SC must beat AT on ≥2/3: {wins}/{}", rows.len());
+        assert!(
+            wins * 3 >= rows.len() * 2,
+            "SC must beat AT on ≥2/3: {wins}/{}",
+            rows.len()
+        );
     }
 
     #[test]

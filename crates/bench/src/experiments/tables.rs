@@ -2,6 +2,7 @@
 
 use super::{atlas, sc_offline, sc_online, timed};
 use crate::calibrate::machine_for;
+use crate::pool::par_map;
 use crate::report::{pct, ratio, speedup, Table};
 use nvcache_core::{flush_stats, run_policy, PolicyKind, RunConfig};
 use nvcache_workloads::splash2::WaterSpatial;
@@ -23,13 +24,16 @@ pub fn table1(scale: f64) -> Table {
         ("water-nsquared", "24x"),
         ("water-spatial", "33x"),
     ];
-    let mut total = 0.0;
-    let mut n = 0usize;
-    for w in splash2_workloads(scale) {
+    let workloads = splash2_workloads(scale);
+    let slowdowns: Vec<f64> = par_map(&workloads, |w| {
         let tr = w.trace(1);
         let er = timed(&tr, &PolicyKind::Eager);
         let best = timed(&tr, &PolicyKind::Best);
-        let slow = er.cycles as f64 / best.cycles as f64;
+        er.cycles as f64 / best.cycles as f64
+    });
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (w, &slow) in workloads.iter().zip(&slowdowns) {
         total += slow;
         n += 1;
         let p = paper
@@ -81,27 +85,50 @@ pub fn table3(scale: f64) -> Table {
     let mut t = Table::new(
         "Table III: data flush ratios (flushes per persistent store)",
         &[
-            "benchmark", "writes", "fases", "ER", "LA", "AT", "SC", "AT/SC", "SC/LA",
-            "paper LA", "paper AT", "paper SC",
+            "benchmark",
+            "writes",
+            "fases",
+            "ER",
+            "LA",
+            "AT",
+            "SC",
+            "AT/SC",
+            "SC/LA",
+            "paper LA",
+            "paper AT",
+            "paper SC",
         ],
     );
     // the paper averages ratio columns excluding the artificial
     // persistent-array and the already-optimal linked-list and queue
     let excluded = ["persistent-array", "linked-list", "queue"];
+    let workloads = all_workloads(scale);
+    struct Row3 {
+        fases: usize,
+        er: nvcache_core::FlushStats,
+        la: nvcache_core::FlushStats,
+        at: nvcache_core::FlushStats,
+        sc: nvcache_core::FlushStats,
+    }
+    let stats: Vec<Row3> = par_map(&workloads, |w| {
+        let tr = w.trace(1);
+        Row3 {
+            fases: tr.total_fases(),
+            er: flush_stats(&tr, &PolicyKind::Eager),
+            la: flush_stats(&tr, &PolicyKind::Lazy),
+            at: flush_stats(&tr, &atlas()),
+            sc: flush_stats(&tr, &sc_online(&tr)),
+        }
+    });
     let mut sums = [0.0f64; 5]; // la, at, sc, at/sc, sc/la
     let mut n = 0usize;
-    for w in all_workloads(scale) {
-        let tr = w.trace(1);
-        let er = flush_stats(&tr, &PolicyKind::Eager);
-        let la = flush_stats(&tr, &PolicyKind::Lazy);
-        let at = flush_stats(&tr, &atlas());
-        let sc = flush_stats(&tr, &sc_online(&tr));
-        let at_sc = at.flushes() as f64 / sc.flushes().max(1) as f64;
-        let sc_la = sc.flushes() as f64 / la.flushes().max(1) as f64;
+    for (w, s) in workloads.iter().zip(&stats) {
+        let at_sc = s.at.flushes() as f64 / s.sc.flushes().max(1) as f64;
+        let sc_la = s.sc.flushes() as f64 / s.la.flushes().max(1) as f64;
         if !excluded.contains(&w.name()) {
-            sums[0] += la.flush_ratio();
-            sums[1] += at.flush_ratio();
-            sums[2] += sc.flush_ratio();
+            sums[0] += s.la.flush_ratio();
+            sums[1] += s.at.flush_ratio();
+            sums[2] += s.sc.flush_ratio();
             sums[3] += at_sc;
             sums[4] += sc_la;
             n += 1;
@@ -109,12 +136,12 @@ pub fn table3(scale: f64) -> Table {
         let p = w.paper_row();
         t.row(vec![
             w.name().into(),
-            er.stores.to_string(),
-            tr.total_fases().to_string(),
-            ratio(er.flush_ratio()),
-            ratio(la.flush_ratio()),
-            ratio(at.flush_ratio()),
-            ratio(sc.flush_ratio()),
+            s.er.stores.to_string(),
+            s.fases.to_string(),
+            ratio(s.er.flush_ratio()),
+            ratio(s.la.flush_ratio()),
+            ratio(s.at.flush_ratio()),
+            ratio(s.sc.flush_ratio()),
             format!("{at_sc:.3}x"),
             format!("{sc_la:.3}x"),
             p.map(|r| ratio(r.la)).unwrap_or_default(),
@@ -161,7 +188,7 @@ pub fn table4(scale: f64, threads: &[usize]) -> Table {
         ("L1 miss".into(), "SC".into(), vec![]),
         ("L1 miss".into(), "BEST".into(), vec![]),
     ];
-    for &tc in threads {
+    let cols = par_map(threads, |&tc| {
         let tr = nvcache_workloads::Workload::trace(&w, tc);
         let cfg = RunConfig {
             machine: machine_for(tc),
@@ -169,8 +196,13 @@ pub fn table4(scale: f64, threads: &[usize]) -> Table {
         let at = run_policy(&tr, &atlas(), &cfg);
         let sc = run_policy(&tr, &sc_online(&tr), &cfg);
         let best = run_policy(&tr, &PolicyKind::Best, &cfg);
-        for (i, r) in [&at, &sc, &best].into_iter().enumerate() {
-            rows[i].2.push(format!("{:.2}", r.instructions as f64 / 1e6));
+        [at, sc, best]
+    });
+    for col in &cols {
+        for (i, r) in col.iter().enumerate() {
+            rows[i]
+                .2
+                .push(format!("{:.2}", r.instructions as f64 / 1e6));
             rows[3 + i].2.push(pct(r.flush_ratio()));
             rows[6 + i].2.push(pct(r.l1_miss_ratio));
         }

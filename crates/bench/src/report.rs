@@ -1,11 +1,10 @@
 //! Plain-text table rendering and JSON artifact output for experiment
 //! results — the harness prints the same rows/series the paper reports.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// A simple aligned text table with a title, built row by row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Title printed above the table.
     pub title: String,
@@ -63,6 +62,51 @@ impl Table {
     pub fn print(&self) {
         println!("{}", self.render());
     }
+
+    /// Pretty JSON rendering (experiment artifacts).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(out, "  \"headers\": {},", json_str_array(&self.headers));
+        out.push_str("  \"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            out.push_str(&json_str_array(r));
+        }
+        out.push_str(if self.rows.is_empty() {
+            "]\n}"
+        } else {
+            "\n  ]\n}"
+        });
+        out
+    }
+}
+
+/// JSON string literal with the escapes our cell contents can contain.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(", "))
 }
 
 /// Format a ratio like the paper's Table III (5 decimal places).
@@ -78,11 +122,6 @@ pub fn speedup(x: f64) -> String {
 /// Format a percentage.
 pub fn pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
-}
-
-/// Serialize any result value as pretty JSON (experiment artifacts).
-pub fn to_json<T: Serialize>(v: &T) -> String {
-    serde_json::to_string_pretty(v).expect("serializable")
 }
 
 #[cfg(test)]
@@ -106,6 +145,18 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let mut t = Table::new("q\"x", &["a", "b"]);
+        t.row(vec!["1".into(), "two\n".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"title\": \"q\\\"x\""));
+        assert!(j.contains("[\"a\", \"b\"]"));
+        assert!(j.contains("\"two\\n\""));
+        let empty = Table::new("e", &["h"]).to_json();
+        assert!(empty.contains("\"rows\": []"));
     }
 
     #[test]

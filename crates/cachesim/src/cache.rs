@@ -5,7 +5,6 @@
 //! misses — the *indirect* cost of persistence (paper Section II-A).
 
 use nvcache_trace::Line;
-use serde::{Deserialize, Serialize};
 
 /// Whether an access is a load or a store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,7 +16,7 @@ pub enum AccessKind {
 }
 
 /// Geometry of a simulated cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in lines.
     pub lines: usize,
@@ -41,7 +40,7 @@ impl CacheConfig {
 }
 
 /// Hit/miss/writeback counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,
@@ -95,6 +94,12 @@ pub struct AccessResult {
 pub struct SetAssocCache {
     cfg: CacheConfig,
     sets: Vec<Vec<Way>>,
+    // Set-index fast path: when the set count is a power of two (every
+    // realistic geometry, incl. the 64-set L1D) the per-access div/mod
+    // folds to shift/mask. `set_shift == u32::MAX` marks the generic
+    // div/mod path for odd set counts.
+    set_mask: u64,
+    set_shift: u32,
     tick: u64,
     stats: CacheStats,
 }
@@ -115,9 +120,17 @@ impl SetAssocCache {
             ];
             cfg.sets()
         ];
+        let n = sets.len() as u64;
+        let (set_mask, set_shift) = if n.is_power_of_two() {
+            (n - 1, n.trailing_zeros())
+        } else {
+            (0, u32::MAX)
+        };
         SetAssocCache {
             cfg,
             sets,
+            set_mask,
+            set_shift,
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -138,19 +151,26 @@ impl SetAssocCache {
         self.stats = CacheStats::default();
     }
 
+    /// Decompose a line id into (set index, tag). Identical results on
+    /// both paths: for a power-of-two set count `n`, `x & (n−1) == x % n`
+    /// and `x >> log2(n) == x / n`.
     #[inline]
-    fn set_index(&self, line: Line) -> usize {
-        (line.0 % self.sets.len() as u64) as usize
+    fn split(&self, line: Line) -> (usize, u64) {
+        if self.set_shift != u32::MAX {
+            ((line.0 & self.set_mask) as usize, line.0 >> self.set_shift)
+        } else {
+            let n = self.sets.len() as u64;
+            ((line.0 % n) as usize, line.0 / n)
+        }
     }
 
     /// Perform a load or store of `line`.
     pub fn access(&mut self, line: Line, kind: AccessKind) -> AccessResult {
         self.tick += 1;
         let tick = self.tick;
-        let sidx = self.set_index(line);
+        let (sidx, tag) = self.split(line);
         let sets_len = self.sets.len() as u64;
         let set = &mut self.sets[sidx];
-        let tag = line.0 / sets_len;
 
         if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
             w.lru = tick;
@@ -188,9 +208,7 @@ impl SetAssocCache {
     /// `clflush` semantics: write back (if dirty) and invalidate the
     /// line. Returns true iff the line was present.
     pub fn flush(&mut self, line: Line) -> bool {
-        let sidx = self.set_index(line);
-        let sets_len = self.sets.len() as u64;
-        let tag = line.0 / sets_len;
+        let (sidx, tag) = self.split(line);
         let set = &mut self.sets[sidx];
         if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
             w.valid = false;
@@ -206,9 +224,7 @@ impl SetAssocCache {
     /// `clwb` semantics: write the line back (clear dirty) but keep it
     /// resident — the program's next access still hits.
     pub fn writeback_keep(&mut self, line: Line) -> bool {
-        let sidx = self.set_index(line);
-        let sets_len = self.sets.len() as u64;
-        let tag = line.0 / sets_len;
+        let (sidx, tag) = self.split(line);
         let set = &mut self.sets[sidx];
         if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
             w.dirty = false;
@@ -223,9 +239,7 @@ impl SetAssocCache {
     /// Invalidate without counting as a flush — used by the contention
     /// model to evict a line "from outside" (another core / the OS).
     pub fn invalidate_silent(&mut self, line: Line) -> bool {
-        let sidx = self.set_index(line);
-        let sets_len = self.sets.len() as u64;
-        let tag = line.0 / sets_len;
+        let (sidx, tag) = self.split(line);
         let set = &mut self.sets[sidx];
         if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
             w.valid = false;
@@ -238,17 +252,13 @@ impl SetAssocCache {
 
     /// Is the line currently cached?
     pub fn contains(&self, line: Line) -> bool {
-        let sidx = self.set_index(line);
-        let sets_len = self.sets.len() as u64;
-        let tag = line.0 / sets_len;
+        let (sidx, tag) = self.split(line);
         self.sets[sidx].iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Is the line cached and dirty?
     pub fn is_dirty(&self, line: Line) -> bool {
-        let sidx = self.set_index(line);
-        let sets_len = self.sets.len() as u64;
-        let tag = line.0 / sets_len;
+        let (sidx, tag) = self.split(line);
         self.sets[sidx]
             .iter()
             .any(|w| w.valid && w.dirty && w.tag == tag)
@@ -295,7 +305,7 @@ mod tests {
     #[test]
     fn lru_within_set_evicts_oldest() {
         let mut c = small(); // 4 sets × 2 ways
-        // lines 0, 4, 8 all map to set 0
+                             // lines 0, 4, 8 all map to set 0
         c.access(Line(0), AccessKind::Read);
         c.access(Line(4), AccessKind::Read);
         c.access(Line(0), AccessKind::Read); // refresh 0
@@ -383,6 +393,47 @@ mod tests {
         c.access(Line(2), AccessKind::Read); // miss
         assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(c.stats().accesses(), 4);
+    }
+
+    #[test]
+    fn split_matches_divmod_on_both_paths() {
+        // 64 sets (shift/mask path) and 6 sets (generic path) must both
+        // agree with the reference div/mod decomposition.
+        for cfg in [
+            CacheConfig::l1d(),
+            CacheConfig {
+                lines: 12,
+                associativity: 2,
+            },
+        ] {
+            let c = SetAssocCache::new(cfg);
+            let n = cfg.sets() as u64;
+            for line in (0..4096u64).chain([u64::MAX, u64::MAX - 63]) {
+                let (sidx, tag) = c.split(Line(line));
+                assert_eq!(sidx as u64, line % n, "sets={n} line={line}");
+                assert_eq!(tag, line / n, "sets={n} line={line}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_pow2_geometry_behaves_like_pow2_semantics() {
+        // Full behavioural pass on a 6-set cache: hits, flush, writeback
+        // reconstruction all work off the generic div/mod path.
+        let mut c = SetAssocCache::new(CacheConfig {
+            lines: 12,
+            associativity: 2,
+        });
+        let a = Line(7 * 6 + 3); // set 3
+        let b = Line(9 * 6 + 3); // set 3
+        let d = Line(11 * 6 + 3); // set 3
+        c.access(a, AccessKind::Write);
+        c.access(b, AccessKind::Read);
+        let r = c.access(d, AccessKind::Read); // evicts dirty a
+        assert_eq!(r.writeback, Some(a));
+        assert!(c.contains(b) && c.contains(d) && !c.contains(a));
+        assert!(c.flush(d));
+        assert!(!c.contains(d));
     }
 
     #[test]

@@ -11,10 +11,9 @@ use crate::timing::{FlushQueue, TimingConfig};
 use nvcache_trace::Line;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a simulated hardware context.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineConfig {
     /// L1 data cache geometry.
     pub l1: CacheConfig,
@@ -57,7 +56,7 @@ impl Default for MachineConfig {
 }
 
 /// Measured outcome of one thread's simulated execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MachineReport {
     /// Total cycles (the paper's execution time proxy).
     pub cycles: u64,
@@ -285,7 +284,12 @@ mod tests {
         s.work(1000);
         let rs = s.finish();
 
-        assert!(rs.cycles > ra.cycles, "sync {0} !> async {1}", rs.cycles, ra.cycles);
+        assert!(
+            rs.cycles > ra.cycles,
+            "sync {0} !> async {1}",
+            rs.cycles,
+            ra.cycles
+        );
         assert!(rs.fase_stall_cycles > 0);
         assert_eq!(ra.fase_stall_cycles, 0);
     }

@@ -16,13 +16,12 @@
 //! 3. **Indirect invalidation cost** — `clflush` evicts the line from L1,
 //!    so the next access misses; accounted by the machine model.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Cycle costs and queue geometry. Defaults are calibrated against the
 /// paper's testbed ratios (see EXPERIMENTS.md; absolute cycle values are
 /// arbitrary, ratios matter).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingConfig {
     /// Cycles per abstract work unit.
     pub t_work: u64,
@@ -192,7 +191,7 @@ mod tests {
     fn retire_frees_slots() {
         let mut q = FlushQueue::new(1, 10);
         assert_eq!(q.issue_async(0), 0); // completes at 10
-        // at t=20 the slot is free again
+                                         // at t=20 the slot is free again
         assert_eq!(q.issue_async(20), 20);
         assert_eq!(q.stall_cycles, 0);
     }

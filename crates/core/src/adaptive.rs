@@ -12,10 +12,9 @@ use crate::policy::PersistPolicy;
 use crate::sc::ScPolicy;
 use nvcache_locality::{select_cache_size, BurstSampler, KneeConfig};
 use nvcache_trace::Line;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the adaptive controller.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveConfig {
     /// Knee selection parameters (default size 8, max 50 — paper values).
     pub knee: KneeConfig,
@@ -108,11 +107,9 @@ impl PersistPolicy for AdaptiveScPolicy {
             // quantized by the running average c = k − reuse(k), which
             // can place a sharp cliff one size early; one spare entry
             // guards the cliff foot at negligible cost.
-            let size = (select_cache_size(&mrc, &self.cfg.knee) + 1)
-                .min(self.cfg.knee.max_size);
+            let size = (select_cache_size(&mrc, &self.cfg.knee) + 1).min(self.cfg.knee.max_size);
             self.selections.push(size);
-            self.pending_instrs +=
-                self.cfg.analysis_instr_per_write * self.cfg.burst_len as u64;
+            self.pending_instrs += self.cfg.analysis_instr_per_write * self.cfg.burst_len as u64;
             out.extend(self.sc.set_capacity(size));
         }
         self.sc.on_store(line, out);

@@ -10,14 +10,104 @@
 //!   simulated independently (per-thread software caches share nothing,
 //!   paper Section II-B); parallel execution time is the maximum
 //!   per-thread cycle count.
+//!
+//! Both drivers replay trace threads on real OS threads when asked to
+//! via [`ReplayOptions`] (`flush_stats_with` / `run_policy_with`).
+//! Because per-thread policies and machines share nothing and
+//! per-thread RNG seeds are fixed functions of the thread id, the
+//! parallel result is **bit-identical** to the sequential one: workers
+//! return `(tid, result)` pairs that are re-assembled in tid order
+//! before any aggregation happens.
 
 use crate::policy::PolicyKind;
 use nvcache_cachesim::{Machine, MachineConfig, MachineReport};
-use nvcache_trace::{Event, Trace};
-use serde::{Deserialize, Serialize};
+use nvcache_trace::{Event, ThreadTrace, Trace};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How replay work is scheduled across OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayOptions {
+    /// Maximum number of OS threads used to simulate trace threads.
+    /// `1` replays sequentially on the calling thread (the default).
+    pub parallelism: usize,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions { parallelism: 1 }
+    }
+}
+
+impl ReplayOptions {
+    /// Sequential replay on the calling thread.
+    pub fn sequential() -> Self {
+        ReplayOptions::default()
+    }
+
+    /// Use up to `n` OS threads (clamped to at least 1).
+    pub fn with_parallelism(n: usize) -> Self {
+        ReplayOptions {
+            parallelism: n.max(1),
+        }
+    }
+
+    /// Use every hardware thread the host offers.
+    pub fn parallel() -> Self {
+        Self::with_parallelism(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
+/// Run `f` over `items` on up to `workers` scoped OS threads, returning
+/// results in item order. Work is claimed from a shared atomic cursor,
+/// so scheduling is dynamic, but each result is keyed by its index —
+/// the output is independent of which worker ran what.
+fn fan_out<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        done.push((i, f(i, &items[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("replay worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item processed"))
+        .collect()
+}
 
 /// Exact flush accounting of one policy over one trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlushStats {
     /// Technique label ("ER", "AT", …).
     pub label: String,
@@ -46,64 +136,86 @@ impl FlushStats {
     }
 }
 
-/// Count flushes exactly, without the timing model.
-pub fn flush_stats(trace: &Trace, kind: &PolicyKind) -> FlushStats {
-    let mut stores = 0u64;
-    let mut fl_async = 0u64;
-    let mut fl_sync = 0u64;
-    let mut buf = Vec::new();
-    for thread in &trace.threads {
-        let mut policy = kind.build();
-        let mut depth = 0usize;
-        for e in &thread.events {
-            match e {
-                Event::Write(l) => {
-                    stores += 1;
-                    policy.on_store(*l, &mut buf);
-                    fl_async += buf.len() as u64;
+/// Flush accounting of a single trace thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct ThreadFlushes {
+    stores: u64,
+    fl_async: u64,
+    fl_sync: u64,
+}
+
+/// Replay one thread through a fresh policy instance, counting flushes.
+fn flush_thread(thread: &ThreadTrace, kind: &PolicyKind) -> ThreadFlushes {
+    let mut acc = ThreadFlushes::default();
+    let mut policy = kind.build();
+    let mut depth = 0usize;
+    let mut buf = Vec::with_capacity(FLUSH_BUF_CAPACITY);
+    for e in &thread.events {
+        match e {
+            Event::Write(l) => {
+                acc.stores += 1;
+                policy.on_store(*l, &mut buf);
+                acc.fl_async += buf.len() as u64;
+                buf.clear();
+            }
+            Event::FaseBegin => {
+                depth += 1;
+                if depth == 1 {
+                    policy.on_fase_begin();
+                }
+            }
+            Event::FaseEnd => {
+                if depth == 1 {
+                    policy.on_fase_end(&mut buf);
+                    acc.fl_sync += buf.len() as u64;
                     buf.clear();
                 }
-                Event::FaseBegin => {
-                    depth += 1;
-                    if depth == 1 {
-                        policy.on_fase_begin();
-                    }
-                }
-                Event::FaseEnd => {
-                    if depth == 1 {
-                        policy.on_fase_end(&mut buf);
-                        fl_sync += buf.len() as u64;
-                        buf.clear();
-                    }
-                    depth = depth.saturating_sub(1);
-                }
-                Event::Read(_) | Event::Work(_) => {}
+                depth = depth.saturating_sub(1);
             }
+            Event::Read(_) | Event::Work(_) => {}
         }
-        // program exit: remaining buffered lines must still be persisted
-        policy.on_fase_end(&mut buf);
-        fl_sync += buf.len() as u64;
-        buf.clear();
     }
-    FlushStats {
+    // program exit: remaining buffered lines must still be persisted
+    policy.on_fase_end(&mut buf);
+    acc.fl_sync += buf.len() as u64;
+    acc
+}
+
+/// Count flushes exactly, without the timing model (sequentially).
+pub fn flush_stats(trace: &Trace, kind: &PolicyKind) -> FlushStats {
+    flush_stats_with(trace, kind, &ReplayOptions::sequential())
+}
+
+/// Count flushes exactly, replaying trace threads on up to
+/// `opts.parallelism` OS threads. Identical output to [`flush_stats`]
+/// for every `opts`.
+pub fn flush_stats_with(trace: &Trace, kind: &PolicyKind, opts: &ReplayOptions) -> FlushStats {
+    let per = fan_out(&trace.threads, opts.parallelism, |_tid, t| {
+        flush_thread(t, kind)
+    });
+    let mut stats = FlushStats {
         label: kind.label().to_string(),
-        stores,
-        flushes_async: fl_async,
-        flushes_sync: fl_sync,
+        stores: 0,
+        flushes_async: 0,
+        flushes_sync: 0,
+    };
+    for t in per {
+        stats.stores += t.stores;
+        stats.flushes_async += t.fl_async;
+        stats.flushes_sync += t.fl_sync;
     }
+    stats
 }
 
 /// Configuration of a timed run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunConfig {
     /// Per-thread hardware context configuration.
     pub machine: MachineConfig,
 }
 
-
 /// Outcome of a timed run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Technique label.
     pub label: String,
@@ -140,68 +252,100 @@ impl RunReport {
     }
 }
 
-/// Replay `trace` under `kind` with full timing. Each thread gets a
-/// fresh policy instance and hardware context (per-thread seeds differ
-/// so contention schedules decorrelate).
-pub fn run_policy(trace: &Trace, kind: &PolicyKind, cfg: &RunConfig) -> RunReport {
-    let mut per_thread = Vec::with_capacity(trace.num_threads());
+/// Pre-sized capacity for the per-event flush buffer: policies emit at
+/// most a handful of victims per store and a working set per FASE end;
+/// starting at 64 avoids regrowth in the hot loop for every workload in
+/// the harness.
+const FLUSH_BUF_CAPACITY: usize = 64;
+
+/// Simulate one trace thread with full timing. `tid` decorrelates the
+/// per-thread contention RNG: the seed is a pure function of the
+/// config seed and the thread id, never of scheduling.
+fn replay_thread(
+    thread: &ThreadTrace,
+    tid: usize,
+    kind: &PolicyKind,
+    cfg: &RunConfig,
+) -> (u64, MachineReport) {
     let mut stores = 0u64;
-    let mut buf = Vec::new();
-    for (tid, thread) in trace.threads.iter().enumerate() {
-        let mut policy = kind.build();
-        let mut mcfg = cfg.machine;
-        mcfg.seed = cfg.machine.seed.wrapping_add(tid as u64 * 0x9e37_79b9);
-        let mut m = Machine::new(mcfg);
-        let mut depth = 0usize;
-        for e in &thread.events {
-            match e {
-                Event::Write(l) => {
-                    stores += 1;
-                    m.store(*l);
-                    policy.on_store(*l, &mut buf);
-                    m.software_overhead(policy.store_overhead_instrs());
-                    let extra = policy.drain_extra_instrs();
-                    if extra > 0 {
-                        m.software_overhead(extra);
-                    }
-                    for victim in buf.drain(..) {
-                        m.flush_async(victim);
-                    }
+    let mut policy = kind.build();
+    let mut mcfg = cfg.machine;
+    mcfg.seed = cfg.machine.seed.wrapping_add(tid as u64 * 0x9e37_79b9);
+    let mut m = Machine::new(mcfg);
+    let mut depth = 0usize;
+    let mut buf = Vec::with_capacity(FLUSH_BUF_CAPACITY);
+    for e in &thread.events {
+        match e {
+            Event::Write(l) => {
+                stores += 1;
+                m.store(*l);
+                policy.on_store(*l, &mut buf);
+                m.software_overhead(policy.store_overhead_instrs());
+                let extra = policy.drain_extra_instrs();
+                if extra > 0 {
+                    m.software_overhead(extra);
                 }
-                Event::Read(l) => m.load(*l),
-                Event::Work(u) => m.work(*u),
-                Event::FaseBegin => {
-                    depth += 1;
-                    if depth == 1 {
-                        policy.on_fase_begin();
-                    }
-                }
-                Event::FaseEnd => {
-                    if depth == 1 {
-                        policy.on_fase_end(&mut buf);
-                        for line in buf.drain(..) {
-                            m.flush_sync(line);
-                        }
-                        m.fence();
-                    }
-                    depth = depth.saturating_sub(1);
+                for victim in buf.drain(..) {
+                    m.flush_async(victim);
                 }
             }
+            Event::Read(l) => m.load(*l),
+            Event::Work(u) => m.work(*u),
+            Event::FaseBegin => {
+                depth += 1;
+                if depth == 1 {
+                    policy.on_fase_begin();
+                }
+            }
+            Event::FaseEnd => {
+                if depth == 1 {
+                    policy.on_fase_end(&mut buf);
+                    for line in buf.drain(..) {
+                        m.flush_sync(line);
+                    }
+                    m.fence();
+                }
+                depth = depth.saturating_sub(1);
+            }
         }
-        // flush whatever the policy still buffers at program end
-        policy.on_fase_end(&mut buf);
-        for line in buf.drain(..) {
-            m.flush_sync(line);
-        }
-        m.fence();
-        per_thread.push(m.finish());
     }
+    // flush whatever the policy still buffers at program end
+    policy.on_fase_end(&mut buf);
+    for line in buf.drain(..) {
+        m.flush_sync(line);
+    }
+    m.fence();
+    (stores, m.finish())
+}
+
+/// Replay `trace` under `kind` with full timing (sequentially). Each
+/// thread gets a fresh policy instance and hardware context
+/// (per-thread seeds differ so contention schedules decorrelate).
+pub fn run_policy(trace: &Trace, kind: &PolicyKind, cfg: &RunConfig) -> RunReport {
+    run_policy_with(trace, kind, cfg, &ReplayOptions::sequential())
+}
+
+/// Replay `trace` under `kind` with full timing, simulating trace
+/// threads on up to `opts.parallelism` OS threads. Identical output to
+/// [`run_policy`] for every `opts`: threads share nothing, and
+/// per-thread results are aggregated in thread-id order.
+pub fn run_policy_with(
+    trace: &Trace,
+    kind: &PolicyKind,
+    cfg: &RunConfig,
+    opts: &ReplayOptions,
+) -> RunReport {
+    let per = fan_out(&trace.threads, opts.parallelism, |tid, t| {
+        replay_thread(t, tid, kind, cfg)
+    });
+    let stores = per.iter().map(|(s, _)| *s).sum();
+    let per_thread: Vec<MachineReport> = per.into_iter().map(|(_, r)| r).collect();
 
     let cycles = per_thread.iter().map(|r| r.cycles).max().unwrap_or(0);
     let instructions = per_thread.iter().map(|r| r.instructions).sum();
-    let (hits, misses) = per_thread.iter().fold((0u64, 0u64), |(h, m_), r| {
-        (h + r.l1.hits, m_ + r.l1.misses)
-    });
+    let (hits, misses) = per_thread
+        .iter()
+        .fold((0u64, 0u64), |(h, m_), r| (h + r.l1.hits, m_ + r.l1.misses));
     let l1_miss_ratio = if hits + misses == 0 {
         0.0
     } else {
@@ -313,8 +457,18 @@ mod tests {
         let at = run_policy(&tr, &PolicyKind::Atlas { size: 8 }, &cfg);
         let sc = run_policy(&tr, &PolicyKind::ScFixed { capacity: 12 }, &cfg);
         let best = run_policy(&tr, &PolicyKind::Best, &cfg);
-        assert!(er.cycles > at.cycles, "ER {} !> AT {}", er.cycles, at.cycles);
-        assert!(at.cycles > sc.cycles, "AT {} !> SC {}", at.cycles, sc.cycles);
+        assert!(
+            er.cycles > at.cycles,
+            "ER {} !> AT {}",
+            er.cycles,
+            at.cycles
+        );
+        assert!(
+            at.cycles > sc.cycles,
+            "AT {} !> SC {}",
+            at.cycles,
+            sc.cycles
+        );
         assert!(
             sc.cycles > best.cycles,
             "SC {} !> BEST {}",
@@ -364,6 +518,51 @@ mod tests {
         // identical per-thread work ⇒ parallel time ≈ single time
         assert!(r4.cycles <= r1.cycles * 11 / 10);
         assert!(r4.instructions >= r1.instructions * 4);
+    }
+
+    #[test]
+    fn replay_options_clamp_and_probe() {
+        assert_eq!(ReplayOptions::default().parallelism, 1);
+        assert_eq!(ReplayOptions::sequential().parallelism, 1);
+        assert_eq!(ReplayOptions::with_parallelism(0).parallelism, 1);
+        assert_eq!(ReplayOptions::with_parallelism(6).parallelism, 6);
+        assert!(ReplayOptions::parallel().parallelism >= 1);
+    }
+
+    #[test]
+    fn fan_out_preserves_item_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let out = fan_out(&items, workers, |i, &x| (i, x * 2));
+            assert_eq!(out.len(), 37, "workers={workers}");
+            for (i, (idx, doubled)) in out.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(*doubled, i * 2);
+            }
+        }
+        let empty: Vec<usize> = Vec::new();
+        assert!(fan_out(&empty, 8, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_replay_is_bit_identical_to_sequential() {
+        let single = cyclic(12, 200, &opts(50));
+        let tr = nvcache_trace::synth::replicate(&single, 8);
+        let cfg = RunConfig::default();
+        for kind in [
+            PolicyKind::Eager,
+            PolicyKind::Atlas { size: 8 },
+            PolicyKind::ScFixed { capacity: 12 },
+        ] {
+            let seq = run_policy_with(&tr, &kind, &cfg, &ReplayOptions::sequential());
+            for par in [2, 4, 8, 32] {
+                let p = run_policy_with(&tr, &kind, &cfg, &ReplayOptions::with_parallelism(par));
+                assert_eq!(seq, p, "{} parallelism={par}", kind.label());
+            }
+            let fseq = flush_stats_with(&tr, &kind, &ReplayOptions::sequential());
+            let fpar = flush_stats_with(&tr, &kind, &ReplayOptions::with_parallelism(4));
+            assert_eq!(fseq, fpar, "{}", kind.label());
+        }
     }
 
     #[test]

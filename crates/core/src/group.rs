@@ -123,7 +123,11 @@ mod tests {
 
     #[test]
     fn grouped_capacities_index_by_thread() {
-        let mrcs = vec![cyclic_mrc(5, 5000), cyclic_mrc(40, 5000), cyclic_mrc(5, 5000)];
+        let mrcs = vec![
+            cyclic_mrc(5, 5000),
+            cyclic_mrc(40, 5000),
+            cyclic_mrc(5, 5000),
+        ];
         let caps = grouped_capacities(&mrcs, &KneeConfig::default(), 0.02);
         assert_eq!(caps, vec![5, 40, 5]);
     }

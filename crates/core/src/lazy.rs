@@ -6,13 +6,15 @@
 //! AT on volrend despite the lowest flush ratio.
 
 use crate::policy::PersistPolicy;
+use nvcache_trace::hash::FxHashSet;
 use nvcache_trace::Line;
-use std::collections::HashSet;
 
 /// The lazy policy.
 #[derive(Debug, Default, Clone)]
 pub struct LazyPolicy {
-    dirty: HashSet<Line>,
+    /// Fx-hashed: probed once per persistent store. Iteration order
+    /// never escapes — `order` drives the deterministic drain.
+    dirty: FxHashSet<Line>,
     /// Insertion order, so the drain is deterministic.
     order: Vec<Line>,
 }

@@ -40,7 +40,10 @@ pub mod sc;
 pub use adaptive::{AdaptiveConfig, AdaptiveScPolicy};
 pub use atlas::AtlasPolicy;
 pub use best::BestPolicy;
-pub use driver::{flush_stats, run_policy, FlushStats, RunConfig, RunReport};
+pub use driver::{
+    flush_stats, flush_stats_with, run_policy, run_policy_with, FlushStats, ReplayOptions,
+    RunConfig, RunReport,
+};
 pub use eager::EagerPolicy;
 pub use group::{group_threads, grouped_capacities, ThreadGroup};
 pub use lazy::LazyPolicy;

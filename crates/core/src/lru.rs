@@ -3,8 +3,8 @@
 //! Cache"): all operations — lookup, insert, promote, evict, resize —
 //! are O(1) (resize is O(1) per evicted entry).
 
+use nvcache_trace::hash::{fx_map_with_capacity, FxHashMap};
 use nvcache_trace::Line;
-use std::collections::HashMap;
 
 const NIL: u32 = u32::MAX;
 
@@ -31,7 +31,9 @@ pub enum Touch {
 /// Fully-associative LRU cache of cache-line addresses.
 #[derive(Debug, Clone)]
 pub struct LruCache {
-    map: HashMap<Line, u32>,
+    /// Line → slab index. Fx-hashed: `touch` probes this map on every
+    /// persistent store, making it the hottest map in the simulator.
+    map: FxHashMap<Line, u32>,
     nodes: Vec<Node>,
     free: Vec<u32>,
     head: u32, // MRU
@@ -44,9 +46,11 @@ impl LruCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "capacity must be positive");
         LruCache {
-            map: HashMap::with_capacity(capacity * 2),
+            map: fx_map_with_capacity(capacity * 2),
             nodes: Vec::with_capacity(capacity),
-            free: Vec::new(),
+            // every evict/remove pushes here before the next insert pops,
+            // so the free list can reach `capacity` entries; pre-size it
+            free: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,
             capacity,
@@ -355,6 +359,58 @@ mod tests {
             }
         }
         assert_eq!(hits, oracle_hits);
+        let mru: Vec<u64> = c.iter_mru().map(|x| x.0).collect();
+        let mut expect = oracle.clone();
+        expect.reverse();
+        assert_eq!(mru, expect);
+    }
+
+    #[test]
+    fn behaves_like_reference_lru_with_removes_and_resizes() {
+        // the same oracle, with interleaved removes and capacity changes
+        // exercising the Fx-hashed map's remove/rehash paths
+        let mut cap = 6usize;
+        let mut c = LruCache::new(cap);
+        let mut oracle: Vec<u64> = Vec::new(); // back = MRU
+        for i in 0..5000u64 {
+            let line = (i * 11 + i / 5) % 23;
+            match i % 7 {
+                3 => {
+                    let expected = if let Some(p) = oracle.iter().position(|&x| x == line) {
+                        oracle.remove(p);
+                        true
+                    } else {
+                        false
+                    };
+                    assert_eq!(c.remove(l(line)), expected, "i={i}");
+                }
+                5 if i % 35 == 5 => {
+                    cap = if cap == 6 { 3 } else { 6 };
+                    let evicted = c.set_capacity(cap);
+                    let mut expect_ev = Vec::new();
+                    while oracle.len() > cap {
+                        expect_ev.push(oracle.remove(0));
+                    }
+                    let got: Vec<u64> = evicted.iter().map(|x| x.0).collect();
+                    assert_eq!(got, expect_ev, "i={i}");
+                }
+                _ => {
+                    let hit = if let Some(p) = oracle.iter().position(|&x| x == line) {
+                        oracle.remove(p);
+                        oracle.push(line);
+                        true
+                    } else {
+                        if oracle.len() == cap {
+                            oracle.remove(0);
+                        }
+                        oracle.push(line);
+                        false
+                    };
+                    assert_eq!(c.touch(l(line)) == Touch::Hit, hit, "i={i}");
+                }
+            }
+            assert_eq!(c.len(), oracle.len(), "i={i}");
+        }
         let mru: Vec<u64> = c.iter_mru().map(|x| x.0).collect();
         let mut expect = oracle.clone();
         expect.reverse();

@@ -1,0 +1,290 @@
+//! Wall-clock micro-benchmark harness for the workspace's `benches/`.
+//!
+//! An in-repo stand-in for the slice of the `criterion` API the bench
+//! targets use: groups, `bench_function` / `bench_with_input`,
+//! `iter` / `iter_batched`, element throughput, and the
+//! `criterion_group!` / `criterion_main!` macros. Cargo renames this
+//! package to `criterion`, so bench files are unchanged.
+//!
+//! Methodology: each benchmark is warmed up, the per-iteration cost is
+//! estimated, and `sample_size` samples are then collected with enough
+//! iterations per sample to dominate timer overhead. The harness
+//! reports mean and median ns/iteration (plus elements/second when a
+//! throughput is declared). It favours low run time over statistical
+//! rigor — regressions of interest here are multiples, not percents.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The iteration processes this many logical elements.
+    Elements(u64),
+}
+
+/// How setup cost relates to routine cost in [`Bencher::iter_batched`].
+/// The harness treats all variants identically.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Routine input is cheap to construct relative to the routine.
+    SmallInput,
+    /// Routine input is comparable in cost to the routine.
+    LargeInput,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `hit/50`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for single-axis sweeps.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples_wanted: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+/// Target wall-clock spent measuring one benchmark (excl. warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const WARMUP_BUDGET: Duration = Duration::from_millis(20);
+
+impl Bencher {
+    fn new(samples_wanted: usize) -> Self {
+        Bencher {
+            samples_wanted,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Benchmark `routine` called back-to-back.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and estimate the per-iteration cost.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let el = t.elapsed();
+            if el >= WARMUP_BUDGET || iters >= 1 << 30 {
+                break el.as_secs_f64() / iters as f64;
+            }
+            iters *= 4;
+        };
+        let budget = MEASURE_BUDGET.as_secs_f64() / self.samples_wanted as f64;
+        let per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+        for _ in 0..self.samples_wanted {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    /// Benchmark `routine` on fresh inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warm up once and estimate cost.
+        let input = setup();
+        let t = Instant::now();
+        black_box(routine(input));
+        let per_iter = t.elapsed().as_secs_f64();
+        let budget = MEASURE_BUDGET.as_secs_f64() / self.samples_wanted as f64;
+        let per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 16);
+        for _ in 0..self.samples_wanted {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    fn report(mut self, group: &str, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{group}/{label}: no samples");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let mut line = format!("{group}/{label}: {mean:>12.1} ns/iter (median {median:.1})");
+        if let Some(Throughput::Elements(n)) = throughput {
+            let eps = n as f64 / (mean * 1e-9);
+            line.push_str(&format!("  {:.1} Melem/s", eps / 1e6));
+        }
+        println!("{line}");
+    }
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&self.name, id, self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id.label, self.throughput);
+        self
+    }
+
+    /// Finish the group (prints a trailing newline separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level harness handle passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- {name} --");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Bundle bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench target (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_requested_samples() {
+        let mut b = Bencher::new(5);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn iter_batched_collects_requested_samples() {
+        let mut b = Bencher::new(4);
+        b.iter_batched(
+            || vec![1u64; 64],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("hit", 50).label, "hit/50");
+        assert_eq!(BenchmarkId::from_parameter("er").label, "er");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

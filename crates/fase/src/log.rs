@@ -128,7 +128,10 @@ impl UndoLog {
     /// Commit the open FASE: durable COMMIT record, then truncation.
     pub fn commit(&mut self, region: &mut PmemRegion) {
         let tail = self.tail(region);
-        assert!((tail + 16) as usize <= self.len, "undo log overflow at commit");
+        assert!(
+            (tail + 16) as usize <= self.len,
+            "undo log overflow at commit"
+        );
         let at = self.base + tail as usize;
         region.write_u64(at, COMMIT_MARK);
         region.write_u64(at + 8, 0);

@@ -14,7 +14,7 @@
 
 use nvcache_core::{PersistPolicy, PolicyKind};
 use nvcache_pmem::{CrashMode, PAlloc, PmemRegion};
-use nvcache_trace::{Line, ThreadTrace, TraceRecorder, StoreSink};
+use nvcache_trace::{Line, StoreSink, ThreadTrace, TraceRecorder};
 
 use crate::log::UndoLog;
 
@@ -104,10 +104,15 @@ impl FaseRuntime {
 
     /// Re-attach to a region that previously backed a runtime (e.g.
     /// reopened from disk or after a crash), running recovery first.
-    pub fn reopen(mut region: PmemRegion, data_len: usize, log_len: usize, policy: &PolicyKind) -> Self {
+    pub fn reopen(
+        mut region: PmemRegion,
+        data_len: usize,
+        log_len: usize,
+        policy: &PolicyKind,
+    ) -> Self {
         let data_len = data_len.div_ceil(64) * 64;
-        let mut log = UndoLog::open(&region, data_len, log_len)
-            .expect("region does not contain a FASE log");
+        let mut log =
+            UndoLog::open(&region, data_len, log_len).expect("region does not contain a FASE log");
         let rolled = log.recover(&mut region);
         let heap = PAlloc::open(&region);
         let mut stats = FaseStats::default();
@@ -479,7 +484,13 @@ mod tests {
         let t = r.take_trace().unwrap();
         assert_eq!(t.write_count(), 2);
         assert_eq!(t.fase_count(), 1);
-        assert_eq!(t.events.iter().filter(|e| matches!(e, nvcache_trace::Event::Work(_))).count(), 1);
+        assert_eq!(
+            t.events
+                .iter()
+                .filter(|e| matches!(e, nvcache_trace::Event::Work(_)))
+                .count(),
+            1
+        );
     }
 
     #[test]

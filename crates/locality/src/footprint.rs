@@ -9,7 +9,7 @@
 //! All three sums are of the form `Σ (x−k)⁺ · H[x]`, evaluated for every
 //! `k` at once from suffix sums of the merged histogram `H`.
 
-use std::collections::HashMap;
+use nvcache_trace::hash::{fx_map_with_capacity, FxHashMap};
 
 /// Compute `fp(k)` for all `k = 1..=n`. Returns `v` with `v[k] = fp(k)`
 /// (`v[0] = 0`).
@@ -20,9 +20,11 @@ pub fn footprint_all_k(trace: &[u64]) -> Vec<f64> {
         return v;
     }
 
-    // first/last access time per datum and reuse-time histogram
-    let mut first: HashMap<u64, usize> = HashMap::new();
-    let mut last: HashMap<u64, usize> = HashMap::new();
+    // first/last access time per datum and reuse-time histogram.
+    // Fx-hashed; `first` is iterated below, but only to accumulate
+    // commutative integer adds into `hist`, so order cannot leak.
+    let mut first: FxHashMap<u64, usize> = fx_map_with_capacity(n / 2 + 1);
+    let mut last: FxHashMap<u64, usize> = fx_map_with_capacity(n / 2 + 1);
     let mut hist = vec![0i64; n + 1]; // H[x] for x ∈ 1..=n
     for (t, &id) in trace.iter().enumerate() {
         if let Some(&prev) = last.get(&id) {
@@ -66,8 +68,7 @@ pub fn footprint_all_k_naive(trace: &[u64]) -> Vec<f64> {
     for k in 1..=n {
         let mut total = 0usize;
         for start in 0..=(n - k) {
-            let set: std::collections::HashSet<&u64> =
-                trace[start..start + k].iter().collect();
+            let set: std::collections::HashSet<&u64> = trace[start..start + k].iter().collect();
             total += set.len();
         }
         v[k] = total as f64 / (n - k + 1) as f64;

@@ -8,11 +8,10 @@
 //! maximal cache size."
 
 use crate::mrc::Mrc;
-use serde::{Deserialize, Serialize};
 
 /// Tunables for knee selection. Defaults follow the paper: software cache
 /// starts at size 8 and is bounded at 50 entries to limit FASE-end stall.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KneeConfig {
     /// Smallest capacity the controller may choose.
     pub min_size: usize,
@@ -126,10 +125,7 @@ mod tests {
         let size = select_cache_size(&mrc, &KneeConfig::default());
         // the timescale curve smears the cliff over a couple of sizes;
         // the chosen knee must land at or just below the true working set
-        assert!(
-            (21..=23).contains(&size),
-            "expected ≈23, got {size}"
-        );
+        assert!((21..=23).contains(&size), "expected ≈23, got {size}");
     }
 
     #[test]

@@ -7,12 +7,10 @@
 //! `c = k − reuse(k) = fp(k)` is non-decreasing in `k`, walking `k`
 //! upward yields the whole curve in one pass.
 
-use serde::{Deserialize, Serialize};
-
 /// A miss-ratio curve: `miss_ratio[c]` is the predicted (or measured)
 /// miss ratio of a fully-associative LRU cache of capacity `c` lines.
 /// `miss_ratio[0] == 1.0` by definition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mrc {
     /// Miss ratio per integer cache size; index is capacity in lines.
     pub miss_ratio: Vec<f64>,
@@ -166,7 +164,9 @@ mod tests {
 
     #[test]
     fn values_in_unit_interval() {
-        let trace: Vec<u64> = (0..1000).map(|i| (i % 13 + (i / 100) * 20) as u64).collect();
+        let trace: Vec<u64> = (0..1000)
+            .map(|i| (i % 13 + (i / 100) * 20) as u64)
+            .collect();
         let mrc = Mrc::from_reuse(&reuse_all_k(&trace), 64);
         for &v in &mrc.miss_ratio {
             assert!((0.0..=1.0).contains(&v), "{v}");

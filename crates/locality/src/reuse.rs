@@ -13,7 +13,7 @@
 //! `k` with at most three segments, so accumulating slope/intercept
 //! difference arrays over `k` yields all values in `O(n + r)` total.
 
-use std::collections::HashMap;
+use nvcache_trace::hash::{fx_map_with_capacity, FxHashMap};
 
 /// A reuse interval: consecutive accesses to one datum at 0-based times
 /// `s < e`.
@@ -36,8 +36,10 @@ impl ReuseInterval {
 
 /// Extract all reuse intervals of `trace` (consecutive same-id pairs).
 pub fn reuse_intervals(trace: &[u64]) -> Vec<ReuseInterval> {
-    let mut last: HashMap<u64, usize> = HashMap::with_capacity(trace.len() / 2 + 1);
-    let mut out = Vec::new();
+    let mut last: FxHashMap<u64, usize> = fx_map_with_capacity(trace.len() / 2 + 1);
+    // exactly n − distinct intervals come out; n bounds it without a
+    // second pass, so the hot loop never regrows the Vec
+    let mut out = Vec::with_capacity(trace.len());
     for (t, &id) in trace.iter().enumerate() {
         if let Some(prev) = last.insert(id, t) {
             out.push(ReuseInterval { s: prev, e: t });
@@ -81,16 +83,17 @@ pub fn reuse_all_k(trace: &[u64]) -> Vec<f64> {
     // Difference arrays over k ∈ 1..=n for Σ(slope·k + intercept).
     let mut dslope = vec![0i64; n + 2];
     let mut dicept = vec![0i64; n + 2];
-    let add = |lo: usize, hi: usize, slope: i64, icept: i64, dslope: &mut [i64], dicept: &mut [i64]| {
-        if lo > hi || lo > n {
-            return;
-        }
-        let hi = hi.min(n);
-        dslope[lo] += slope;
-        dslope[hi + 1] -= slope;
-        dicept[lo] += icept;
-        dicept[hi + 1] -= icept;
-    };
+    let add =
+        |lo: usize, hi: usize, slope: i64, icept: i64, dslope: &mut [i64], dicept: &mut [i64]| {
+            if lo > hi || lo > n {
+                return;
+            }
+            let hi = hi.min(n);
+            dslope[lo] += slope;
+            dslope[hi + 1] -= slope;
+            dicept[lo] += icept;
+            dicept[hi + 1] -= icept;
+        };
 
     for iv in &intervals {
         let (s, e) = (iv.s as i64, iv.e as i64);
@@ -179,11 +182,7 @@ mod tests {
         let trace = vec![7u64; 50];
         let r = reuse_all_k(&trace);
         for k in 1..=50 {
-            assert!(
-                (r[k] - (k as f64 - 1.0)).abs() < 1e-9,
-                "k={k} r={}",
-                r[k]
-            );
+            assert!((r[k] - (k as f64 - 1.0)).abs() < 1e-9, "k={k} r={}", r[k]);
         }
     }
 

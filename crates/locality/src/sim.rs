@@ -8,7 +8,7 @@
 //! (`O(n log n)` total).
 
 use crate::mrc::Mrc;
-use std::collections::HashMap;
+use nvcache_trace::hash::{fx_map_with_capacity, FxHashMap};
 
 /// Fenwick (binary indexed) tree over `n` positions, prefix sums of 0/1
 /// marks.
@@ -48,7 +48,7 @@ impl Fenwick {
 pub fn stack_distances(trace: &[u64]) -> Vec<Option<usize>> {
     let n = trace.len();
     let mut bit = Fenwick::new(n);
-    let mut last: HashMap<u64, usize> = HashMap::new();
+    let mut last: FxHashMap<u64, usize> = fx_map_with_capacity(n / 2 + 1);
     let mut out = Vec::with_capacity(n);
     for (t, &id) in trace.iter().enumerate() {
         match last.get(&id).copied() {
@@ -131,9 +131,7 @@ mod tests {
 
     #[test]
     fn lru_mrc_matches_direct_simulation() {
-        let trace: Vec<u64> = (0..4000)
-            .map(|i| ((i * 31 + i / 7) % 29) as u64)
-            .collect();
+        let trace: Vec<u64> = (0..4000).map(|i| ((i * 31 + i / 7) % 29) as u64).collect();
         let mrc = lru_mrc(&trace, 32);
         for c in [1usize, 2, 4, 8, 16, 29, 32] {
             let hits = lru_hits_at(&trace, c);

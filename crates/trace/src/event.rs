@@ -1,7 +1,5 @@
 //! Trace events and the cache-line address newtype.
 
-use serde::{Deserialize, Serialize};
-
 /// Size of a hardware cache line in bytes (x86 and the paper's testbed).
 pub const LINE_SIZE: usize = 64;
 
@@ -10,9 +8,7 @@ pub const LINE_SIZE: usize = 64;
 /// Persistence policies, the software cache, and the locality analysis all
 /// operate at cache-line granularity, exactly like Atlas and the paper's
 /// software cache (Section II).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Line(pub u64);
 
 impl Line {
@@ -47,7 +43,7 @@ impl std::fmt::Display for Line {
 }
 
 /// One event in a per-thread trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A persistent store to the given cache line. This is the event
     /// persistence policies react to.

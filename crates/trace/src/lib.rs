@@ -15,12 +15,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod hash;
 pub mod record;
 pub mod stats;
 pub mod synth;
 pub mod trace;
 
 pub use event::{Event, Line, LINE_SIZE};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use record::{NullSink, StoreSink, TraceRecorder};
 pub use stats::TraceStats;
 pub use trace::{ThreadTrace, Trace};

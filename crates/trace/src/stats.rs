@@ -3,12 +3,11 @@
 //! persistent stores, writes per FASE).
 
 use crate::event::Event;
+use crate::hash::FxHashSet;
 use crate::trace::Trace;
-use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// Aggregate statistics of a [`Trace`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Number of threads.
     pub threads: usize,
@@ -38,13 +37,13 @@ impl TraceStats {
         let mut total_reads = 0usize;
         let mut total_fases = 0usize;
         let mut total_work = 0u64;
-        let mut all_lines = HashSet::new();
+        let mut all_lines = FxHashSet::default();
         let mut wss_sum = 0usize;
         let mut wss_max = 0usize;
 
         for t in &trace.threads {
             let mut depth = 0usize;
-            let mut cur: HashSet<u64> = HashSet::new();
+            let mut cur: FxHashSet<u64> = FxHashSet::default();
             for e in &t.events {
                 match e {
                     Event::Write(l) => {

@@ -47,19 +47,14 @@ fn emit(lines: impl IntoIterator<Item = u64>, opts: &SynthOpts) -> Trace {
         in_fase += 1;
     }
     t.fase_end();
-    Trace {
-        threads: vec![t],
-    }
+    Trace { threads: vec![t] }
 }
 
 /// Sequential sweep: writes lines `0..lines` in order, repeated `rounds`
 /// times. An LRU cache of size ≥ `lines` hits on every revisit; any
 /// smaller cache always misses (the classic LRU cliff).
 pub fn sequential(lines: u64, rounds: usize, opts: &SynthOpts) -> Trace {
-    emit(
-        (0..rounds).flat_map(move |_| 0..lines),
-        opts,
-    )
+    emit((0..rounds).flat_map(move |_| 0..lines), opts)
 }
 
 /// Cyclic working set: like [`sequential`] but the canonical name for the
@@ -114,7 +109,8 @@ pub fn nested_loop(wss_lines: u64, inner: usize, outer: usize, opts: &SynthOpts)
     let mut o = opts.clone();
     o.writes_per_fase = 0; // single FASE
     emit(
-        (0..outer).flat_map(move |_| (0..inner).map(move |i| (i as u64 * 16 / 64).min(wss_lines - 1))),
+        (0..outer)
+            .flat_map(move |_| (0..inner).map(move |i| (i as u64 * 16 / 64).min(wss_lines - 1))),
         &o,
     )
 }

@@ -155,7 +155,7 @@ impl PBTree {
             let tag = self.rt.load_u64(page);
             let n = self.rt.load_u64(page + 8) as usize;
             self.rt.work(n as u32 + 2); // key comparisons
-            // find first key > search key
+                                        // find first key > search key
             let mut i = 0;
             while i < n && self.rt.load_u64(k_off(page, i)) <= key {
                 i += 1;

@@ -24,9 +24,7 @@ impl PHashTable {
         let mut rt = FaseRuntime::with_heap(data, 64 * 1024, policy);
         // bucket array sits right after the heap header — reserve it by
         // allocating a block per 512 bucket pointers
-        let base = rt
-            .alloc(4096)
-            .expect("bucket array allocation") as usize;
+        let base = rt.alloc(4096).expect("bucket array allocation") as usize;
         assert!(buckets * 8 <= 4096, "at most 512 buckets in this layout");
         rt.set_root(base as u64);
         rt.fase(|rt| {
@@ -39,9 +37,7 @@ impl PHashTable {
 
     fn bucket_off(&self, key: u64) -> usize {
         let base = self.rt.root() as usize;
-        let h = key
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .rotate_left(31);
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31);
         base + (h as usize % self.buckets) * 8
     }
 

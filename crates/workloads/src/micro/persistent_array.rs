@@ -144,7 +144,11 @@ mod tests {
             inner: 64,
             outer: 3,
         };
-        let mut rt = FaseRuntime::new(64 * 4 + 64, 64 * 3 * 24 + 4096, &PolicyKind::ScFixed { capacity: 8 });
+        let mut rt = FaseRuntime::new(
+            64 * 4 + 64,
+            64 * 3 * 24 + 4096,
+            &PolicyKind::ScFixed { capacity: 8 },
+        );
         w.run(&mut rt);
         rt.crash_and_recover(&CrashMode::StrictDurableOnly);
         // FASE committed: final values visible

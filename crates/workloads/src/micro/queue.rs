@@ -233,28 +233,27 @@ mod tests {
         // threads. We serialize whole operations with a lock (each op is
         // one FASE; the software cache stays per-thread in the paper's
         // design — here the queue itself is the shared object).
-        use parking_lot::Mutex;
+        use std::sync::Mutex;
         let q = Mutex::new(PQueue::new(4096, &PolicyKind::ScFixed { capacity: 8 }));
         let produced = 4 * 300;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let q = &q;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..300u64 {
-                        q.lock().enqueue(t * 1000 + i);
+                        q.lock().unwrap().enqueue(t * 1000 + i);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let mut per_consumer: Vec<Vec<u64>> = Vec::new();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let q = &q;
             let handles: Vec<_> = (0..2)
                 .map(|_| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut got = Vec::new();
-                        while let Some(v) = q.lock().dequeue() {
+                        while let Some(v) = q.lock().unwrap().dequeue() {
                             got.push(v);
                         }
                         got
@@ -264,8 +263,7 @@ mod tests {
             for h in handles {
                 per_consumer.push(h.join().unwrap());
             }
-        })
-        .unwrap();
+        });
         let total: usize = per_consumer.iter().map(|c| c.len()).sum();
         assert_eq!(total, produced);
         // each element dequeued exactly once
@@ -284,7 +282,7 @@ mod tests {
             }
         }
         // and the queue survives a crash afterwards
-        let mut q = q.into_inner();
+        let mut q = q.into_inner().unwrap();
         q.runtime_mut()
             .crash_and_recover(&nvcache_pmem::CrashMode::StrictDurableOnly);
         assert!(q.is_empty());

@@ -2,9 +2,7 @@
 
 use crate::mdb::MdbWorkload;
 use crate::micro::{HashWorkload, LinkedListWorkload, PersistentArray, QueueWorkload};
-use crate::splash2::{
-    Barnes, Fmm, Ocean, Raytrace, Volrend, WaterNsquared, WaterSpatial,
-};
+use crate::splash2::{Barnes, Fmm, Ocean, Raytrace, Volrend, WaterNsquared, WaterSpatial};
 use crate::workload::Workload;
 
 /// All twelve Table III workloads at `scale` (1.0 ≈ paper problem

@@ -92,8 +92,8 @@ impl Kernel for Barnes {
                         ax += dx * inv;
                         ay += dy * inv;
                         body.store(sink, i); // acceleration accumulation
-                        // cell-open counter: near-root cells, hot but
-                        // aliasing the body lines in a mod-8 table
+                                             // cell-open counter: near-root cells, hot but
+                                             // aliasing the body lines in a mod-8 table
                         node.store(sink, j % 2);
                         sink.work(3);
                     }

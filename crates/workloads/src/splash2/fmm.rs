@@ -108,7 +108,10 @@ mod tests {
     use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
 
     fn small() -> Fmm {
-        Fmm { cells: 64, steps: 2 }
+        Fmm {
+            cells: 64,
+            steps: 2,
+        }
     }
 
     #[test]
@@ -150,6 +153,9 @@ mod tests {
         let at_sc = at.flushes() as f64 / sc.flushes() as f64;
         assert!(at_sc > 3.0, "AT/SC = {at_sc}");
         let sc_la = sc.flushes() as f64 / la.flushes() as f64;
-        assert!(sc_la < 1.1, "right-sized SC reaches the LA minimum: {sc_la}");
+        assert!(
+            sc_la < 1.1,
+            "right-sized SC reaches the LA minimum: {sc_la}"
+        );
     }
 }

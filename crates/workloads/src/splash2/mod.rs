@@ -38,7 +38,7 @@ pub use volrend::Volrend;
 pub use water_nsquared::WaterNsquared;
 pub use water_spatial::WaterSpatial;
 
-use nvcache_trace::{Line, StoreSink, TraceRecorder, Trace};
+use nvcache_trace::{Line, StoreSink, Trace, TraceRecorder};
 
 /// A persistent array laid out in the emulated address space: region
 /// `id` gets a disjoint base address; elements are `elem_bytes` wide.
@@ -96,19 +96,21 @@ pub trait Kernel: Sync {
 /// caches).
 pub fn record_kernel<K: Kernel>(kernel: &K, threads: usize) -> Trace {
     let threads = threads.max(1);
-    let recs: Vec<TraceRecorder> = crossbeam::thread::scope(|scope| {
+    let recs: Vec<TraceRecorder> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut r = TraceRecorder::new();
                     kernel.run(&mut r, threads, tid);
                     r
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("kernel thread")).collect()
-    })
-    .expect("record scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("kernel thread"))
+            .collect()
+    });
     TraceRecorder::merge(recs)
 }
 

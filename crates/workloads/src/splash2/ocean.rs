@@ -54,8 +54,8 @@ impl Kernel for Ocean {
                     let jstart = 1 + ((i + color) % 2);
                     for j in (jstart..n - 1).step_by(2) {
                         let idx = i * n + j;
-                        let v = 0.25
-                            * (grid[idx - 1] + grid[idx + 1] + grid[idx - n] + grid[idx + n]);
+                        let v =
+                            0.25 * (grid[idx - 1] + grid[idx + 1] + grid[idx - n] + grid[idx + n]);
                         let r = (v - grid[idx]).abs();
                         grid[idx] = v;
                         psi.store(sink, idx);

@@ -31,7 +31,11 @@ const TILE: usize = 64; // pixels per tile = 8 lines of 8-byte pixels
 /// A ray-sphere hit test: the real FP math the kernel performs.
 fn trace_ray(x: f64, y: f64) -> f64 {
     // three fixed spheres
-    let spheres = [(0.0, 0.0, 3.0, 1.0), (1.5, 0.5, 4.0, 0.7), (-1.2, -0.4, 5.0, 1.2)];
+    let spheres = [
+        (0.0, 0.0, 3.0, 1.0),
+        (1.5, 0.5, 4.0, 0.7),
+        (-1.2, -0.4, 5.0, 1.2),
+    ];
     let (dx, dy, dz) = (x, y, 1.0f64);
     let norm = (dx * dx + dy * dy + dz * dz).sqrt();
     let (dx, dy, dz) = (dx / norm, dy / norm, dz / norm);

@@ -122,7 +122,10 @@ mod tests {
     use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
 
     fn small() -> WaterSpatial {
-        WaterSpatial { cells: 24, steps: 2 }
+        WaterSpatial {
+            cells: 24,
+            steps: 2,
+        }
     }
 
     #[test]

@@ -75,8 +75,6 @@ fn main() {
             checked += 1;
         }
     }
-    println!(
-        "✓ conservation of money held across {checked} policy × crash-adversary combinations"
-    );
+    println!("✓ conservation of money held across {checked} policy × crash-adversary combinations");
     println!("  (the torn transfer was rolled back by undo-log recovery every time)");
 }

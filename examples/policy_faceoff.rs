@@ -14,10 +14,7 @@ use nvcache::workloads::registry::workload_by_name;
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "water-spatial".to_string());
-    let threads: usize = args
-        .next()
-        .and_then(|t| t.parse().ok())
-        .unwrap_or(1);
+    let threads: usize = args.next().and_then(|t| t.parse().ok()).unwrap_or(1);
 
     let Some(workload) = workload_by_name(&name, 0.05) else {
         eprintln!(

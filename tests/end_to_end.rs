@@ -18,9 +18,18 @@ fn every_workload_flows_through_every_policy() {
         let sc = flush_stats(&tr, &PolicyKind::ScAdaptive(Default::default()));
         let best = flush_stats(&tr, &PolicyKind::Best);
         // universal invariants of the flush counts
-        assert_eq!(er.flushes(), er.stores, "{}: ER flushes every store", w.name());
+        assert_eq!(
+            er.flushes(),
+            er.stores,
+            "{}: ER flushes every store",
+            w.name()
+        );
         assert_eq!(best.flushes(), 0, "{}", w.name());
-        assert!(la.flushes() <= at.flushes(), "{}: LA is the minimum", w.name());
+        assert!(
+            la.flushes() <= at.flushes(),
+            "{}: LA is the minimum",
+            w.name()
+        );
         assert!(la.flushes() <= sc.flushes(), "{}", w.name());
         assert!(sc.flushes() <= er.flushes(), "{}", w.name());
     }
