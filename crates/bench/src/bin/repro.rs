@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale S] [--threads a,b,c] [--json]
+//!                    [--telemetry FILE]
 //!
 //! experiments: table1 table2 table3 table4
 //!              fig2 fig4 fig5 fig6 fig7 fig8
@@ -16,11 +17,17 @@
 //! 0.05); absolute numbers shrink with it but orderings and ratios are
 //! scale-stable (EXPERIMENTS.md). Use `--scale 1.0` for paper sizes
 //! (minutes, not seconds).
+//!
+//! `--telemetry FILE` additionally instruments every timed replay the
+//! experiment performs (counters, histograms, FASE/flush timeline),
+//! prints a summary table and writes the full per-run snapshots to
+//! FILE as JSON. Simulated results are identical with or without it.
 
 use nvcache_bench::experiments::{ablations, figs, tables, DEFAULT_SCALE, THREAD_SWEEP};
-use nvcache_bench::report::json_str;
-use nvcache_bench::Table;
-use nvcache_core::{run_policy_with, PolicyKind, ReplayOptions, RunConfig};
+use nvcache_bench::report::{json_str, telemetry_envelope, telemetry_table};
+use nvcache_bench::{telemetry, Table};
+use nvcache_core::{run_policy_traced, run_policy_with, PolicyKind, ReplayOptions, RunConfig};
+use nvcache_telemetry::TelemetryConfig;
 use nvcache_trace::synth::{cyclic, replicate, SynthOpts};
 
 struct Args {
@@ -28,6 +35,7 @@ struct Args {
     scale: f64,
     threads: Vec<usize>,
     json: bool,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +44,7 @@ fn parse_args() -> Args {
         scale: DEFAULT_SCALE,
         threads: THREAD_SWEEP.to_vec(),
         json: false,
+        telemetry: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,6 +63,9 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--json" => args.json = true,
+            "--telemetry" => {
+                args.telemetry = Some(it.next().unwrap_or_else(|| usage("missing --telemetry")));
+            }
             "--help" | "-h" => usage(""),
             other if args.experiment.is_empty() => args.experiment = other.to_string(),
             other => usage(&format!("unexpected argument {other}")),
@@ -70,7 +82,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro <experiment> [--scale S] [--threads a,b,c] [--json]\n\
+        "usage: repro <experiment> [--scale S] [--threads a,b,c] [--json] [--telemetry FILE]\n\
          experiments: table1 table2 table3 table4 fig2 fig4 fig5 fig6 fig7 fig8\n\
          \x20            ablation-knee ablation-atlas ablation-bound ablation-burst\n\
          \x20            ablation-clwb ablation-phased ablation-groups\n\
@@ -129,9 +141,13 @@ fn run_one(name: &str, scale: f64, threads: &[usize]) -> Vec<Table> {
     }
 }
 
-/// Wall-clock replay-engine throughput, sequential vs parallel, on an
-/// 8-thread trace. Verifies bit-identical reports at every parallelism,
-/// prints a table, and records the measurements in `BENCH_replay.json`.
+/// Wall-clock replay-engine throughput, sequential vs parallel, with
+/// the recorder off and on, on an 8-thread trace. Verifies bit-identical
+/// reports at every parallelism and in both recorder modes, prints a
+/// table, and records the measurements in `BENCH_replay.json`. The
+/// recorder-off rows quantify the telemetry layer's no-op cost (the
+/// generic driver must compile to the pre-telemetry loop); recorder-on
+/// rows show the price of full instrumentation.
 fn bench_replay(scale: f64) -> Table {
     let rounds = ((100_000.0 * scale) as usize).max(2_000);
     let tr = replicate(&cyclic(23, rounds, &SynthOpts::default()), 8);
@@ -145,40 +161,57 @@ fn bench_replay(scale: f64) -> Table {
         pars.sort_unstable();
     }
     let cfg = RunConfig::default();
+    let tcfg = TelemetryConfig::default();
     let mut t = Table::new(
         &format!("Replay throughput: 8-thread trace, {stores} stores (host parallelism {host})"),
-        &["policy", "parallelism", "secs", "Mwrites/s", "speedup"],
+        &[
+            "policy",
+            "recorder",
+            "parallelism",
+            "secs",
+            "Mwrites/s",
+            "speedup",
+        ],
     );
     let mut records = Vec::new();
     for kind in [PolicyKind::Eager, PolicyKind::Atlas { size: 8 }] {
-        let mut seq_secs = 0.0f64;
         let baseline = run_policy_with(&tr, &kind, &cfg, &ReplayOptions::sequential());
-        for &par in &pars {
-            let opts = ReplayOptions::with_parallelism(par);
-            let mut best = f64::INFINITY;
-            for _ in 0..3 {
-                let start = std::time::Instant::now();
-                let r = run_policy_with(&tr, &kind, &cfg, &opts);
-                best = best.min(start.elapsed().as_secs_f64());
-                assert_eq!(r, baseline, "parallel replay must be bit-identical");
+        for recorder_on in [false, true] {
+            let mut seq_secs = 0.0f64;
+            for &par in &pars {
+                let opts = ReplayOptions::with_parallelism(par);
+                let mut best = f64::INFINITY;
+                for _ in 0..3 {
+                    let start = std::time::Instant::now();
+                    let r = if recorder_on {
+                        run_policy_traced(&tr, &kind, &cfg, &opts, &tcfg).0
+                    } else {
+                        run_policy_with(&tr, &kind, &cfg, &opts)
+                    };
+                    best = best.min(start.elapsed().as_secs_f64());
+                    assert_eq!(r, baseline, "replay must be bit-identical");
+                }
+                if par == 1 {
+                    seq_secs = best;
+                }
+                let wps = stores as f64 / best;
+                let speedup = seq_secs / best;
+                let rec = if recorder_on { "on" } else { "off" };
+                t.row(vec![
+                    kind.label().to_string(),
+                    rec.to_string(),
+                    par.to_string(),
+                    format!("{best:.4}"),
+                    format!("{:.2}", wps / 1e6),
+                    format!("{speedup:.2}x"),
+                ]);
+                records.push(format!(
+                    "    {{\"policy\": {}, \"telemetry\": {recorder_on}, \"parallelism\": {par}, \
+                     \"secs\": {best:.6}, \"writes_per_sec\": {wps:.0}, \
+                     \"speedup_vs_seq\": {speedup:.3}}}",
+                    json_str(kind.label())
+                ));
             }
-            if par == 1 {
-                seq_secs = best;
-            }
-            let wps = stores as f64 / best;
-            let speedup = seq_secs / best;
-            t.row(vec![
-                kind.label().to_string(),
-                par.to_string(),
-                format!("{best:.4}"),
-                format!("{:.2}", wps / 1e6),
-                format!("{speedup:.2}x"),
-            ]);
-            records.push(format!(
-                "    {{\"policy\": {}, \"parallelism\": {par}, \"secs\": {best:.6}, \
-                 \"writes_per_sec\": {wps:.0}, \"speedup_vs_seq\": {speedup:.3}}}",
-                json_str(kind.label())
-            ));
         }
     }
     let json = format!(
@@ -195,6 +228,9 @@ fn bench_replay(scale: f64) -> Table {
 
 fn main() {
     let args = parse_args();
+    if args.telemetry.is_some() {
+        telemetry::enable();
+    }
     let start = std::time::Instant::now();
     let results = run_one(&args.experiment, args.scale, &args.threads);
     for t in &results {
@@ -202,6 +238,27 @@ fn main() {
             println!("{}", t.to_json());
         } else {
             t.print();
+        }
+    }
+    if let Some(path) = &args.telemetry {
+        let runs = telemetry::drain();
+        if runs.is_empty() {
+            eprintln!(
+                "warning: --telemetry captured no runs \
+                 ({} performs no timed replays)",
+                args.experiment
+            );
+        }
+        let t = telemetry_table(&runs);
+        if args.json {
+            println!("{}", t.to_json());
+        } else {
+            t.print();
+        }
+        let envelope = telemetry_envelope(&args.experiment, args.scale, &runs);
+        match std::fs::write(path, &envelope) {
+            Ok(()) => eprintln!("[telemetry: {} runs -> {path}]", runs.len()),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
         }
     }
     eprintln!(

@@ -5,7 +5,10 @@ pub mod figs;
 pub mod tables;
 
 use crate::calibrate::{adaptive_config_for, machine_for, offline_capacity};
-use nvcache_core::{run_policy, PolicyKind, RunConfig, RunReport};
+use crate::telemetry;
+use nvcache_core::{
+    run_policy, run_policy_traced, PolicyKind, ReplayOptions, RunConfig, RunReport,
+};
 use nvcache_locality::KneeConfig;
 use nvcache_trace::Trace;
 
@@ -17,12 +20,26 @@ pub const DEFAULT_SCALE: f64 = 0.05;
 pub const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8, 16, 32];
 
 /// Run `kind` over `trace` with the calibrated machine for its thread
-/// count.
+/// count. When global telemetry collection is on (`repro --telemetry`),
+/// the run goes through the traced driver and its snapshot is deposited
+/// in the collector; the [`RunReport`] is identical either way.
 pub fn timed(trace: &Trace, kind: &PolicyKind) -> RunReport {
     let cfg = RunConfig {
         machine: machine_for(trace.num_threads()),
     };
-    run_policy(trace, kind, &cfg)
+    if telemetry::is_enabled() {
+        let (report, snap) = run_policy_traced(
+            trace,
+            kind,
+            &cfg,
+            &ReplayOptions::sequential(),
+            &telemetry::config(),
+        );
+        telemetry::record(format!("{}@{}t", kind.label(), trace.num_threads()), snap);
+        report
+    } else {
+        run_policy(trace, kind, &cfg)
+    }
 }
 
 /// The online-adaptive SC policy kind for a trace.

@@ -13,6 +13,7 @@ pub mod calibrate;
 pub mod experiments;
 pub mod pool;
 pub mod report;
+pub mod telemetry;
 
 pub use calibrate::{adaptive_config_for, machine_for, offline_capacity, Calibration};
 pub use pool::{par_map, par_map_with};

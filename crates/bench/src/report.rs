@@ -1,6 +1,9 @@
 //! Plain-text table rendering and JSON artifact output for experiment
 //! results — the harness prints the same rows/series the paper reports.
+//! Also serializes collected [`TelemetrySnapshot`]s into the
+//! `repro --telemetry` artifact (envelope + per-run snapshots).
 
+use nvcache_telemetry::{CounterId, TelemetrySnapshot};
 use std::fmt::Write as _;
 
 /// A simple aligned text table with a title, built row by row.
@@ -109,6 +112,60 @@ fn json_str_array(items: &[String]) -> String {
     format!("[{}]", cells.join(", "))
 }
 
+/// The `repro --telemetry` JSON artifact: an envelope identifying the
+/// experiment plus one snapshot per collected run and cross-run totals.
+/// Top-level keys (`experiment`, `scale`, `runs`, `totals`) are stable —
+/// CI validates them.
+pub fn telemetry_envelope(
+    experiment: &str,
+    scale: f64,
+    runs: &[(String, TelemetrySnapshot)],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": {},", json_str(experiment));
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    out.push_str("  \"runs\": [");
+    for (i, (label, snap)) in runs.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"label\": {}, \"snapshot\": {}}}",
+            json_str(label),
+            snap.to_json()
+        );
+    }
+    out.push_str(if runs.is_empty() { "],\n" } else { "\n  ],\n" });
+    let total = |id: CounterId| -> u64 { runs.iter().map(|(_, s)| s.counter(id)).sum() };
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{\"runs\": {}, \"stores\": {}, \"flushes_async\": {}, \
+         \"flushes_sync\": {}, \"sc_hits\": {}, \"sc_evictions\": {}, \
+         \"capacity_changes\": {}, \"dropped_events\": {}}}",
+        runs.len(),
+        total(CounterId::Stores),
+        total(CounterId::FlushesAsync),
+        total(CounterId::FlushesSync),
+        total(CounterId::ScHits),
+        total(CounterId::ScEvictions),
+        total(CounterId::CapacityChanges),
+        runs.iter().map(|(_, s)| s.dropped_events).sum::<u64>(),
+    );
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Text summary of collected telemetry: one row per (run, metric).
+pub fn telemetry_table(runs: &[(String, TelemetrySnapshot)]) -> Table {
+    let mut t = Table::new("Telemetry", &["run", "metric", "value"]);
+    for (label, snap) in runs {
+        for (metric, value) in snap.summary_rows() {
+            t.row(vec![label.clone(), metric, value]);
+        }
+    }
+    t
+}
+
 /// Format a ratio like the paper's Table III (5 decimal places).
 pub fn ratio(x: f64) -> String {
     format!("{x:.5}")
@@ -157,6 +214,45 @@ mod tests {
         assert!(j.contains("\"two\\n\""));
         let empty = Table::new("e", &["h"]).to_json();
         assert!(empty.contains("\"rows\": []"));
+    }
+
+    #[test]
+    fn telemetry_envelope_has_stable_top_level_keys() {
+        use nvcache_telemetry::{Recorder, TelemetryConfig, ThreadRecorder};
+        let mut rec = ThreadRecorder::new(0, &TelemetryConfig::default());
+        rec.add(CounterId::Stores, 7);
+        let runs = vec![(
+            "ER@1t".to_string(),
+            TelemetrySnapshot::from_threads(vec![rec]),
+        )];
+        let j = telemetry_envelope("table1", 0.05, &runs);
+        for key in [
+            "\"experiment\": \"table1\"",
+            "\"scale\": 0.05",
+            "\"runs\": [",
+            "\"label\": \"ER@1t\"",
+            "\"totals\": {\"runs\": 1, \"stores\": 7",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        let empty = telemetry_envelope("x", 1.0, &[]);
+        assert!(empty.contains("\"runs\": []"));
+        assert!(empty.contains("\"totals\": {\"runs\": 0"));
+    }
+
+    #[test]
+    fn telemetry_table_renders_per_run_rows() {
+        use nvcache_telemetry::{Recorder, TelemetryConfig, ThreadRecorder};
+        let mut rec = ThreadRecorder::new(0, &TelemetryConfig::default());
+        rec.add(CounterId::Stores, 3);
+        let runs = vec![(
+            "AT@8t".to_string(),
+            TelemetrySnapshot::from_threads(vec![rec]),
+        )];
+        let t = telemetry_table(&runs);
+        let s = t.render();
+        assert!(s.contains("AT@8t"));
+        assert!(s.contains("stores"));
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Process-global telemetry collection for the repro harness.
+//!
+//! Experiments drive replays through [`crate::experiments::timed`];
+//! when collection is enabled (`repro --telemetry out.json`) that
+//! funnel switches to the traced driver and deposits each run's
+//! [`TelemetrySnapshot`] here, labelled by policy and thread count. The
+//! check is one relaxed atomic load per *run* (not per event), so the
+//! disabled path costs nothing measurable and the simulated results are
+//! identical either way — telemetry observes a run, it never perturbs
+//! one.
+
+use nvcache_telemetry::{TelemetryConfig, TelemetrySnapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// One collected run: `(label, snapshot)`.
+pub type LabelledRun = (String, TelemetrySnapshot);
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RUNS: Mutex<Vec<LabelledRun>> = Mutex::new(Vec::new());
+
+/// Turn collection on for the rest of the process. Runs driven through
+/// [`crate::experiments::timed`] are captured from this point on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Is collection on? Experiments consult this once per run.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The ring configuration used for collected runs.
+pub fn config() -> TelemetryConfig {
+    TelemetryConfig::default()
+}
+
+/// Deposit one run's snapshot under `label`.
+pub fn record(label: String, snap: TelemetrySnapshot) {
+    RUNS.lock()
+        .expect("telemetry collector")
+        .push((label, snap));
+}
+
+/// Drain every collected run, in collection order.
+pub fn drain() -> Vec<LabelledRun> {
+    std::mem::take(&mut *RUNS.lock().expect("telemetry collector"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvcache_telemetry::ThreadRecorder;
+
+    #[test]
+    fn collector_roundtrip() {
+        // Note: `enable` is sticky process-wide; this test only checks
+        // record/drain, which are independent of the flag.
+        let snap = TelemetrySnapshot::from_threads(vec![ThreadRecorder::new(0, &config())]);
+        record("demo".into(), snap);
+        let runs = drain();
+        assert!(runs.iter().any(|(l, _)| l == "demo"));
+        assert!(drain().is_empty(), "drain empties the collector");
+    }
+}

@@ -126,6 +126,23 @@ impl Machine {
         self.now
     }
 
+    /// Write-back queue depth right now (pure probe — telemetry's
+    /// depth-sampling point).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth_at(self.now)
+    }
+
+    /// Cycles stalled so far in end-of-FASE drains and fences.
+    pub fn fase_stall_cycles(&self) -> u64 {
+        self.fase_stall
+    }
+
+    /// Total queue stall cycles so far (mid-FASE *and* end-of-FASE; the
+    /// final report splits them).
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.queue.stall_cycles
+    }
+
     /// Execute `units` of opaque computation.
     pub fn work(&mut self, units: u32) {
         self.now += units as u64 * self.cfg.timing.t_work;

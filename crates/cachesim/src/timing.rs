@@ -59,7 +59,7 @@ impl Default for TimingConfig {
 /// memory channel per context), and at most `slots` flushes may be
 /// outstanding — issuing into a full queue stalls the thread until the
 /// oldest completes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlushQueue {
     slots: usize,
     service: u64,
@@ -130,10 +130,19 @@ impl FlushQueue {
         done
     }
 
-    /// Number of flushes currently in flight at cycle `now`.
-    pub fn outstanding(&mut self, now: u64) -> usize {
-        self.retire(now);
-        self.inflight.len()
+    /// Number of flushes still in flight at cycle `now`, **without**
+    /// touching the queue: completed-but-unretired entries are merely
+    /// skipped, not popped. This is the probe telemetry sampling uses —
+    /// observing depth must never perturb timing state.
+    pub fn depth_at(&self, now: u64) -> usize {
+        self.inflight.iter().filter(|&&c| c > now).count()
+    }
+
+    /// Number of flushes currently in flight at cycle `now`. Pure alias
+    /// of [`FlushQueue::depth_at`] (it used to retire completed entries
+    /// as a side effect; observation is now read-only).
+    pub fn outstanding(&self, now: u64) -> usize {
+        self.depth_at(now)
     }
 }
 
@@ -194,6 +203,30 @@ mod tests {
                                          // at t=20 the slot is free again
         assert_eq!(q.issue_async(20), 20);
         assert_eq!(q.stall_cycles, 0);
+    }
+
+    #[test]
+    fn depth_probe_is_pure() {
+        // Observing queue depth must not mutate timing state: the probed
+        // queue stays structurally identical and every subsequent issue
+        // behaves exactly like an unprobed clone's.
+        let mut q = FlushQueue::new(2, 100);
+        q.issue_async(0); // completes 100
+        q.issue_async(0); // completes 200
+        let unprobed = q.clone();
+        assert_eq!(q.depth_at(0), 2);
+        assert_eq!(q.depth_at(150), 1, "completed head skipped, not popped");
+        assert_eq!(q.depth_at(500), 0);
+        assert_eq!(q.outstanding(150), 1);
+        assert_eq!(q, unprobed, "probing left the queue untouched");
+        // identical future behaviour
+        let mut probed = q;
+        let mut clean = unprobed;
+        for t in [0u64, 120, 300] {
+            assert_eq!(probed.issue_async(t), clean.issue_async(t));
+            assert_eq!(probed.stall_cycles, clean.stall_cycles);
+        }
+        assert_eq!(probed, clean);
     }
 
     #[test]

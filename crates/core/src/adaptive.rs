@@ -8,7 +8,7 @@
 //! evaluation; finite hibernation re-adapts periodically — the paper's
 //! future-work extension).
 
-use crate::policy::PersistPolicy;
+use crate::policy::{PersistPolicy, StoreOutcome};
 use crate::sc::ScPolicy;
 use nvcache_locality::{select_cache_size, BurstSampler, KneeConfig};
 use nvcache_trace::Line;
@@ -56,6 +56,9 @@ pub struct AdaptiveScPolicy {
     pending_instrs: u64,
     /// Capacities chosen so far (diagnostics; Fig. 8 / Section IV-G).
     selections: Vec<usize>,
+    /// Most recent resize as `(knee, new_capacity)`, drained by the
+    /// telemetry-enabled driver via `take_capacity_change`.
+    last_change: Option<(usize, usize)>,
 }
 
 impl AdaptiveScPolicy {
@@ -67,6 +70,7 @@ impl AdaptiveScPolicy {
             epoch: 0,
             pending_instrs: 0,
             selections: Vec::new(),
+            last_change: None,
             cfg,
         }
     }
@@ -92,7 +96,7 @@ impl PersistPolicy for AdaptiveScPolicy {
         "SC"
     }
 
-    fn on_store(&mut self, line: Line, out: &mut Vec<Line>) {
+    fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
         // Sample with FASE renaming (Section III-B): an address reused
         // across FASEs must look like a fresh datum.
         let renamed = (self.epoch << 40) ^ (line.0 & ((1u64 << 40) - 1));
@@ -107,12 +111,14 @@ impl PersistPolicy for AdaptiveScPolicy {
             // quantized by the running average c = k − reuse(k), which
             // can place a sharp cliff one size early; one spare entry
             // guards the cliff foot at negligible cost.
-            let size = (select_cache_size(&mrc, &self.cfg.knee) + 1).min(self.cfg.knee.max_size);
+            let knee = select_cache_size(&mrc, &self.cfg.knee);
+            let size = (knee + 1).min(self.cfg.knee.max_size);
             self.selections.push(size);
+            self.last_change = Some((knee, size));
             self.pending_instrs += self.cfg.analysis_instr_per_write * self.cfg.burst_len as u64;
             out.extend(self.sc.set_capacity(size));
         }
-        self.sc.on_store(line, out);
+        self.sc.on_store(line, out)
     }
 
     fn on_fase_end(&mut self, out: &mut Vec<Line>) {
@@ -126,6 +132,10 @@ impl PersistPolicy for AdaptiveScPolicy {
 
     fn drain_extra_instrs(&mut self) -> u64 {
         std::mem::take(&mut self.pending_instrs)
+    }
+
+    fn take_capacity_change(&mut self) -> Option<(usize, usize)> {
+        self.last_change.take()
     }
 
     fn reset(&mut self) {

@@ -5,7 +5,7 @@
 //! table is flushed. Equivalent to a direct-mapped, fixed-size software
 //! cache — cheap, but conflict misses force avoidable flushes.
 
-use crate::policy::PersistPolicy;
+use crate::policy::{PersistPolicy, StoreOutcome};
 use nvcache_trace::Line;
 
 /// The Atlas-table policy. The paper's Atlas uses 8 entries.
@@ -39,15 +39,19 @@ impl PersistPolicy for AtlasPolicy {
         "AT"
     }
 
-    fn on_store(&mut self, line: Line, out: &mut Vec<Line>) {
+    fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
         let s = self.slot(line);
         match self.table[s] {
-            Some(existing) if existing == line => {} // combined
+            Some(existing) if existing == line => StoreOutcome::Combined,
             Some(conflicting) => {
                 out.push(conflicting);
                 self.table[s] = Some(line);
+                StoreOutcome::Inserted
             }
-            None => self.table[s] = Some(line),
+            None => {
+                self.table[s] = Some(line);
+                StoreOutcome::Inserted
+            }
         }
     }
 

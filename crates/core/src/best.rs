@@ -3,7 +3,7 @@
 //! (zero) and perfect overlap, used to bound how much headroom remains
 //! above SC (Figures 4 and 6).
 
-use crate::policy::PersistPolicy;
+use crate::policy::{PersistPolicy, StoreOutcome};
 use nvcache_trace::Line;
 
 /// The no-op upper-bound policy.
@@ -22,7 +22,11 @@ impl PersistPolicy for BestPolicy {
         "BEST"
     }
 
-    fn on_store(&mut self, _line: Line, _out: &mut Vec<Line>) {}
+    fn on_store(&mut self, _line: Line, _out: &mut Vec<Line>) -> StoreOutcome {
+        // BEST buffers nothing and flushes nothing; every write is
+        // trivially "combined" (no flush obligation is ever created)
+        StoreOutcome::Combined
+    }
 
     fn on_fase_end(&mut self, _out: &mut Vec<Line>) {}
 

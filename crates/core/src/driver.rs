@@ -19,8 +19,12 @@
 //! return `(tid, result)` pairs that are re-assembled in tid order
 //! before any aggregation happens.
 
-use crate::policy::PolicyKind;
+use crate::policy::{PolicyKind, StoreOutcome};
 use nvcache_cachesim::{Machine, MachineConfig, MachineReport};
+use nvcache_telemetry::{
+    CounterId, EventKind, HistId, NullRecorder, Recorder, TelemetryConfig, TelemetrySnapshot,
+    ThreadRecorder,
+};
 use nvcache_trace::{Event, ThreadTrace, Trace};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -145,29 +149,76 @@ struct ThreadFlushes {
 }
 
 /// Replay one thread through a fresh policy instance, counting flushes.
-fn flush_thread(thread: &ThreadTrace, kind: &PolicyKind) -> ThreadFlushes {
+///
+/// Generic over the telemetry [`Recorder`]: with [`NullRecorder`] every
+/// `R::ENABLED` block is a constant-false branch the optimizer deletes,
+/// so the uninstrumented path is byte-for-byte the pre-telemetry loop.
+/// Timeline timestamps in this (untimed) driver are the per-thread
+/// trace-event ordinal.
+fn flush_thread<R: Recorder>(
+    thread: &ThreadTrace,
+    kind: &PolicyKind,
+    rec: &mut R,
+) -> ThreadFlushes {
     let mut acc = ThreadFlushes::default();
     let mut policy = kind.build();
     let mut depth = 0usize;
     let mut buf = Vec::with_capacity(FLUSH_BUF_CAPACITY);
+    let mut t = 0u64; // event ordinal (telemetry time axis)
+    let mut fase_stores = 0u64;
     for e in &thread.events {
+        t += 1;
         match e {
             Event::Write(l) => {
                 acc.stores += 1;
-                policy.on_store(*l, &mut buf);
+                let outcome = policy.on_store(*l, &mut buf);
                 acc.fl_async += buf.len() as u64;
+                if R::ENABLED {
+                    fase_stores += 1;
+                    rec.incr(CounterId::Stores);
+                    match outcome {
+                        StoreOutcome::Combined => {
+                            rec.incr(CounterId::ScHits);
+                            rec.emit(EventKind::ScHit, t, l.0, 0);
+                        }
+                        StoreOutcome::Inserted => {
+                            rec.incr(CounterId::ScMisses);
+                            rec.emit(EventKind::ScInsert, t, l.0, 0);
+                        }
+                    }
+                    for victim in &buf {
+                        rec.incr(CounterId::ScEvictions);
+                        rec.incr(CounterId::FlushesAsync);
+                        rec.emit(EventKind::ScEvict, t, victim.0, 0);
+                    }
+                    if let Some((knee, cap)) = policy.take_capacity_change() {
+                        rec.incr(CounterId::CapacityChanges);
+                        rec.emit(EventKind::CapacityChange, t, knee as u64, cap as u64);
+                    }
+                }
                 buf.clear();
             }
             Event::FaseBegin => {
                 depth += 1;
                 if depth == 1 {
                     policy.on_fase_begin();
+                    if R::ENABLED {
+                        rec.incr(CounterId::FaseBegins);
+                        rec.emit(EventKind::FaseBegin, t, 0, 0);
+                        fase_stores = 0;
+                    }
                 }
             }
             Event::FaseEnd => {
                 if depth == 1 {
                     policy.on_fase_end(&mut buf);
                     acc.fl_sync += buf.len() as u64;
+                    if R::ENABLED {
+                        rec.incr(CounterId::FaseEnds);
+                        rec.add(CounterId::FlushesSync, buf.len() as u64);
+                        rec.observe(HistId::FaseStores, fase_stores);
+                        rec.emit(EventKind::FaseEnd, t, fase_stores, buf.len() as u64);
+                    }
                     buf.clear();
                 }
                 depth = depth.saturating_sub(1);
@@ -178,6 +229,9 @@ fn flush_thread(thread: &ThreadTrace, kind: &PolicyKind) -> ThreadFlushes {
     // program exit: remaining buffered lines must still be persisted
     policy.on_fase_end(&mut buf);
     acc.fl_sync += buf.len() as u64;
+    if R::ENABLED {
+        rec.add(CounterId::FlushesSync, buf.len() as u64);
+    }
     acc
 }
 
@@ -191,8 +245,40 @@ pub fn flush_stats(trace: &Trace, kind: &PolicyKind) -> FlushStats {
 /// for every `opts`.
 pub fn flush_stats_with(trace: &Trace, kind: &PolicyKind, opts: &ReplayOptions) -> FlushStats {
     let per = fan_out(&trace.threads, opts.parallelism, |_tid, t| {
-        flush_thread(t, kind)
+        flush_thread(t, kind, &mut NullRecorder)
     });
+    aggregate_flushes(kind, per)
+}
+
+/// Count flushes exactly with telemetry enabled: same accounting as
+/// [`flush_stats_with`], plus a [`TelemetrySnapshot`] of counters,
+/// histograms and the merged event timeline. Per-thread shards are
+/// merged in thread-id order, so the snapshot is identical for every
+/// `opts.parallelism`.
+pub fn flush_stats_traced(
+    trace: &Trace,
+    kind: &PolicyKind,
+    opts: &ReplayOptions,
+    tcfg: &TelemetryConfig,
+) -> (FlushStats, TelemetrySnapshot) {
+    let per = fan_out(&trace.threads, opts.parallelism, |tid, t| {
+        let mut rec = ThreadRecorder::new(tid as u32, tcfg);
+        let flushes = flush_thread(t, kind, &mut rec);
+        (flushes, rec)
+    });
+    let mut flushes = Vec::with_capacity(per.len());
+    let mut shards = Vec::with_capacity(per.len());
+    for (f, r) in per {
+        flushes.push(f);
+        shards.push(r);
+    }
+    (
+        aggregate_flushes(kind, flushes),
+        TelemetrySnapshot::from_threads(shards),
+    )
+}
+
+fn aggregate_flushes(kind: &PolicyKind, per: Vec<ThreadFlushes>) -> FlushStats {
     let mut stats = FlushStats {
         label: kind.label().to_string(),
         stores: 0,
@@ -261,11 +347,17 @@ const FLUSH_BUF_CAPACITY: usize = 64;
 /// Simulate one trace thread with full timing. `tid` decorrelates the
 /// per-thread contention RNG: the seed is a pure function of the
 /// config seed and the thread id, never of scheduling.
-fn replay_thread(
+///
+/// Generic over the telemetry [`Recorder`] like [`flush_thread`]; here
+/// the timeline time axis is the machine's simulated cycle clock, and
+/// the instrumentation additionally samples flush-queue depth and
+/// attributes stall cycles to sync flushes vs. FASE-end drains.
+fn replay_thread<R: Recorder>(
     thread: &ThreadTrace,
     tid: usize,
     kind: &PolicyKind,
     cfg: &RunConfig,
+    rec: &mut R,
 ) -> (u64, MachineReport) {
     let mut stores = 0u64;
     let mut policy = kind.build();
@@ -274,19 +366,44 @@ fn replay_thread(
     let mut m = Machine::new(mcfg);
     let mut depth = 0usize;
     let mut buf = Vec::with_capacity(FLUSH_BUF_CAPACITY);
+    let mut fase_stores = 0u64;
     for e in &thread.events {
         match e {
             Event::Write(l) => {
                 stores += 1;
                 m.store(*l);
-                policy.on_store(*l, &mut buf);
+                let outcome = policy.on_store(*l, &mut buf);
                 m.software_overhead(policy.store_overhead_instrs());
                 let extra = policy.drain_extra_instrs();
                 if extra > 0 {
                     m.software_overhead(extra);
                 }
+                if R::ENABLED {
+                    fase_stores += 1;
+                    rec.incr(CounterId::Stores);
+                    match outcome {
+                        StoreOutcome::Combined => {
+                            rec.incr(CounterId::ScHits);
+                            rec.emit(EventKind::ScHit, m.now(), l.0, 0);
+                        }
+                        StoreOutcome::Inserted => {
+                            rec.incr(CounterId::ScMisses);
+                            rec.emit(EventKind::ScInsert, m.now(), l.0, 0);
+                        }
+                    }
+                    if let Some((knee, cap)) = policy.take_capacity_change() {
+                        rec.incr(CounterId::CapacityChanges);
+                        rec.emit(EventKind::CapacityChange, m.now(), knee as u64, cap as u64);
+                    }
+                }
                 for victim in buf.drain(..) {
                     m.flush_async(victim);
+                    if R::ENABLED {
+                        rec.incr(CounterId::ScEvictions);
+                        rec.incr(CounterId::FlushesAsync);
+                        rec.emit(EventKind::FlushAsync, m.now(), victim.0, 0);
+                        rec.observe(HistId::QueueDepth, m.queue_depth() as u64);
+                    }
                 }
             }
             Event::Read(l) => m.load(*l),
@@ -295,15 +412,42 @@ fn replay_thread(
                 depth += 1;
                 if depth == 1 {
                     policy.on_fase_begin();
+                    if R::ENABLED {
+                        rec.incr(CounterId::FaseBegins);
+                        rec.emit(EventKind::FaseBegin, m.now(), 0, 0);
+                        fase_stores = 0;
+                    }
                 }
             }
             Event::FaseEnd => {
                 if depth == 1 {
                     policy.on_fase_end(&mut buf);
-                    for line in buf.drain(..) {
-                        m.flush_sync(line);
+                    if R::ENABLED {
+                        let n = buf.len() as u64;
+                        let stall_before = m.fase_stall_cycles();
+                        for line in buf.drain(..) {
+                            m.flush_sync(line);
+                            rec.incr(CounterId::FlushesSync);
+                            rec.emit(EventKind::FlushSync, m.now(), line.0, 0);
+                            rec.observe(HistId::QueueDepth, m.queue_depth() as u64);
+                        }
+                        let sync_stall = m.fase_stall_cycles() - stall_before;
+                        rec.observe(HistId::SyncFlushStall, sync_stall);
+                        let drain_before = m.fase_stall_cycles();
+                        m.fence();
+                        let drain_stall = m.fase_stall_cycles() - drain_before;
+                        rec.observe(HistId::DrainStall, drain_stall);
+                        rec.incr(CounterId::Fences);
+                        rec.incr(CounterId::FaseEnds);
+                        rec.observe(HistId::FaseStores, fase_stores);
+                        rec.emit(EventKind::QueueDrain, m.now(), drain_stall, 0);
+                        rec.emit(EventKind::FaseEnd, m.now(), fase_stores, n);
+                    } else {
+                        for line in buf.drain(..) {
+                            m.flush_sync(line);
+                        }
+                        m.fence();
                     }
-                    m.fence();
                 }
                 depth = depth.saturating_sub(1);
             }
@@ -313,8 +457,17 @@ fn replay_thread(
     policy.on_fase_end(&mut buf);
     for line in buf.drain(..) {
         m.flush_sync(line);
+        if R::ENABLED {
+            rec.incr(CounterId::FlushesSync);
+            rec.emit(EventKind::FlushSync, m.now(), line.0, 0);
+        }
     }
     m.fence();
+    if R::ENABLED {
+        rec.incr(CounterId::Fences);
+        rec.add(CounterId::FaseStallCycles, m.fase_stall_cycles());
+        rec.add(CounterId::QueueStallCycles, m.total_stall_cycles());
+    }
     (stores, m.finish())
 }
 
@@ -336,8 +489,40 @@ pub fn run_policy_with(
     opts: &ReplayOptions,
 ) -> RunReport {
     let per = fan_out(&trace.threads, opts.parallelism, |tid, t| {
-        replay_thread(t, tid, kind, cfg)
+        replay_thread(t, tid, kind, cfg, &mut NullRecorder)
     });
+    aggregate_runs(kind, per)
+}
+
+/// Timed replay with telemetry enabled: same [`RunReport`] as
+/// [`run_policy_with`], plus a [`TelemetrySnapshot`] whose timeline is
+/// stamped with simulated machine cycles. Deterministic across
+/// `opts.parallelism` (shards merge in thread-id order).
+pub fn run_policy_traced(
+    trace: &Trace,
+    kind: &PolicyKind,
+    cfg: &RunConfig,
+    opts: &ReplayOptions,
+    tcfg: &TelemetryConfig,
+) -> (RunReport, TelemetrySnapshot) {
+    let per = fan_out(&trace.threads, opts.parallelism, |tid, t| {
+        let mut rec = ThreadRecorder::new(tid as u32, tcfg);
+        let out = replay_thread(t, tid, kind, cfg, &mut rec);
+        (out, rec)
+    });
+    let mut runs = Vec::with_capacity(per.len());
+    let mut shards = Vec::with_capacity(per.len());
+    for (r, rec) in per {
+        runs.push(r);
+        shards.push(rec);
+    }
+    (
+        aggregate_runs(kind, runs),
+        TelemetrySnapshot::from_threads(shards),
+    )
+}
+
+fn aggregate_runs(kind: &PolicyKind, per: Vec<(u64, MachineReport)>) -> RunReport {
     let stores = per.iter().map(|(s, _)| *s).sum();
     let per_thread: Vec<MachineReport> = per.into_iter().map(|(_, r)| r).collect();
 
@@ -563,6 +748,116 @@ mod tests {
             let fpar = flush_stats_with(&tr, &kind, &ReplayOptions::with_parallelism(4));
             assert_eq!(fseq, fpar, "{}", kind.label());
         }
+    }
+
+    #[test]
+    fn traced_flush_stats_match_untraced_and_counters_agree() {
+        use nvcache_telemetry::CounterId;
+        let single = cyclic(12, 200, &opts(50));
+        let tr = nvcache_trace::synth::replicate(&single, 4);
+        let tcfg = TelemetryConfig::default();
+        for kind in [
+            PolicyKind::Eager,
+            PolicyKind::Lazy,
+            PolicyKind::Atlas { size: 8 },
+            PolicyKind::ScFixed { capacity: 12 },
+            PolicyKind::Best,
+        ] {
+            let plain = flush_stats(&tr, &kind);
+            let (stats, snap) = flush_stats_traced(&tr, &kind, &ReplayOptions::sequential(), &tcfg);
+            assert_eq!(
+                plain,
+                stats,
+                "{}: telemetry must not perturb results",
+                kind.label()
+            );
+            assert_eq!(snap.counter(CounterId::Stores), stats.stores);
+            assert_eq!(snap.counter(CounterId::FlushesAsync), stats.flushes_async);
+            assert_eq!(snap.counter(CounterId::FlushesSync), stats.flushes_sync);
+            assert_eq!(
+                snap.counter(CounterId::ScHits) + snap.counter(CounterId::ScMisses),
+                stats.stores
+            );
+        }
+    }
+
+    #[test]
+    fn traced_snapshot_is_parallelism_invariant() {
+        let single = cyclic(12, 200, &opts(50));
+        let tr = nvcache_trace::synth::replicate(&single, 8);
+        let tcfg = TelemetryConfig::default();
+        let kind = PolicyKind::ScFixed { capacity: 12 };
+        let (seq_stats, seq_snap) =
+            flush_stats_traced(&tr, &kind, &ReplayOptions::sequential(), &tcfg);
+        for par in [2, 4, 8] {
+            let (s, snap) =
+                flush_stats_traced(&tr, &kind, &ReplayOptions::with_parallelism(par), &tcfg);
+            assert_eq!(seq_stats, s);
+            assert_eq!(seq_snap.counters, snap.counters, "parallelism={par}");
+            assert_eq!(seq_snap.per_thread, snap.per_thread);
+            assert_eq!(seq_snap.timeline, snap.timeline);
+        }
+        let cfg = RunConfig::default();
+        let (seq_rep, seq_tsnap) =
+            run_policy_traced(&tr, &kind, &cfg, &ReplayOptions::sequential(), &tcfg);
+        let (par_rep, par_tsnap) =
+            run_policy_traced(&tr, &kind, &cfg, &ReplayOptions::with_parallelism(4), &tcfg);
+        assert_eq!(seq_rep, par_rep);
+        assert_eq!(seq_tsnap.counters, par_tsnap.counters);
+        assert_eq!(seq_tsnap.timeline, par_tsnap.timeline);
+    }
+
+    #[test]
+    fn traced_timed_run_matches_untraced_report() {
+        use nvcache_telemetry::CounterId;
+        let tr = cyclic(12, 300, &opts(80));
+        let cfg = RunConfig::default();
+        let tcfg = TelemetryConfig::default();
+        for kind in [
+            PolicyKind::Eager,
+            PolicyKind::Atlas { size: 8 },
+            PolicyKind::ScFixed { capacity: 12 },
+        ] {
+            let plain = run_policy(&tr, &kind, &cfg);
+            let (rep, snap) =
+                run_policy_traced(&tr, &kind, &cfg, &ReplayOptions::sequential(), &tcfg);
+            assert_eq!(
+                plain,
+                rep,
+                "{}: telemetry must not perturb timing",
+                kind.label()
+            );
+            assert_eq!(
+                snap.counter(CounterId::FlushesAsync) + snap.counter(CounterId::FlushesSync),
+                rep.flushes(),
+                "{}",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_capacity_changes_hit_the_timeline() {
+        let tr = cyclic(23, 5_000, &opts(500));
+        let cfg = crate::adaptive::AdaptiveConfig {
+            burst_len: 2000,
+            ..Default::default()
+        };
+        let (_, snap) = flush_stats_traced(
+            &tr,
+            &PolicyKind::ScAdaptive(cfg),
+            &ReplayOptions::sequential(),
+            &TelemetryConfig::default(),
+        );
+        let changes = snap.capacity_timeline();
+        assert_eq!(changes.len(), 1, "one burst ⇒ one resize event");
+        let (_, _, knee, cap) = changes[0];
+        assert!((21..=24).contains(&cap), "capacity near the knee: {cap}");
+        assert!(knee <= cap);
+        assert_eq!(
+            snap.counter(nvcache_telemetry::CounterId::CapacityChanges),
+            1
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! one flush per store — no write combining at all. Table I measures the
 //! consequence: 22× average slowdown on SPLASH2.
 
-use crate::policy::PersistPolicy;
+use crate::policy::{PersistPolicy, StoreOutcome};
 use nvcache_trace::Line;
 
 /// The eager policy.
@@ -23,8 +23,9 @@ impl PersistPolicy for EagerPolicy {
         "ER"
     }
 
-    fn on_store(&mut self, line: Line, out: &mut Vec<Line>) {
+    fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
         out.push(line);
+        StoreOutcome::Inserted // never combines — that is ER's whole cost
     }
 
     fn on_fase_end(&mut self, _out: &mut Vec<Line>) {}

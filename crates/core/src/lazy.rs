@@ -5,7 +5,7 @@
 //! cannot overlap computation — the paper reports LA 17.8× slower than
 //! AT on volrend despite the lowest flush ratio.
 
-use crate::policy::PersistPolicy;
+use crate::policy::{PersistPolicy, StoreOutcome};
 use nvcache_trace::hash::FxHashSet;
 use nvcache_trace::Line;
 
@@ -36,9 +36,12 @@ impl PersistPolicy for LazyPolicy {
         "LA"
     }
 
-    fn on_store(&mut self, line: Line, _out: &mut Vec<Line>) {
+    fn on_store(&mut self, line: Line, _out: &mut Vec<Line>) -> StoreOutcome {
         if self.dirty.insert(line) {
             self.order.push(line);
+            StoreOutcome::Inserted
+        } else {
+            StoreOutcome::Combined
         }
     }
 

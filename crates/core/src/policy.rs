@@ -2,6 +2,18 @@
 
 use nvcache_trace::Line;
 
+/// What a policy did with one persistent store — the per-store signal
+/// the telemetry layer turns into hit/miss (write-combining) counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The write was combined into state the policy already buffers
+    /// (software-cache hit) — no new flush obligation was created.
+    Combined,
+    /// The write created a new buffered entry (software-cache miss);
+    /// any eviction it forced is in the `out` buffer.
+    Inserted,
+}
+
 /// A per-thread persistence policy: decides which cache lines to flush,
 /// and when, in response to the instrumented event stream.
 ///
@@ -18,8 +30,9 @@ pub trait PersistPolicy {
     fn name(&self) -> &'static str;
 
     /// A persistent store to `line` happened; push any lines to flush
-    /// asynchronously onto `out`.
-    fn on_store(&mut self, line: Line, out: &mut Vec<Line>);
+    /// asynchronously onto `out` and report whether the write was
+    /// combined or inserted (telemetry; callers may ignore it).
+    fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome;
 
     /// An outermost FASE began.
     fn on_fase_begin(&mut self) {}
@@ -38,6 +51,15 @@ pub trait PersistPolicy {
     /// analysis at a burst end). Default: none.
     fn drain_extra_instrs(&mut self) -> u64 {
         0
+    }
+
+    /// Capacity change performed by the most recent `on_store`, as
+    /// `(knee, new_capacity)`, drained once. Only adaptive policies
+    /// override this; the telemetry-enabled driver polls it to put
+    /// resize events (with the MRC knee that motivated them) on the
+    /// timeline.
+    fn take_capacity_change(&mut self) -> Option<(usize, usize)> {
+        None
     }
 
     /// Forget all buffered state (used between runs).

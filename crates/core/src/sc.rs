@@ -4,7 +4,7 @@
 //! configuration; [`crate::AdaptiveScPolicy`] adds online selection.
 
 use crate::lru::{LruCache, Touch};
-use crate::policy::PersistPolicy;
+use crate::policy::{PersistPolicy, StoreOutcome};
 use nvcache_trace::Line;
 
 /// The fixed-capacity software-cache policy.
@@ -61,14 +61,18 @@ impl PersistPolicy for ScPolicy {
         "SC-offline"
     }
 
-    fn on_store(&mut self, line: Line, out: &mut Vec<Line>) {
+    fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
         match self.cache.touch(line) {
-            Touch::Hit => self.hits += 1,
+            Touch::Hit => {
+                self.hits += 1;
+                StoreOutcome::Combined
+            }
             Touch::Miss { evicted } => {
                 self.misses += 1;
                 if let Some(victim) = evicted {
                     out.push(victim);
                 }
+                StoreOutcome::Inserted
             }
         }
     }

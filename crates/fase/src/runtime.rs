@@ -12,8 +12,11 @@
 //! flushed, a fence orders them, and the log commits — making the
 //! FASE's updates durable atomically.
 
-use nvcache_core::{PersistPolicy, PolicyKind};
+use nvcache_core::{PersistPolicy, PolicyKind, StoreOutcome};
 use nvcache_pmem::{CrashMode, PAlloc, PmemRegion};
+use nvcache_telemetry::{
+    CounterId, EventKind, HistId, Recorder, TelemetryConfig, TelemetrySnapshot, ThreadRecorder,
+};
 use nvcache_trace::{Line, StoreSink, ThreadTrace, TraceRecorder};
 
 use crate::log::UndoLog;
@@ -57,6 +60,13 @@ pub struct FaseRuntime {
     flush_buf: Vec<Line>,
     recorder: Option<TraceRecorder>,
     stats: FaseStats,
+    /// Optional telemetry shard (one branch per store when disabled);
+    /// timeline time axis = store-line ordinal.
+    telemetry: Option<ThreadRecorder>,
+    /// Log bytes used when the current outermost FASE began.
+    fase_log_start: u64,
+    /// Store lines inside the current outermost FASE.
+    fase_store_lines: u64,
 }
 
 impl std::fmt::Debug for FaseRuntime {
@@ -87,6 +97,9 @@ impl FaseRuntime {
             flush_buf: Vec::new(),
             recorder: None,
             stats: FaseStats::default(),
+            telemetry: None,
+            fase_log_start: 0,
+            fase_store_lines: 0,
         }
     }
 
@@ -129,6 +142,9 @@ impl FaseRuntime {
             flush_buf: Vec::new(),
             recorder: None,
             stats,
+            telemetry: None,
+            fase_log_start: 0,
+            fase_store_lines: 0,
         }
     }
 
@@ -141,6 +157,20 @@ impl FaseRuntime {
     /// The recorded event stream so far (drains the recorder).
     pub fn take_trace(&mut self) -> Option<ThreadTrace> {
         self.recorder.as_mut().map(|r| r.finish())
+    }
+
+    /// Enable telemetry recording (counters, histograms, event
+    /// timeline); retrieved with [`FaseRuntime::take_telemetry`].
+    pub fn enable_telemetry(&mut self, cfg: &TelemetryConfig) {
+        self.telemetry = Some(ThreadRecorder::new(0, cfg));
+    }
+
+    /// Snapshot and drain the telemetry recorded so far. `None` if
+    /// telemetry was never enabled.
+    pub fn take_telemetry(&mut self) -> Option<TelemetrySnapshot> {
+        self.telemetry
+            .take()
+            .map(|rec| TelemetrySnapshot::from_threads(vec![rec]))
     }
 
     /// Usable data bytes.
@@ -170,10 +200,17 @@ impl FaseRuntime {
         self.depth += 1;
         if self.depth == 1 {
             self.policy.on_fase_begin();
-            if let Some(r) = &mut self.recorder {
-                r.fase_begin();
+            if self.telemetry.is_some() {
+                self.fase_log_start = self.log.used(&self.region);
+                self.fase_store_lines = 0;
+                let t = self.stats.store_lines;
+                if let Some(tel) = &mut self.telemetry {
+                    tel.incr(CounterId::FaseBegins);
+                    tel.emit(EventKind::FaseBegin, t, 0, 0);
+                }
             }
-        } else if let Some(r) = &mut self.recorder {
+        }
+        if let Some(r) = &mut self.recorder {
             r.fase_begin();
         }
     }
@@ -193,6 +230,20 @@ impl FaseRuntime {
             self.stats.data_flushes += n;
             self.region.fence();
             self.stats.fences += 1;
+            if self.telemetry.is_some() {
+                let log_bytes = self.log.used(&self.region) - self.fase_log_start;
+                let t = self.stats.store_lines;
+                let stores = self.fase_store_lines;
+                if let Some(tel) = &mut self.telemetry {
+                    tel.incr(CounterId::FaseEnds);
+                    tel.incr(CounterId::Fences);
+                    tel.add(CounterId::FlushesSync, n);
+                    tel.add(CounterId::LogBytes, log_bytes);
+                    tel.observe(HistId::FaseStores, stores);
+                    tel.observe(HistId::FaseLogBytes, log_bytes);
+                    tel.emit(EventKind::FaseEnd, t, stores, n);
+                }
+            }
             self.log.commit(&mut self.region);
             self.stats.fases += 1;
         }
@@ -229,7 +280,31 @@ impl FaseRuntime {
             if let Some(r) = &mut self.recorder {
                 r.persistent_store(Line(line));
             }
-            self.policy.on_store(Line(line), &mut self.flush_buf);
+            let outcome = self.policy.on_store(Line(line), &mut self.flush_buf);
+            if let Some(tel) = &mut self.telemetry {
+                self.fase_store_lines += 1;
+                let t = self.stats.store_lines;
+                tel.incr(CounterId::Stores);
+                match outcome {
+                    StoreOutcome::Combined => {
+                        tel.incr(CounterId::ScHits);
+                        tel.emit(EventKind::ScHit, t, line, 0);
+                    }
+                    StoreOutcome::Inserted => {
+                        tel.incr(CounterId::ScMisses);
+                        tel.emit(EventKind::ScInsert, t, line, 0);
+                    }
+                }
+                for victim in &self.flush_buf {
+                    tel.incr(CounterId::ScEvictions);
+                    tel.incr(CounterId::FlushesAsync);
+                    tel.emit(EventKind::ScEvict, t, victim.0, 0);
+                }
+                if let Some((knee, cap)) = self.policy.take_capacity_change() {
+                    tel.incr(CounterId::CapacityChanges);
+                    tel.emit(EventKind::CapacityChange, t, knee as u64, cap as u64);
+                }
+            }
             let n = self.flush_buf.len() as u64;
             for victim in self.flush_buf.drain(..) {
                 self.region.flush_line(victim.0);
@@ -305,6 +380,10 @@ impl FaseRuntime {
         self.stats.data_flushes += n;
         self.region.fence();
         self.stats.fences += 1;
+        if let Some(tel) = &mut self.telemetry {
+            tel.add(CounterId::FlushesSync, n);
+            tel.incr(CounterId::Fences);
+        }
     }
 
     /// Inject a power failure under `mode`, then run recovery; the
@@ -490,6 +569,55 @@ mod tests {
                 .filter(|e| matches!(e, nvcache_trace::Event::Work(_)))
                 .count(),
             1
+        );
+    }
+
+    #[test]
+    fn telemetry_reconciles_with_runtime_stats() {
+        use nvcache_telemetry::CounterId;
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.enable_telemetry(&TelemetryConfig::default());
+        for _ in 0..10 {
+            r.fase(|r| {
+                for rep in 0..5 {
+                    for i in 0..12usize {
+                        r.store_u64(i * 64, rep * 100 + i as u64);
+                    }
+                }
+            });
+        }
+        r.sync();
+        let s = r.stats();
+        let snap = r.take_telemetry().unwrap();
+        assert_eq!(snap.counter(CounterId::Stores), s.store_lines);
+        assert_eq!(snap.flushes(), s.data_flushes, "telemetry == FaseStats");
+        assert_eq!(snap.counter(CounterId::Fences), s.fences);
+        assert_eq!(snap.counter(CounterId::FaseEnds), s.fases);
+        assert!(snap.counter(CounterId::LogBytes) > 0, "stores were logged");
+        let h = snap.hist(nvcache_telemetry::HistId::FaseStores);
+        assert_eq!(h.count, 10, "one sample per FASE");
+        assert_eq!(h.max, 60, "5 reps × 12 lines");
+        assert!(r.take_telemetry().is_none(), "drained");
+    }
+
+    #[test]
+    fn telemetry_fase_log_bytes_tracks_undo_traffic() {
+        let mut r = rt(PolicyKind::Lazy);
+        r.enable_telemetry(&TelemetryConfig::default());
+        // stores outside a FASE are not undo-logged
+        r.store_u64(0, 1);
+        r.fase(|r| {
+            r.store_u64(0, 2);
+            r.store_u64(64, 3);
+        });
+        let snap = r.take_telemetry().unwrap();
+        let h = snap.hist(nvcache_telemetry::HistId::FaseLogBytes);
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 16, "two 8-byte undo images: {}", h.max);
+        assert_eq!(
+            snap.counter(nvcache_telemetry::CounterId::LogBytes),
+            h.sum,
+            "counter aggregates the per-FASE samples"
         );
     }
 

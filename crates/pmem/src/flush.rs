@@ -119,20 +119,25 @@ pub unsafe fn flush_ptr(p: *const u8, instr: FlushInstr) {
     }
 }
 
-/// Flush every line covering `bytes`.
-pub fn flush_slice(bytes: &[u8], instr: FlushInstr) {
+/// Flush every line covering `bytes`. Returns the number of line
+/// flushes issued (0 for an empty slice or the no-op backend) so
+/// callers can account flush traffic without re-deriving line spans.
+pub fn flush_slice(bytes: &[u8], instr: FlushInstr) -> usize {
     if bytes.is_empty() || instr == FlushInstr::Noop {
-        return;
+        return 0;
     }
     let start = bytes.as_ptr() as usize & !(crate::LINE_SIZE - 1);
     let end = bytes.as_ptr() as usize + bytes.len();
     let mut a = start;
+    let mut lines = 0;
     while a < end {
         // SAFETY: every line in [start, end) overlaps the live `bytes`
         // slice, so the address is mapped
         unsafe { flush_ptr(a as *const u8, instr) };
         a += crate::LINE_SIZE;
+        lines += 1;
     }
+    lines
 }
 
 /// Store fence: order preceding flushes before subsequent stores.
@@ -186,6 +191,23 @@ mod tests {
 
     #[test]
     fn empty_slice_is_noop() {
-        flush_slice(&[], detect_flush_instr());
+        assert_eq!(flush_slice(&[], detect_flush_instr()), 0);
+    }
+
+    #[test]
+    fn flush_slice_counts_covering_lines() {
+        let instr = detect_flush_instr();
+        let v = vec![7u8; 64 * 4];
+        // the slice covers 4 full lines, but its start may straddle a
+        // line boundary — either 4 or 5 lines are flushed
+        let n = flush_slice(&v, instr);
+        if instr == FlushInstr::Noop {
+            assert_eq!(n, 0);
+        } else {
+            assert!((4..=5).contains(&n), "4 lines of data: flushed {n}");
+            let aligned = &v[..64];
+            assert!(flush_slice(aligned, instr) <= 2);
+            assert_eq!(flush_slice(&v[..1], instr), 1);
+        }
     }
 }

@@ -1,0 +1,180 @@
+//! Fixed-bucket log2 histogram: cheap to record (a `leading_zeros` and
+//! an array increment), trivially mergeable, and precise enough for the
+//! stall-duration / queue-depth / FASE-length distributions the harness
+//! cares about.
+
+/// Number of buckets: bucket 0 holds zeros, bucket `i` (1 ≤ i ≤ 31)
+/// holds values in `[2^(i-1), 2^i)`, and the last bucket saturates —
+/// it holds every value ≥ 2^31.
+pub const HIST_BUCKETS: usize = 33;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket sample counts (see [`HIST_BUCKETS`] for edges).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (for exact means).
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for `value`: 0 for 0, `bit_width(value)` otherwise,
+    /// saturating at the last bucket.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive lower edge of bucket `i` (0, 1, 2, 4, 8, …).
+    pub fn bucket_lo(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another histogram into this one (shard merge).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// True iff no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_log2() {
+        // bucket 0: only zero
+        assert_eq!(Histogram::bucket_of(0), 0);
+        // bucket i (i ≥ 1) covers [2^(i-1), 2^i)
+        for i in 1..HIST_BUCKETS - 1 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(Histogram::bucket_of(lo), i, "lower edge of bucket {i}");
+            assert_eq!(Histogram::bucket_of(hi), i, "upper edge of bucket {i}");
+        }
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+    }
+
+    #[test]
+    fn saturation_bucket_catches_everything_large() {
+        let last = HIST_BUCKETS - 1;
+        // first value that no longer fits a dedicated bucket
+        let sat_lo = 1u64 << (last - 1);
+        assert_eq!(Histogram::bucket_of(sat_lo), last);
+        assert_eq!(Histogram::bucket_of(sat_lo * 2), last);
+        assert_eq!(Histogram::bucket_of(u64::MAX), last);
+        // the value just below still lands in the penultimate bucket
+        assert_eq!(Histogram::bucket_of(sat_lo - 1), last - 1);
+    }
+
+    #[test]
+    fn bucket_lo_matches_bucket_of() {
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(
+                Histogram::bucket_of(Histogram::bucket_lo(i)),
+                i,
+                "bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn observe_tracks_count_sum_max() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 1, 5, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1007);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 201.4).abs() < 1e-9);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[1], 2); // the ones
+        assert_eq!(h.buckets[3], 1); // 5 ∈ [4, 8)
+        assert_eq!(h.buckets[10], 1); // 1000 ∈ [512, 1024)
+    }
+
+    #[test]
+    fn merge_is_elementwise_sum() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.observe(3);
+        a.observe(100);
+        b.observe(3);
+        b.observe(u64::MAX);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.buckets[2], 2, "both 3s");
+        assert_eq!(merged.max, u64::MAX);
+        // merging an empty histogram changes nothing
+        let before = merged.clone();
+        merged.merge(&Histogram::new());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn empty_histogram_reports_cleanly() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max, 0);
+    }
+}

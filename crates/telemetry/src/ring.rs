@@ -1,0 +1,278 @@
+//! Bounded event timeline: a fixed-capacity ring that keeps the **last**
+//! `capacity` events per thread. Recording is an index increment and a
+//! slot write; when the ring wraps, the oldest events are dropped and
+//! counted, never reallocated.
+
+/// What happened, at one instrumentation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An outermost FASE began.
+    FaseBegin,
+    /// An outermost FASE committed. `a` = stores inside the FASE,
+    /// `b` = synchronous flushes drained at its end.
+    FaseEnd,
+    /// A persistent store was combined into already-buffered state
+    /// (software-cache hit). `a` = line.
+    ScHit,
+    /// A persistent store inserted a new line into the policy's buffer.
+    /// `a` = line.
+    ScInsert,
+    /// The policy evicted a buffered line mid-FASE. `a` = evicted line.
+    ScEvict,
+    /// An asynchronous flush was issued. `a` = line, `b` = write-back
+    /// queue depth at issue.
+    FlushAsync,
+    /// A synchronous (end-of-FASE) flush was issued. `a` = line,
+    /// `b` = stall cycles it cost.
+    FlushSync,
+    /// The write-back queue was drained at a fence. `a` = stall cycles.
+    QueueDrain,
+    /// The adaptive controller resized the cache. `a` = the MRC knee
+    /// that motivated the choice, `b` = the new capacity.
+    CapacityChange,
+}
+
+impl EventKind {
+    /// Rare structural events are **pinned**: retained outside the ring
+    /// window so a burst of chatty per-store events cannot evict them.
+    /// The adaptive-capacity timeline must survive arbitrarily long
+    /// runs — a handful of resizes per run, each one load-bearing.
+    pub fn is_pinned(&self) -> bool {
+        matches!(self, EventKind::CapacityChange)
+    }
+
+    /// Stable lowercase name (JSON field values).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::FaseBegin => "fase_begin",
+            EventKind::FaseEnd => "fase_end",
+            EventKind::ScHit => "sc_hit",
+            EventKind::ScInsert => "sc_insert",
+            EventKind::ScEvict => "sc_evict",
+            EventKind::FlushAsync => "flush_async",
+            EventKind::FlushSync => "flush_sync",
+            EventKind::QueueDrain => "queue_drain",
+            EventKind::CapacityChange => "capacity_change",
+        }
+    }
+}
+
+/// One timeline entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Per-thread sequence number (0, 1, 2, … in recording order).
+    pub seq: u64,
+    /// Timestamp: simulated cycles in timed replay, event ordinal in
+    /// counting replay, store ordinal in the FASE runtime.
+    pub t: u64,
+    /// Thread that recorded the event.
+    pub tid: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub a: u64,
+    /// Second kind-specific payload.
+    pub b: u64,
+}
+
+/// Fixed-capacity ring keeping the most recent events, plus an
+/// unbounded side list for [pinned](EventKind::is_pinned) kinds (a
+/// handful per run in practice).
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Next write position when the ring is full.
+    head: usize,
+    /// Events recorded in total (`dropped() = recorded - len`).
+    recorded: u64,
+    next_seq: u64,
+    /// Pinned events, never evicted by wraparound.
+    pinned: Vec<Event>,
+}
+
+impl EventRing {
+    /// Ring holding at most `capacity` events (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring capacity must be positive");
+        EventRing {
+            buf: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            head: 0,
+            recorded: 0,
+            next_seq: 0,
+            pinned: Vec::new(),
+        }
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained (windowed + pinned).
+    pub fn len(&self) -> usize {
+        self.buf.len() + self.pinned.len()
+    }
+
+    /// True iff no event was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty() && self.pinned.is_empty()
+    }
+
+    /// Events recorded over the ring's lifetime (including dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events lost to wraparound (pinned events are never lost).
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.len() as u64
+    }
+
+    /// Record an event; assigns the per-thread sequence number.
+    #[inline]
+    pub fn push(&mut self, t: u64, tid: u32, kind: EventKind, a: u64, b: u64) {
+        let ev = Event {
+            seq: self.next_seq,
+            t,
+            tid,
+            kind,
+            a,
+            b,
+        };
+        self.next_seq += 1;
+        self.recorded += 1;
+        if kind.is_pinned() {
+            self.pinned.push(ev);
+        } else if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Retained **windowed** events, oldest first (pinned events are
+    /// returned by [`into_vec`](EventRing::into_vec), merged by seq).
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let (wrapped, start) = self.buf.split_at(self.head);
+        start.iter().chain(wrapped.iter())
+    }
+
+    /// Drain into a vector, oldest first, pinned events merged back into
+    /// sequence order.
+    pub fn into_vec(self) -> Vec<Event> {
+        let mut v: Vec<Event> = Vec::with_capacity(self.len());
+        let mut pinned = self.pinned.iter().copied().peekable();
+        for ev in self.iter() {
+            while pinned.peek().is_some_and(|p| p.seq < ev.seq) {
+                v.push(pinned.next().unwrap());
+            }
+            v.push(*ev);
+        }
+        v.extend(pinned);
+        debug_assert!(v.windows(2).all(|w| w[0].seq < w[1].seq));
+        v.shrink_to_fit();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_n(r: &mut EventRing, n: u64) {
+        for i in 0..n {
+            r.push(i * 10, 0, EventKind::ScHit, i, 0);
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_keeping_newest() {
+        let mut r = EventRing::new(4);
+        push_n(&mut r, 10);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 6);
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "last four survive, in order");
+    }
+
+    #[test]
+    fn ordering_preserved_below_capacity() {
+        let mut r = EventRing::new(16);
+        push_n(&mut r, 5);
+        assert_eq!(r.dropped(), 0);
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        let ts: Vec<u64> = r.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn wrap_exactly_at_capacity_boundary() {
+        let mut r = EventRing::new(3);
+        push_n(&mut r, 3);
+        assert_eq!(r.dropped(), 0);
+        r.push(100, 0, EventKind::QueueDrain, 7, 0);
+        assert_eq!(r.dropped(), 1);
+        let kinds: Vec<EventKind> = r.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::ScHit, EventKind::ScHit, EventKind::QueueDrain]
+        );
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn into_vec_is_oldest_first_after_many_wraps() {
+        let mut r = EventRing::new(5);
+        push_n(&mut r, 123);
+        let v = r.into_vec();
+        assert_eq!(v.len(), 5);
+        let seqs: Vec<u64> = v.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![118, 119, 120, 121, 122]);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut r = EventRing::new(1);
+        push_n(&mut r, 7);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().seq, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity must be positive")]
+    fn zero_capacity_panics() {
+        EventRing::new(0);
+    }
+
+    #[test]
+    fn pinned_events_survive_wraparound() {
+        let mut r = EventRing::new(4);
+        push_n(&mut r, 3);
+        r.push(25, 0, EventKind::CapacityChange, 20, 23); // seq 3, pinned
+        push_n(&mut r, 100); // floods the window
+        assert_eq!(r.len(), 5, "4 windowed + 1 pinned");
+        let v = r.into_vec();
+        let pinned: Vec<&Event> = v
+            .iter()
+            .filter(|e| e.kind == EventKind::CapacityChange)
+            .collect();
+        assert_eq!(pinned.len(), 1);
+        assert_eq!((pinned[0].seq, pinned[0].a, pinned[0].b), (3, 20, 23));
+        // merged output stays seq-sorted with the pinned event first
+        // (everything older was evicted)
+        let seqs: Vec<u64> = v.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EventKind::CapacityChange.name(), "capacity_change");
+        assert_eq!(EventKind::FaseBegin.name(), "fase_begin");
+    }
+}
