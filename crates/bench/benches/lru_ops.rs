@@ -38,10 +38,10 @@ fn bench_lru(c: &mut Criterion) {
             i += 1;
             let line = Line(i % 80); // 80-line set over 50 slots → evictions
             black_box(cache.touch(line));
-            if i % 7 == 0 {
+            if i.is_multiple_of(7) {
                 black_box(cache.remove(Line((i / 7) % 80)));
             }
-            if i % 1024 == 0 {
+            if i.is_multiple_of(1024) {
                 black_box(cache.drain_lru_first());
             }
         });

@@ -26,7 +26,10 @@
 use nvcache_bench::experiments::{ablations, figs, tables, DEFAULT_SCALE, THREAD_SWEEP};
 use nvcache_bench::report::{json_str, telemetry_envelope, telemetry_table};
 use nvcache_bench::{telemetry, Table};
-use nvcache_core::{run_policy_traced, run_policy_with, PolicyKind, ReplayOptions, RunConfig};
+use nvcache_core::{
+    run_policy_dyn, run_policy_traced, run_policy_traced_dyn, run_policy_with, PolicyKind,
+    ReplayOptions, RunConfig,
+};
 use nvcache_telemetry::TelemetryConfig;
 use nvcache_trace::synth::{cyclic, replicate, SynthOpts};
 
@@ -142,12 +145,14 @@ fn run_one(name: &str, scale: f64, threads: &[usize]) -> Vec<Table> {
 }
 
 /// Wall-clock replay-engine throughput, sequential vs parallel, with
-/// the recorder off and on, on an 8-thread trace. Verifies bit-identical
-/// reports at every parallelism and in both recorder modes, prints a
-/// table, and records the measurements in `BENCH_replay.json`. The
-/// recorder-off rows quantify the telemetry layer's no-op cost (the
-/// generic driver must compile to the pre-telemetry loop); recorder-on
-/// rows show the price of full instrumentation.
+/// the recorder off and on, through both dispatch engines (boxed `dyn`
+/// reference vs monomorphized), on an 8-thread trace. Verifies
+/// bit-identical reports at every parallelism, in both recorder modes
+/// and across dispatch engines, prints a table, and records the
+/// measurements in `BENCH_replay.json`. The recorder-off rows quantify
+/// the telemetry layer's no-op cost (the generic driver must compile to
+/// the pre-telemetry loop); recorder-on rows show the price of full
+/// instrumentation; the dyn-vs-enum delta is the devirtualization win.
 fn bench_replay(scale: f64) -> Table {
     let rounds = ((100_000.0 * scale) as usize).max(2_000);
     let tr = replicate(&cyclic(23, rounds, &SynthOpts::default()), 8);
@@ -166,51 +171,70 @@ fn bench_replay(scale: f64) -> Table {
         &format!("Replay throughput: 8-thread trace, {stores} stores (host parallelism {host})"),
         &[
             "policy",
+            "dispatch",
             "recorder",
             "parallelism",
             "secs",
             "Mwrites/s",
             "speedup",
+            "vs dyn",
         ],
     );
     let mut records = Vec::new();
     for kind in [PolicyKind::Eager, PolicyKind::Atlas { size: 8 }] {
         let baseline = run_policy_with(&tr, &kind, &cfg, &ReplayOptions::sequential());
         for recorder_on in [false, true] {
-            let mut seq_secs = 0.0f64;
-            for &par in &pars {
-                let opts = ReplayOptions::with_parallelism(par);
-                let mut best = f64::INFINITY;
-                for _ in 0..3 {
-                    let start = std::time::Instant::now();
-                    let r = if recorder_on {
-                        run_policy_traced(&tr, &kind, &cfg, &opts, &tcfg).0
+            // dyn first so its time is available as the enum rows' base
+            let mut dyn_secs = vec![0.0f64; pars.len()];
+            for enum_dispatch in [false, true] {
+                let mut seq_secs = 0.0f64;
+                for (pi, &par) in pars.iter().enumerate() {
+                    let opts = ReplayOptions::with_parallelism(par);
+                    let mut best = f64::INFINITY;
+                    for _ in 0..3 {
+                        let start = std::time::Instant::now();
+                        let r = match (enum_dispatch, recorder_on) {
+                            (true, true) => run_policy_traced(&tr, &kind, &cfg, &opts, &tcfg).0,
+                            (true, false) => run_policy_with(&tr, &kind, &cfg, &opts),
+                            (false, true) => {
+                                run_policy_traced_dyn(&tr, &kind, &cfg, &opts, &tcfg).0
+                            }
+                            (false, false) => run_policy_dyn(&tr, &kind, &cfg, &opts),
+                        };
+                        best = best.min(start.elapsed().as_secs_f64());
+                        assert_eq!(r, baseline, "replay must be bit-identical");
+                    }
+                    if par == 1 {
+                        seq_secs = best;
+                    }
+                    let vs_dyn = if enum_dispatch {
+                        dyn_secs[pi] / best
                     } else {
-                        run_policy_with(&tr, &kind, &cfg, &opts)
+                        dyn_secs[pi] = best;
+                        1.0
                     };
-                    best = best.min(start.elapsed().as_secs_f64());
-                    assert_eq!(r, baseline, "replay must be bit-identical");
+                    let wps = stores as f64 / best;
+                    let speedup = seq_secs / best;
+                    let rec = if recorder_on { "on" } else { "off" };
+                    let disp = if enum_dispatch { "enum" } else { "dyn" };
+                    t.row(vec![
+                        kind.label().to_string(),
+                        disp.to_string(),
+                        rec.to_string(),
+                        par.to_string(),
+                        format!("{best:.4}"),
+                        format!("{:.2}", wps / 1e6),
+                        format!("{speedup:.2}x"),
+                        format!("{vs_dyn:.2}x"),
+                    ]);
+                    records.push(format!(
+                        "    {{\"policy\": {}, \"dispatch\": \"{disp}\", \
+                         \"telemetry\": {recorder_on}, \"parallelism\": {par}, \
+                         \"secs\": {best:.6}, \"writes_per_sec\": {wps:.0}, \
+                         \"speedup_vs_seq\": {speedup:.3}, \"speedup_vs_dyn\": {vs_dyn:.3}}}",
+                        json_str(kind.label())
+                    ));
                 }
-                if par == 1 {
-                    seq_secs = best;
-                }
-                let wps = stores as f64 / best;
-                let speedup = seq_secs / best;
-                let rec = if recorder_on { "on" } else { "off" };
-                t.row(vec![
-                    kind.label().to_string(),
-                    rec.to_string(),
-                    par.to_string(),
-                    format!("{best:.4}"),
-                    format!("{:.2}", wps / 1e6),
-                    format!("{speedup:.2}x"),
-                ]);
-                records.push(format!(
-                    "    {{\"policy\": {}, \"telemetry\": {recorder_on}, \"parallelism\": {par}, \
-                     \"secs\": {best:.6}, \"writes_per_sec\": {wps:.0}, \
-                     \"speedup_vs_seq\": {speedup:.3}}}",
-                    json_str(kind.label())
-                ));
             }
         }
     }

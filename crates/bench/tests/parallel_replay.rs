@@ -8,7 +8,6 @@ use nvcache_core::{flush_stats_with, run_policy_with, PolicyKind, ReplayOptions,
 use nvcache_trace::synth::{cyclic, replicate, zipf, SynthOpts};
 use nvcache_trace::Trace;
 use nvcache_workloads::registry::workload_by_name;
-use nvcache_workloads::Workload;
 
 fn all_kinds(trace: &Trace) -> Vec<PolicyKind> {
     vec![

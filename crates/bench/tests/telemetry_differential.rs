@@ -14,7 +14,6 @@ use nvcache_telemetry::{CounterId, TelemetryConfig};
 use nvcache_trace::synth::{cyclic, replicate, zipf, SynthOpts};
 use nvcache_trace::Trace;
 use nvcache_workloads::registry::workload_by_name;
-use nvcache_workloads::Workload;
 
 fn all_kinds(trace: &Trace) -> Vec<PolicyKind> {
     vec![

@@ -165,6 +165,7 @@ impl SetAssocCache {
     }
 
     /// Perform a load or store of `line`.
+    #[inline]
     pub fn access(&mut self, line: Line, kind: AccessKind) -> AccessResult {
         self.tick += 1;
         let tick = self.tick;
@@ -207,6 +208,7 @@ impl SetAssocCache {
 
     /// `clflush` semantics: write back (if dirty) and invalidate the
     /// line. Returns true iff the line was present.
+    #[inline]
     pub fn flush(&mut self, line: Line) -> bool {
         let (sidx, tag) = self.split(line);
         let set = &mut self.sets[sidx];
@@ -223,6 +225,7 @@ impl SetAssocCache {
 
     /// `clwb` semantics: write the line back (clear dirty) but keep it
     /// resident — the program's next access still hits.
+    #[inline]
     pub fn writeback_keep(&mut self, line: Line) -> bool {
         let (sidx, tag) = self.split(line);
         let set = &mut self.sets[sidx];
@@ -238,6 +241,7 @@ impl SetAssocCache {
 
     /// Invalidate without counting as a flush — used by the contention
     /// model to evict a line "from outside" (another core / the OS).
+    #[inline]
     pub fn invalidate_silent(&mut self, line: Line) -> bool {
         let (sidx, tag) = self.split(line);
         let set = &mut self.sets[sidx];

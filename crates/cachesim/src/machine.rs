@@ -122,28 +122,33 @@ impl Machine {
     }
 
     /// Current cycle.
+    #[inline]
     pub fn now(&self) -> u64 {
         self.now
     }
 
     /// Write-back queue depth right now (pure probe — telemetry's
     /// depth-sampling point).
+    #[inline]
     pub fn queue_depth(&self) -> usize {
         self.queue.depth_at(self.now)
     }
 
     /// Cycles stalled so far in end-of-FASE drains and fences.
+    #[inline]
     pub fn fase_stall_cycles(&self) -> u64 {
         self.fase_stall
     }
 
     /// Total queue stall cycles so far (mid-FASE *and* end-of-FASE; the
     /// final report splits them).
+    #[inline]
     pub fn total_stall_cycles(&self) -> u64 {
         self.queue.stall_cycles
     }
 
     /// Execute `units` of opaque computation.
+    #[inline]
     pub fn work(&mut self, units: u32) {
         self.now += units as u64 * self.cfg.timing.t_work;
         self.instructions += units as u64 * self.cfg.instr_work;
@@ -151,11 +156,13 @@ impl Machine {
 
     /// Account extra software instructions (policy bookkeeping); each
     /// costs one cycle.
+    #[inline]
     pub fn software_overhead(&mut self, instructions: u64) {
         self.instructions += instructions;
         self.now += instructions;
     }
 
+    #[inline]
     fn contended(&mut self, line: Line) {
         if self.cfg.contention_miss_prob > 0.0
             && self.rng.gen::<f64>() < self.cfg.contention_miss_prob
@@ -164,6 +171,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn access(&mut self, line: Line, kind: AccessKind, base: u64) {
         self.contended(line);
         let r = self.l1.access(line, kind);
@@ -174,12 +182,14 @@ impl Machine {
     }
 
     /// A persistent store to `line`.
+    #[inline]
     pub fn store(&mut self, line: Line) {
         self.instructions += self.cfg.instr_store;
         self.access(line, AccessKind::Write, self.cfg.timing.t_store);
     }
 
     /// A load from `line`.
+    #[inline]
     pub fn load(&mut self, line: Line) {
         self.instructions += 1;
         self.access(line, AccessKind::Read, 1);
@@ -187,6 +197,7 @@ impl Machine {
 
     /// Issue an asynchronous flush of `line` (mid-FASE eviction): the
     /// write-back overlaps computation unless the queue is saturated.
+    #[inline]
     pub fn flush_async(&mut self, line: Line) {
         self.instructions += self.cfg.instr_flush;
         if self.cfg.flush_invalidates {
@@ -201,6 +212,7 @@ impl Machine {
 
     /// Issue a synchronous flush (end-of-FASE): the thread waits for the
     /// write-back to complete before continuing.
+    #[inline]
     pub fn flush_sync(&mut self, line: Line) {
         self.instructions += self.cfg.instr_flush;
         if self.cfg.flush_invalidates {
@@ -217,6 +229,7 @@ impl Machine {
 
     /// Fence at the end of a FASE: drain the write-back queue and pay the
     /// ordering cost.
+    #[inline]
     pub fn fence(&mut self) {
         let before = self.now;
         self.now = self.queue.drain(self.now);

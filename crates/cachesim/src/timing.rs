@@ -86,6 +86,7 @@ impl FlushQueue {
     }
 
     /// Retire entries completed by cycle `now`.
+    #[inline]
     fn retire(&mut self, now: u64) {
         while matches!(self.inflight.front(), Some(&c) if c <= now) {
             self.inflight.pop_front();
@@ -95,6 +96,7 @@ impl FlushQueue {
     /// Issue an asynchronous flush at cycle `now`. Returns the cycle at
     /// which the *thread* may continue (≥ `now` if it had to stall for a
     /// slot). The flush itself completes later.
+    #[inline]
     pub fn issue_async(&mut self, now: u64) -> u64 {
         self.retire(now);
         let mut t = now;
@@ -112,6 +114,7 @@ impl FlushQueue {
 
     /// Issue a synchronous flush at cycle `now`: the thread waits for the
     /// write-back (and everything queued before it) to complete.
+    #[inline]
     pub fn issue_sync(&mut self, now: u64) -> u64 {
         let resume = self.issue_async(now);
         let done = *self.inflight.back().expect("just pushed");
@@ -122,6 +125,7 @@ impl FlushQueue {
 
     /// Wait until the queue is empty (drain at a fence). Returns the
     /// completion cycle.
+    #[inline]
     pub fn drain(&mut self, now: u64) -> u64 {
         self.retire(now);
         let done = self.inflight.back().copied().unwrap_or(now).max(now);
@@ -134,6 +138,7 @@ impl FlushQueue {
     /// touching the queue: completed-but-unretired entries are merely
     /// skipped, not popped. This is the probe telemetry sampling uses —
     /// observing depth must never perturb timing state.
+    #[inline]
     pub fn depth_at(&self, now: u64) -> usize {
         self.inflight.iter().filter(|&&c| c > now).count()
     }

@@ -96,6 +96,7 @@ impl PersistPolicy for AdaptiveScPolicy {
         "SC"
     }
 
+    #[inline]
     fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
         // Sample with FASE renaming (Section III-B): an address reused
         // across FASEs must look like a fresh datum.
@@ -116,7 +117,7 @@ impl PersistPolicy for AdaptiveScPolicy {
             self.selections.push(size);
             self.last_change = Some((knee, size));
             self.pending_instrs += self.cfg.analysis_instr_per_write * self.cfg.burst_len as u64;
-            out.extend(self.sc.set_capacity(size));
+            self.sc.set_capacity_into(size, out);
         }
         self.sc.on_store(line, out)
     }

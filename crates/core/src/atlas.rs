@@ -39,6 +39,7 @@ impl PersistPolicy for AtlasPolicy {
         "AT"
     }
 
+    #[inline]
     fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
         let s = self.slot(line);
         match self.table[s] {

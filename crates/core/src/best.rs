@@ -22,6 +22,7 @@ impl PersistPolicy for BestPolicy {
         "BEST"
     }
 
+    #[inline]
     fn on_store(&mut self, _line: Line, _out: &mut Vec<Line>) -> StoreOutcome {
         // BEST buffers nothing and flushes nothing; every write is
         // trivially "combined" (no flush obligation is ever created)

@@ -18,8 +18,17 @@
 //! parallel result is **bit-identical** to the sequential one: workers
 //! return `(tid, result)` pairs that are re-assembled in tid order
 //! before any aggregation happens.
+//!
+//! Dispatch architecture: the replay loops are generic over
+//! `P: PersistPolicy + ?Sized`, and the public entry points match on
+//! [`PolicyKind`] **once** (via `dispatch_kind!`) to instantiate them
+//! with each concrete policy type. Every `on_store` in the hot loop is
+//! therefore a direct, inlinable call — no vtable, no box. The same
+//! generic loops instantiated with `dyn PersistPolicy` form the
+//! reference engine ([`flush_stats_dyn`] & friends), kept for
+//! differential testing and for benchmarking the dispatch win.
 
-use crate::policy::{PolicyKind, StoreOutcome};
+use crate::policy::{PersistPolicy, PolicyKind, StoreOutcome};
 use nvcache_cachesim::{Machine, MachineConfig, MachineReport};
 use nvcache_telemetry::{
     CounterId, EventKind, HistId, NullRecorder, Recorder, TelemetryConfig, TelemetrySnapshot,
@@ -86,7 +95,10 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut done = Vec::new();
+                    // one result buffer per worker thread, pre-sized to
+                    // the worst case (this worker claims every item) so
+                    // the claim loop never reallocates
+                    let mut done = Vec::with_capacity(items.len());
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
@@ -148,83 +160,123 @@ struct ThreadFlushes {
     fl_sync: u64,
 }
 
-/// Replay one thread through a fresh policy instance, counting flushes.
+/// Events per inner replay chunk. The replay loops walk the trace in
+/// fixed-size chunks: the event slice of one chunk stays L1-resident
+/// while the policy and machine state churn, and the telemetry batch
+/// below is drained once per chunk instead of once per event.
+const REPLAY_CHUNK: usize = 1024;
+
+/// Per-chunk batch of the per-store telemetry counters. Counter sums
+/// are order-independent, so accumulating them in registers and
+/// draining at chunk boundaries (and before any rare event that also
+/// writes counters) leaves every snapshot bit-identical while keeping
+/// shard-array traffic off the per-event path. Timeline `emit`s and
+/// histogram `observe`s are *not* batched — the ring is bounded (drop
+/// order matters) and histogram samples depend on in-loop state.
+#[derive(Default, Clone, Copy)]
+struct StoreBatch {
+    stores: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl StoreBatch {
+    /// Flush the batched counts into the recorder shard and reset.
+    /// Evictions and async flushes are counted 1:1 on this path.
+    #[inline]
+    fn drain_into<R: Recorder>(&mut self, rec: &mut R) {
+        if R::ENABLED {
+            rec.add(CounterId::Stores, self.stores);
+            rec.add(CounterId::ScHits, self.hits);
+            rec.add(CounterId::ScMisses, self.misses);
+            rec.add(CounterId::ScEvictions, self.evictions);
+            rec.add(CounterId::FlushesAsync, self.evictions);
+            *self = StoreBatch::default();
+        }
+    }
+}
+
+/// Replay one thread through `policy`, counting flushes.
 ///
-/// Generic over the telemetry [`Recorder`]: with [`NullRecorder`] every
-/// `R::ENABLED` block is a constant-false branch the optimizer deletes,
-/// so the uninstrumented path is byte-for-byte the pre-telemetry loop.
-/// Timeline timestamps in this (untimed) driver are the per-thread
-/// trace-event ordinal.
-fn flush_thread<R: Recorder>(
+/// Generic over the policy (`?Sized`, so both concrete types and
+/// `dyn PersistPolicy` instantiate the same loop) and the telemetry
+/// [`Recorder`]: with [`NullRecorder`] every `R::ENABLED` block is a
+/// constant-false branch the optimizer deletes, so the uninstrumented
+/// path is byte-for-byte the pre-telemetry loop. Timeline timestamps in
+/// this (untimed) driver are the per-thread trace-event ordinal.
+fn flush_thread<P: PersistPolicy + ?Sized, R: Recorder>(
     thread: &ThreadTrace,
-    kind: &PolicyKind,
+    policy: &mut P,
     rec: &mut R,
 ) -> ThreadFlushes {
     let mut acc = ThreadFlushes::default();
-    let mut policy = kind.build();
     let mut depth = 0usize;
     let mut buf = Vec::with_capacity(FLUSH_BUF_CAPACITY);
     let mut t = 0u64; // event ordinal (telemetry time axis)
     let mut fase_stores = 0u64;
-    for e in &thread.events {
-        t += 1;
-        match e {
-            Event::Write(l) => {
-                acc.stores += 1;
-                let outcome = policy.on_store(*l, &mut buf);
-                acc.fl_async += buf.len() as u64;
-                if R::ENABLED {
-                    fase_stores += 1;
-                    rec.incr(CounterId::Stores);
-                    match outcome {
-                        StoreOutcome::Combined => {
-                            rec.incr(CounterId::ScHits);
-                            rec.emit(EventKind::ScHit, t, l.0, 0);
-                        }
-                        StoreOutcome::Inserted => {
-                            rec.incr(CounterId::ScMisses);
-                            rec.emit(EventKind::ScInsert, t, l.0, 0);
-                        }
-                    }
-                    for victim in &buf {
-                        rec.incr(CounterId::ScEvictions);
-                        rec.incr(CounterId::FlushesAsync);
-                        rec.emit(EventKind::ScEvict, t, victim.0, 0);
-                    }
-                    if let Some((knee, cap)) = policy.take_capacity_change() {
-                        rec.incr(CounterId::CapacityChanges);
-                        rec.emit(EventKind::CapacityChange, t, knee as u64, cap as u64);
-                    }
-                }
-                buf.clear();
-            }
-            Event::FaseBegin => {
-                depth += 1;
-                if depth == 1 {
-                    policy.on_fase_begin();
+    let mut batch = StoreBatch::default();
+    for chunk in thread.events.chunks(REPLAY_CHUNK) {
+        for e in chunk {
+            t += 1;
+            match e {
+                Event::Write(l) => {
+                    acc.stores += 1;
+                    let outcome = policy.on_store(*l, &mut buf);
+                    acc.fl_async += buf.len() as u64;
                     if R::ENABLED {
-                        rec.incr(CounterId::FaseBegins);
-                        rec.emit(EventKind::FaseBegin, t, 0, 0);
-                        fase_stores = 0;
-                    }
-                }
-            }
-            Event::FaseEnd => {
-                if depth == 1 {
-                    policy.on_fase_end(&mut buf);
-                    acc.fl_sync += buf.len() as u64;
-                    if R::ENABLED {
-                        rec.incr(CounterId::FaseEnds);
-                        rec.add(CounterId::FlushesSync, buf.len() as u64);
-                        rec.observe(HistId::FaseStores, fase_stores);
-                        rec.emit(EventKind::FaseEnd, t, fase_stores, buf.len() as u64);
+                        fase_stores += 1;
+                        batch.stores += 1;
+                        match outcome {
+                            StoreOutcome::Combined => {
+                                batch.hits += 1;
+                                rec.emit(EventKind::ScHit, t, l.0, 0);
+                            }
+                            StoreOutcome::Inserted => {
+                                batch.misses += 1;
+                                rec.emit(EventKind::ScInsert, t, l.0, 0);
+                            }
+                        }
+                        for victim in &buf {
+                            batch.evictions += 1;
+                            rec.emit(EventKind::ScEvict, t, victim.0, 0);
+                        }
+                        if let Some((knee, cap)) = policy.take_capacity_change() {
+                            rec.incr(CounterId::CapacityChanges);
+                            rec.emit(EventKind::CapacityChange, t, knee as u64, cap as u64);
+                        }
                     }
                     buf.clear();
                 }
-                depth = depth.saturating_sub(1);
+                Event::FaseBegin => {
+                    depth += 1;
+                    if depth == 1 {
+                        policy.on_fase_begin();
+                        if R::ENABLED {
+                            rec.incr(CounterId::FaseBegins);
+                            rec.emit(EventKind::FaseBegin, t, 0, 0);
+                            fase_stores = 0;
+                        }
+                    }
+                }
+                Event::FaseEnd => {
+                    if depth == 1 {
+                        policy.on_fase_end(&mut buf);
+                        acc.fl_sync += buf.len() as u64;
+                        if R::ENABLED {
+                            rec.incr(CounterId::FaseEnds);
+                            rec.add(CounterId::FlushesSync, buf.len() as u64);
+                            rec.observe(HistId::FaseStores, fase_stores);
+                            rec.emit(EventKind::FaseEnd, t, fase_stores, buf.len() as u64);
+                        }
+                        buf.clear();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                Event::Read(_) | Event::Work(_) => {}
             }
-            Event::Read(_) | Event::Work(_) => {}
         }
+        batch.drain_into(rec);
     }
     // program exit: remaining buffered lines must still be persisted
     policy.on_fase_end(&mut buf);
@@ -233,6 +285,41 @@ fn flush_thread<R: Recorder>(
         rec.add(CounterId::FlushesSync, buf.len() as u64);
     }
     acc
+}
+
+/// Monomorphize `$body` over the concrete policy type `$kind` names.
+/// `$build` binds to a fresh-instance constructor in each arm, so a
+/// replay loop inside `$body` compiles once per policy (and per
+/// recorder), with the policy callbacks devirtualized and inlined.
+macro_rules! dispatch_kind {
+    ($kind:expr, $build:ident => $body:expr) => {
+        match $kind {
+            PolicyKind::Eager => {
+                let $build = crate::eager::EagerPolicy::new;
+                $body
+            }
+            PolicyKind::Lazy => {
+                let $build = crate::lazy::LazyPolicy::new;
+                $body
+            }
+            PolicyKind::Atlas { size } => {
+                let $build = || crate::atlas::AtlasPolicy::new(*size);
+                $body
+            }
+            PolicyKind::ScFixed { capacity } => {
+                let $build = || crate::sc::ScPolicy::new(*capacity);
+                $body
+            }
+            PolicyKind::ScAdaptive(cfg) => {
+                let $build = || crate::adaptive::AdaptiveScPolicy::new(cfg.clone());
+                $body
+            }
+            PolicyKind::Best => {
+                let $build = crate::best::BestPolicy::new;
+                $body
+            }
+        }
+    };
 }
 
 /// Count flushes exactly, without the timing model (sequentially).
@@ -244,8 +331,10 @@ pub fn flush_stats(trace: &Trace, kind: &PolicyKind) -> FlushStats {
 /// `opts.parallelism` OS threads. Identical output to [`flush_stats`]
 /// for every `opts`.
 pub fn flush_stats_with(trace: &Trace, kind: &PolicyKind, opts: &ReplayOptions) -> FlushStats {
-    let per = fan_out(&trace.threads, opts.parallelism, |_tid, t| {
-        flush_thread(t, kind, &mut NullRecorder)
+    let per = dispatch_kind!(kind, build => {
+        fan_out(&trace.threads, opts.parallelism, |_tid, t| {
+            flush_thread(t, &mut build(), &mut NullRecorder)
+        })
     });
     aggregate_flushes(kind, per)
 }
@@ -261,9 +350,46 @@ pub fn flush_stats_traced(
     opts: &ReplayOptions,
     tcfg: &TelemetryConfig,
 ) -> (FlushStats, TelemetrySnapshot) {
+    let per = dispatch_kind!(kind, build => {
+        fan_out(&trace.threads, opts.parallelism, |tid, t| {
+            let mut rec = ThreadRecorder::new(tid as u32, tcfg);
+            let flushes = flush_thread(t, &mut build(), &mut rec);
+            (flushes, rec)
+        })
+    });
+    let mut flushes = Vec::with_capacity(per.len());
+    let mut shards = Vec::with_capacity(per.len());
+    for (f, r) in per {
+        flushes.push(f);
+        shards.push(r);
+    }
+    (
+        aggregate_flushes(kind, flushes),
+        TelemetrySnapshot::from_threads(shards),
+    )
+}
+
+/// [`flush_stats_with`] through the boxed `dyn PersistPolicy` shim —
+/// the reference engine. Instantiates the *same* generic loop with
+/// `dyn PersistPolicy`, so any divergence from the monomorphized path
+/// is a dispatch bug; the differential suite pins them bit-identical.
+pub fn flush_stats_dyn(trace: &Trace, kind: &PolicyKind, opts: &ReplayOptions) -> FlushStats {
+    let per = fan_out(&trace.threads, opts.parallelism, |_tid, t| {
+        flush_thread(t, &mut *kind.build(), &mut NullRecorder)
+    });
+    aggregate_flushes(kind, per)
+}
+
+/// [`flush_stats_traced`] through the boxed `dyn` shim (reference).
+pub fn flush_stats_traced_dyn(
+    trace: &Trace,
+    kind: &PolicyKind,
+    opts: &ReplayOptions,
+    tcfg: &TelemetryConfig,
+) -> (FlushStats, TelemetrySnapshot) {
     let per = fan_out(&trace.threads, opts.parallelism, |tid, t| {
         let mut rec = ThreadRecorder::new(tid as u32, tcfg);
-        let flushes = flush_thread(t, kind, &mut rec);
+        let flushes = flush_thread(t, &mut *kind.build(), &mut rec);
         (flushes, rec)
     });
     let mut flushes = Vec::with_capacity(per.len());
@@ -352,106 +478,108 @@ const FLUSH_BUF_CAPACITY: usize = 64;
 /// the timeline time axis is the machine's simulated cycle clock, and
 /// the instrumentation additionally samples flush-queue depth and
 /// attributes stall cycles to sync flushes vs. FASE-end drains.
-fn replay_thread<R: Recorder>(
+fn replay_thread<P: PersistPolicy + ?Sized, R: Recorder>(
     thread: &ThreadTrace,
     tid: usize,
-    kind: &PolicyKind,
+    policy: &mut P,
     cfg: &RunConfig,
     rec: &mut R,
 ) -> (u64, MachineReport) {
     let mut stores = 0u64;
-    let mut policy = kind.build();
     let mut mcfg = cfg.machine;
     mcfg.seed = cfg.machine.seed.wrapping_add(tid as u64 * 0x9e37_79b9);
     let mut m = Machine::new(mcfg);
     let mut depth = 0usize;
     let mut buf = Vec::with_capacity(FLUSH_BUF_CAPACITY);
     let mut fase_stores = 0u64;
-    for e in &thread.events {
-        match e {
-            Event::Write(l) => {
-                stores += 1;
-                m.store(*l);
-                let outcome = policy.on_store(*l, &mut buf);
-                m.software_overhead(policy.store_overhead_instrs());
-                let extra = policy.drain_extra_instrs();
-                if extra > 0 {
-                    m.software_overhead(extra);
-                }
-                if R::ENABLED {
-                    fase_stores += 1;
-                    rec.incr(CounterId::Stores);
-                    match outcome {
-                        StoreOutcome::Combined => {
-                            rec.incr(CounterId::ScHits);
-                            rec.emit(EventKind::ScHit, m.now(), l.0, 0);
+    let mut batch = StoreBatch::default();
+    for chunk in thread.events.chunks(REPLAY_CHUNK) {
+        for e in chunk {
+            match e {
+                Event::Write(l) => {
+                    stores += 1;
+                    m.store(*l);
+                    let outcome = policy.on_store(*l, &mut buf);
+                    m.software_overhead(policy.store_overhead_instrs());
+                    let extra = policy.drain_extra_instrs();
+                    if extra > 0 {
+                        m.software_overhead(extra);
+                    }
+                    if R::ENABLED {
+                        fase_stores += 1;
+                        batch.stores += 1;
+                        match outcome {
+                            StoreOutcome::Combined => {
+                                batch.hits += 1;
+                                rec.emit(EventKind::ScHit, m.now(), l.0, 0);
+                            }
+                            StoreOutcome::Inserted => {
+                                batch.misses += 1;
+                                rec.emit(EventKind::ScInsert, m.now(), l.0, 0);
+                            }
                         }
-                        StoreOutcome::Inserted => {
-                            rec.incr(CounterId::ScMisses);
-                            rec.emit(EventKind::ScInsert, m.now(), l.0, 0);
+                        if let Some((knee, cap)) = policy.take_capacity_change() {
+                            rec.incr(CounterId::CapacityChanges);
+                            rec.emit(EventKind::CapacityChange, m.now(), knee as u64, cap as u64);
                         }
                     }
-                    if let Some((knee, cap)) = policy.take_capacity_change() {
-                        rec.incr(CounterId::CapacityChanges);
-                        rec.emit(EventKind::CapacityChange, m.now(), knee as u64, cap as u64);
-                    }
-                }
-                for victim in buf.drain(..) {
-                    m.flush_async(victim);
-                    if R::ENABLED {
-                        rec.incr(CounterId::ScEvictions);
-                        rec.incr(CounterId::FlushesAsync);
-                        rec.emit(EventKind::FlushAsync, m.now(), victim.0, 0);
-                        rec.observe(HistId::QueueDepth, m.queue_depth() as u64);
-                    }
-                }
-            }
-            Event::Read(l) => m.load(*l),
-            Event::Work(u) => m.work(*u),
-            Event::FaseBegin => {
-                depth += 1;
-                if depth == 1 {
-                    policy.on_fase_begin();
-                    if R::ENABLED {
-                        rec.incr(CounterId::FaseBegins);
-                        rec.emit(EventKind::FaseBegin, m.now(), 0, 0);
-                        fase_stores = 0;
-                    }
-                }
-            }
-            Event::FaseEnd => {
-                if depth == 1 {
-                    policy.on_fase_end(&mut buf);
-                    if R::ENABLED {
-                        let n = buf.len() as u64;
-                        let stall_before = m.fase_stall_cycles();
-                        for line in buf.drain(..) {
-                            m.flush_sync(line);
-                            rec.incr(CounterId::FlushesSync);
-                            rec.emit(EventKind::FlushSync, m.now(), line.0, 0);
+                    for victim in buf.drain(..) {
+                        m.flush_async(victim);
+                        if R::ENABLED {
+                            batch.evictions += 1;
+                            rec.emit(EventKind::FlushAsync, m.now(), victim.0, 0);
                             rec.observe(HistId::QueueDepth, m.queue_depth() as u64);
                         }
-                        let sync_stall = m.fase_stall_cycles() - stall_before;
-                        rec.observe(HistId::SyncFlushStall, sync_stall);
-                        let drain_before = m.fase_stall_cycles();
-                        m.fence();
-                        let drain_stall = m.fase_stall_cycles() - drain_before;
-                        rec.observe(HistId::DrainStall, drain_stall);
-                        rec.incr(CounterId::Fences);
-                        rec.incr(CounterId::FaseEnds);
-                        rec.observe(HistId::FaseStores, fase_stores);
-                        rec.emit(EventKind::QueueDrain, m.now(), drain_stall, 0);
-                        rec.emit(EventKind::FaseEnd, m.now(), fase_stores, n);
-                    } else {
-                        for line in buf.drain(..) {
-                            m.flush_sync(line);
-                        }
-                        m.fence();
                     }
                 }
-                depth = depth.saturating_sub(1);
+                Event::Read(l) => m.load(*l),
+                Event::Work(u) => m.work(*u),
+                Event::FaseBegin => {
+                    depth += 1;
+                    if depth == 1 {
+                        policy.on_fase_begin();
+                        if R::ENABLED {
+                            rec.incr(CounterId::FaseBegins);
+                            rec.emit(EventKind::FaseBegin, m.now(), 0, 0);
+                            fase_stores = 0;
+                        }
+                    }
+                }
+                Event::FaseEnd => {
+                    if depth == 1 {
+                        policy.on_fase_end(&mut buf);
+                        if R::ENABLED {
+                            let n = buf.len() as u64;
+                            let stall_before = m.fase_stall_cycles();
+                            for line in buf.drain(..) {
+                                m.flush_sync(line);
+                                rec.incr(CounterId::FlushesSync);
+                                rec.emit(EventKind::FlushSync, m.now(), line.0, 0);
+                                rec.observe(HistId::QueueDepth, m.queue_depth() as u64);
+                            }
+                            let sync_stall = m.fase_stall_cycles() - stall_before;
+                            rec.observe(HistId::SyncFlushStall, sync_stall);
+                            let drain_before = m.fase_stall_cycles();
+                            m.fence();
+                            let drain_stall = m.fase_stall_cycles() - drain_before;
+                            rec.observe(HistId::DrainStall, drain_stall);
+                            rec.incr(CounterId::Fences);
+                            rec.incr(CounterId::FaseEnds);
+                            rec.observe(HistId::FaseStores, fase_stores);
+                            rec.emit(EventKind::QueueDrain, m.now(), drain_stall, 0);
+                            rec.emit(EventKind::FaseEnd, m.now(), fase_stores, n);
+                        } else {
+                            for line in buf.drain(..) {
+                                m.flush_sync(line);
+                            }
+                            m.fence();
+                        }
+                    }
+                    depth = depth.saturating_sub(1);
+                }
             }
         }
+        batch.drain_into(rec);
     }
     // flush whatever the policy still buffers at program end
     policy.on_fase_end(&mut buf);
@@ -488,8 +616,10 @@ pub fn run_policy_with(
     cfg: &RunConfig,
     opts: &ReplayOptions,
 ) -> RunReport {
-    let per = fan_out(&trace.threads, opts.parallelism, |tid, t| {
-        replay_thread(t, tid, kind, cfg, &mut NullRecorder)
+    let per = dispatch_kind!(kind, build => {
+        fan_out(&trace.threads, opts.parallelism, |tid, t| {
+            replay_thread(t, tid, &mut build(), cfg, &mut NullRecorder)
+        })
     });
     aggregate_runs(kind, per)
 }
@@ -505,9 +635,50 @@ pub fn run_policy_traced(
     opts: &ReplayOptions,
     tcfg: &TelemetryConfig,
 ) -> (RunReport, TelemetrySnapshot) {
+    let per = dispatch_kind!(kind, build => {
+        fan_out(&trace.threads, opts.parallelism, |tid, t| {
+            let mut rec = ThreadRecorder::new(tid as u32, tcfg);
+            let out = replay_thread(t, tid, &mut build(), cfg, &mut rec);
+            (out, rec)
+        })
+    });
+    let mut runs = Vec::with_capacity(per.len());
+    let mut shards = Vec::with_capacity(per.len());
+    for (r, rec) in per {
+        runs.push(r);
+        shards.push(rec);
+    }
+    (
+        aggregate_runs(kind, runs),
+        TelemetrySnapshot::from_threads(shards),
+    )
+}
+
+/// [`run_policy_with`] through the boxed `dyn PersistPolicy` shim —
+/// the timed reference engine (same generic loop, vtable dispatch).
+pub fn run_policy_dyn(
+    trace: &Trace,
+    kind: &PolicyKind,
+    cfg: &RunConfig,
+    opts: &ReplayOptions,
+) -> RunReport {
+    let per = fan_out(&trace.threads, opts.parallelism, |tid, t| {
+        replay_thread(t, tid, &mut *kind.build(), cfg, &mut NullRecorder)
+    });
+    aggregate_runs(kind, per)
+}
+
+/// [`run_policy_traced`] through the boxed `dyn` shim (reference).
+pub fn run_policy_traced_dyn(
+    trace: &Trace,
+    kind: &PolicyKind,
+    cfg: &RunConfig,
+    opts: &ReplayOptions,
+    tcfg: &TelemetryConfig,
+) -> (RunReport, TelemetrySnapshot) {
     let per = fan_out(&trace.threads, opts.parallelism, |tid, t| {
         let mut rec = ThreadRecorder::new(tid as u32, tcfg);
-        let out = replay_thread(t, tid, kind, cfg, &mut rec);
+        let out = replay_thread(t, tid, &mut *kind.build(), cfg, &mut rec);
         (out, rec)
     });
     let mut runs = Vec::with_capacity(per.len());

@@ -23,6 +23,7 @@ impl PersistPolicy for EagerPolicy {
         "ER"
     }
 
+    #[inline]
     fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
         out.push(line);
         StoreOutcome::Inserted // never combines — that is ER's whole cost

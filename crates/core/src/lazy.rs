@@ -36,6 +36,7 @@ impl PersistPolicy for LazyPolicy {
         "LA"
     }
 
+    #[inline]
     fn on_store(&mut self, line: Line, _out: &mut Vec<Line>) -> StoreOutcome {
         if self.dirty.insert(line) {
             self.order.push(line);

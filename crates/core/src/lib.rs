@@ -41,12 +41,13 @@ pub use adaptive::{AdaptiveConfig, AdaptiveScPolicy};
 pub use atlas::AtlasPolicy;
 pub use best::BestPolicy;
 pub use driver::{
-    flush_stats, flush_stats_traced, flush_stats_with, run_policy, run_policy_traced,
-    run_policy_with, FlushStats, ReplayOptions, RunConfig, RunReport,
+    flush_stats, flush_stats_dyn, flush_stats_traced, flush_stats_traced_dyn, flush_stats_with,
+    run_policy, run_policy_dyn, run_policy_traced, run_policy_traced_dyn, run_policy_with,
+    FlushStats, ReplayOptions, RunConfig, RunReport,
 };
 pub use eager::EagerPolicy;
 pub use group::{group_threads, grouped_capacities, ThreadGroup};
 pub use lazy::LazyPolicy;
 pub use lru::LruCache;
-pub use policy::{PersistPolicy, PolicyKind, StoreOutcome};
+pub use policy::{PersistPolicy, Policy, PolicyKind, StoreOutcome};
 pub use sc::ScPolicy;

@@ -162,26 +162,51 @@ impl LruCache {
         }
     }
 
-    /// Remove and return every cached line, LRU first (the order flushes
-    /// are issued at a FASE end — oldest data first).
-    pub fn drain_lru_first(&mut self) -> Vec<Line> {
-        let mut out = Vec::with_capacity(self.map.len());
+    /// Remove every cached line, appending them to `out` LRU first (the
+    /// order flushes are issued at a FASE end — oldest data first).
+    /// Allocation-free when `out` has capacity: the FASE-end drain on
+    /// the replay hot path reuses one buffer per thread.
+    pub fn drain_lru_first_into(&mut self, out: &mut Vec<Line>) {
+        out.reserve(self.map.len());
         while !self.map.is_empty() {
             out.push(self.pop_lru());
         }
+    }
+
+    /// Remove and return every cached line, LRU first. Allocating
+    /// wrapper over [`LruCache::drain_lru_first_into`].
+    pub fn drain_lru_first(&mut self) -> Vec<Line> {
+        let mut out = Vec::with_capacity(self.map.len());
+        self.drain_lru_first_into(&mut out);
         out
     }
 
     /// Change the capacity; if shrinking below the current length,
-    /// evicts (and returns) LRU lines.
-    pub fn set_capacity(&mut self, capacity: usize) -> Vec<Line> {
+    /// evicts LRU lines, appending them to `out`.
+    pub fn set_capacity_into(&mut self, capacity: usize, out: &mut Vec<Line>) {
         assert!(capacity >= 1);
         self.capacity = capacity;
-        let mut evicted = Vec::new();
         while self.map.len() > capacity {
-            evicted.push(self.pop_lru());
+            out.push(self.pop_lru());
         }
+    }
+
+    /// Change the capacity, returning any evicted LRU lines. Allocating
+    /// wrapper over [`LruCache::set_capacity_into`].
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<Line> {
+        let mut evicted = Vec::new();
+        self.set_capacity_into(capacity, &mut evicted);
         evicted
+    }
+
+    /// Forget every cached line without reporting them (reset path —
+    /// nothing is flushed). Keeps the map, slab and free-list storage.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
     }
 
     /// Cached lines from MRU to LRU (test/diagnostic helper).
@@ -264,6 +289,44 @@ mod tests {
         // reusable after drain
         c.touch(l(9));
         assert!(c.contains(l(9)));
+    }
+
+    #[test]
+    fn drain_into_appends_without_clearing_destination() {
+        let mut c = LruCache::new(3);
+        c.touch(l(1));
+        c.touch(l(2));
+        let mut out = vec![l(99)];
+        c.drain_lru_first_into(&mut out);
+        assert_eq!(out, vec![l(99), l(1), l(2)]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn set_capacity_into_appends_evictions() {
+        let mut c = LruCache::new(4);
+        for i in 1..=4 {
+            c.touch(l(i));
+        }
+        let mut out = vec![l(99)];
+        c.set_capacity_into(2, &mut out);
+        assert_eq!(out, vec![l(99), l(1), l(2)]);
+        assert_eq!(c.capacity(), 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_and_cache_is_reusable() {
+        let mut c = LruCache::new(3);
+        c.touch(l(1));
+        c.touch(l(2));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 3);
+        c.touch(l(7));
+        c.touch(l(8));
+        let order: Vec<u64> = c.iter_mru().map(|x| x.0).collect();
+        assert_eq!(order, vec![8, 7]);
     }
 
     #[test]

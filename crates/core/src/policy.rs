@@ -92,7 +92,12 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Instantiate a fresh per-thread policy.
+    /// Instantiate a fresh per-thread policy behind a `Box<dyn …>`.
+    ///
+    /// Compatibility shim: external callers that want type erasure keep
+    /// working, but every call through the box is a virtual dispatch.
+    /// Hot paths should use [`PolicyKind::build_policy`] (enum dispatch)
+    /// or monomorphize over the concrete types like `driver` does.
     pub fn build(&self) -> Box<dyn PersistPolicy + Send> {
         match self {
             PolicyKind::Eager => Box::new(crate::eager::EagerPolicy::new()),
@@ -106,6 +111,23 @@ impl PolicyKind {
         }
     }
 
+    /// Instantiate a fresh per-thread policy as a stack-allocated
+    /// [`Policy`] enum — no heap allocation, no vtable.
+    pub fn build_policy(&self) -> Policy {
+        match self {
+            PolicyKind::Eager => Policy::Eager(crate::eager::EagerPolicy::new()),
+            PolicyKind::Lazy => Policy::Lazy(crate::lazy::LazyPolicy::new()),
+            PolicyKind::Atlas { size } => Policy::Atlas(crate::atlas::AtlasPolicy::new(*size)),
+            PolicyKind::ScFixed { capacity } => {
+                Policy::ScFixed(crate::sc::ScPolicy::new(*capacity))
+            }
+            PolicyKind::ScAdaptive(cfg) => {
+                Policy::ScAdaptive(crate::adaptive::AdaptiveScPolicy::new(cfg.clone()))
+            }
+            PolicyKind::Best => Policy::Best(crate::best::BestPolicy::new()),
+        }
+    }
+
     /// Paper label of the technique.
     pub fn label(&self) -> &'static str {
         match self {
@@ -116,6 +138,90 @@ impl PolicyKind {
             PolicyKind::ScAdaptive(_) => "SC",
             PolicyKind::Best => "BEST",
         }
+    }
+}
+
+/// A concrete, stack-allocated policy instance — one variant per
+/// technique, built by [`PolicyKind::build_policy`].
+///
+/// Unlike the boxed `dyn` shim, every [`PersistPolicy`] method on this
+/// enum is an `#[inline]` six-way match: callers that hold a `Policy`
+/// pay one predictable branch per call instead of a virtual dispatch,
+/// and callers that match on the variant once (the replay drivers in
+/// [`crate::driver`]) monomorphize their whole loop per concrete policy
+/// type with zero dispatch cost.
+// size skew (ScAdaptive carries the burst sampler) is fine: instances
+// live one-per-thread on the stack, never in bulk collections, so the
+// boxing clippy suggests would only buy back a pointer chase
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum Policy {
+    /// ER: flush on every store.
+    Eager(crate::eager::EagerPolicy),
+    /// LA: flush everything at FASE end.
+    Lazy(crate::lazy::LazyPolicy),
+    /// AT: Atlas direct-mapped table.
+    Atlas(crate::atlas::AtlasPolicy),
+    /// SC with a fixed capacity.
+    ScFixed(crate::sc::ScPolicy),
+    /// SC with online adaptive capacity selection.
+    ScAdaptive(crate::adaptive::AdaptiveScPolicy),
+    /// BEST: never flush.
+    Best(crate::best::BestPolicy),
+}
+
+macro_rules! each_variant {
+    ($self:expr, $p:ident => $e:expr) => {
+        match $self {
+            Policy::Eager($p) => $e,
+            Policy::Lazy($p) => $e,
+            Policy::Atlas($p) => $e,
+            Policy::ScFixed($p) => $e,
+            Policy::ScAdaptive($p) => $e,
+            Policy::Best($p) => $e,
+        }
+    };
+}
+
+impl PersistPolicy for Policy {
+    #[inline]
+    fn name(&self) -> &'static str {
+        each_variant!(self, p => p.name())
+    }
+
+    #[inline]
+    fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
+        each_variant!(self, p => p.on_store(line, out))
+    }
+
+    #[inline]
+    fn on_fase_begin(&mut self) {
+        each_variant!(self, p => p.on_fase_begin())
+    }
+
+    #[inline]
+    fn on_fase_end(&mut self, out: &mut Vec<Line>) {
+        each_variant!(self, p => p.on_fase_end(out))
+    }
+
+    #[inline]
+    fn store_overhead_instrs(&self) -> u64 {
+        each_variant!(self, p => p.store_overhead_instrs())
+    }
+
+    #[inline]
+    fn drain_extra_instrs(&mut self) -> u64 {
+        each_variant!(self, p => p.drain_extra_instrs())
+    }
+
+    #[inline]
+    fn take_capacity_change(&mut self) -> Option<(usize, usize)> {
+        each_variant!(self, p => p.take_capacity_change())
+    }
+
+    #[inline]
+    fn reset(&mut self) {
+        each_variant!(self, p => p.reset())
     }
 }
 
@@ -140,6 +246,56 @@ mod tests {
             assert_eq!(kind.label(), label);
             let p = kind.build();
             assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn enum_policy_behaves_like_boxed_policy() {
+        use nvcache_trace::Line;
+        let kinds = [
+            PolicyKind::Eager,
+            PolicyKind::Lazy,
+            PolicyKind::Atlas { size: 4 },
+            PolicyKind::ScFixed { capacity: 4 },
+            PolicyKind::ScAdaptive(crate::adaptive::AdaptiveConfig {
+                burst_len: 64,
+                ..Default::default()
+            }),
+            PolicyKind::Best,
+        ];
+        for kind in kinds {
+            let mut boxed = kind.build();
+            let mut inline = kind.build_policy();
+            assert_eq!(boxed.name(), inline.name());
+            let (mut b_out, mut e_out) = (Vec::new(), Vec::new());
+            for i in 0..200u64 {
+                let line = Line(i % 7);
+                assert_eq!(
+                    boxed.on_store(line, &mut b_out),
+                    inline.on_store(line, &mut e_out),
+                    "{} store {i}",
+                    kind.label()
+                );
+                assert_eq!(boxed.drain_extra_instrs(), inline.drain_extra_instrs());
+                assert_eq!(boxed.take_capacity_change(), inline.take_capacity_change());
+                if i % 50 == 49 {
+                    boxed.on_fase_end(&mut b_out);
+                    inline.on_fase_end(&mut e_out);
+                    boxed.on_fase_begin();
+                    inline.on_fase_begin();
+                }
+            }
+            boxed.on_fase_end(&mut b_out);
+            inline.on_fase_end(&mut e_out);
+            assert_eq!(b_out, e_out, "{}", kind.label());
+            assert_eq!(
+                boxed.store_overhead_instrs(),
+                inline.store_overhead_instrs()
+            );
+            inline.reset();
+            e_out.clear();
+            inline.on_fase_end(&mut e_out);
+            assert!(e_out.is_empty(), "{}: reset drops state", kind.label());
         }
     }
 }

@@ -35,6 +35,12 @@ impl ScPolicy {
         self.cache.set_capacity(capacity)
     }
 
+    /// Resize the cache, appending evicted lines to `out` (the
+    /// allocation-free path the adaptive controller uses mid-replay).
+    pub fn set_capacity_into(&mut self, capacity: usize, out: &mut Vec<Line>) {
+        self.cache.set_capacity_into(capacity, out);
+    }
+
     /// Software-cache hits (combined writes) so far.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -61,6 +67,7 @@ impl PersistPolicy for ScPolicy {
         "SC-offline"
     }
 
+    #[inline]
     fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
         match self.cache.touch(line) {
             Touch::Hit => {
@@ -78,7 +85,7 @@ impl PersistPolicy for ScPolicy {
     }
 
     fn on_fase_end(&mut self, out: &mut Vec<Line>) {
-        out.extend(self.cache.drain_lru_first());
+        self.cache.drain_lru_first_into(out);
     }
 
     fn store_overhead_instrs(&self) -> u64 {
@@ -86,7 +93,7 @@ impl PersistPolicy for ScPolicy {
     }
 
     fn reset(&mut self) {
-        self.cache.drain_lru_first();
+        self.cache.clear();
         self.hits = 0;
         self.misses = 0;
     }

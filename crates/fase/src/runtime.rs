@@ -12,7 +12,7 @@
 //! flushed, a fence orders them, and the log commits — making the
 //! FASE's updates durable atomically.
 
-use nvcache_core::{PersistPolicy, PolicyKind, StoreOutcome};
+use nvcache_core::{PersistPolicy, Policy, PolicyKind, StoreOutcome};
 use nvcache_pmem::{CrashMode, PAlloc, PmemRegion};
 use nvcache_telemetry::{
     CounterId, EventKind, HistId, Recorder, TelemetryConfig, TelemetrySnapshot, ThreadRecorder,
@@ -53,7 +53,10 @@ impl FaseStats {
 pub struct FaseRuntime {
     region: PmemRegion,
     log: UndoLog,
-    policy: Box<dyn PersistPolicy + Send>,
+    /// Enum-dispatched: the store path calls `on_store` through a match
+    /// on six concrete types, not a vtable (same engine as the replay
+    /// drivers' monomorphized loops).
+    policy: Policy,
     heap: Option<PAlloc>,
     data_len: usize,
     depth: usize,
@@ -90,7 +93,7 @@ impl FaseRuntime {
         FaseRuntime {
             region,
             log,
-            policy: policy.build(),
+            policy: policy.build_policy(),
             heap: None,
             data_len,
             depth: 0,
@@ -135,7 +138,7 @@ impl FaseRuntime {
         FaseRuntime {
             region,
             log,
-            policy: policy.build(),
+            policy: policy.build_policy(),
             heap,
             data_len,
             depth: 0,

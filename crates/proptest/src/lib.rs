@@ -213,7 +213,7 @@ mod tests {
         let strat = (1u32..5).prop_map(|x| x * 10);
         for _ in 0..100 {
             let v = strat.sample(&mut rng);
-            assert!(v >= 10 && v < 50 && v % 10 == 0);
+            assert!((10..50).contains(&v) && v % 10 == 0);
         }
     }
 
@@ -229,7 +229,7 @@ mod tests {
         ) {
             prop_assert!(!xs.is_empty() && xs.len() < 12);
             prop_assert!(xs.iter().all(|&x| x < 24));
-            prop_assert!(k >= 1 && k < 8);
+            prop_assert!((1..8).contains(&k));
             let _ = flag;
         }
     }

@@ -130,7 +130,7 @@ mod tests {
     fn narrow_writes_widen() {
         // The same numeric value hashes identically at every width —
         // each write_* mixes one 64-bit word.
-        assert_eq!(hash_of(7u8) as u64, {
+        assert_eq!(hash_of(7u8), {
             let mut h = FxHasher::default();
             h.write_u64(7);
             h.finish()

@@ -50,6 +50,7 @@ pub use nvcache_core as core;
 pub use nvcache_fase as fase;
 pub use nvcache_locality as locality;
 pub use nvcache_pmem as pmem;
+pub use nvcache_telemetry as telemetry;
 pub use nvcache_trace as trace;
 pub use nvcache_workloads as workloads;
 

@@ -1,0 +1,149 @@
+//! Differential suite for the replay dispatch engines: the
+//! monomorphized entry points (`flush_stats_with` / `run_policy_with`
+//! and their traced variants, which match on `PolicyKind` once and run
+//! devirtualized loops) must produce **byte-identical** results to the
+//! reference engine that drives the same generic loops through the
+//! boxed `dyn PersistPolicy` shim (`*_dyn`). Any divergence — in
+//! `FlushStats`, `RunReport`, or any telemetry snapshot field — is a
+//! dispatch bug, not a modelling question.
+
+use nvcache::core::{
+    flush_stats_dyn, flush_stats_traced, flush_stats_traced_dyn, flush_stats_with, run_policy_dyn,
+    run_policy_traced, run_policy_traced_dyn, run_policy_with, AdaptiveConfig, PolicyKind,
+    ReplayOptions, RunConfig,
+};
+use nvcache::telemetry::{TelemetryConfig, TelemetrySnapshot};
+use nvcache::trace::synth::{cyclic, replicate, SynthOpts};
+use nvcache::trace::Trace;
+use nvcache::workloads::registry::splash2_workloads;
+
+const SCALE: f64 = 0.01;
+
+/// All six policy kinds, sized so SC genuinely evicts and the adaptive
+/// variant genuinely resizes on the synthetic trace below.
+fn all_kinds(writes_per_thread: usize) -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Eager,
+        PolicyKind::Lazy,
+        PolicyKind::Atlas { size: 8 },
+        PolicyKind::ScFixed { capacity: 12 },
+        PolicyKind::ScAdaptive(AdaptiveConfig {
+            burst_len: (writes_per_thread / 8).clamp(256, 1 << 26),
+            ..Default::default()
+        }),
+        PolicyKind::Best,
+    ]
+}
+
+/// Working set (23) chosen above both the Atlas table (8) and the SC
+/// default capacity so every eviction path runs.
+fn synthetic() -> Trace {
+    let opts = SynthOpts {
+        writes_per_fase: 100,
+        work_per_write: 2,
+        ..Default::default()
+    };
+    replicate(&cyclic(23, 400, &opts), 4)
+}
+
+/// `TelemetrySnapshot` carries no `PartialEq`; compare every field that
+/// the snapshot exposes.
+fn assert_snapshots_identical(a: &TelemetrySnapshot, b: &TelemetrySnapshot, ctx: &str) {
+    assert_eq!(a.threads, b.threads, "{ctx}: thread count");
+    assert_eq!(a.counters, b.counters, "{ctx}: counters");
+    assert_eq!(a.per_thread, b.per_thread, "{ctx}: per-thread counters");
+    assert_eq!(a.hists, b.hists, "{ctx}: histograms");
+    assert_eq!(a.timeline, b.timeline, "{ctx}: timeline");
+    assert_eq!(a.dropped_events, b.dropped_events, "{ctx}: dropped events");
+}
+
+#[test]
+fn flush_stats_matches_dyn_for_all_kinds_seq_and_parallel() {
+    let tr = synthetic();
+    let writes = tr.threads[0].write_count();
+    for kind in all_kinds(writes) {
+        for par in [1usize, 4] {
+            let opts = ReplayOptions::with_parallelism(par);
+            let mono = flush_stats_with(&tr, &kind, &opts);
+            let dyn_ = flush_stats_dyn(&tr, &kind, &opts);
+            assert_eq!(mono, dyn_, "{} parallelism={par}", kind.label());
+        }
+    }
+}
+
+#[test]
+fn run_policy_matches_dyn_for_all_kinds_seq_and_parallel() {
+    let tr = synthetic();
+    let writes = tr.threads[0].write_count();
+    let cfg = RunConfig::default();
+    for kind in all_kinds(writes) {
+        for par in [1usize, 4] {
+            let opts = ReplayOptions::with_parallelism(par);
+            let mono = run_policy_with(&tr, &kind, &cfg, &opts);
+            let dyn_ = run_policy_dyn(&tr, &kind, &cfg, &opts);
+            assert_eq!(mono, dyn_, "{} parallelism={par}", kind.label());
+        }
+    }
+}
+
+#[test]
+fn traced_flush_stats_and_snapshots_match_dyn() {
+    let tr = synthetic();
+    let writes = tr.threads[0].write_count();
+    let tcfg = TelemetryConfig::default();
+    for kind in all_kinds(writes) {
+        for par in [1usize, 4] {
+            let opts = ReplayOptions::with_parallelism(par);
+            let (ms, msnap) = flush_stats_traced(&tr, &kind, &opts, &tcfg);
+            let (ds, dsnap) = flush_stats_traced_dyn(&tr, &kind, &opts, &tcfg);
+            let ctx = format!("flush {} parallelism={par}", kind.label());
+            assert_eq!(ms, ds, "{ctx}");
+            assert_snapshots_identical(&msnap, &dsnap, &ctx);
+        }
+    }
+}
+
+#[test]
+fn traced_timed_runs_and_snapshots_match_dyn() {
+    let tr = synthetic();
+    let writes = tr.threads[0].write_count();
+    let cfg = RunConfig::default();
+    let tcfg = TelemetryConfig::default();
+    for kind in all_kinds(writes) {
+        for par in [1usize, 4] {
+            let opts = ReplayOptions::with_parallelism(par);
+            let (mr, msnap) = run_policy_traced(&tr, &kind, &cfg, &opts, &tcfg);
+            let (dr, dsnap) = run_policy_traced_dyn(&tr, &kind, &cfg, &opts, &tcfg);
+            let ctx = format!("timed {} parallelism={par}", kind.label());
+            assert_eq!(mr, dr, "{ctx}");
+            assert_snapshots_identical(&msnap, &dsnap, &ctx);
+        }
+    }
+}
+
+#[test]
+fn splash2_workloads_match_dyn_end_to_end() {
+    // Real (modelled) workload traces, not just the synthetic shape:
+    // flush accounting and timed replay agree across engines on every
+    // SPLASH-2 workload at test scale, sequentially and in parallel.
+    let cfg = RunConfig::default();
+    let tcfg = TelemetryConfig::default();
+    for w in splash2_workloads(SCALE) {
+        let tr = w.trace(2);
+        let writes = tr.threads[0].write_count();
+        for kind in all_kinds(writes) {
+            let opts = ReplayOptions::with_parallelism(2);
+            let mono = flush_stats_with(&tr, &kind, &opts);
+            let dyn_ = flush_stats_dyn(&tr, &kind, &opts);
+            assert_eq!(mono, dyn_, "{}: {}", w.name(), kind.label());
+        }
+        // timed + traced on one representative adaptive policy per
+        // workload (the heaviest path) keeps the suite fast
+        let kind = all_kinds(writes).remove(4);
+        let opts = ReplayOptions::sequential();
+        let (mr, msnap) = run_policy_traced(&tr, &kind, &cfg, &opts, &tcfg);
+        let (dr, dsnap) = run_policy_traced_dyn(&tr, &kind, &cfg, &opts, &tcfg);
+        assert_eq!(mr, dr, "{}", w.name());
+        assert_snapshots_identical(&msnap, &dsnap, w.name());
+    }
+}
