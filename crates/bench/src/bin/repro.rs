@@ -9,9 +9,15 @@
 //!              ablation-knee ablation-atlas ablation-bound ablation-burst
 //!              ablation-clwb ablation-phased ablation-groups
 //!              bench-replay (replay-engine throughput → BENCH_replay.json)
+//!              crash-matrix (crash-point fuzz: all policies × crash
+//!                            modes × seeds; exits nonzero on failure)
 //!              all          (tables + figures)
 //!              ablations    (all seven ablations)
 //! ```
+//!
+//! `crash-matrix` takes `--seeds N` (default 3): programs per cell. It
+//! is the CI smoke form of `tests/crash_fuzz.rs` — every micro-step of
+//! each program is crashed, recovered and checked against the oracle.
 //!
 //! `--scale` is the fraction of the paper's problem sizes (default
 //! 0.05); absolute numbers shrink with it but orderings and ratios are
@@ -27,9 +33,11 @@ use nvcache_bench::experiments::{ablations, figs, tables, DEFAULT_SCALE, THREAD_
 use nvcache_bench::report::{json_str, telemetry_envelope, telemetry_table};
 use nvcache_bench::{telemetry, Table};
 use nvcache_core::{
-    run_policy_dyn, run_policy_traced, run_policy_traced_dyn, run_policy_with, PolicyKind,
-    ReplayOptions, RunConfig,
+    run_policy_dyn, run_policy_traced, run_policy_traced_dyn, run_policy_with, AdaptiveConfig,
+    PolicyKind, ReplayOptions, RunConfig,
 };
+use nvcache_fase::{crash_fuzz, CrashFuzzConfig};
+use nvcache_pmem::CrashMode;
 use nvcache_telemetry::TelemetryConfig;
 use nvcache_trace::synth::{cyclic, replicate, SynthOpts};
 
@@ -39,6 +47,7 @@ struct Args {
     threads: Vec<usize>,
     json: bool,
     telemetry: Option<String>,
+    seeds: u64,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +57,7 @@ fn parse_args() -> Args {
         threads: THREAD_SWEEP.to_vec(),
         json: false,
         telemetry: None,
+        seeds: 3,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -66,6 +76,13 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--json" => args.json = true,
+            "--seeds" => {
+                args.seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("missing or bad value for --seeds"));
+            }
             "--telemetry" => {
                 args.telemetry = Some(it.next().unwrap_or_else(|| usage("missing --telemetry")));
             }
@@ -86,10 +103,12 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro <experiment> [--scale S] [--threads a,b,c] [--json] [--telemetry FILE]\n\
+         \x20      repro crash-matrix [--seeds N] [--json]\n\
          experiments: table1 table2 table3 table4 fig2 fig4 fig5 fig6 fig7 fig8\n\
          \x20            ablation-knee ablation-atlas ablation-bound ablation-burst\n\
          \x20            ablation-clwb ablation-phased ablation-groups\n\
          \x20            bench-replay (writes BENCH_replay.json)\n\
+         \x20            crash-matrix (crash-point fuzz; nonzero exit on failure)\n\
          \x20            all | ablations"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -250,8 +269,90 @@ fn bench_replay(scale: f64) -> Table {
     t
 }
 
+/// Crash-point fuzz matrix: every policy × every crash adversary ×
+/// `seeds` deterministic programs, a crash injected at every micro-step
+/// of each, recovery checked against the atomicity oracle. Returns the
+/// per-cell table, the total schedule count, and whether all passed.
+fn crash_matrix(seeds: u64) -> (Table, u64, bool) {
+    let cfg = CrashFuzzConfig::default();
+    let policies = [
+        PolicyKind::Eager,
+        PolicyKind::Lazy,
+        PolicyKind::Atlas { size: 8 },
+        PolicyKind::ScFixed { capacity: 4 },
+        PolicyKind::ScAdaptive(AdaptiveConfig {
+            burst_len: 16,
+            ..Default::default()
+        }),
+        PolicyKind::Best,
+    ];
+    let mut t = Table::new(
+        &format!(
+            "Crash-point matrix: {} FASEs/program, {seeds} seeds, crash at every micro-step",
+            cfg.fases
+        ),
+        &["policy", "mode", "seeds", "schedules", "failures", "result"],
+    );
+    let mut total = 0u64;
+    let mut all_ok = true;
+    for kind in &policies {
+        for mode_name in ["strict", "all-in-flight", "random"] {
+            let mut schedules = 0u64;
+            let mut failures = 0u64;
+            for seed in 0..seeds {
+                let mode = match mode_name {
+                    "strict" => CrashMode::StrictDurableOnly,
+                    "all-in-flight" => CrashMode::AllInFlightLands,
+                    _ => CrashMode::random(0.5, 0.5, seed),
+                };
+                let r = crash_fuzz(kind, &mode, seed, &cfg);
+                schedules += r.schedules;
+                failures += r.failure_count;
+                if let Some(f) = r.failures.first() {
+                    eprintln!(
+                        "FAIL {} {mode_name} seed {seed} step {}: {}",
+                        kind.label(),
+                        f.step,
+                        f.detail
+                    );
+                }
+            }
+            total += schedules;
+            all_ok &= failures == 0;
+            t.row(vec![
+                kind.label().to_string(),
+                mode_name.to_string(),
+                seeds.to_string(),
+                schedules.to_string(),
+                failures.to_string(),
+                if failures == 0 { "pass" } else { "FAIL" }.to_string(),
+            ]);
+        }
+    }
+    (t, total, all_ok)
+}
+
 fn main() {
     let args = parse_args();
+    if args.experiment == "crash-matrix" {
+        let start = std::time::Instant::now();
+        let (t, schedules, ok) = crash_matrix(args.seeds);
+        if args.json {
+            println!("{}", t.to_json());
+        } else {
+            t.print();
+        }
+        eprintln!(
+            "[crash-matrix: {schedules} schedules, {} in {:.1}s]",
+            if ok {
+                "all consistent"
+            } else {
+                "ORACLE VIOLATED"
+            },
+            start.elapsed().as_secs_f64()
+        );
+        std::process::exit(if ok { 0 } else { 1 });
+    }
     if args.telemetry.is_some() {
         telemetry::enable();
     }

@@ -91,6 +91,27 @@ impl AdaptiveScPolicy {
     }
 }
 
+/// Low line-address bits preserved by FASE renaming.
+const RENAME_ADDR_BITS: u32 = 40;
+/// Epoch bits folded above the address bits. The renamed key is
+/// `epoch[23:0] ++ line[39:0]`.
+const RENAME_EPOCH_BITS: u32 = 64 - RENAME_ADDR_BITS;
+
+/// FASE renaming: combine the FASE epoch with a line address so that an
+/// address reused across FASEs looks like a fresh datum to the sampler.
+///
+/// The epoch is masked into a 24-bit window **explicitly**: renamed keys
+/// alias with period 2^24 FASEs (epoch e and e + 2^24 rename a line
+/// identically). That is harmless for reuse sampling — a burst spans a
+/// handful of FASEs, nowhere near 16M — but the masking must be explicit
+/// rather than relying on `epoch << 40` discarding high bits, which
+/// reads as (and previously was) a silent overflow.
+#[inline]
+fn rename_for_epoch(epoch: u64, line: u64) -> u64 {
+    let window = epoch & ((1u64 << RENAME_EPOCH_BITS) - 1);
+    (window << RENAME_ADDR_BITS) | (line & ((1u64 << RENAME_ADDR_BITS) - 1))
+}
+
 impl PersistPolicy for AdaptiveScPolicy {
     fn name(&self) -> &'static str {
         "SC"
@@ -100,7 +121,7 @@ impl PersistPolicy for AdaptiveScPolicy {
     fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
         // Sample with FASE renaming (Section III-B): an address reused
         // across FASEs must look like a fresh datum.
-        let renamed = (self.epoch << 40) ^ (line.0 & ((1u64 << 40) - 1));
+        let renamed = rename_for_epoch(self.epoch, line.0);
         if matches!(
             self.sampler.phase(),
             nvcache_locality::sampling::SamplerPhase::Burst
@@ -148,6 +169,43 @@ impl PersistPolicy for AdaptiveScPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rename_preserves_line_at_epoch_zero() {
+        assert_eq!(rename_for_epoch(0, 0xABCD), 0xABCD);
+    }
+
+    #[test]
+    fn rename_distinguishes_epochs_within_the_window() {
+        let line = 0x1234;
+        let keys: Vec<u64> = (0..4).map(|e| rename_for_epoch(e, line)).collect();
+        assert!(keys.windows(2).all(|w| w[0] != w[1]));
+        // the line bits survive untouched under every epoch
+        assert!(keys
+            .iter()
+            .all(|k| k & ((1u64 << RENAME_ADDR_BITS) - 1) == line));
+    }
+
+    #[test]
+    fn rename_epoch_wraps_with_documented_period() {
+        // Aliasing period is exactly 2^24 FASEs — and, critically, an
+        // epoch past the window masks cleanly instead of overflowing
+        // the shift (regression: `epoch << 40` truncated silently).
+        let line = 0x42;
+        let period = 1u64 << RENAME_EPOCH_BITS;
+        assert_eq!(rename_for_epoch(period, line), rename_for_epoch(0, line));
+        assert_eq!(
+            rename_for_epoch(period + 5, line),
+            rename_for_epoch(5, line)
+        );
+        assert_ne!(
+            rename_for_epoch(period - 1, line),
+            rename_for_epoch(period, line)
+        );
+        // no bits of a huge epoch leak above the 64-bit key
+        let k = rename_for_epoch(u64::MAX, line);
+        assert_eq!(k >> RENAME_ADDR_BITS, (1u64 << RENAME_EPOCH_BITS) - 1);
+    }
 
     fn small_cfg(burst: usize) -> AdaptiveConfig {
         AdaptiveConfig {

@@ -28,9 +28,13 @@
 #![warn(missing_docs)]
 
 pub mod cell;
+pub mod error;
+pub mod fuzz;
 pub mod log;
 pub mod runtime;
 
 pub use cell::{PArray, PValue, PVar};
+pub use error::RecoveryError;
+pub use fuzz::{crash_fuzz, CrashFuzzConfig, CrashFuzzReport, FuzzFailure};
 pub use log::{LogStats, UndoLog};
 pub use runtime::{FaseRuntime, FaseStats};

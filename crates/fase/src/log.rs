@@ -21,7 +21,15 @@
 //!   last record is COMMIT; recovery just truncates.
 //! * `recover` rolls back any non-committed records in reverse order,
 //!   persisting each restored value, then truncates.
+//!
+//! Recovery never trusts durable bytes: the tail word is clamped into
+//! the log area and records are sanity-checked before use. Anything a
+//! torn write could have produced (tail beyond the area, a record whose
+//! length runs past the tail, an offset outside the data area) is
+//! treated as a torn log — parsing stops there, since log-before-data
+//! ordering guarantees the corresponding data store never happened.
 
+use crate::error::RecoveryError;
 use nvcache_pmem::PmemRegion;
 
 const LOG_MAGIC: u64 = 0x4641_5345_4c4f_4731; // "FASELOG1"
@@ -67,17 +75,32 @@ impl UndoLog {
     }
 
     /// Attach to an existing log formatted at `[base, base+len)`.
-    /// Returns `None` when the magic is missing.
-    pub fn open(region: &PmemRegion, base: usize, len: usize) -> Option<Self> {
-        if base + 16 <= region.len() && region.read_u64(base + OFF_MAGIC) == LOG_MAGIC {
-            Some(UndoLog {
-                base,
-                len,
-                stats: LogStats::default(),
-            })
-        } else {
-            None
+    ///
+    /// Validates that the region can hold the advertised areas and that
+    /// the header carries the log magic; a corrupt or unformatted image
+    /// surfaces as a typed [`RecoveryError`], never a panic.
+    pub fn open(region: &PmemRegion, base: usize, len: usize) -> Result<Self, RecoveryError> {
+        let need = base
+            .checked_add(len.max(16))
+            .ok_or(RecoveryError::RegionTooSmall {
+                region_len: region.len(),
+                need: usize::MAX,
+            })?;
+        if len < 64 || need > region.len() {
+            return Err(RecoveryError::RegionTooSmall {
+                region_len: region.len(),
+                need,
+            });
         }
+        let found = region.read_u64(base + OFF_MAGIC);
+        if found != LOG_MAGIC {
+            return Err(RecoveryError::BadMagic { found });
+        }
+        Ok(UndoLog {
+            base,
+            len,
+            stats: LogStats::default(),
+        })
     }
 
     /// Activity counters.
@@ -145,10 +168,27 @@ impl UndoLog {
     /// Scan the log after a restart and roll back an incomplete FASE, if
     /// any. Restored bytes are persisted before the log is truncated.
     /// Returns the number of undo entries applied.
-    pub fn recover(&mut self, region: &mut PmemRegion) -> usize {
-        let tail = self.tail(region);
+    ///
+    /// The durable `tail` word and every record header are validated
+    /// before use: the tail is clamped into the log area and 8-aligned
+    /// down, and a record whose length overruns the tail or whose target
+    /// range leaves the data area stops the scan (treated as torn — its
+    /// data store can never have happened under log-before-data). Only a
+    /// missing magic word — an image that was never this log — is a hard
+    /// [`RecoveryError`].
+    pub fn recover(&mut self, region: &mut PmemRegion) -> Result<usize, RecoveryError> {
+        let found = region.read_u64(self.base + OFF_MAGIC);
+        if found != LOG_MAGIC {
+            return Err(RecoveryError::BadMagic { found });
+        }
+        // Clamp the durable tail: a torn tail write may carry any value.
+        let raw_tail = self.tail(region);
+        let tail = raw_tail.min(self.len as u64) & !7;
         if tail <= RECORDS_START {
-            return 0;
+            if raw_tail != RECORDS_START {
+                self.set_tail(region, RECORDS_START);
+            }
+            return Ok(0);
         }
         // Parse records into (offset, len, data_at).
         let mut recs: Vec<(u64, usize, usize)> = Vec::new();
@@ -157,21 +197,35 @@ impl UndoLog {
         while pos + 16 <= tail {
             let at = self.base + pos as usize;
             let offset = region.read_u64(at);
-            let len = region.read_u64(at + 8) as usize;
+            let len_w = region.read_u64(at + 8);
             if offset == COMMIT_MARK {
-                committed = true;
-                pos += 16;
-                // records before a COMMIT belong to a completed FASE
-                recs.clear();
-                continue;
+                // `commit` truncates right after appending, so a live
+                // COMMIT can only be the final record inside the tail
+                // window (crash between append and truncation). A
+                // COMMIT-shaped word anywhere else is stale bytes from
+                // an earlier FASE past the true tail — stop the scan
+                // and keep the records gathered so far.
+                if len_w == 0 && pos + 16 == tail {
+                    committed = true;
+                    recs.clear();
+                }
+                break;
             }
-            committed = false;
-            let padded = len.div_ceil(8) * 8;
-            if pos + 16 + padded as u64 > tail {
+            // Record sanity: a real entry restores 1+ bytes that lie
+            // entirely inside the data area [0, base). Anything else is
+            // garbage past the true tail — stop there.
+            let sane = len_w > 0
+                && matches!(offset.checked_add(len_w),
+                            Some(end) if end <= self.base as u64);
+            if !sane {
+                break;
+            }
+            let padded = (len_w + 7) & !7;
+            if pos + 16 + padded > tail {
                 break; // torn final record: its data store never happened
             }
-            recs.push((offset, len, at + 16));
-            pos += 16 + padded as u64;
+            recs.push((offset, len_w as usize, at + 16));
+            pos += 16 + padded;
         }
 
         let mut applied = 0usize;
@@ -188,7 +242,7 @@ impl UndoLog {
             }
         }
         self.set_tail(region, RECORDS_START);
-        applied
+        Ok(applied)
     }
 }
 
@@ -236,7 +290,7 @@ mod tests {
         // crash before commit
         r.crash(&CrashMode::AllInFlightLands);
         let mut l2 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
-        let applied = l2.recover(&mut r);
+        let applied = l2.recover(&mut r).unwrap();
         assert_eq!(applied, 2);
         assert_eq!(r.slice(0, 4), b"AAAA", "reverse order restores oldest");
     }
@@ -252,7 +306,7 @@ mod tests {
         l.commit(&mut r);
         r.crash(&CrashMode::StrictDurableOnly);
         let mut l2 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
-        assert_eq!(l2.recover(&mut r), 0);
+        assert_eq!(l2.recover(&mut r).unwrap(), 0);
         assert_eq!(r.slice(0, 4), b"BBBB");
     }
 
@@ -276,7 +330,7 @@ mod tests {
         r.persist(LOG_BASE + OFF_TAIL, 8);
         r.crash(&CrashMode::StrictDurableOnly);
         let mut l2 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
-        assert_eq!(l2.recover(&mut r), 0, "last record is COMMIT");
+        assert_eq!(l2.recover(&mut r).unwrap(), 0, "last record is COMMIT");
         assert_eq!(r.slice(0, 4), b"BBBB");
     }
 
@@ -293,7 +347,7 @@ mod tests {
         // crash where the dirty data line *lands* but nothing else
         r.crash(&CrashMode::random(0.0, 1.0, 3));
         let mut l2 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
-        l2.recover(&mut r);
+        l2.recover(&mut r).unwrap();
         assert_eq!(r.slice(100, 4), b"OLD!");
     }
 
@@ -307,19 +361,95 @@ mod tests {
         r.persist(0, 4);
         r.crash(&CrashMode::AllInFlightLands);
         let mut l2 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
-        l2.recover(&mut r);
+        l2.recover(&mut r).unwrap();
         assert_eq!(r.slice(0, 4), b"AAAA");
         // crash again mid-"nothing" and recover again
         r.crash(&CrashMode::StrictDurableOnly);
         let mut l3 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
-        assert_eq!(l3.recover(&mut r), 0);
+        assert_eq!(l3.recover(&mut r).unwrap(), 0);
         assert_eq!(r.slice(0, 4), b"AAAA");
     }
 
     #[test]
     fn open_rejects_unformatted_area() {
         let r = PmemRegion::new(8192);
-        assert!(UndoLog::open(&r, 4096, 4096).is_none());
+        match UndoLog::open(&r, 4096, 4096) {
+            Err(RecoveryError::BadMagic { found }) => assert_eq!(found, 0),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_undersized_region() {
+        let r = PmemRegion::new(1024);
+        match UndoLog::open(&r, 4096, 4096) {
+            Err(RecoveryError::RegionTooSmall { region_len, need }) => {
+                assert_eq!(region_len, 1024);
+                assert_eq!(need, 8192);
+            }
+            other => panic!("expected RegionTooSmall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recover_clamps_corrupt_tail() {
+        // A torn tail write can carry any value. Recovery must neither
+        // panic nor read outside the log area: the tail is clamped and
+        // the record scan stops at the first insane header.
+        let (mut r, mut l) = setup();
+        r.write(0, b"AAAA");
+        r.persist(0, 4);
+        l.append_entry(&mut r, 0, b"AAAA");
+        r.write(0, b"BBBB");
+        r.persist(0, 4);
+        // corrupt the durable tail: way past the log area, unaligned
+        r.write_u64(LOG_BASE + OFF_TAIL, u64::MAX - 3);
+        r.persist(LOG_BASE + OFF_TAIL, 8);
+        r.crash(&CrashMode::StrictDurableOnly);
+        let mut l2 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
+        let applied = l2.recover(&mut r).unwrap();
+        assert_eq!(applied, 1, "the one sane record still rolls back");
+        assert_eq!(r.slice(0, 4), b"AAAA");
+        assert_eq!(r.read_u64(LOG_BASE + OFF_TAIL), RECORDS_START);
+    }
+
+    #[test]
+    fn recover_stops_at_out_of_range_record() {
+        // A record claiming to restore bytes outside the data area is
+        // garbage past the true tail — the scan must treat it as torn,
+        // not index out of bounds.
+        let (mut r, mut l) = setup();
+        r.write(0, b"AAAA");
+        r.persist(0, 4);
+        l.append_entry(&mut r, 0, b"AAAA");
+        r.write(0, b"BBBB");
+        r.persist(0, 4);
+        // forge a second record whose target overruns the region, and a
+        // tail that covers it
+        let tail = r.read_u64(LOG_BASE + OFF_TAIL);
+        let at = LOG_BASE + tail as usize;
+        r.write_u64(at, u64::MAX - 64); // offset far outside the data area
+        r.write_u64(at + 8, 1 << 40); // absurd length
+        r.persist(at, 16);
+        r.write_u64(LOG_BASE + OFF_TAIL, tail + 16 + 8);
+        r.persist(LOG_BASE + OFF_TAIL, 8);
+        r.crash(&CrashMode::StrictDurableOnly);
+        let mut l2 = UndoLog::open(&r, LOG_BASE, LOG_LEN).unwrap();
+        assert_eq!(l2.recover(&mut r).unwrap(), 1);
+        assert_eq!(r.slice(0, 4), b"AAAA");
+    }
+
+    #[test]
+    fn recover_rejects_clobbered_magic() {
+        let (mut r, mut l) = setup();
+        l.append_entry(&mut r, 0, b"AAAA");
+        r.write_u64(LOG_BASE + OFF_MAGIC, 0xDEAD_BEEF);
+        r.persist(LOG_BASE + OFF_MAGIC, 8);
+        r.crash(&CrashMode::StrictDurableOnly);
+        assert!(matches!(
+            l.recover(&mut r),
+            Err(RecoveryError::BadMagic { found: 0xDEAD_BEEF })
+        ));
     }
 
     #[test]
@@ -335,6 +465,6 @@ mod tests {
     #[test]
     fn empty_log_recovers_to_nothing() {
         let (mut r, mut l) = setup();
-        assert_eq!(l.recover(&mut r), 0);
+        assert_eq!(l.recover(&mut r).unwrap(), 0);
     }
 }

@@ -13,12 +13,13 @@
 //! FASE's updates durable atomically.
 
 use nvcache_core::{PersistPolicy, Policy, PolicyKind, StoreOutcome};
-use nvcache_pmem::{CrashMode, PAlloc, PmemRegion};
+use nvcache_pmem::{CrashMode, CrashPlan, PAlloc, PmemRegion};
 use nvcache_telemetry::{
     CounterId, EventKind, HistId, Recorder, TelemetryConfig, TelemetrySnapshot, ThreadRecorder,
 };
 use nvcache_trace::{Line, StoreSink, ThreadTrace, TraceRecorder};
 
+use crate::error::RecoveryError;
 use crate::log::UndoLog;
 
 /// Counters of runtime activity.
@@ -120,22 +121,46 @@ impl FaseRuntime {
 
     /// Re-attach to a region that previously backed a runtime (e.g.
     /// reopened from disk or after a crash), running recovery first.
+    ///
+    /// Convenience wrapper over [`FaseRuntime::try_reopen`] for regions
+    /// known to be well-formed (e.g. produced by this process).
+    ///
+    /// # Panics
+    /// When the region does not contain a FASE log — use `try_reopen`
+    /// for images of unknown provenance.
     pub fn reopen(
-        mut region: PmemRegion,
+        region: PmemRegion,
         data_len: usize,
         log_len: usize,
         policy: &PolicyKind,
     ) -> Self {
+        match Self::try_reopen(region, data_len, log_len, policy) {
+            Ok(rt) => rt,
+            Err(e) => panic!("region does not contain a FASE log: {e}"),
+        }
+    }
+
+    /// Re-attach to a region, running recovery first. A region that was
+    /// never formatted as a FASE runtime (or whose log header is
+    /// corrupted beyond what a crash can produce) surfaces as a typed
+    /// [`RecoveryError`] instead of a panic, so callers handling
+    /// untrusted images — disk files, fuzzer crash captures — can
+    /// report the condition.
+    pub fn try_reopen(
+        mut region: PmemRegion,
+        data_len: usize,
+        log_len: usize,
+        policy: &PolicyKind,
+    ) -> Result<Self, RecoveryError> {
         let data_len = data_len.div_ceil(64) * 64;
-        let mut log =
-            UndoLog::open(&region, data_len, log_len).expect("region does not contain a FASE log");
-        let rolled = log.recover(&mut region);
+        let mut log = UndoLog::open(&region, data_len, log_len)?;
+        let rolled = log.recover(&mut region)?;
         let heap = PAlloc::open(&region);
         let mut stats = FaseStats::default();
         if rolled > 0 {
             stats.rollbacks = 1;
         }
-        FaseRuntime {
+        Ok(FaseRuntime {
             region,
             log,
             policy: policy.build_policy(),
@@ -148,7 +173,7 @@ impl FaseRuntime {
             telemetry: None,
             fase_log_start: 0,
             fase_store_lines: 0,
-        }
+        })
     }
 
     /// Enable event recording; the trace is retrieved with
@@ -397,10 +422,46 @@ impl FaseRuntime {
         self.depth = 0;
         self.flush_buf.clear();
         self.policy.reset();
-        let rolled = self.log.recover(&mut self.region);
+        // The log was formatted by this runtime; a crash can tear it but
+        // never strip the magic, so recovery cannot fail here.
+        let rolled = self
+            .log
+            .recover(&mut self.region)
+            .expect("in-process log lost its header");
         if rolled > 0 {
             self.stats.rollbacks += 1;
+            if let Some(tel) = &mut self.telemetry {
+                let t = self.stats.store_lines;
+                tel.incr(CounterId::Rollbacks);
+                tel.emit(
+                    EventKind::Rollback,
+                    t,
+                    rolled as u64,
+                    self.region.stats().crashes,
+                );
+            }
         }
+    }
+
+    /// Arm a crash plan on the underlying region: the crash image is
+    /// captured when the region's micro-step counter reaches the plan's
+    /// step (see [`PmemRegion::arm_crash`]); execution continues
+    /// unperturbed. Retrieve it with [`FaseRuntime::take_crash_image`].
+    pub fn arm_crash(&mut self, plan: CrashPlan) {
+        self.region.arm_crash(plan);
+    }
+
+    /// The crash image captured by an armed plan, if the step was
+    /// reached (drains it). Rebuild with [`PmemRegion::from_image`] and
+    /// [`FaseRuntime::try_reopen`] to simulate the post-crash restart.
+    pub fn take_crash_image(&mut self) -> Option<Vec<u8>> {
+        self.region.take_crash_image()
+    }
+
+    /// Micro-steps (stores, line flushes, fences) the region has
+    /// executed — the crash-point index space.
+    pub fn steps(&self) -> u64 {
+        self.region.step()
     }
 
     /// Tear down, returning the region (e.g. to save it to disk).
@@ -655,6 +716,67 @@ mod tests {
         );
         assert_eq!(r2.load_u64(0), 5, "reopen rolled back the open FASE");
         assert_eq!(r2.stats().rollbacks, 1);
+    }
+
+    #[test]
+    fn try_reopen_rejects_unformatted_image() {
+        // A region that never held a FASE runtime must surface a typed
+        // error, not panic (regression: reopen used to .expect()).
+        let region = PmemRegion::new(1 << 16);
+        let res = FaseRuntime::try_reopen(region, 1 << 15, 1 << 15, &PolicyKind::Lazy);
+        assert!(matches!(
+            res,
+            Err(crate::error::RecoveryError::BadMagic { found: 0 })
+        ));
+    }
+
+    #[test]
+    fn try_reopen_rejects_corrupted_header() {
+        // Build a real runtime, persist state, then clobber the log
+        // magic — as a misdirected write or media corruption would.
+        let mut r = rt(PolicyKind::Lazy);
+        r.fase(|r| r.store_u64(0, 5));
+        let data_len = r.data_len();
+        let mut region = r.into_region();
+        region.write_u64(data_len, 0xBAD0_BAD0);
+        region.persist(data_len, 8);
+        let res = FaseRuntime::try_reopen(region, data_len, 1 << 16, &PolicyKind::Lazy);
+        assert!(matches!(
+            res,
+            Err(crate::error::RecoveryError::BadMagic { found: 0xBAD0_BAD0 })
+        ));
+    }
+
+    #[test]
+    fn try_reopen_rejects_undersized_region() {
+        let region = PmemRegion::new(128);
+        let res = FaseRuntime::try_reopen(region, 1 << 15, 1 << 15, &PolicyKind::Lazy);
+        assert!(matches!(
+            res,
+            Err(crate::error::RecoveryError::RegionTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn mid_fase_crash_records_rollback_telemetry() {
+        use nvcache_telemetry::CounterId;
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.enable_telemetry(&TelemetryConfig::default());
+        r.fase(|r| r.store_u64(0, 1));
+        r.begin_fase();
+        r.store_u64(0, 2);
+        r.crash_and_recover(&CrashMode::AllInFlightLands);
+        assert_eq!(r.stats().rollbacks, 1);
+        let snap = r.take_telemetry().unwrap();
+        assert_eq!(snap.counter(CounterId::Rollbacks), 1);
+        let rb: Vec<_> = snap
+            .timeline
+            .iter()
+            .filter(|e| e.kind == EventKind::Rollback)
+            .collect();
+        assert_eq!(rb.len(), 1, "one rollback event on the timeline");
+        assert!(rb[0].a >= 1, "undo entries applied");
+        assert_eq!(rb[0].b, 1, "first injected crash");
     }
 
     #[test]

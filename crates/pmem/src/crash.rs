@@ -43,15 +43,34 @@ impl CrashMode {
     }
 
     /// Select the lines that reach NVRAM, given the pending-flush lines
-    /// and the dirty lines at the instant of failure.
+    /// and the dirty lines at the instant of failure. Union of the two
+    /// selections from [`CrashMode::select_landed_split`].
     pub fn select_landed(&self, pending: &[u64], dirty: &[u64]) -> Vec<u64> {
+        let (p, d) = self.select_landed_split(pending, dirty);
+        let mut v = p;
+        v.extend(d);
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Like [`CrashMode::select_landed`], but keeps the two selections
+    /// apart: the first vector is the pending flushes that landed (their
+    /// flush-time captures reach NVRAM), the second the dirty lines the
+    /// hardware cache evicted on its own (their *current* bytes reach
+    /// NVRAM). A line flushed and then re-dirtied can appear in both —
+    /// the dirty copy is the newer write and wins.
+    pub fn select_landed_split(&self, pending: &[u64], dirty: &[u64]) -> (Vec<u64>, Vec<u64>) {
         match self {
-            CrashMode::StrictDurableOnly => Vec::new(),
+            CrashMode::StrictDurableOnly => (Vec::new(), Vec::new()),
             CrashMode::AllInFlightLands => {
-                let mut v: Vec<u64> = pending.iter().chain(dirty).copied().collect();
-                v.sort_unstable();
-                v.dedup();
-                v
+                let mut p = pending.to_vec();
+                p.sort_unstable();
+                p.dedup();
+                let mut d = dirty.to_vec();
+                d.sort_unstable();
+                d.dedup();
+                (p, d)
             }
             CrashMode::Random {
                 p_pending,
@@ -64,23 +83,47 @@ impl CrashMode {
                 p.sort_unstable();
                 let mut d: Vec<u64> = dirty.to_vec();
                 d.sort_unstable();
-                let mut out = Vec::new();
+                let mut lp = Vec::new();
                 for &l in &p {
                     if rng.gen::<f64>() < *p_pending {
-                        out.push(l);
+                        lp.push(l);
                     }
                 }
+                let mut ld = Vec::new();
                 for &l in &d {
                     if rng.gen::<f64>() < *p_dirty {
-                        out.push(l);
+                        ld.push(l);
                     }
                 }
-                out.sort_unstable();
-                out.dedup();
-                out
+                (lp, ld)
             }
         }
     }
+}
+
+/// A scheduled crash: inject a power failure (under `mode`) at the
+/// moment the region is about to execute persistence micro-step
+/// `at_step`.
+///
+/// Micro-steps are the unit of crash-point enumeration: every store,
+/// line flush, and fence the region executes — which transitively
+/// covers undo-log appends, tail bumps, and commit sub-steps, since the
+/// log performs them through the region. Arm a plan with
+/// [`crate::PmemRegion::arm_crash`]; when the step counter reaches
+/// `at_step`, the region captures the exact NVRAM image a
+/// [`crate::PmemRegion::crash`] at that instant would leave (durable
+/// image plus the lines `mode` lets land). Execution then continues
+/// unperturbed, so one deterministic program run yields the crash image
+/// for any chosen step; the driver rebuilds a region from the image and
+/// runs recovery against it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashPlan {
+    /// Micro-step index at which the failure strikes: the power fails
+    /// after `at_step` micro-steps completed, before step `at_step`
+    /// executes.
+    pub at_step: u64,
+    /// Which un-fenced lines survive.
+    pub mode: CrashMode,
 }
 
 #[cfg(test)]

@@ -38,6 +38,6 @@ pub mod flush;
 pub mod region;
 
 pub use alloc::PAlloc;
-pub use crash::CrashMode;
+pub use crash::{CrashMode, CrashPlan};
 pub use flush::{detect_flush_instr, flush_ptr, sfence, FlushInstr};
 pub use region::{PmemRegion, PmemStats, LINE_SIZE};

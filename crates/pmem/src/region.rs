@@ -1,7 +1,7 @@
 //! The persistent region: volatile/durable dual image with line-granular
 //! flush tracking, plus file-backed persistence across "processes".
 
-use crate::crash::CrashMode;
+use crate::crash::{CrashMode, CrashPlan};
 use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Read, Write};
@@ -39,6 +39,12 @@ pub struct PmemRegion {
     /// Lines flushed but not yet fenced: captured bytes at flush time.
     pending: HashMap<u64, [u8; LINE_SIZE]>,
     stats: PmemStats,
+    /// Persistence micro-steps executed (stores + flushes + fences).
+    step: u64,
+    /// Armed crash point, if any.
+    plan: Option<CrashPlan>,
+    /// NVRAM image captured when the armed crash point was reached.
+    crash_image: Option<Vec<u8>>,
 }
 
 impl PmemRegion {
@@ -51,6 +57,33 @@ impl PmemRegion {
             dirty: Default::default(),
             pending: Default::default(),
             stats: PmemStats::default(),
+            step: 0,
+            plan: None,
+            crash_image: None,
+        }
+    }
+
+    /// Rebuild a region from a raw NVRAM image (e.g. one captured by an
+    /// armed [`CrashPlan`]): both the volatile and durable views start
+    /// from `image`, exactly as after a power cycle.
+    ///
+    /// # Panics
+    /// When `image` is not a whole number of cache lines.
+    pub fn from_image(image: Vec<u8>) -> Self {
+        assert!(
+            image.len().is_multiple_of(LINE_SIZE),
+            "image not line-aligned: {} bytes",
+            image.len()
+        );
+        PmemRegion {
+            volatile: image.clone(),
+            durable: image,
+            dirty: Default::default(),
+            pending: Default::default(),
+            stats: PmemStats::default(),
+            step: 0,
+            plan: None,
+            crash_image: None,
         }
     }
 
@@ -78,6 +111,73 @@ impl PmemRegion {
     /// would have to write back.
     pub fn dirty_lines(&self) -> usize {
         self.dirty.len()
+    }
+
+    // ----- crash-point enumeration ---------------------------------------
+
+    /// Persistence micro-steps executed so far: one per store, per line
+    /// flush, and per fence — the crash-point index space. Log appends
+    /// and commit sub-steps count automatically because the undo log
+    /// performs them through these same primitives.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Arm a [`CrashPlan`]: when the next micro-step to execute is
+    /// `plan.at_step`, capture the NVRAM image a [`PmemRegion::crash`]
+    /// with `plan.mode` would leave at that instant, then keep running.
+    /// Retrieve the image with [`PmemRegion::take_crash_image`].
+    pub fn arm_crash(&mut self, plan: CrashPlan) {
+        self.plan = Some(plan);
+        self.crash_image = None;
+    }
+
+    /// Disarm any armed plan, returning it.
+    pub fn disarm_crash(&mut self) -> Option<CrashPlan> {
+        self.plan.take()
+    }
+
+    /// The image captured by an armed plan, if its step was reached.
+    /// Draining: subsequent calls return `None`.
+    pub fn take_crash_image(&mut self) -> Option<Vec<u8>> {
+        self.crash_image.take()
+    }
+
+    /// One persistence micro-step is about to execute: fire the armed
+    /// crash plan if this is its step, then advance the counter.
+    #[inline]
+    fn micro_step(&mut self) {
+        if let Some(plan) = &self.plan {
+            if plan.at_step == self.step && self.crash_image.is_none() {
+                let mode = plan.mode.clone();
+                self.crash_image = Some(self.image_after_crash(&mode));
+            }
+        }
+        self.step += 1;
+    }
+
+    /// The NVRAM image a crash under `mode` would leave right now: the
+    /// durable image, plus whichever un-fenced lines `mode` lets land.
+    /// Pending flushes land their flush-time captures; dirty lines land
+    /// their current volatile bytes. A line that was flushed and then
+    /// re-dirtied can be selected through both lists — the dirty copy
+    /// is the newer write and wins.
+    pub fn image_after_crash(&self, mode: &CrashMode) -> Vec<u8> {
+        let pending: Vec<u64> = self.pending.keys().copied().collect();
+        let dirty: Vec<u64> = self.dirty.iter().copied().collect();
+        let (landed_pending, landed_dirty) = mode.select_landed_split(&pending, &dirty);
+        let mut image = self.durable.clone();
+        for line in landed_pending {
+            if let Some(bytes) = self.pending.get(&line) {
+                let off = line as usize * LINE_SIZE;
+                image[off..off + LINE_SIZE].copy_from_slice(bytes);
+            }
+        }
+        for line in landed_dirty {
+            let off = line as usize * LINE_SIZE;
+            image[off..off + LINE_SIZE].copy_from_slice(&self.volatile[off..off + LINE_SIZE]);
+        }
+        image
     }
 
     /// Read `buf.len()` bytes at `offset` from the program's view.
@@ -109,6 +209,7 @@ impl PmemRegion {
             bytes.len(),
             self.volatile.len()
         );
+        self.micro_step();
         self.volatile[offset..offset + bytes.len()].copy_from_slice(bytes);
         self.stats.stores += 1;
         self.stats.bytes_written += bytes.len() as u64;
@@ -137,6 +238,7 @@ impl PmemRegion {
     /// become durable at the next [`PmemRegion::fence`]. Flushing a clean
     /// line is a no-op (but still counted — the instruction executes).
     pub fn flush_line(&mut self, line: u64) {
+        self.micro_step();
         self.stats.flushes += 1;
         if !self.dirty.remove(&line) {
             return;
@@ -156,6 +258,7 @@ impl PmemRegion {
 
     /// `sfence`: commit all pending flush captures to the durable image.
     pub fn fence(&mut self) {
+        self.micro_step();
         self.stats.fences += 1;
         for (line, bytes) in self.pending.drain() {
             let off = line as usize * LINE_SIZE;
@@ -176,20 +279,8 @@ impl PmemRegion {
     /// Dirty/pending state is cleared — the cache contents are gone.
     pub fn crash(&mut self, mode: &CrashMode) {
         self.stats.crashes += 1;
-        let pending: Vec<u64> = self.pending.keys().copied().collect();
-        let dirty: Vec<u64> = self.dirty.iter().copied().collect();
-        let landed = mode.select_landed(&pending, &dirty);
-        for line in landed {
-            let off = line as usize * LINE_SIZE;
-            // a dirty line that "landed" carries its current volatile
-            // bytes; a pending one carries its flush capture
-            if let Some(bytes) = self.pending.get(&line) {
-                self.durable[off..off + LINE_SIZE].copy_from_slice(bytes);
-            } else {
-                let (d, v) = (&mut self.durable, &self.volatile);
-                d[off..off + LINE_SIZE].copy_from_slice(&v[off..off + LINE_SIZE]);
-            }
-        }
+        let image = self.image_after_crash(mode);
+        self.durable.copy_from_slice(&image);
         self.pending.clear();
         self.dirty.clear();
         self.volatile.copy_from_slice(&self.durable);
@@ -232,6 +323,9 @@ impl PmemRegion {
             dirty: Default::default(),
             pending: Default::default(),
             stats: PmemStats::default(),
+            step: 0,
+            plan: None,
+            crash_image: None,
         })
     }
 }
@@ -386,5 +480,122 @@ mod tests {
         let r = PmemRegion::new(100);
         assert_eq!(r.len(), 128);
         assert_eq!(r.line_count(), 2);
+    }
+
+    #[test]
+    fn redirtied_line_lands_its_newer_bytes_via_dirty_selection() {
+        // flush captures AAAA, the line is re-dirtied with BBBB, then a
+        // crash whose adversary evicts dirty lines (but drops pending
+        // flushes) must land the *newer* bytes — the dirty copy used to
+        // be shadowed by the stale pending capture
+        let mut r = PmemRegion::new(256);
+        r.write(0, b"AAAA");
+        r.flush_range(0, 4); // pending: AAAA
+        r.write(0, b"BBBB"); // dirty again: BBBB
+        r.crash(&CrashMode::random(0.0, 1.0, 5));
+        assert_eq!(r.slice(0, 4), b"BBBB", "dirty eviction carries BBBB");
+    }
+
+    #[test]
+    fn dirty_copy_wins_when_both_selections_land() {
+        let mut r = PmemRegion::new(256);
+        r.write(0, b"AAAA");
+        r.flush_range(0, 4);
+        r.write(0, b"BBBB");
+        r.crash(&CrashMode::AllInFlightLands);
+        assert_eq!(r.slice(0, 4), b"BBBB", "newer write wins");
+    }
+
+    #[test]
+    fn pending_capture_lands_when_only_pending_selected() {
+        let mut r = PmemRegion::new(256);
+        r.write(0, b"AAAA");
+        r.flush_range(0, 4);
+        r.write(0, b"BBBB");
+        r.crash(&CrashMode::random(1.0, 0.0, 5));
+        assert_eq!(r.slice(0, 4), b"AAAA", "flush capture is the old bytes");
+    }
+
+    #[test]
+    fn steps_count_stores_flushes_fences() {
+        let mut r = PmemRegion::new(256);
+        assert_eq!(r.step(), 0);
+        r.write(0, b"x"); // 1 store
+        r.persist(0, 1); // 1 flush + 1 fence
+        assert_eq!(r.step(), 3);
+    }
+
+    #[test]
+    fn armed_plan_captures_crash_image_at_step() {
+        let mut r = PmemRegion::new(256);
+        r.arm_crash(CrashPlan {
+            at_step: 2, // just before the fence: AAAA pending, lost
+            mode: CrashMode::StrictDurableOnly,
+        });
+        r.write(0, b"AAAA");
+        r.flush_range(0, 4);
+        r.fence();
+        r.write(0, b"BBBB");
+        r.persist(0, 4);
+        let img = r.take_crash_image().expect("step 2 was executed");
+        assert_eq!(&img[0..4], &[0u8; 4], "pre-fence: nothing durable");
+        assert!(r.take_crash_image().is_none(), "image drains");
+        // execution continued unperturbed
+        assert_eq!(r.slice(0, 4), b"BBBB");
+    }
+
+    #[test]
+    fn armed_plan_image_matches_direct_crash() {
+        // run the same micro-op sequence twice: once capturing at step
+        // k, once crashing at step k — images must agree byte-for-byte.
+        // Each iteration performs exactly one micro-op so the direct run
+        // can stop at any step.
+        const OPS: u64 = 15;
+        let one_op = |r: &mut PmemRegion, j: u64| match j % 5 {
+            0..=2 => r.write(((j % 3) * 64) as usize, &[j as u8; 8]),
+            3 => r.flush_line(j % 3),
+            _ => r.fence(),
+        };
+        let mode = CrashMode::random(0.7, 0.3, 99);
+        for k in 0..OPS {
+            let mut armed = PmemRegion::new(256);
+            armed.arm_crash(CrashPlan {
+                at_step: k,
+                mode: mode.clone(),
+            });
+            let mut direct = PmemRegion::new(256);
+            for j in 0..OPS {
+                one_op(&mut armed, j);
+                if direct.step() == k {
+                    direct.crash(&mode);
+                    break;
+                }
+                one_op(&mut direct, j);
+            }
+            let captured = armed.take_crash_image().expect("step reached");
+            assert_eq!(
+                captured,
+                direct.durable_image().to_vec(),
+                "crash at step {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_image_round_trips() {
+        let mut r = PmemRegion::new(128);
+        r.write(0, b"payload!");
+        r.persist(0, 8);
+        let img = r.durable_image().to_vec();
+        let r2 = PmemRegion::from_image(img);
+        assert_eq!(r2.slice(0, 8), b"payload!");
+        assert!(r2.is_quiescent());
+        assert_eq!(r2.step(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "image not line-aligned")]
+    fn from_image_rejects_unaligned() {
+        PmemRegion::from_image(vec![0u8; 100]);
     }
 }

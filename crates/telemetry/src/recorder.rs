@@ -37,10 +37,13 @@ pub enum CounterId {
     FaseStallCycles,
     /// Undo-log bytes appended (FASE runtime only).
     LogBytes,
+    /// Recoveries that rolled back an incomplete FASE (FASE runtime
+    /// only: crash injection or reopen found un-committed undo records).
+    Rollbacks,
 }
 
 /// Number of counters (length of a shard).
-pub const NUM_COUNTERS: usize = 13;
+pub const NUM_COUNTERS: usize = 14;
 
 /// All counters, in shard order.
 pub const ALL_COUNTERS: [CounterId; NUM_COUNTERS] = [
@@ -57,6 +60,7 @@ pub const ALL_COUNTERS: [CounterId; NUM_COUNTERS] = [
     CounterId::QueueStallCycles,
     CounterId::FaseStallCycles,
     CounterId::LogBytes,
+    CounterId::Rollbacks,
 ];
 
 impl CounterId {
@@ -76,6 +80,7 @@ impl CounterId {
             CounterId::QueueStallCycles => "queue_stall_cycles",
             CounterId::FaseStallCycles => "fase_stall_cycles",
             CounterId::LogBytes => "log_bytes",
+            CounterId::Rollbacks => "rollbacks",
         }
     }
 }

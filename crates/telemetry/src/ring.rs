@@ -30,6 +30,9 @@ pub enum EventKind {
     /// The adaptive controller resized the cache. `a` = the MRC knee
     /// that motivated the choice, `b` = the new capacity.
     CapacityChange,
+    /// Recovery rolled back an incomplete FASE after a crash. `a` =
+    /// undo entries applied, `b` = crashes injected so far.
+    Rollback,
 }
 
 impl EventKind {
@@ -38,7 +41,7 @@ impl EventKind {
     /// The adaptive-capacity timeline must survive arbitrarily long
     /// runs — a handful of resizes per run, each one load-bearing.
     pub fn is_pinned(&self) -> bool {
-        matches!(self, EventKind::CapacityChange)
+        matches!(self, EventKind::CapacityChange | EventKind::Rollback)
     }
 
     /// Stable lowercase name (JSON field values).
@@ -53,6 +56,7 @@ impl EventKind {
             EventKind::FlushSync => "flush_sync",
             EventKind::QueueDrain => "queue_drain",
             EventKind::CapacityChange => "capacity_change",
+            EventKind::Rollback => "rollback",
         }
     }
 }
