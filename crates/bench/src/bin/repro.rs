@@ -9,6 +9,8 @@
 //!              ablation-knee ablation-atlas ablation-bound ablation-burst
 //!              ablation-clwb ablation-phased ablation-groups
 //!              bench-replay (replay-engine throughput → BENCH_replay.json)
+//!              kv-bench     (YCSB grid over the sharded KV store
+//!                            → BENCH_kv.json; --smoke for CI sizes)
 //!              crash-matrix (crash-point fuzz: all policies × crash
 //!                            modes × seeds; exits nonzero on failure)
 //!              all          (tables + figures)
@@ -29,7 +31,7 @@
 //! prints a summary table and writes the full per-run snapshots to
 //! FILE as JSON. Simulated results are identical with or without it.
 
-use nvcache_bench::experiments::{ablations, figs, tables, DEFAULT_SCALE, THREAD_SWEEP};
+use nvcache_bench::experiments::{ablations, figs, kv, tables, DEFAULT_SCALE, THREAD_SWEEP};
 use nvcache_bench::report::{json_str, telemetry_envelope, telemetry_table};
 use nvcache_bench::{telemetry, Table};
 use nvcache_core::{
@@ -48,6 +50,7 @@ struct Args {
     json: bool,
     telemetry: Option<String>,
     seeds: u64,
+    smoke: bool,
 }
 
 fn parse_args() -> Args {
@@ -58,6 +61,7 @@ fn parse_args() -> Args {
         json: false,
         telemetry: None,
         seeds: 3,
+        smoke: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -76,6 +80,7 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--json" => args.json = true,
+            "--smoke" => args.smoke = true,
             "--seeds" => {
                 args.seeds = it
                     .next()
@@ -108,13 +113,14 @@ fn usage(err: &str) -> ! {
          \x20            ablation-knee ablation-atlas ablation-bound ablation-burst\n\
          \x20            ablation-clwb ablation-phased ablation-groups\n\
          \x20            bench-replay (writes BENCH_replay.json)\n\
+         \x20            kv-bench [--smoke] (YCSB grid; writes BENCH_kv.json)\n\
          \x20            crash-matrix (crash-point fuzz; nonzero exit on failure)\n\
          \x20            all | ablations"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
-fn run_one(name: &str, scale: f64, threads: &[usize]) -> Vec<Table> {
+fn run_one(name: &str, scale: f64, threads: &[usize], smoke: bool) -> Vec<Table> {
     match name {
         "table1" => vec![tables::table1(scale)],
         "table2" => vec![tables::table2(scale)],
@@ -139,7 +145,7 @@ fn run_one(name: &str, scale: f64, threads: &[usize]) -> Vec<Table> {
                 "table1", "table2", "table3", "table4", "fig2", "fig4", "fig5", "fig6", "fig7",
                 "fig8",
             ] {
-                v.extend(run_one(e, scale, threads));
+                v.extend(run_one(e, scale, threads, smoke));
             }
             v
         }
@@ -154,11 +160,12 @@ fn run_one(name: &str, scale: f64, threads: &[usize]) -> Vec<Table> {
                 "ablation-phased",
                 "ablation-groups",
             ] {
-                v.extend(run_one(e, scale, threads));
+                v.extend(run_one(e, scale, threads, smoke));
             }
             v
         }
         "bench-replay" => vec![bench_replay(scale)],
+        "kv-bench" => vec![kv::kv_bench(scale, smoke)],
         other => usage(&format!("unknown experiment {other}")),
     }
 }
@@ -357,7 +364,7 @@ fn main() {
         telemetry::enable();
     }
     let start = std::time::Instant::now();
-    let results = run_one(&args.experiment, args.scale, &args.threads);
+    let results = run_one(&args.experiment, args.scale, &args.threads, args.smoke);
     for t in &results {
         if args.json {
             println!("{}", t.to_json());

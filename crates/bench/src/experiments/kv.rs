@@ -1,0 +1,198 @@
+//! `repro kv-bench` — YCSB mixes over the sharded persistent KV store
+//! (the serving-layer experiment): closed-loop workers against 4+
+//! shards, each shard one FASE runtime behind ER / AT / live-adaptive
+//! SC, writes issued in group-commit batches. Reports wall-clock
+//! throughput, the serving-phase flush ratio, and — for SC — the
+//! capacity each shard's live controller chose, alongside the knee an
+//! *offline* exact-Mattson analysis of the same recorded store-line
+//! window would have picked. Results land in `BENCH_kv.json`.
+
+use crate::report::{json_str, Table};
+use nvcache_core::{AdaptiveConfig, PolicyKind};
+use nvcache_fase::FaseStats;
+use nvcache_kvstore::{
+    load, run, AdaptConfig, KeyDist, KvConfig, KvStore, Mix, ShardConfig, YcsbConfig,
+};
+use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
+
+/// Shards in the grid (acceptance floor: ≥ 4).
+const SHARDS: usize = 4;
+/// Values stay inside one 64-byte node class → one line per update.
+const VALUE_LEN: usize = 40;
+/// Writes per group-commit batch (what gives FASEs intra-FASE reuse).
+const BATCH: usize = 128;
+
+struct Cell {
+    mix: Mix,
+    policy_label: &'static str,
+}
+
+fn store_for(policy_label: &str, burst: usize) -> KvStore {
+    let (policy, adapt) = match policy_label {
+        "ER" => (PolicyKind::Eager, None),
+        "AT" => (PolicyKind::Atlas { size: 8 }, None),
+        "SC" => (
+            PolicyKind::ScAdaptive(AdaptiveConfig {
+                external_control: true,
+                ..Default::default()
+            }),
+            Some(AdaptConfig {
+                burst_len: burst,
+                record_stream: true,
+                ..Default::default()
+            }),
+        ),
+        other => unreachable!("unknown policy label {other}"),
+    };
+    KvStore::new(&KvConfig {
+        shards: SHARDS,
+        shard: ShardConfig {
+            buckets: 256,
+            data_len: 1 << 21,
+            log_len: 1 << 17,
+            policy,
+            adapt,
+        },
+    })
+}
+
+fn json_opt_list(v: &[Option<usize>]) -> String {
+    if v.iter().all(Option::is_none) {
+        "null".to_string()
+    } else {
+        let items: Vec<String> = v
+            .iter()
+            .map(|x| x.map_or("null".to_string(), |n| n.to_string()))
+            .collect();
+        format!("[{}]", items.join(", "))
+    }
+}
+
+/// Run the YCSB grid (mixes A/B/C × ER/AT/SC-adaptive at [`SHARDS`]
+/// shards), print the table, and write `BENCH_kv.json`. `smoke` shrinks
+/// the sizes to CI scale (same grid, same schema).
+pub fn kv_bench(scale: f64, smoke: bool) -> Table {
+    let (keys, ops_per_worker, workers, burst) = if smoke {
+        (400, 4_000, 2, 512)
+    } else {
+        (
+            ((40_000.0 * scale) as usize).max(1_000),
+            ((250_000.0 * scale) as usize).max(4_000),
+            4,
+            4_096,
+        )
+    };
+    let mut t = Table::new(
+        &format!(
+            "KV serving: YCSB A/B/C, {SHARDS} shards, {workers} workers, \
+             {keys} keys, batch {BATCH}"
+        ),
+        &[
+            "mix",
+            "policy",
+            "Kops/s",
+            "flush ratio",
+            "capacity/shard",
+            "online knee",
+            "offline knee",
+        ],
+    );
+    let mut records = Vec::new();
+    let grid: Vec<Cell> = [Mix::A, Mix::B, Mix::C]
+        .into_iter()
+        .flat_map(|mix| {
+            ["ER", "AT", "SC"]
+                .into_iter()
+                .map(move |policy_label| Cell { mix, policy_label })
+        })
+        .collect();
+    let knee_cfg = KneeConfig::default();
+    let mut total_ops = 0u64;
+    for cell in &grid {
+        let store = store_for(cell.policy_label, burst);
+        load(&store, keys, VALUE_LEN);
+        let rep = run(
+            &store,
+            &YcsbConfig {
+                keys,
+                ops_per_worker,
+                workers,
+                mix: cell.mix,
+                dist: KeyDist::Zipfian { theta: 0.99 },
+                value_len: VALUE_LEN,
+                seed: 42,
+                batch: BATCH,
+                target_ops_per_sec: None,
+                windows: 4,
+            },
+        );
+        total_ops = rep.ops;
+        let serving: FaseStats = rep.windows.iter().map(|w| w.stats).sum();
+        let flush_ratio = serving.flush_ratio();
+        // live-controller outcomes (SC only): chosen capacity + online
+        // knee per shard, and the offline exact-Mattson knee over the
+        // same recorded window
+        let mut caps: Vec<Option<usize>> = vec![None; SHARDS];
+        let mut online: Vec<Option<usize>> = vec![None; SHARDS];
+        let mut offline: Vec<Option<usize>> = vec![None; SHARDS];
+        if cell.policy_label == "SC" {
+            for s in 0..SHARDS {
+                store.with_shard(s, |sh| {
+                    if let Some(c) = sh.chosen().first() {
+                        caps[s] = Some(c.capacity);
+                        online[s] = Some(c.knee);
+                    }
+                    if let Some(w) = sh.stream().and_then(|st| st.get(..burst)) {
+                        offline[s] =
+                            Some(select_cache_size(&lru_mrc(w, knee_cfg.max_size), &knee_cfg));
+                    }
+                });
+            }
+        }
+        let fmt_opt = |v: &[Option<usize>]| {
+            if v.iter().all(Option::is_none) {
+                "-".to_string()
+            } else {
+                v.iter()
+                    .map(|x| x.map_or("-".into(), |n: usize| n.to_string()))
+                    .collect::<Vec<_>>()
+                    .join("/")
+            }
+        };
+        t.row(vec![
+            cell.mix.label().to_string(),
+            cell.policy_label.to_string(),
+            format!("{:.0}", rep.throughput_ops_per_sec / 1e3),
+            format!("{flush_ratio:.4}"),
+            fmt_opt(&caps),
+            fmt_opt(&online),
+            fmt_opt(&offline),
+        ]);
+        records.push(format!(
+            "    {{\"mix\": {}, \"policy\": {}, \
+             \"throughput_ops_s\": {:.0}, \"flush_ratio\": {:.6}, \
+             \"store_lines\": {}, \"data_flushes\": {}, \
+             \"chosen_capacity\": {}, \"online_knee\": {}, \"offline_knee\": {}}}",
+            json_str(cell.mix.label()),
+            json_str(cell.policy_label),
+            rep.throughput_ops_per_sec,
+            flush_ratio,
+            serving.store_lines,
+            serving.data_flushes,
+            json_opt_list(&caps),
+            json_opt_list(&online),
+            json_opt_list(&offline),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"kv_ycsb\",\n  \"shards\": {SHARDS},\n  \
+         \"workers\": {workers},\n  \"keys\": {keys},\n  \"ops\": {total_ops},\n  \
+         \"value_len\": {VALUE_LEN},\n  \"batch\": {BATCH},\n  \
+         \"zipfian_theta\": 0.99,\n  \"results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    if let Err(e) = std::fs::write("BENCH_kv.json", &json) {
+        eprintln!("warning: could not write BENCH_kv.json: {e}");
+    }
+    t
+}

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod figs;
+pub mod kv;
 pub mod tables;
 
 use crate::calibrate::{adaptive_config_for, machine_for, offline_capacity};

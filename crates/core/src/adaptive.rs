@@ -30,6 +30,12 @@ pub struct AdaptiveConfig {
     /// Modeled instructions per sampled write for the linear-time MRC
     /// analysis at burst end (reuse(k) for all k + knee pick).
     pub analysis_instr_per_write: u64,
+    /// Disable the built-in burst sampler: capacity changes only through
+    /// [`AdaptiveScPolicy::apply_capacity`]. This is the serving-layer
+    /// configuration, where an external controller (one per KV shard)
+    /// owns the sampler and resizes the cache between requests instead
+    /// of inside the store hot path.
+    pub external_control: bool,
 }
 
 impl Default for AdaptiveConfig {
@@ -40,6 +46,7 @@ impl Default for AdaptiveConfig {
             hibernation: None,
             sample_instr_per_write: 1,
             analysis_instr_per_write: 10,
+            external_control: false,
         }
     }
 }
@@ -89,6 +96,21 @@ impl AdaptiveScPolicy {
     pub fn sc(&self) -> &ScPolicy {
         &self.sc
     }
+
+    /// Apply a capacity decision made by an **external** controller (a
+    /// KV-shard adaptation loop that runs its own [`BurstSampler`] over
+    /// the serving write stream). `knee` is the MRC knee that motivated
+    /// the choice, `size` the new capacity; the clamp to
+    /// `[min_size, max_size]` and the bookkeeping (selection history,
+    /// pending `take_capacity_change`) match the internal path, so
+    /// telemetry pins the resize identically. Entries evicted by a
+    /// shrink are appended to `out` for the caller to flush.
+    pub fn apply_capacity(&mut self, knee: usize, size: usize, out: &mut Vec<Line>) {
+        let size = size.clamp(self.cfg.knee.min_size.max(1), self.cfg.knee.max_size);
+        self.selections.push(size);
+        self.last_change = Some((knee, size));
+        self.sc.set_capacity_into(size, out);
+    }
 }
 
 /// Low line-address bits preserved by FASE renaming.
@@ -106,8 +128,12 @@ const RENAME_EPOCH_BITS: u32 = 64 - RENAME_ADDR_BITS;
 /// handful of FASEs, nowhere near 16M — but the masking must be explicit
 /// rather than relying on `epoch << 40` discarding high bits, which
 /// reads as (and previously was) a silent overflow.
+///
+/// Public so external adaptation controllers (e.g. the KV serving
+/// layer's per-shard sampler) rename their store streams identically to
+/// the in-policy sampler.
 #[inline]
-fn rename_for_epoch(epoch: u64, line: u64) -> u64 {
+pub fn rename_for_epoch(epoch: u64, line: u64) -> u64 {
     let window = epoch & ((1u64 << RENAME_EPOCH_BITS) - 1);
     (window << RENAME_ADDR_BITS) | (line & ((1u64 << RENAME_ADDR_BITS) - 1))
 }
@@ -119,6 +145,11 @@ impl PersistPolicy for AdaptiveScPolicy {
 
     #[inline]
     fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
+        if self.cfg.external_control {
+            // Serving-layer mode: the shard controller samples and
+            // resizes; the hot path is a plain fixed-capacity cache.
+            return self.sc.on_store(line, out);
+        }
         // Sample with FASE renaming (Section III-B): an address reused
         // across FASEs must look like a fresh datum.
         let renamed = rename_for_epoch(self.epoch, line.0);
@@ -316,6 +347,41 @@ mod tests {
         let drained = p.drain_extra_instrs();
         assert!(drained > 0, "sampling + analysis must cost something");
         assert_eq!(p.drain_extra_instrs(), 0, "drain empties the counter");
+    }
+
+    #[test]
+    fn external_control_disables_internal_sampling() {
+        let mut cfg = small_cfg(100);
+        cfg.external_control = true;
+        let mut p = AdaptiveScPolicy::new(cfg);
+        let mut out = Vec::new();
+        feed_cyclic(&mut p, 30, 100, &mut out);
+        assert!(p.selections().is_empty(), "no internal analysis may run");
+        assert_eq!(p.capacity(), KneeConfig::default().default_size);
+        assert_eq!(p.drain_extra_instrs(), 0, "no sampling cost either");
+        assert!(p.take_capacity_change().is_none());
+    }
+
+    #[test]
+    fn apply_capacity_resizes_and_records_like_internal_path() {
+        let mut cfg = small_cfg(100);
+        cfg.external_control = true;
+        let mut p = AdaptiveScPolicy::new(cfg);
+        let mut out = Vec::new();
+        feed_cyclic(&mut p, 20, 5, &mut out);
+        out.clear();
+        p.apply_capacity(23, 24, &mut out);
+        assert_eq!(p.capacity(), 24);
+        assert_eq!(p.selections(), &[24]);
+        assert_eq!(p.take_capacity_change(), Some((23, 24)));
+        assert!(p.take_capacity_change().is_none(), "drained once");
+        // shrink below the live working set evicts into `out`
+        p.apply_capacity(2, 3, &mut out);
+        assert_eq!(p.capacity(), 3);
+        assert!(!out.is_empty(), "shrink must surface evictions");
+        // clamped to the knee config bounds
+        p.apply_capacity(99, 10_000, &mut out);
+        assert_eq!(p.capacity(), KneeConfig::default().max_size);
     }
 
     #[test]

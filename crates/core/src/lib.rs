@@ -37,7 +37,7 @@ pub mod lru;
 pub mod policy;
 pub mod sc;
 
-pub use adaptive::{AdaptiveConfig, AdaptiveScPolicy};
+pub use adaptive::{rename_for_epoch, AdaptiveConfig, AdaptiveScPolicy};
 pub use atlas::AtlasPolicy;
 pub use best::BestPolicy;
 pub use driver::{

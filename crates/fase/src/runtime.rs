@@ -50,6 +50,45 @@ impl FaseStats {
     }
 }
 
+impl std::ops::Sub for FaseStats {
+    type Output = FaseStats;
+
+    /// Counter-wise difference — the interval delta between two
+    /// snapshots of the same runtime (`self` the later one).
+    fn sub(self, earlier: FaseStats) -> FaseStats {
+        FaseStats {
+            fases: self.fases - earlier.fases,
+            stores: self.stores - earlier.stores,
+            store_lines: self.store_lines - earlier.store_lines,
+            data_flushes: self.data_flushes - earlier.data_flushes,
+            fences: self.fences - earlier.fences,
+            rollbacks: self.rollbacks - earlier.rollbacks,
+        }
+    }
+}
+
+impl std::ops::Add for FaseStats {
+    type Output = FaseStats;
+
+    /// Counter-wise sum — aggregate across shards or windows.
+    fn add(self, other: FaseStats) -> FaseStats {
+        FaseStats {
+            fases: self.fases + other.fases,
+            stores: self.stores + other.stores,
+            store_lines: self.store_lines + other.store_lines,
+            data_flushes: self.data_flushes + other.data_flushes,
+            fences: self.fences + other.fences,
+            rollbacks: self.rollbacks + other.rollbacks,
+        }
+    }
+}
+
+impl std::iter::Sum for FaseStats {
+    fn sum<I: Iterator<Item = FaseStats>>(iter: I) -> FaseStats {
+        iter.fold(FaseStats::default(), |a, b| a + b)
+    }
+}
+
 /// A per-thread failure-atomic-section runtime over one region.
 pub struct FaseRuntime {
     region: PmemRegion,
@@ -64,6 +103,9 @@ pub struct FaseRuntime {
     flush_buf: Vec<Line>,
     recorder: Option<TraceRecorder>,
     stats: FaseStats,
+    /// Cumulative counters at the last [`FaseRuntime::take_stats`] call
+    /// (the interval-delta baseline).
+    stats_taken: FaseStats,
     /// Optional telemetry shard (one branch per store when disabled);
     /// timeline time axis = store-line ordinal.
     telemetry: Option<ThreadRecorder>,
@@ -101,6 +143,7 @@ impl FaseRuntime {
             flush_buf: Vec::new(),
             recorder: None,
             stats: FaseStats::default(),
+            stats_taken: FaseStats::default(),
             telemetry: None,
             fase_log_start: 0,
             fase_store_lines: 0,
@@ -170,6 +213,7 @@ impl FaseRuntime {
             flush_buf: Vec::new(),
             recorder: None,
             stats,
+            stats_taken: FaseStats::default(),
             telemetry: None,
             fase_log_start: 0,
             fase_store_lines: 0,
@@ -209,6 +253,56 @@ impl FaseRuntime {
     /// Runtime counters.
     pub fn stats(&self) -> FaseStats {
         self.stats
+    }
+
+    /// Counters accumulated since the previous `take_stats` call (or
+    /// since creation, on the first call) — the per-window delta a
+    /// serving loop reports without re-diffing the cumulative counters.
+    /// [`FaseStats::flush_ratio`] on the returned value is the window's
+    /// flush ratio. Cumulative [`FaseRuntime::stats`] is unaffected.
+    pub fn take_stats(&mut self) -> FaseStats {
+        let delta = self.stats - self.stats_taken;
+        self.stats_taken = self.stats;
+        delta
+    }
+
+    /// Current software-cache capacity (`None` for policies without a
+    /// resizable cache).
+    pub fn sc_capacity(&self) -> Option<usize> {
+        self.policy.sc_capacity()
+    }
+
+    /// Resize the policy's software cache on behalf of an external
+    /// adaptation controller: `knee` is the MRC knee that motivated the
+    /// choice, `capacity` the new size. Entries evicted by a shrink are
+    /// flushed immediately (they are still flush obligations), and the
+    /// resize is pinned on the telemetry timeline as a
+    /// `CapacityChange` event exactly like an in-policy adaptation.
+    /// Returns `false` for policies with nothing to resize.
+    pub fn apply_capacity(&mut self, knee: usize, capacity: usize) -> bool {
+        debug_assert!(self.flush_buf.is_empty());
+        if !self
+            .policy
+            .apply_capacity(knee, capacity, &mut self.flush_buf)
+        {
+            return false;
+        }
+        let n = self.flush_buf.len() as u64;
+        for line in self.flush_buf.drain(..) {
+            self.region.flush_line(line.0);
+        }
+        self.stats.data_flushes += n;
+        // Drain the policy's pending change so the next telemetered
+        // store does not emit the event a second time.
+        let change = self.policy.take_capacity_change();
+        if let Some(tel) = &mut self.telemetry {
+            let (k, cap) = change.unwrap_or((knee, capacity));
+            let t = self.stats.store_lines;
+            tel.incr(CounterId::CapacityChanges);
+            tel.add(CounterId::FlushesAsync, n);
+            tel.emit(EventKind::CapacityChange, t, k as u64, cap as u64);
+        }
+        true
     }
 
     /// The underlying region (read access for verification).
@@ -683,6 +777,74 @@ mod tests {
             h.sum,
             "counter aggregates the per-FASE samples"
         );
+    }
+
+    #[test]
+    fn take_stats_yields_interval_deltas() {
+        let mut r = rt(PolicyKind::Lazy);
+        r.fase(|r| {
+            for i in 0..4usize {
+                r.store_u64(i * 64, 1);
+            }
+        });
+        let w1 = r.take_stats();
+        assert_eq!(w1.fases, 1);
+        assert_eq!(w1.store_lines, 4);
+        assert_eq!(w1.data_flushes, 4, "LA flushes all at FASE end");
+        assert!((w1.flush_ratio() - 1.0).abs() < 1e-12);
+        // second window: two FASEs over one line
+        for _ in 0..2 {
+            r.fase(|r| r.store_u64(0, 2));
+        }
+        let w2 = r.take_stats();
+        assert_eq!(w2.fases, 2);
+        assert_eq!(w2.store_lines, 2);
+        // cumulative counters still intact; windows sum back to them
+        assert_eq!(r.stats().fases, 3);
+        assert_eq!(w1 + w2, r.stats());
+        // empty window is all-zero
+        assert_eq!(r.take_stats(), FaseStats::default());
+    }
+
+    #[test]
+    fn apply_capacity_resizes_flushes_evictions_and_pins_telemetry() {
+        use nvcache_telemetry::CounterId;
+        let mut r = rt(PolicyKind::ScAdaptive(Default::default()));
+        r.enable_telemetry(&TelemetryConfig::default());
+        assert_eq!(r.sc_capacity(), Some(8));
+        // fill the cache past the target so a shrink must evict
+        r.begin_fase();
+        for i in 0..8usize {
+            r.store_u64(i * 64, 7);
+        }
+        let flushes_before = r.stats().data_flushes;
+        assert!(r.apply_capacity(3, 4));
+        assert_eq!(r.sc_capacity(), Some(4));
+        assert_eq!(
+            r.stats().data_flushes - flushes_before,
+            4,
+            "shrink 8→4 flushes the four evicted LRU lines"
+        );
+        r.end_fase();
+        let snap = r.take_telemetry().unwrap();
+        assert_eq!(snap.counter(CounterId::CapacityChanges), 1);
+        let ev: Vec<_> = snap
+            .timeline
+            .iter()
+            .filter(|e| e.kind == EventKind::CapacityChange)
+            .collect();
+        assert_eq!(ev.len(), 1, "resize pinned exactly once on the timeline");
+        assert_eq!(ev[0].a, 3, "knee recorded");
+        assert_eq!(ev[0].b, 4, "capacity recorded");
+    }
+
+    #[test]
+    fn apply_capacity_is_a_noop_for_unresizable_policies() {
+        let mut r = rt(PolicyKind::Eager);
+        assert_eq!(r.sc_capacity(), None);
+        let before = r.stats();
+        assert!(!r.apply_capacity(5, 10));
+        assert_eq!(r.stats(), before);
     }
 
     #[test]

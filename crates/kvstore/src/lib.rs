@@ -1,0 +1,53 @@
+//! # nvcache-kvstore — sharded persistent KV serving with live adaptation
+//!
+//! The serving-layer reproduction of the paper's headline use case: a
+//! memcached-style store whose *persistence* cost is governed by a
+//! software write-combining cache, resized online from a miss-ratio
+//! curve sampled off the store's own write stream.
+//!
+//! Three layers:
+//!
+//! - [`shard`] — one persistent open-chaining hash table per shard,
+//!   owning a private `FaseRuntime` (every `put`/`delete` is a FASE)
+//!   with `PAlloc`-backed buckets and value nodes, plus the shard's
+//!   live adaptation controller: a `BurstSampler` fed the shard's
+//!   FASE-renamed store-line stream, whose MRC knee resizes the
+//!   `AdaptiveScPolicy` capacity *between* FASEs while the shard keeps
+//!   serving. Capacity changes are pinned in the telemetry timeline.
+//! - [`store`] — hash-routes keys over `N` mutex-guarded shards, so the
+//!   per-thread cache model of the paper maps onto a concurrent server:
+//!   different shards serve in parallel, each runtime stays
+//!   single-owner.
+//! - [`ycsb`] — a YCSB-style load generator (zipfian/uniform key
+//!   popularity, mixes A/B/C/D, deterministic per-worker seeds, open-
+//!   or closed-loop issue) with live per-window `FaseStats` scraping.
+//!
+//! ```
+//! use nvcache_kvstore::{load, run, KvConfig, KvStore, Mix, YcsbConfig};
+//!
+//! let store = KvStore::new(&KvConfig::default());
+//! load(&store, 1_000, 32);
+//! let rep = run(
+//!     &store,
+//!     &YcsbConfig {
+//!         keys: 1_000,
+//!         ops_per_worker: 2_000,
+//!         workers: 2,
+//!         mix: Mix::B,
+//!         value_len: 32,
+//!         ..Default::default()
+//!     },
+//! );
+//! assert_eq!(rep.ops, 4_000);
+//! assert!(store.stats().data_flushes > 0);
+//! ```
+
+pub mod shard;
+pub mod store;
+pub mod ycsb;
+
+pub use shard::{AdaptConfig, CapacityChoice, Shard, ShardConfig, MAX_VALUE_LEN};
+pub use store::{KvConfig, KvStore};
+pub use ycsb::{
+    load, run, value_bytes, KeyDist, Mix, WindowStats, YcsbConfig, YcsbReport, Zipfian,
+};

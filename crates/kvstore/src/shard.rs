@@ -1,0 +1,790 @@
+//! One KV shard: a persistent open-chaining hash table owning a private
+//! [`FaseRuntime`] (per-thread cache model, paper Section II-B) with
+//! `PAlloc`-backed buckets and value nodes, plus the shard's **live
+//! adaptation controller** — a [`BurstSampler`] fed the shard's own
+//! store-line stream (FASE-renamed), whose MRC knee resizes the
+//! software cache *while the shard keeps serving*.
+//!
+//! Persistent layout (all offsets inside the shard's region):
+//!
+//! ```text
+//! [PAlloc header | bucket array (root) | value nodes …]     [undo log]
+//! node := key u64 | next u64 | vlen u64 | value bytes
+//! ```
+//!
+//! Every mutation is one FASE (insert: node fields + bucket head;
+//! in-place update: value bytes; delete: unlink), so recovery always
+//! lands on a committed-prefix-consistent map. Node allocation happens
+//! *before* and `free` *after* the FASE: a crash in the gap can leak a
+//! block (never corrupt the map) — the same discipline as the `hash`
+//! micro-benchmark and Atlas's Makalu heap.
+
+use nvcache_core::{rename_for_epoch, PolicyKind};
+use nvcache_fase::{FaseRuntime, FaseStats, RecoveryError};
+use nvcache_locality::{select_cache_size, BurstSampler, KneeConfig, Mrc};
+use nvcache_pmem::{CrashMode, CrashPlan, PmemRegion};
+use nvcache_trace::FxHashMap;
+
+/// Node header bytes: key, next pointer, value length.
+const NODE_HEADER: usize = 24;
+/// Bucket-array block (one `PAlloc` max-class allocation).
+const BUCKET_BLOCK: usize = 4096;
+/// Largest value the node layout can hold (PAlloc max class minus
+/// header).
+pub const MAX_VALUE_LEN: usize = BUCKET_BLOCK - NODE_HEADER;
+
+/// Live-adaptation controller configuration for one shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptConfig {
+    /// Store lines per sampling burst (paper: 64M on full-size runs;
+    /// shards here serve scaled-down working sets).
+    pub burst_len: usize,
+    /// Knee-selection tunables (bounds, tolerance).
+    pub knee: KneeConfig,
+    /// Store lines to skip between bursts; `None` analyzes once
+    /// (paper default), `Some(h)` re-adapts periodically.
+    pub hibernation: Option<u64>,
+    /// Also keep the full renamed store-line stream (offline
+    /// exact-Mattson comparison in tests and `repro kv-bench`).
+    pub record_stream: bool,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            burst_len: 1 << 12,
+            knee: KneeConfig::default(),
+            hibernation: None,
+            record_stream: false,
+        }
+    }
+}
+
+/// One capacity decision made by the live controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityChoice {
+    /// Operation index (per shard) at which the resize was applied.
+    pub op: u64,
+    /// The MRC knee the controller found.
+    pub knee: usize,
+    /// The capacity it installed (knee + 1 safety entry, clamped).
+    pub capacity: usize,
+}
+
+/// Static shape of one shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardConfig {
+    /// Hash-chain count (≤ 512: the bucket array is one 4 KiB block).
+    pub buckets: usize,
+    /// Data-area bytes (heap: buckets + nodes).
+    pub data_len: usize,
+    /// Undo-log bytes.
+    pub log_len: usize,
+    /// Persistence policy for this shard's runtime.
+    pub policy: PolicyKind,
+    /// Live adaptation; `None` = fixed policy behaviour.
+    pub adapt: Option<AdaptConfig>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            buckets: 256,
+            data_len: 1 << 20,
+            log_len: 1 << 16,
+            policy: PolicyKind::ScAdaptive(Default::default()),
+            adapt: None,
+        }
+    }
+}
+
+/// A single-owner persistent KV shard.
+#[derive(Debug)]
+pub struct Shard {
+    rt: FaseRuntime,
+    buckets: usize,
+    bucket_base: usize,
+    len: usize,
+    ops: u64,
+    /// FASE epoch for store-line renaming (one op = one FASE).
+    epoch: u64,
+    sampler: Option<BurstSampler>,
+    adapt: Option<AdaptConfig>,
+    pending_mrc: Option<Mrc>,
+    chosen: Vec<CapacityChoice>,
+    stream: Option<Vec<u64>>,
+}
+
+fn bucket_hash(key: u64) -> u64 {
+    key.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31)
+}
+
+impl Shard {
+    /// Create a fresh shard.
+    pub fn new(cfg: &ShardConfig) -> Self {
+        assert!(
+            cfg.buckets >= 1 && cfg.buckets * 8 <= BUCKET_BLOCK,
+            "1..=512 buckets per shard"
+        );
+        let mut rt = FaseRuntime::with_heap(cfg.data_len, cfg.log_len, &cfg.policy);
+        let base = rt.alloc(BUCKET_BLOCK).expect("bucket array allocation") as usize;
+        rt.set_root(base as u64);
+        rt.fase(|rt| {
+            for b in 0..cfg.buckets {
+                rt.store_u64(base + b * 8, 0);
+            }
+        });
+        Self::assemble(rt, base, cfg, 0)
+    }
+
+    /// Re-attach to a crash image (or saved region): run recovery, then
+    /// rebuild the volatile index state by walking the buckets.
+    pub fn reopen_from_image(image: Vec<u8>, cfg: &ShardConfig) -> Result<Self, RecoveryError> {
+        let region = PmemRegion::from_image(image);
+        let rt = FaseRuntime::try_reopen(region, cfg.data_len, cfg.log_len, &cfg.policy)?;
+        let base = rt.root() as usize;
+        let mut shard = Self::assemble(rt, base, cfg, 0);
+        shard.len = shard.walk_len();
+        Ok(shard)
+    }
+
+    fn assemble(rt: FaseRuntime, bucket_base: usize, cfg: &ShardConfig, len: usize) -> Self {
+        let (sampler, stream) = match &cfg.adapt {
+            Some(a) => (
+                Some(BurstSampler::new(
+                    a.burst_len,
+                    a.knee.max_size,
+                    a.hibernation,
+                )),
+                a.record_stream.then(Vec::new),
+            ),
+            None => (None, None),
+        };
+        Shard {
+            rt,
+            buckets: cfg.buckets,
+            bucket_base,
+            len,
+            ops: 0,
+            epoch: 0,
+            sampler,
+            adapt: cfg.adapt.clone(),
+            pending_mrc: None,
+            chosen: Vec::new(),
+            stream,
+        }
+    }
+
+    fn bucket_off(&self, key: u64) -> usize {
+        self.bucket_base + (bucket_hash(key) as usize % self.buckets) * 8
+    }
+
+    /// Feed one persistent store into the controller's sampler (and the
+    /// recorded stream), FASE-renamed exactly like the in-policy path.
+    fn observe(&mut self, offset: usize, len: usize) {
+        if self.sampler.is_none() && self.stream.is_none() {
+            return;
+        }
+        for line in PmemRegion::lines_of(offset, len) {
+            let renamed = rename_for_epoch(self.epoch, line);
+            if let Some(s) = &mut self.stream {
+                s.push(renamed);
+            }
+            if let Some(sam) = &mut self.sampler {
+                if let Some(mrc) = sam.push(renamed) {
+                    self.pending_mrc = Some(mrc);
+                }
+            }
+        }
+    }
+
+    /// End-of-op bookkeeping: bump the renaming epoch and, if a burst
+    /// just completed, pick the knee and resize the live cache. The
+    /// resize happens *between* FASEs — the shard never stops serving.
+    fn after_op(&mut self) {
+        self.ops += 1;
+        self.epoch += 1;
+        if let Some(mrc) = self.pending_mrc.take() {
+            let knee_cfg = &self.adapt.as_ref().expect("mrc implies adapt").knee;
+            let knee = select_cache_size(&mrc, knee_cfg);
+            // +1 safety entry, same rationale as AdaptiveScPolicy: the
+            // timescale curve can put a sharp cliff one size early.
+            let capacity = (knee + 1).min(knee_cfg.max_size);
+            if self.rt.apply_capacity(knee, capacity) {
+                self.chosen.push(CapacityChoice {
+                    op: self.ops,
+                    knee,
+                    capacity,
+                });
+            }
+        }
+    }
+
+    /// Locate `key`: `(bucket offset, node offset, predecessor node)`.
+    fn find(&mut self, key: u64) -> (usize, usize, Option<usize>) {
+        let boff = self.bucket_off(key);
+        let mut prev = None;
+        let mut p = self.rt.load_u64(boff) as usize;
+        while p != 0 {
+            if self.rt.load_u64(p) == key {
+                return (boff, p, prev);
+            }
+            prev = Some(p);
+            p = self.rt.load_u64(p + 8) as usize;
+        }
+        (boff, 0, prev)
+    }
+
+    /// Look up `key`.
+    pub fn get(&mut self, key: u64) -> Option<Vec<u8>> {
+        let (_, node, _) = self.find(key);
+        if node == 0 {
+            return None;
+        }
+        let vlen = self.rt.load_u64(node + 16) as usize;
+        let mut v = vec![0u8; vlen];
+        self.rt.load(node + NODE_HEADER, &mut v);
+        Some(v)
+    }
+
+    /// Insert or update `key → value` (one FASE; two when the value
+    /// length changes and the node must be replaced). Returns `false`
+    /// if the heap is exhausted or the value exceeds
+    /// [`MAX_VALUE_LEN`] — the map is unchanged in that case.
+    pub fn put(&mut self, key: u64, value: &[u8]) -> bool {
+        if value.len() > MAX_VALUE_LEN {
+            return false;
+        }
+        let (boff, node, _) = self.find(key);
+        if node != 0 {
+            let vlen = self.rt.load_u64(node + 16) as usize;
+            if vlen == value.len() {
+                // hot path: in-place update, a single small FASE
+                self.rt.begin_fase();
+                self.rt.store(node + NODE_HEADER, value);
+                self.observe(node + NODE_HEADER, value.len().max(1));
+                self.rt.end_fase();
+                self.after_op();
+                return true;
+            }
+            // size change: replace the node (unlink+insert, two FASEs)
+            self.delete(key);
+        }
+        let Some(new) = self.rt.alloc(NODE_HEADER + value.len()) else {
+            return false;
+        };
+        let new = new as usize;
+        let head = self.rt.load_u64(boff);
+        self.rt.begin_fase();
+        self.rt.store_u64(new, key);
+        self.observe(new, 8);
+        self.rt.store_u64(new + 8, head);
+        self.observe(new + 8, 8);
+        self.rt.store_u64(new + 16, value.len() as u64);
+        self.observe(new + 16, 8);
+        if !value.is_empty() {
+            self.rt.store(new + NODE_HEADER, value);
+            self.observe(new + NODE_HEADER, value.len());
+        }
+        self.rt.store_u64(boff, new as u64);
+        self.observe(boff, 8);
+        self.rt.end_fase();
+        self.len += 1;
+        self.after_op();
+        true
+    }
+
+    /// Apply a whole batch of writes as **one FASE** (group commit):
+    /// every item either updates an existing node in place or splices a
+    /// fresh node, and the batch commits or rolls back atomically. This
+    /// is the serving configuration that actually gives the software
+    /// cache something to do — per-op FASEs of one or two lines carry no
+    /// intra-FASE reuse (FASE renaming hides reuse across commits, by
+    /// design), while a transaction over a skewed key set revisits its
+    /// hot lines before the commit flush.
+    ///
+    /// Repeated keys in `items` are written repeatedly (that reuse is
+    /// the point); all writes to one key in a batch must keep its value
+    /// length. Returns `false` — with the map unchanged — when any
+    /// value is oversized, changes an existing length, or allocation
+    /// fails (planned nodes are given back to the free list).
+    pub fn put_many(&mut self, items: &[(u64, Vec<u8>)]) -> bool {
+        if items.is_empty() {
+            return true;
+        }
+        enum Op {
+            /// In-place value write to `node`.
+            Write { node: usize },
+            /// Splice `node` at the head of its bucket chain.
+            Insert {
+                node: usize,
+                boff: usize,
+                key: u64,
+                head: u64,
+            },
+        }
+        // plan outside the FASE: locate nodes, allocate fresh ones, and
+        // thread chain heads for multiple inserts into one bucket
+        let mut planned: FxHashMap<u64, (usize, usize)> = FxHashMap::default();
+        let mut heads: FxHashMap<usize, u64> = FxHashMap::default();
+        let mut new_allocs: Vec<(u64, usize)> = Vec::new();
+        let mut ops: Vec<(Op, usize)> = Vec::with_capacity(items.len());
+        let mut inserts = 0usize;
+        let mut ok = true;
+        for (i, (key, value)) in items.iter().enumerate() {
+            if value.len() > MAX_VALUE_LEN {
+                ok = false;
+                break;
+            }
+            let known = planned.get(key).copied().or_else(|| {
+                let (_, node, _) = self.find(*key);
+                (node != 0).then(|| {
+                    let vlen = self.rt.load_u64(node + 16) as usize;
+                    planned.insert(*key, (node, vlen));
+                    (node, vlen)
+                })
+            });
+            match known {
+                Some((node, vlen)) => {
+                    if vlen != value.len() {
+                        ok = false; // batches are fixed-length per key
+                        break;
+                    }
+                    ops.push((Op::Write { node }, i));
+                }
+                None => {
+                    let boff = self.bucket_off(*key);
+                    let Some(new) = self.rt.alloc(NODE_HEADER + value.len()) else {
+                        ok = false;
+                        break;
+                    };
+                    new_allocs.push((new, NODE_HEADER + value.len()));
+                    let head = heads
+                        .get(&boff)
+                        .copied()
+                        .unwrap_or_else(|| self.rt.load_u64(boff));
+                    heads.insert(boff, new);
+                    planned.insert(*key, (new as usize, value.len()));
+                    inserts += 1;
+                    ops.push((
+                        Op::Insert {
+                            node: new as usize,
+                            boff,
+                            key: *key,
+                            head,
+                        },
+                        i,
+                    ));
+                }
+            }
+        }
+        if !ok {
+            for (off, size) in new_allocs {
+                self.rt.free(off, size);
+            }
+            return false;
+        }
+        self.rt.begin_fase();
+        for (op, i) in &ops {
+            let value = &items[*i].1;
+            match *op {
+                Op::Write { node } => {
+                    self.rt.store(node + NODE_HEADER, value);
+                    self.observe(node + NODE_HEADER, value.len().max(1));
+                }
+                Op::Insert {
+                    node,
+                    boff,
+                    key,
+                    head,
+                } => {
+                    self.rt.store_u64(node, key);
+                    self.observe(node, 8);
+                    self.rt.store_u64(node + 8, head);
+                    self.observe(node + 8, 8);
+                    self.rt.store_u64(node + 16, value.len() as u64);
+                    self.observe(node + 16, 8);
+                    if !value.is_empty() {
+                        self.rt.store(node + NODE_HEADER, value);
+                        self.observe(node + NODE_HEADER, value.len());
+                    }
+                    self.rt.store_u64(boff, node as u64);
+                    self.observe(boff, 8);
+                }
+            }
+        }
+        self.rt.end_fase();
+        self.len += inserts;
+        self.after_op();
+        true
+    }
+
+    /// Remove `key` (one FASE when present). Returns whether it existed.
+    pub fn delete(&mut self, key: u64) -> bool {
+        let (boff, node, prev) = self.find(key);
+        if node == 0 {
+            return false;
+        }
+        let next = self.rt.load_u64(node + 8);
+        let vlen = self.rt.load_u64(node + 16) as usize;
+        self.rt.begin_fase();
+        match prev {
+            Some(p) => {
+                self.rt.store_u64(p + 8, next);
+                self.observe(p + 8, 8);
+            }
+            None => {
+                self.rt.store_u64(boff, next);
+                self.observe(boff, 8);
+            }
+        }
+        self.rt.end_fase();
+        self.rt.free(node as u64, NODE_HEADER + vlen);
+        self.len -= 1;
+        self.after_op();
+        true
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the shard empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Operations served so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Every `(key, value)` pair, sorted by key (full bucket walk; used
+    /// by recovery verification, not the serving path).
+    pub fn dump(&mut self) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::with_capacity(self.len);
+        for b in 0..self.buckets {
+            let mut p = self.rt.load_u64(self.bucket_base + b * 8) as usize;
+            while p != 0 {
+                let key = self.rt.load_u64(p);
+                let vlen = self.rt.load_u64(p + 16) as usize;
+                let mut v = vec![0u8; vlen];
+                self.rt.load(p + NODE_HEADER, &mut v);
+                out.push((key, v));
+                p = self.rt.load_u64(p + 8) as usize;
+            }
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    fn walk_len(&mut self) -> usize {
+        let mut n = 0;
+        for b in 0..self.buckets {
+            let mut p = self.rt.load_u64(self.bucket_base + b * 8) as usize;
+            while p != 0 {
+                n += 1;
+                p = self.rt.load_u64(p + 8) as usize;
+            }
+        }
+        n
+    }
+
+    // ----- adaptation introspection --------------------------------------
+
+    /// Capacity decisions the live controller has made, in order.
+    pub fn chosen(&self) -> &[CapacityChoice] {
+        &self.chosen
+    }
+
+    /// Current software-cache capacity (`None` for non-SC policies).
+    pub fn sc_capacity(&self) -> Option<usize> {
+        self.rt.sc_capacity()
+    }
+
+    /// The recorded FASE-renamed store-line stream, when
+    /// [`AdaptConfig::record_stream`] was set.
+    pub fn stream(&self) -> Option<&[u64]> {
+        self.stream.as_deref()
+    }
+
+    /// Store lines buffered in the current sampling burst.
+    pub fn sampler_buffered(&self) -> usize {
+        self.sampler.as_ref().map_or(0, |s| s.buffered())
+    }
+
+    /// Restart adaptation measurement: discard the sampler's partial
+    /// burst, the recorded stream, any not-yet-applied MRC, and the
+    /// decision history, so the next burst begins at the next store.
+    /// The serving layer calls this after a bulk-load phase so capacity
+    /// decisions (and [`Shard::chosen`]) reflect the *serving* write
+    /// stream, not the loader's.
+    pub fn reset_sampler(&mut self) {
+        if let Some(a) = &self.adapt {
+            self.sampler = Some(BurstSampler::new(
+                a.burst_len,
+                a.knee.max_size,
+                a.hibernation,
+            ));
+            self.pending_mrc = None;
+            self.chosen.clear();
+            if let Some(s) = &mut self.stream {
+                s.clear();
+            }
+        }
+    }
+
+    // ----- stats / crash plumbing ----------------------------------------
+
+    /// Cumulative runtime counters.
+    pub fn stats(&self) -> FaseStats {
+        self.rt.stats()
+    }
+
+    /// Counters since the last call (per-window flush ratios).
+    pub fn take_stats(&mut self) -> FaseStats {
+        self.rt.take_stats()
+    }
+
+    /// The underlying runtime (telemetry, tracing, verification).
+    pub fn runtime_mut(&mut self) -> &mut FaseRuntime {
+        &mut self.rt
+    }
+
+    /// Persistence micro-steps executed (crash-point index space).
+    pub fn steps(&self) -> u64 {
+        self.rt.steps()
+    }
+
+    /// Arm a crash plan on the shard's region (see
+    /// [`FaseRuntime::arm_crash`]).
+    pub fn arm_crash(&mut self, plan: CrashPlan) {
+        self.rt.arm_crash(plan);
+    }
+
+    /// The crash image captured by an armed plan, if reached.
+    pub fn take_crash_image(&mut self) -> Option<Vec<u8>> {
+        self.rt.take_crash_image()
+    }
+
+    /// Inject a power failure in-process and recover; the volatile
+    /// index state is rebuilt from the recovered region.
+    pub fn crash_and_recover(&mut self, mode: &CrashMode) {
+        self.rt.crash_and_recover(mode);
+        self.pending_mrc = None;
+        self.len = self.walk_len();
+    }
+
+    /// Persist everything still buffered (clean shutdown).
+    pub fn sync(&mut self) {
+        self.rt.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(policy: PolicyKind) -> ShardConfig {
+        ShardConfig {
+            buckets: 64,
+            data_len: 1 << 18,
+            log_len: 1 << 15,
+            policy,
+            adapt: None,
+        }
+    }
+
+    #[test]
+    fn put_get_update_delete_roundtrip() {
+        let mut s = Shard::new(&small(PolicyKind::ScFixed { capacity: 8 }));
+        assert!(s.is_empty());
+        for i in 0..200u64 {
+            assert!(s.put(i, &i.to_le_bytes()));
+        }
+        assert_eq!(s.len(), 200);
+        for i in 0..200u64 {
+            assert_eq!(s.get(i).as_deref(), Some(&i.to_le_bytes()[..]), "key {i}");
+        }
+        assert!(s.put(7, b"same-len"));
+        assert_eq!(s.get(7).as_deref(), Some(&b"same-len"[..]));
+        // size-changing update replaces the node
+        assert!(s.put(7, b"a much longer value than before"));
+        assert_eq!(
+            s.get(7).as_deref(),
+            Some(&b"a much longer value than before"[..])
+        );
+        assert_eq!(s.len(), 200);
+        assert!(s.delete(7));
+        assert!(!s.delete(7));
+        assert_eq!(s.get(7), None);
+        assert_eq!(s.len(), 199);
+        assert_eq!(s.get(1000), None);
+    }
+
+    #[test]
+    fn empty_and_oversized_values() {
+        let mut s = Shard::new(&small(PolicyKind::Lazy));
+        assert!(s.put(1, b""));
+        assert_eq!(s.get(1).as_deref(), Some(&b""[..]));
+        assert!(!s.put(2, &vec![0u8; MAX_VALUE_LEN + 1]), "over max class");
+        assert_eq!(s.get(2), None);
+        assert!(s.put(3, &vec![7u8; MAX_VALUE_LEN]), "exactly max fits");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn heap_exhaustion_fails_put_cleanly() {
+        let cfg = ShardConfig {
+            buckets: 8,
+            data_len: 8 << 10,
+            log_len: 1 << 14,
+            policy: PolicyKind::Lazy,
+            adapt: None,
+        };
+        let mut s = Shard::new(&cfg);
+        let mut inserted = 0u64;
+        while s.put(inserted, &[0u8; 100]) {
+            inserted += 1;
+            assert!(inserted < 10_000, "must exhaust eventually");
+        }
+        assert!(inserted > 0);
+        assert_eq!(s.len() as u64, inserted);
+        // the failed put left the map readable and consistent
+        for i in 0..inserted {
+            assert!(s.get(i).is_some(), "key {i} survived the failed put");
+        }
+        // deleting frees a node the next put can reuse
+        assert!(s.delete(0));
+        assert!(s.put(99_999, &[1u8; 100]), "free list satisfies the put");
+    }
+
+    #[test]
+    fn dump_is_sorted_and_complete() {
+        let mut s = Shard::new(&small(PolicyKind::Eager));
+        for i in [5u64, 1, 9, 3, 7] {
+            s.put(i, &[i as u8]);
+        }
+        let d = s.dump();
+        assert_eq!(
+            d,
+            vec![
+                (1, vec![1u8]),
+                (3, vec![3]),
+                (5, vec![5]),
+                (7, vec![7]),
+                (9, vec![9])
+            ]
+        );
+    }
+
+    #[test]
+    fn committed_ops_survive_crash_and_recover() {
+        for mode in [
+            CrashMode::StrictDurableOnly,
+            CrashMode::AllInFlightLands,
+            CrashMode::random(0.5, 0.5, 3),
+        ] {
+            let mut s = Shard::new(&small(PolicyKind::ScAdaptive(Default::default())));
+            for i in 0..100u64 {
+                s.put(i, &(i * 3).to_le_bytes());
+            }
+            for i in (0..100u64).step_by(3) {
+                s.delete(i);
+            }
+            let expect = s.dump();
+            s.crash_and_recover(&mode);
+            assert_eq!(s.dump(), expect, "mode {mode:?}");
+            assert_eq!(s.len(), expect.len(), "len rebuilt from the region");
+        }
+    }
+
+    #[test]
+    fn put_many_commits_mixed_batch_atomically() {
+        let mut s = Shard::new(&small(PolicyKind::ScFixed { capacity: 8 }));
+        assert!(s.put(1, b"one-ost"));
+        assert!(s.put(2, b"two-old"));
+        let fases_before = s.stats().fases;
+        // one batch: two in-place updates (one key twice — last wins),
+        // two fresh inserts (one bucket-colliding pair is fine)
+        let batch: Vec<(u64, Vec<u8>)> = vec![
+            (1, b"one-new".to_vec()),
+            (10, b"ten".to_vec()),
+            (1, b"one-fin".to_vec()),
+            (11, b"eleven".to_vec()),
+            (10, b"TEN".to_vec()), // insert then update, same batch
+        ];
+        assert!(s.put_many(&batch));
+        assert_eq!(s.stats().fases, fases_before + 1, "whole batch is one FASE");
+        assert_eq!(s.get(1).as_deref(), Some(&b"one-fin"[..]));
+        assert_eq!(s.get(2).as_deref(), Some(&b"two-old"[..]));
+        assert_eq!(s.get(10).as_deref(), Some(&b"TEN"[..]));
+        assert_eq!(s.get(11).as_deref(), Some(&b"eleven"[..]));
+        assert_eq!(s.len(), 4);
+        // the committed batch survives a crash in one piece
+        let expect = s.dump();
+        s.crash_and_recover(&CrashMode::StrictDurableOnly);
+        assert_eq!(s.dump(), expect);
+    }
+
+    #[test]
+    fn put_many_rejects_without_side_effects() {
+        let mut s = Shard::new(&small(PolicyKind::Lazy));
+        assert!(s.put(5, b"12345"));
+        let before = s.dump();
+        // length change for an existing key aborts the whole batch…
+        assert!(!s.put_many(&[(9, b"nine".to_vec()), (5, b"much-longer".to_vec())]));
+        // …as does an oversized value
+        assert!(!s.put_many(&[(7, vec![0u8; MAX_VALUE_LEN + 1])]));
+        assert_eq!(s.dump(), before, "aborted batches leave no trace");
+        // aborted planned allocations went back to the free list: the
+        // same insert succeeds afterwards
+        assert!(s.put_many(&[(9, b"nine".to_vec())]));
+        assert_eq!(s.get(9).as_deref(), Some(&b"nine"[..]));
+    }
+
+    #[test]
+    fn live_adaptation_resizes_while_serving() {
+        let cfg = ShardConfig {
+            policy: PolicyKind::ScAdaptive(nvcache_core::AdaptiveConfig {
+                external_control: true,
+                ..Default::default()
+            }),
+            adapt: Some(AdaptConfig {
+                burst_len: 2000,
+                record_stream: true,
+                ..Default::default()
+            }),
+            ..small(PolicyKind::Best)
+        };
+        let mut s = Shard::new(&cfg);
+        let default_cap = s.sc_capacity().unwrap();
+        // steady-state in-place updates over a fixed working set: the
+        // store stream cycles over the value lines of `wss` keys
+        let wss = 40u64;
+        for i in 0..wss {
+            s.put(i, &[0u8; 56]);
+        }
+        let mut round = 0u8;
+        while s.chosen().is_empty() {
+            for i in 0..wss {
+                s.put(i, &[round; 56]);
+            }
+            round = round.wrapping_add(1);
+            assert!(s.ops() < 50_000, "controller never fired");
+        }
+        let choice = s.chosen()[0];
+        assert_eq!(s.sc_capacity(), Some(choice.capacity));
+        assert_ne!(
+            choice.capacity, default_cap,
+            "a 40-key working set must move the capacity off the default"
+        );
+        assert!(choice.knee >= 1);
+        // serving continues after the resize
+        for i in 0..wss {
+            assert!(s.get(i).is_some());
+        }
+        assert!(s.stream().unwrap().len() >= 2000);
+    }
+}

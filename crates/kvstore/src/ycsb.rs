@@ -1,0 +1,523 @@
+//! YCSB-style concurrent load generation for [`KvStore`]: zipfian or
+//! uniform key choice, the classic read/update/insert mixes A/B/C,
+//! deterministic per-worker seeds, and open- or closed-loop issue.
+//!
+//! The harness mirrors the paper's memcached evaluation shape: a
+//! long-running store serving a skewed key-popularity stream while each
+//! shard's adaptation controller samples and resizes its software
+//! cache. The main thread scrapes per-window [`FaseStats`] deltas from
+//! the shards *while they serve* (via [`Shard::take_stats`]), yielding
+//! the per-window flush ratios `repro kv-bench` reports.
+//!
+//! [`Shard::take_stats`]: crate::shard::Shard::take_stats
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use nvcache_fase::FaseStats;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::store::KvStore;
+
+/// The standard YCSB core mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// 50% reads / 50% updates (update-heavy).
+    A,
+    /// 95% reads / 5% updates (read-mostly).
+    B,
+    /// 100% reads.
+    C,
+    /// 90% reads / 5% updates / 5% inserts of fresh keys (the
+    /// insert-bearing mix; YCSB-D-shaped working-set growth).
+    D,
+}
+
+impl Mix {
+    /// `(read, update, insert)` fractions; sums to 1.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        match self {
+            Mix::A => (0.50, 0.50, 0.0),
+            Mix::B => (0.95, 0.05, 0.0),
+            Mix::C => (1.0, 0.0, 0.0),
+            Mix::D => (0.90, 0.05, 0.05),
+        }
+    }
+
+    /// YCSB letter.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mix::A => "A",
+            Mix::B => "B",
+            Mix::C => "C",
+            Mix::D => "D",
+        }
+    }
+}
+
+/// Key-popularity distribution over the loaded key space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with parameter `theta` (YCSB default 0.99).
+    Zipfian {
+        /// Skew; 0 degenerates to uniform, 0.99 is the YCSB default.
+        theta: f64,
+    },
+}
+
+/// Precomputed zipfian sampler (Gray et al., the YCSB generator): rank
+/// `k` is drawn with probability ∝ `1/(k+1)^theta`. Hot ranks are the
+/// low ids; the store's routing hash scatters them over shards.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: f64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Sampler over ranks `0..n`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 2 && theta > 0.0 && theta < 1.0);
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n: n as f64,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Map a uniform draw `u ∈ [0,1)` to a rank.
+    pub fn rank(&self, u: f64) -> u64 {
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = (self.n * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n as u64 - 1)
+    }
+}
+
+/// Shape of one benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YcsbConfig {
+    /// Keys preloaded before the timed run.
+    pub keys: usize,
+    /// Operations each worker issues.
+    pub ops_per_worker: usize,
+    /// Concurrent workers (closed loop: one outstanding op each).
+    pub workers: usize,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Key-popularity distribution.
+    pub dist: KeyDist,
+    /// Value bytes (fixed length keeps updates on the one-FASE
+    /// in-place path).
+    pub value_len: usize,
+    /// Base seed; worker `w` derives its own deterministic stream.
+    pub seed: u64,
+    /// Writes per group-commit transaction: `1` issues each write as
+    /// its own FASE; `> 1` buffers writes and applies them with
+    /// [`KvStore::put_many`] (one FASE per involved shard). Batching is
+    /// what gives write FASEs intra-FASE locality for the software
+    /// cache — single-write FASEs have none, by construction.
+    pub batch: usize,
+    /// Open-loop pacing: target op rate *per worker*; `None` = closed
+    /// loop (issue as fast as the store serves).
+    pub target_ops_per_sec: Option<f64>,
+    /// Stat windows sampled live during the run.
+    pub windows: usize,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            keys: 10_000,
+            ops_per_worker: 25_000,
+            workers: 4,
+            mix: Mix::A,
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            value_len: 56,
+            seed: 42,
+            batch: 1,
+            target_ops_per_sec: None,
+            windows: 8,
+        }
+    }
+}
+
+/// One live stat window scraped mid-run.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowStats {
+    /// Total operations completed when the window closed.
+    pub ops: u64,
+    /// Interval-delta counters across all shards for the window.
+    pub stats: FaseStats,
+}
+
+/// Outcome of a [`run`].
+#[derive(Debug, Clone)]
+pub struct YcsbReport {
+    /// Operations completed (= workers × ops_per_worker).
+    pub ops: u64,
+    /// Reads issued.
+    pub reads: u64,
+    /// Updates issued.
+    pub updates: u64,
+    /// Inserts issued.
+    pub inserts: u64,
+    /// Reads that found no value (0 for mixes without deletes).
+    pub not_found: u64,
+    /// Inserts/updates refused by a full shard heap.
+    pub rejected: u64,
+    /// Timed-run wall seconds.
+    pub elapsed_secs: f64,
+    /// `ops / elapsed`.
+    pub throughput_ops_per_sec: f64,
+    /// Live per-window stats (flush ratio per window via
+    /// [`FaseStats::flush_ratio`]).
+    pub windows: Vec<WindowStats>,
+}
+
+/// Deterministic value bytes for `(key, version)`.
+pub fn value_bytes(key: u64, version: u64, len: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(len);
+    let mut z = key ^ version.rotate_left(17) ^ 0x5bf0_3635;
+    while v.len() < len {
+        z = z
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        v.extend_from_slice(&z.to_le_bytes());
+    }
+    v.truncate(len);
+    v
+}
+
+/// Preload `keys` keys (version-0 values) — the YCSB load phase.
+/// Returns how many inserts the store accepted (all, unless a shard
+/// heap is undersized).
+pub fn load(store: &KvStore, keys: usize, value_len: usize) -> usize {
+    (0..keys as u64)
+        .filter(|&k| store.put(k, &value_bytes(k, 0, value_len)))
+        .count()
+}
+
+/// Run the timed phase of `cfg` against `store` (already loaded).
+///
+/// Closed loop by default; set [`YcsbConfig::target_ops_per_sec`] for
+/// open-loop pacing. Worker `w` uses seed `cfg.seed ⊕ mix(w)`, so runs
+/// are reproducible per worker regardless of interleaving.
+pub fn run(store: &KvStore, cfg: &YcsbConfig) -> YcsbReport {
+    assert!(cfg.workers >= 1 && cfg.ops_per_worker >= 1);
+    let zipf = match cfg.dist {
+        KeyDist::Zipfian { theta } => Some(Zipfian::new(cfg.keys.max(2), theta)),
+        KeyDist::Uniform => None,
+    };
+    let (read_f, update_f, _) = cfg.mix.fractions();
+    let completed = AtomicU64::new(0);
+    let next_key = AtomicU64::new(cfg.keys as u64);
+    let reads = AtomicU64::new(0);
+    let updates = AtomicU64::new(0);
+    let inserts = AtomicU64::new(0);
+    let not_found = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let total_ops = (cfg.workers * cfg.ops_per_worker) as u64;
+
+    // drop counters accumulated during the load phase so windows report
+    // the serving phase only, and restart adaptation measurement so the
+    // samplers see the serving stream, not the loader's
+    store.take_stats();
+    store.reset_samplers();
+
+    let start = Instant::now();
+    let mut windows = Vec::with_capacity(cfg.windows + 1);
+    std::thread::scope(|scope| {
+        for w in 0..cfg.workers {
+            let zipf = zipf.clone();
+            let (completed, next_key) = (&completed, &next_key);
+            let (reads, updates, inserts) = (&reads, &updates, &inserts);
+            let (not_found, rejected) = (&not_found, &rejected);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(
+                    cfg.seed ^ (w as u64).wrapping_mul(0xa076_1d64_78bd_642f),
+                );
+                let pace = cfg.target_ops_per_sec.map(|r| (Instant::now(), r));
+                // group-commit buffer (batch > 1): writes park here and
+                // land together via put_many as one FASE per shard
+                let mut pending: Vec<(u64, Vec<u8>)> = Vec::new();
+                let flush = |pending: &mut Vec<(u64, Vec<u8>)>| {
+                    if pending.is_empty() {
+                        return;
+                    }
+                    if !store.put_many(pending) {
+                        rejected.fetch_add(pending.len() as u64, Ordering::Relaxed);
+                    }
+                    completed.fetch_add(pending.len() as u64, Ordering::Relaxed);
+                    pending.clear();
+                };
+                for i in 0..cfg.ops_per_worker {
+                    if let Some((t0, rate)) = pace {
+                        // open loop: op i is due at t0 + i/rate
+                        let due = i as f64 / rate;
+                        while t0.elapsed().as_secs_f64() < due {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    let key = match &zipf {
+                        Some(z) => z.rank(rng.gen::<f64>()),
+                        None => rng.gen_range(0..cfg.keys as u64),
+                    };
+                    let r = rng.gen::<f64>();
+                    if r < read_f {
+                        reads.fetch_add(1, Ordering::Relaxed);
+                        if store.get(key).is_none() {
+                            not_found.fetch_add(1, Ordering::Relaxed);
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let (k, v) = if r < read_f + update_f {
+                        updates.fetch_add(1, Ordering::Relaxed);
+                        (key, value_bytes(key, i as u64 + 1, cfg.value_len))
+                    } else {
+                        inserts.fetch_add(1, Ordering::Relaxed);
+                        let k = next_key.fetch_add(1, Ordering::Relaxed);
+                        (k, value_bytes(k, 0, cfg.value_len))
+                    };
+                    if cfg.batch > 1 {
+                        pending.push((k, v));
+                        if pending.len() >= cfg.batch {
+                            flush(&mut pending);
+                        }
+                    } else {
+                        if !store.put(k, &v) {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                flush(&mut pending);
+            });
+        }
+        // live window scraping while the workers serve
+        let mut next_window = 1u64;
+        while completed.load(Ordering::Relaxed) < total_ops {
+            let done = completed.load(Ordering::Relaxed);
+            if cfg.windows > 0 && done * cfg.windows as u64 >= next_window * total_ops {
+                windows.push(WindowStats {
+                    ops: done,
+                    stats: store.take_stats(),
+                });
+                next_window += 1;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    // close the final window
+    let tail = store.take_stats();
+    if tail != FaseStats::default() || windows.is_empty() {
+        windows.push(WindowStats {
+            ops: total_ops,
+            stats: tail,
+        });
+    }
+    YcsbReport {
+        ops: total_ops,
+        reads: reads.into_inner(),
+        updates: updates.into_inner(),
+        inserts: inserts.into_inner(),
+        not_found: not_found.into_inner(),
+        rejected: rejected.into_inner(),
+        elapsed_secs: elapsed,
+        throughput_ops_per_sec: total_ops as f64 / elapsed.max(1e-9),
+        windows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardConfig;
+    use crate::store::KvConfig;
+    use nvcache_core::PolicyKind;
+
+    fn small_store(shards: usize) -> KvStore {
+        KvStore::new(&KvConfig {
+            shards,
+            shard: ShardConfig {
+                buckets: 128,
+                data_len: 1 << 19,
+                log_len: 1 << 15,
+                policy: PolicyKind::ScFixed { capacity: 8 },
+                adapt: None,
+            },
+        })
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..50_000 {
+            counts[z.rank(rng.gen::<f64>()) as usize] += 1;
+        }
+        let head: u64 = counts[..10].iter().sum();
+        assert!(
+            head > 15_000,
+            "top-10 ranks should draw >30% of a theta=0.99 stream, got {head}"
+        );
+        assert!(counts[0] > counts[500], "rank 0 beats the tail");
+    }
+
+    #[test]
+    fn mix_fractions_sum_to_one() {
+        for m in [Mix::A, Mix::B, Mix::C, Mix::D] {
+            let (r, u, i) = m.fractions();
+            assert!((r + u + i - 1.0).abs() < 1e-12, "mix {}", m.label());
+        }
+    }
+
+    #[test]
+    fn value_bytes_deterministic_and_sized() {
+        assert_eq!(value_bytes(5, 1, 56), value_bytes(5, 1, 56));
+        assert_ne!(value_bytes(5, 1, 56), value_bytes(5, 2, 56));
+        assert_eq!(value_bytes(9, 0, 13).len(), 13);
+        assert_eq!(value_bytes(9, 0, 0).len(), 0);
+    }
+
+    #[test]
+    fn closed_loop_run_counts_reconcile() {
+        let store = small_store(4);
+        assert_eq!(load(&store, 500, 32), 500);
+        let cfg = YcsbConfig {
+            keys: 500,
+            ops_per_worker: 1000,
+            workers: 4,
+            mix: Mix::A,
+            value_len: 32,
+            windows: 4,
+            ..Default::default()
+        };
+        let loaded_stores = store.stats().stores;
+        let rep = run(&store, &cfg);
+        assert_eq!(rep.ops, 4000);
+        assert_eq!(rep.reads + rep.updates + rep.inserts, 4000);
+        assert_eq!(rep.not_found, 0, "all read keys were loaded");
+        assert_eq!(rep.rejected, 0);
+        assert!(rep.throughput_ops_per_sec > 0.0);
+        assert!(!rep.windows.is_empty());
+        let win_stores: u64 = rep.windows.iter().map(|w| w.stats.stores).sum();
+        assert_eq!(
+            win_stores,
+            store.stats().stores - loaded_stores,
+            "windows cover exactly the serving phase (load excluded)"
+        );
+        // mix A updated roughly half the ops; every update is one FASE
+        assert!(rep.updates > 1500 && rep.updates < 2500, "{}", rep.updates);
+    }
+
+    #[test]
+    fn mix_c_is_read_only() {
+        let store = small_store(2);
+        load(&store, 200, 16);
+        let before = store.stats();
+        let rep = run(
+            &store,
+            &YcsbConfig {
+                keys: 200,
+                ops_per_worker: 500,
+                workers: 2,
+                mix: Mix::C,
+                value_len: 16,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rep.updates + rep.inserts, 0);
+        assert_eq!(store.stats().stores, before.stores, "no persistent writes");
+    }
+
+    #[test]
+    fn mix_d_inserts_fresh_keys() {
+        let store = small_store(2);
+        load(&store, 300, 16);
+        let rep = run(
+            &store,
+            &YcsbConfig {
+                keys: 300,
+                ops_per_worker: 800,
+                workers: 2,
+                mix: Mix::D,
+                value_len: 16,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        assert!(rep.inserts > 0);
+        assert_eq!(store.len(), 300 + rep.inserts as usize);
+    }
+
+    #[test]
+    fn open_loop_paces_the_issue_rate() {
+        let store = small_store(2);
+        load(&store, 100, 16);
+        let rep = run(
+            &store,
+            &YcsbConfig {
+                keys: 100,
+                ops_per_worker: 200,
+                workers: 2,
+                mix: Mix::B,
+                value_len: 16,
+                target_ops_per_sec: Some(10_000.0),
+                windows: 2,
+                ..Default::default()
+            },
+        );
+        // 200 ops at 10k/s per worker ≥ 20ms; closed loop would finish
+        // far faster on this trivial store
+        assert!(
+            rep.elapsed_secs >= 0.018,
+            "open loop must pace: {}s",
+            rep.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn deterministic_per_worker_streams() {
+        // same seed, same single worker → identical end state
+        let mk = || {
+            let store = small_store(2);
+            load(&store, 200, 24);
+            run(
+                &store,
+                &YcsbConfig {
+                    keys: 200,
+                    ops_per_worker: 600,
+                    workers: 1,
+                    mix: Mix::A,
+                    value_len: 24,
+                    seed: 1234,
+                    windows: 0,
+                    ..Default::default()
+                },
+            );
+            store.dump()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,164 @@
+//! Acceptance test for live adaptation accuracy: on a zipfian YCSB mix,
+//! every shard's *online* knee (timescale-approximate MRC computed by
+//! the in-band `BurstSampler`) must land within one MRC bucket of the
+//! *offline* exact-Mattson knee computed from the same recorded
+//! store-line window — the paper's claim that the cheap approximation
+//! picks (nearly) the same capacity as exact stack-distance profiling.
+//!
+//! Writes are issued in group-commit batches (one FASE per shard per
+//! batch): single-write FASEs carry no intra-FASE reuse by construction
+//! (FASE renaming hides reuse across commits), so batching is what
+//! gives the software cache — and both MRC estimators — a real locality
+//! signal to agree on.
+
+use nvcache_core::{AdaptiveConfig, PolicyKind};
+use nvcache_kvstore::{
+    load, run, AdaptConfig, KeyDist, KvConfig, KvStore, Mix, ShardConfig, YcsbConfig,
+};
+use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
+
+const BURST: usize = 4096;
+
+fn adaptive_store(shards: usize) -> KvStore {
+    KvStore::new(&KvConfig {
+        shards,
+        shard: ShardConfig {
+            buckets: 256,
+            data_len: 1 << 21,
+            log_len: 1 << 17,
+            policy: PolicyKind::ScAdaptive(AdaptiveConfig {
+                external_control: true,
+                ..Default::default()
+            }),
+            adapt: Some(AdaptConfig {
+                burst_len: BURST,
+                record_stream: true,
+                ..Default::default()
+            }),
+        },
+    })
+}
+
+#[test]
+fn online_knee_matches_offline_mattson_within_one_bucket() {
+    let shards = 4;
+    let store = adaptive_store(shards);
+    let keys = 2000;
+    // value_len ≤ 40 keeps header+value inside one 64-byte class block,
+    // so an in-place update is exactly one store line and the exact MRC
+    // steps at every size (2-line values quantize it to even sizes);
+    // one worker keeps the recorded stream deterministic
+    let value_len = 40;
+    assert_eq!(load(&store, keys, value_len), keys);
+    let rep = run(
+        &store,
+        &YcsbConfig {
+            keys,
+            ops_per_worker: 60_000,
+            workers: 1,
+            mix: Mix::A,
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            value_len,
+            seed: 20_17,
+            batch: 128,
+            target_ops_per_sec: None,
+            windows: 4,
+        },
+    );
+    assert_eq!(rep.not_found, 0);
+    assert_eq!(rep.rejected, 0);
+
+    let knee_cfg = KneeConfig::default();
+    for s in 0..shards {
+        let (choices, window) = store.with_shard(s, |sh| {
+            (
+                sh.chosen().to_vec(),
+                sh.stream().expect("record_stream set")[..BURST].to_vec(),
+            )
+        });
+        assert!(
+            !choices.is_empty(),
+            "shard {s}: the controller must have fired (enough stores per shard)"
+        );
+        let online = choices[0];
+
+        // offline oracle: exact Mattson stack-distance MRC over the very
+        // window the sampler analyzed, same knee selector
+        let exact = lru_mrc(&window, knee_cfg.max_size);
+        let offline_knee = select_cache_size(&exact, &knee_cfg);
+
+        let diff = online.knee.abs_diff(offline_knee);
+        assert!(
+            diff <= 1,
+            "shard {s}: online knee {} vs offline exact-Mattson knee {} \
+             differ by {} (> one MRC bucket)",
+            online.knee,
+            offline_knee,
+            diff
+        );
+        // and the installed capacity is the knee plus the safety entry
+        assert_eq!(
+            online.capacity,
+            (online.knee + 1).min(knee_cfg.max_size),
+            "shard {s}"
+        );
+        assert_eq!(
+            store.sc_capacities()[s],
+            Some(online.capacity),
+            "shard {s}: the live cache runs at the chosen capacity"
+        );
+    }
+}
+
+#[test]
+fn adaptation_decisions_are_per_shard() {
+    // two shards with very different per-FASE working sets must be free
+    // to choose different capacities: the hot shard cycles a tight key
+    // set inside each batch (small knee), the cold one sweeps a set far
+    // beyond max_size (knee-less curve → max capacity)
+    let store = adaptive_store(2);
+    let hot_shard = store.shard_of(0);
+    let hot_keys: Vec<u64> = (0..40_000u64)
+        .filter(|&k| store.shard_of(k) == hot_shard)
+        .take(8)
+        .collect();
+    let cold_keys: Vec<u64> = (0..80_000u64)
+        .filter(|&k| store.shard_of(k) != hot_shard)
+        .take(150)
+        .collect();
+    let val = |round: u8| vec![round; 56];
+    for &k in hot_keys.iter().chain(&cold_keys) {
+        assert!(store.put(k, &val(0)));
+    }
+    store.reset_samplers();
+    let mut round = 0u8;
+    loop {
+        let fired = store.chosen().iter().filter(|c| !c.is_empty()).count();
+        if fired == 2 {
+            break;
+        }
+        assert!(round < 200, "controllers never fired on both shards");
+        // hot: 4 passes over 8 keys in one FASE → reuse distance ≈ WSS
+        let hot_batch: Vec<(u64, Vec<u8>)> = (0..4)
+            .flat_map(|_| hot_keys.iter().map(|&k| (k, val(round))))
+            .collect();
+        assert!(store.put_many(&hot_batch));
+        // cold: one pass over 150 keys per FASE → distances ≫ max_size
+        let cold_batch: Vec<(u64, Vec<u8>)> = cold_keys.iter().map(|&k| (k, val(round))).collect();
+        assert!(store.put_many(&cold_batch));
+        round = round.wrapping_add(1);
+    }
+    let caps = store.sc_capacities();
+    let hot_cap = caps[hot_shard].unwrap();
+    let cold_cap = caps[1 - hot_shard].unwrap();
+    assert!(
+        hot_cap < cold_cap,
+        "tight per-FASE working set ({hot_cap}) must pick a smaller cache \
+         than the sweeping one ({cold_cap})"
+    );
+    assert_eq!(
+        cold_cap,
+        KneeConfig::default().max_size,
+        "knee-less curve falls back to the maximal size (paper rule)"
+    );
+}

@@ -181,6 +181,56 @@ mod tests {
     }
 
     #[test]
+    fn strictly_convex_curve_picks_bounded_tolerance_point() {
+        // No cliff anywhere: mr(c) = e^(−c/12), every size helps a
+        // little less than the last. Selection must not run away to
+        // max_size, must stay in bounds, and must honour the tolerance
+        // contract (within tolerance_frac of the bounded minimum).
+        let cfg = KneeConfig::default();
+        let mrc = Mrc {
+            miss_ratio: (0..=60).map(|c| (-(c as f64) / 12.0).exp()).collect(),
+            accesses: 10_000,
+        };
+        let size = select_cache_size(&mrc, &cfg);
+        assert!((cfg.min_size..=cfg.max_size).contains(&size), "got {size}");
+        let total = mrc.mr(0) - mrc.mr(cfg.max_size);
+        assert!(
+            mrc.mr(size) <= mrc.mr(cfg.max_size) + cfg.tolerance_frac * total + 1e-9,
+            "size {size} misses the tolerance target"
+        );
+        // the candidate list on a smooth convex curve is the steepest
+        // prefix: small sizes, sorted, within bounds
+        let ks = knees(&mrc, &cfg);
+        assert!(!ks.is_empty());
+        assert!(ks
+            .iter()
+            .all(|&k| (cfg.min_size..=cfg.max_size).contains(&k)));
+    }
+
+    #[test]
+    fn single_point_and_degenerate_curves_stay_sane() {
+        let cfg = KneeConfig::default();
+        // size-0-only curve (no burst data at all): treated as flat
+        let point = Mrc {
+            miss_ratio: vec![1.0],
+            accesses: 0,
+        };
+        assert!(knees(&point, &cfg).is_empty());
+        assert_eq!(select_cache_size(&point, &cfg), cfg.max_size);
+        // a reuse vector from a single access derives the same way
+        let tiny = Mrc::from_reuse(&[0.0, 0.0], 50);
+        assert!(knees(&tiny, &cfg).is_empty());
+        assert_eq!(select_cache_size(&tiny, &cfg), cfg.max_size);
+        // one real point: the whole drop happens at size 1
+        let cliff1 = Mrc {
+            miss_ratio: vec![1.0, 0.0],
+            accesses: 1_000,
+        };
+        assert_eq!(knees(&cliff1, &cfg), vec![1]);
+        assert_eq!(select_cache_size(&cliff1, &cfg), 1);
+    }
+
+    #[test]
     fn min_size_clamp() {
         let trace = cyclic(2, 1000);
         let mrc = lru_mrc(&trace, 50);

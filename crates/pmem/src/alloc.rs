@@ -242,6 +242,52 @@ mod tests {
     }
 
     #[test]
+    fn free_list_chain_survives_crash_under_every_mode() {
+        // Every metadata update is persisted before the allocator
+        // returns, so even the strictest adversary must preserve a
+        // multi-block free chain and the bump cursor.
+        for mode in [
+            CrashMode::StrictDurableOnly,
+            CrashMode::AllInFlightLands,
+            CrashMode::random(0.5, 0.5, 7),
+        ] {
+            let (mut r, a) = fresh(1 << 16);
+            let blocks: Vec<u64> = (0..3).map(|_| a.alloc(&mut r, 64).unwrap()).collect();
+            let bump_after = a.bump_remaining(&r);
+            for &b in &blocks {
+                a.free(&mut r, b, 64);
+            }
+            r.crash(&mode);
+            let a2 = PAlloc::open(&r).expect("magic survives every mode");
+            assert_eq!(a2.bump_remaining(&r), bump_after, "{mode:?}");
+            // LIFO free list hands the blocks back newest-first, all
+            // three before touching the bump cursor again
+            for &want in blocks.iter().rev() {
+                assert_eq!(a2.alloc(&mut r, 64), Some(want), "{mode:?}");
+            }
+            assert_eq!(a2.bump_remaining(&r), bump_after, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_heap_is_usable_again_after_free_and_crash() {
+        let mut r = PmemRegion::new(1 << 16);
+        let limit = (PAlloc::heap_start() + 512) as u64;
+        let a = PAlloc::format_with_limit(&mut r, limit);
+        let mut blocks = Vec::new();
+        while let Some(b) = a.alloc(&mut r, 128) {
+            blocks.push(b);
+        }
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(a.alloc(&mut r, 128), None, "exhausted");
+        a.free(&mut r, blocks[1], 128);
+        r.crash(&CrashMode::random(0.5, 0.5, 11));
+        let a2 = PAlloc::open(&r).expect("heap reopens");
+        assert_eq!(a2.alloc(&mut r, 128), Some(blocks[1]), "freed block back");
+        assert_eq!(a2.alloc(&mut r, 128), None, "then exhausted again");
+    }
+
+    #[test]
     fn many_alloc_free_cycles_do_not_leak_bump() {
         let (mut r, a) = fresh(1 << 16);
         let before = a.bump_remaining(&r);

@@ -19,6 +19,7 @@
 //! | [`pmem`] | `nvcache-pmem` | emulated NVRAM: dual-image regions, real flush intrinsics, crash injection |
 //! | [`core`] | `nvcache-core` | the software cache and the six persistence policies |
 //! | [`fase`] | `nvcache-fase` | FASE runtime: undo log, recovery, instrumentation API |
+//! | [`kvstore`] | `nvcache-kvstore` | sharded persistent KV store, YCSB loadgen, live MRC-driven adaptation |
 //! | [`workloads`] | `nvcache-workloads` | micro-benchmarks, SPLASH2-style kernels, MDB B+-tree |
 //!
 //! ## Quickstart
@@ -48,6 +49,7 @@
 pub use nvcache_cachesim as cachesim;
 pub use nvcache_core as core;
 pub use nvcache_fase as fase;
+pub use nvcache_kvstore as kvstore;
 pub use nvcache_locality as locality;
 pub use nvcache_pmem as pmem;
 pub use nvcache_telemetry as telemetry;
