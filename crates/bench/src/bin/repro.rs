@@ -34,9 +34,10 @@
 use nvcache_bench::experiments::{ablations, figs, kv, tables, DEFAULT_SCALE, THREAD_SWEEP};
 use nvcache_bench::report::{json_str, telemetry_envelope, telemetry_table};
 use nvcache_bench::{telemetry, Table};
+use nvcache_cachesim::MachineConfig;
 use nvcache_core::{
     run_policy_dyn, run_policy_traced, run_policy_traced_dyn, run_policy_with, AdaptiveConfig,
-    PolicyKind, ReplayOptions, RunConfig,
+    FlushPath, PolicyKind, ReplayOptions, RunConfig,
 };
 use nvcache_fase::{crash_fuzz, CrashFuzzConfig};
 use nvcache_pmem::CrashMode;
@@ -164,7 +165,7 @@ fn run_one(name: &str, scale: f64, threads: &[usize], smoke: bool) -> Vec<Table>
             }
             v
         }
-        "bench-replay" => vec![bench_replay(scale)],
+        "bench-replay" => bench_replay(scale),
         "kv-bench" => vec![kv::kv_bench(scale, smoke)],
         other => usage(&format!("unknown experiment {other}")),
     }
@@ -179,7 +180,14 @@ fn run_one(name: &str, scale: f64, threads: &[usize], smoke: bool) -> Vec<Table>
 /// the telemetry layer's no-op cost (the generic driver must compile to
 /// the pre-telemetry loop); recorder-on rows show the price of full
 /// instrumentation; the dyn-vs-enum delta is the devirtualization win.
-fn bench_replay(scale: f64) -> Table {
+///
+/// A second table compares the two FASE-boundary flush paths in
+/// *simulated* cycles: per-line synchronous flushing vs coalesced
+/// ranged sweeps ([`FlushPath::Pipelined`]), under both cache modes
+/// (`clflush` invalidates, `clwb` keeps lines resident). Flush counts
+/// are asserted bit-identical between the paths; `speedup_vs_sync` is
+/// the cycles ratio. Both result sets land in `BENCH_replay.json`.
+fn bench_replay(scale: f64) -> Vec<Table> {
     let rounds = ((100_000.0 * scale) as usize).max(2_000);
     let tr = replicate(&cyclic(23, rounds, &SynthOpts::default()), 8);
     let stores = tr.stats().total_writes as u64;
@@ -264,16 +272,107 @@ fn bench_replay(scale: f64) -> Table {
             }
         }
     }
+    // --- flush-path comparison (simulated cycles) ---------------------
+    // FASE-dense variant of the trace: the throughput trace above runs
+    // one FASE per thread (writes_per_fase: 0), which never exercises
+    // the commit drain. Here each FASE writes the 23-line working set
+    // twice, so LA/SC hand a contiguous 23-line batch to every commit.
+    let ftr = replicate(
+        &cyclic(
+            23,
+            rounds / 4,
+            &SynthOpts {
+                writes_per_fase: 46,
+                ..SynthOpts::default()
+            },
+        ),
+        8,
+    );
+    let mut ft = Table::new(
+        "Flush paths: per-line sync vs coalesced ranged sweeps (simulated cycles)",
+        &[
+            "policy",
+            "cache mode",
+            "sync cycles",
+            "pipelined cycles",
+            "speedup",
+            "flushes",
+        ],
+    );
+    let mut frecords = Vec::new();
+    for invalidates in [true, false] {
+        let cache_mode = if invalidates { "clflush" } else { "clwb" };
+        let machine = MachineConfig {
+            flush_invalidates: invalidates,
+            ..Default::default()
+        };
+        for kind in [
+            PolicyKind::Lazy,
+            PolicyKind::ScFixed { capacity: 23 },
+            PolicyKind::Atlas { size: 8 },
+            PolicyKind::Eager,
+        ] {
+            let opts = ReplayOptions::with_parallelism(host);
+            let sync = run_policy_with(
+                &ftr,
+                &kind,
+                &RunConfig {
+                    machine,
+                    flush_path: FlushPath::Sync,
+                },
+                &opts,
+            );
+            let pipe = run_policy_with(
+                &ftr,
+                &kind,
+                &RunConfig {
+                    machine,
+                    flush_path: FlushPath::Pipelined,
+                },
+                &opts,
+            );
+            assert_eq!(
+                sync.flushes(),
+                pipe.flushes(),
+                "{} {cache_mode}: flush counts must be bit-identical across paths",
+                kind.label()
+            );
+            assert_eq!(sync.stores, pipe.stores);
+            let speedup = sync.cycles as f64 / pipe.cycles as f64;
+            ft.row(vec![
+                kind.label().to_string(),
+                cache_mode.to_string(),
+                sync.cycles.to_string(),
+                pipe.cycles.to_string(),
+                format!("{speedup:.2}x"),
+                sync.flushes().to_string(),
+            ]);
+            for (path, rep) in [(FlushPath::Sync, &sync), (FlushPath::Pipelined, &pipe)] {
+                frecords.push(format!(
+                    "    {{\"policy\": {}, \"cache_mode\": \"{cache_mode}\", \
+                     \"flush_path\": \"{}\", \"cycles\": {}, \
+                     \"speedup_vs_sync\": {:.4}, \"flushes\": {}}}",
+                    json_str(kind.label()),
+                    path.label(),
+                    rep.cycles,
+                    sync.cycles as f64 / rep.cycles as f64,
+                    rep.flushes()
+                ));
+            }
+        }
+    }
     let json = format!(
         "{{\n  \"experiment\": \"replay_throughput\",\n  \"trace_threads\": 8,\n  \
          \"stores\": {stores},\n  \"host_parallelism\": {host},\n  \
-         \"bit_identical\": true,\n  \"results\": [\n{}\n  ]\n}}\n",
-        records.join(",\n")
+         \"bit_identical\": true,\n  \"results\": [\n{}\n  ],\n  \
+         \"flush_path_results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n"),
+        frecords.join(",\n")
     );
     if let Err(e) = std::fs::write("BENCH_replay.json", &json) {
         eprintln!("warning: could not write BENCH_replay.json: {e}");
     }
-    t
+    vec![t, ft]
 }
 
 /// Crash-point fuzz matrix: every policy × every crash adversary ×

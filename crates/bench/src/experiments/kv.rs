@@ -27,7 +27,7 @@ struct Cell {
     policy_label: &'static str,
 }
 
-fn store_for(policy_label: &str, burst: usize) -> KvStore {
+fn store_for(policy_label: &str, burst: usize, pipelined: bool) -> KvStore {
     let (policy, adapt) = match policy_label {
         "ER" => (PolicyKind::Eager, None),
         "AT" => (PolicyKind::Atlas { size: 8 }, None),
@@ -47,11 +47,15 @@ fn store_for(policy_label: &str, burst: usize) -> KvStore {
     KvStore::new(&KvConfig {
         shards: SHARDS,
         shard: ShardConfig {
-            buckets: 256,
+            // the layout's per-shard maximum: keeps hash chains short so
+            // the measurement exercises the persistence path, not
+            // linked-list traversal
+            buckets: 512,
             data_len: 1 << 21,
             log_len: 1 << 17,
             policy,
             adapt,
+            pipelined,
         },
     })
 }
@@ -68,20 +72,44 @@ fn json_opt_list(v: &[Option<usize>]) -> String {
     }
 }
 
+/// One sync-or-pipelined run of a grid cell, with the SC live-controller
+/// outcomes gathered while the store is still alive.
+struct PathRun {
+    path: &'static str,
+    throughput: f64,
+    serving: FaseStats,
+    caps: Vec<Option<usize>>,
+    online: Vec<Option<usize>>,
+    offline: Vec<Option<usize>>,
+}
+
 /// Run the YCSB grid (mixes A/B/C × ER/AT/SC-adaptive at [`SHARDS`]
-/// shards), print the table, and write `BENCH_kv.json`. `smoke` shrinks
-/// the sizes to CI scale (same grid, same schema).
+/// shards), each cell once over the sync flush path and once over the
+/// pipelined one (submission ring + grouped prelog + slab), print the
+/// table, and write `BENCH_kv.json`. Per cell, a deterministic
+/// single-worker parity run asserts that the two paths agree
+/// bit-for-bit on store lines and policy flush counts — only wall-clock
+/// may differ. `smoke` shrinks the sizes to CI scale (same grid, same
+/// schema).
 pub fn kv_bench(scale: f64, smoke: bool) -> Table {
+    // Oversubscribing the host measures scheduler churn, not the
+    // store: cap the worker pool at the hardware's parallelism (a
+    // single-core box runs one worker per shard group, a 4-core box
+    // the full 4).
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let (keys, ops_per_worker, workers, burst) = if smoke {
-        (400, 4_000, 2, 512)
+        (400, 4_000, 2.min(host), 512)
     } else {
         (
             ((40_000.0 * scale) as usize).max(1_000),
             ((250_000.0 * scale) as usize).max(4_000),
-            4,
+            4.min(host),
             4_096,
         )
     };
+    // Wall-clock repeats per path; the best run is reported (noise —
+    // preemption, frequency shifts — only ever slows a run down).
+    let repeats = if smoke { 1 } else { 5 };
     let mut t = Table::new(
         &format!(
             "KV serving: YCSB A/B/C, {SHARDS} shards, {workers} workers, \
@@ -90,7 +118,9 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
         &[
             "mix",
             "policy",
+            "path",
             "Kops/s",
+            "x sync",
             "flush ratio",
             "capacity/shard",
             "online knee",
@@ -109,46 +139,116 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
     let knee_cfg = KneeConfig::default();
     let mut total_ops = 0u64;
     for cell in &grid {
-        let store = store_for(cell.policy_label, burst);
-        load(&store, keys, VALUE_LEN);
-        let rep = run(
-            &store,
-            &YcsbConfig {
-                keys,
-                ops_per_worker,
-                workers,
-                mix: cell.mix,
-                dist: KeyDist::Zipfian { theta: 0.99 },
-                value_len: VALUE_LEN,
-                seed: 42,
-                batch: BATCH,
-                target_ops_per_sec: None,
-                windows: 4,
-            },
+        // Deterministic parity check first: one worker (no cross-worker
+        // interleaving on the shard locks), sync vs pipelined. The
+        // pipeline reorders and elides *region* flushes, never the
+        // policy's decisions, so these counts must match bit-for-bit.
+        // The multi-worker measurement below reuses the same grid cell
+        // but its shard-level op interleaving is scheduler-dependent,
+        // which is why the exactness contract is checked here.
+        let parity: Vec<FaseStats> = [false, true]
+            .into_iter()
+            .map(|pipelined| {
+                let store = store_for(cell.policy_label, burst, pipelined);
+                load(&store, keys, VALUE_LEN);
+                let rep = run(
+                    &store,
+                    &YcsbConfig {
+                        keys,
+                        ops_per_worker: ops_per_worker.min(20_000),
+                        workers: 1,
+                        mix: cell.mix,
+                        dist: KeyDist::Zipfian { theta: 0.99 },
+                        value_len: VALUE_LEN,
+                        seed: 42,
+                        batch: BATCH,
+                        target_ops_per_sec: None,
+                        windows: 1,
+                    },
+                );
+                rep.windows.iter().map(|w| w.stats).sum()
+            })
+            .collect();
+        assert_eq!(
+            parity[0].store_lines,
+            parity[1].store_lines,
+            "{}/{}: store lines diverge between flush paths",
+            cell.mix.label(),
+            cell.policy_label
         );
-        total_ops = rep.ops;
-        let serving: FaseStats = rep.windows.iter().map(|w| w.stats).sum();
-        let flush_ratio = serving.flush_ratio();
-        // live-controller outcomes (SC only): chosen capacity + online
-        // knee per shard, and the offline exact-Mattson knee over the
-        // same recorded window
-        let mut caps: Vec<Option<usize>> = vec![None; SHARDS];
-        let mut online: Vec<Option<usize>> = vec![None; SHARDS];
-        let mut offline: Vec<Option<usize>> = vec![None; SHARDS];
-        if cell.policy_label == "SC" {
-            for s in 0..SHARDS {
-                store.with_shard(s, |sh| {
-                    if let Some(c) = sh.chosen().first() {
-                        caps[s] = Some(c.capacity);
-                        online[s] = Some(c.knee);
+        assert_eq!(
+            parity[0].data_flushes,
+            parity[1].data_flushes,
+            "{}/{}: policy flush counts diverge between flush paths",
+            cell.mix.label(),
+            cell.policy_label
+        );
+        // Interleave the repeats (sync, pipelined, sync, ...) so any
+        // monotonic drift of the host (thermal, frequency) hits both
+        // paths equally instead of biasing whichever ran last.
+        let mut best: [Option<PathRun>; 2] = [None, None];
+        for _ in 0..repeats {
+            for pipelined in [false, true] {
+                let store = store_for(cell.policy_label, burst, pipelined);
+                load(&store, keys, VALUE_LEN);
+                let rep = run(
+                    &store,
+                    &YcsbConfig {
+                        keys,
+                        ops_per_worker,
+                        workers,
+                        mix: cell.mix,
+                        dist: KeyDist::Zipfian { theta: 0.99 },
+                        value_len: VALUE_LEN,
+                        seed: 42,
+                        batch: BATCH,
+                        target_ops_per_sec: None,
+                        windows: 4,
+                    },
+                );
+                total_ops = rep.ops;
+                let serving: FaseStats = rep.windows.iter().map(|w| w.stats).sum();
+                // live-controller outcomes (SC only): chosen capacity +
+                // online knee per shard, and the offline exact-Mattson
+                // knee over the same recorded window
+                let mut caps: Vec<Option<usize>> = vec![None; SHARDS];
+                let mut online: Vec<Option<usize>> = vec![None; SHARDS];
+                let mut offline: Vec<Option<usize>> = vec![None; SHARDS];
+                if cell.policy_label == "SC" {
+                    for s in 0..SHARDS {
+                        store.with_shard(s, |sh| {
+                            if let Some(c) = sh.chosen().first() {
+                                caps[s] = Some(c.capacity);
+                                online[s] = Some(c.knee);
+                            }
+                            if let Some(w) = sh.stream().and_then(|st| st.get(..burst)) {
+                                offline[s] = Some(select_cache_size(
+                                    &lru_mrc(w, knee_cfg.max_size),
+                                    &knee_cfg,
+                                ));
+                            }
+                        });
                     }
-                    if let Some(w) = sh.stream().and_then(|st| st.get(..burst)) {
-                        offline[s] =
-                            Some(select_cache_size(&lru_mrc(w, knee_cfg.max_size), &knee_cfg));
-                    }
-                });
+                }
+                let this = PathRun {
+                    path: if pipelined { "pipelined" } else { "sync" },
+                    throughput: rep.throughput_ops_per_sec,
+                    serving,
+                    caps,
+                    online,
+                    offline,
+                };
+                let slot = &mut best[pipelined as usize];
+                if slot.as_ref().is_none_or(|b| this.throughput > b.throughput) {
+                    *slot = Some(this);
+                }
             }
         }
+        let runs: Vec<PathRun> = best
+            .into_iter()
+            .map(|b| b.expect("at least one repeat"))
+            .collect();
+        let sync_tput = runs[0].throughput;
         let fmt_opt = |v: &[Option<usize>]| {
             if v.iter().all(Option::is_none) {
                 "-".to_string()
@@ -159,30 +259,39 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                     .join("/")
             }
         };
-        t.row(vec![
-            cell.mix.label().to_string(),
-            cell.policy_label.to_string(),
-            format!("{:.0}", rep.throughput_ops_per_sec / 1e3),
-            format!("{flush_ratio:.4}"),
-            fmt_opt(&caps),
-            fmt_opt(&online),
-            fmt_opt(&offline),
-        ]);
-        records.push(format!(
-            "    {{\"mix\": {}, \"policy\": {}, \
-             \"throughput_ops_s\": {:.0}, \"flush_ratio\": {:.6}, \
-             \"store_lines\": {}, \"data_flushes\": {}, \
-             \"chosen_capacity\": {}, \"online_knee\": {}, \"offline_knee\": {}}}",
-            json_str(cell.mix.label()),
-            json_str(cell.policy_label),
-            rep.throughput_ops_per_sec,
-            flush_ratio,
-            serving.store_lines,
-            serving.data_flushes,
-            json_opt_list(&caps),
-            json_opt_list(&online),
-            json_opt_list(&offline),
-        ));
+        for r in &runs {
+            let flush_ratio = r.serving.flush_ratio();
+            let speedup = r.throughput / sync_tput;
+            t.row(vec![
+                cell.mix.label().to_string(),
+                cell.policy_label.to_string(),
+                r.path.to_string(),
+                format!("{:.0}", r.throughput / 1e3),
+                format!("{speedup:.2}"),
+                format!("{flush_ratio:.4}"),
+                fmt_opt(&r.caps),
+                fmt_opt(&r.online),
+                fmt_opt(&r.offline),
+            ]);
+            records.push(format!(
+                "    {{\"mix\": {}, \"policy\": {}, \"flush_path\": {}, \
+                 \"throughput_ops_s\": {:.0}, \"speedup_vs_sync\": {:.4}, \
+                 \"flush_ratio\": {:.6}, \
+                 \"store_lines\": {}, \"data_flushes\": {}, \
+                 \"chosen_capacity\": {}, \"online_knee\": {}, \"offline_knee\": {}}}",
+                json_str(cell.mix.label()),
+                json_str(cell.policy_label),
+                json_str(r.path),
+                r.throughput,
+                speedup,
+                flush_ratio,
+                r.serving.store_lines,
+                r.serving.data_flushes,
+                json_opt_list(&r.caps),
+                json_opt_list(&r.online),
+                json_opt_list(&r.offline),
+            ));
+        }
     }
     let json = format!(
         "{{\n  \"experiment\": \"kv_ycsb\",\n  \"shards\": {SHARDS},\n  \

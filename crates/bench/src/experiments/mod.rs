@@ -27,6 +27,7 @@ pub const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8, 16, 32];
 pub fn timed(trace: &Trace, kind: &PolicyKind) -> RunReport {
     let cfg = RunConfig {
         machine: machine_for(trace.num_threads()),
+        ..Default::default()
     };
     if telemetry::is_enabled() {
         let (report, snap) = run_policy_traced(

@@ -31,7 +31,7 @@ use nvcache_core::PolicyKind;
 use nvcache_pmem::{CrashMode, CrashPlan, PmemRegion};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
-use crate::runtime::FaseRuntime;
+use crate::runtime::{FaseRuntime, FlushMode};
 
 /// Slot array starts one line in, keeping line 0 (where a persistent
 /// heap would put its magic) out of the fuzzed address range.
@@ -51,6 +51,11 @@ pub struct CrashFuzzConfig {
     /// Crash-step stride: 1 replays every micro-step; `k` replays steps
     /// `first, first+k, …` (a deterministic sample for smoke runs).
     pub step_stride: u64,
+    /// Flush path the fuzzed programs drive. `Pipelined` also routes
+    /// each FASE's write set through [`FaseRuntime::prelog`], so the
+    /// sweep covers the grouped-append commit protocol's micro-steps
+    /// (record span flush, tail publish, ring drains, fence token).
+    pub flush_mode: FlushMode,
 }
 
 impl Default for CrashFuzzConfig {
@@ -61,6 +66,7 @@ impl Default for CrashFuzzConfig {
             stores_per_fase: 8,
             log_len: 1 << 14,
             step_stride: 1,
+            flush_mode: FlushMode::Sync,
         }
     }
 }
@@ -129,6 +135,7 @@ fn run_program(
     snapshots: Option<&mut Vec<Vec<u64>>>,
 ) -> FaseRuntime {
     let mut rt = FaseRuntime::new(data_len(cfg), cfg.log_len, kind);
+    rt.set_flush_mode(cfg.flush_mode);
     if let Some(plan) = plan {
         rt.arm_crash(plan);
     }
@@ -136,6 +143,15 @@ fn run_program(
     let mut snapshots = snapshots;
     for fase in program {
         rt.begin_fase();
+        if cfg.flush_mode == FlushMode::Pipelined {
+            // the pipelined commit protocol pairs with grouped
+            // prelogging: capture the whole write set up front
+            let ranges: Vec<(u64, u64)> = fase
+                .iter()
+                .map(|&(slot, _)| ((SLOT_BASE + slot * 8) as u64, 8))
+                .collect();
+            rt.prelog(&ranges);
+        }
         for &(slot, value) in fase {
             rt.store_u64(SLOT_BASE + slot * 8, value);
         }
@@ -317,6 +333,26 @@ mod tests {
         };
         let r = crash_fuzz(&PolicyKind::Best, &CrashMode::StrictDurableOnly, 2, &cfg);
         assert!(r.passed(), "failures: {:?}", r.failures);
+    }
+
+    #[test]
+    fn pipelined_commit_path_recovers_at_every_step() {
+        let cfg = CrashFuzzConfig {
+            slots: 8,
+            fases: 3,
+            stores_per_fase: 4,
+            flush_mode: FlushMode::Pipelined,
+            ..CrashFuzzConfig::default()
+        };
+        for mode in [
+            CrashMode::StrictDurableOnly,
+            CrashMode::AllInFlightLands,
+            CrashMode::random(0.5, 0.5, 13),
+        ] {
+            let r = crash_fuzz(&PolicyKind::ScFixed { capacity: 4 }, &mode, 5, &cfg);
+            assert!(r.schedules > 30, "swept {} schedules", r.schedules);
+            assert!(r.passed(), "mode {mode:?} failures: {:?}", r.failures);
+        }
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub use cell::{PArray, PValue, PVar};
 pub use error::RecoveryError;
 pub use fuzz::{crash_fuzz, CrashFuzzConfig, CrashFuzzReport, FuzzFailure};
 pub use log::{LogStats, UndoLog};
-pub use runtime::{FaseRuntime, FaseStats};
+pub use runtime::{FaseRuntime, FaseStats, FlushMode};

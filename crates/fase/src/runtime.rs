@@ -13,7 +13,9 @@
 //! FASE's updates durable atomically.
 
 use nvcache_core::{PersistPolicy, Policy, PolicyKind, StoreOutcome};
-use nvcache_pmem::{CrashMode, CrashPlan, PAlloc, PmemRegion};
+use nvcache_pmem::{
+    CrashMode, CrashPlan, FlushRing, PAlloc, PmemRegion, RingStats, SlabAlloc, SlabStats,
+};
 use nvcache_telemetry::{
     CounterId, EventKind, HistId, Recorder, TelemetryConfig, TelemetrySnapshot, ThreadRecorder,
 };
@@ -21,6 +23,42 @@ use nvcache_trace::{Line, StoreSink, ThreadTrace, TraceRecorder};
 
 use crate::error::RecoveryError;
 use crate::log::UndoLog;
+
+/// Policy flush buffer capacity reserved up front (and preserved across
+/// FASEs) — sized for the largest per-store eviction burst the policies
+/// emit plus typical FASE-end batches.
+const FLUSH_BUF_CAPACITY: usize = 64;
+
+/// Submission-ring slots for the pipelined flush path. Sized so whole
+/// KV batches fit without tripping the inline-drain fallback.
+const RING_CAPACITY: usize = 1024;
+
+/// Which flush path the runtime drives.
+///
+/// Both paths report **bit-identical** [`FaseStats::data_flushes`] /
+/// flush ratios: flush obligations are counted when the policy emits
+/// them, before the pipelined path dedups or elides the actual
+/// instructions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FlushMode {
+    /// Blocking per-line flush loop at FASE exit (the baseline).
+    #[default]
+    Sync,
+    /// Policy flushes are submitted into a [`FlushRing`]; commit
+    /// publishes a fence token and drains sorted, coalesced, FliT-elided
+    /// ranged sweeps before the ordering fence.
+    Pipelined,
+}
+
+impl FlushMode {
+    /// Stable label for benchmark tables ("sync" / "pipelined").
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlushMode::Sync => "sync",
+            FlushMode::Pipelined => "pipelined",
+        }
+    }
+}
 
 /// Counters of runtime activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -113,6 +151,20 @@ pub struct FaseRuntime {
     fase_log_start: u64,
     /// Store lines inside the current outermost FASE.
     fase_store_lines: u64,
+    /// Active flush path (sync baseline or pipelined ring).
+    flush_mode: FlushMode,
+    /// The flush submission ring (idle in sync mode).
+    ring: FlushRing,
+    /// Optional slab layer over the heap (see
+    /// [`FaseRuntime::enable_slab`]).
+    slab: Option<SlabAlloc>,
+    /// The current outermost FASE grouped-prelogged its write set;
+    /// per-store undo logging is suppressed until it commits.
+    prelogged: bool,
+    /// Debug-only shadow of the prelogged ranges, to assert every
+    /// unlogged store is actually covered.
+    #[cfg(debug_assertions)]
+    prelog_ranges: Vec<(u64, u64)>,
 }
 
 impl std::fmt::Debug for FaseRuntime {
@@ -140,13 +192,19 @@ impl FaseRuntime {
             heap: None,
             data_len,
             depth: 0,
-            flush_buf: Vec::new(),
+            flush_buf: Vec::with_capacity(FLUSH_BUF_CAPACITY),
             recorder: None,
             stats: FaseStats::default(),
             stats_taken: FaseStats::default(),
             telemetry: None,
             fase_log_start: 0,
             fase_store_lines: 0,
+            flush_mode: FlushMode::Sync,
+            ring: FlushRing::new(RING_CAPACITY),
+            slab: None,
+            prelogged: false,
+            #[cfg(debug_assertions)]
+            prelog_ranges: Vec::new(),
         }
     }
 
@@ -203,21 +261,34 @@ impl FaseRuntime {
         if rolled > 0 {
             stats.rollbacks = 1;
         }
-        Ok(FaseRuntime {
+        let rt = FaseRuntime {
             region,
             log,
             policy: policy.build_policy(),
             heap,
             data_len,
             depth: 0,
-            flush_buf: Vec::new(),
+            // reopen paths used to rebuild this cold (zero capacity);
+            // reserve up front so the first FASEs do not re-grow it
+            flush_buf: Vec::with_capacity(FLUSH_BUF_CAPACITY),
             recorder: None,
             stats,
             stats_taken: FaseStats::default(),
             telemetry: None,
             fase_log_start: 0,
             fase_store_lines: 0,
-        })
+            flush_mode: FlushMode::Sync,
+            ring: FlushRing::new(RING_CAPACITY),
+            slab: None,
+            prelogged: false,
+            #[cfg(debug_assertions)]
+            prelog_ranges: Vec::new(),
+        };
+        debug_assert!(
+            rt.ring.is_empty(),
+            "reopened runtime starts with an empty ring"
+        );
+        Ok(rt)
     }
 
     /// Enable event recording; the trace is retrieved with
@@ -287,11 +358,7 @@ impl FaseRuntime {
         {
             return false;
         }
-        let n = self.flush_buf.len() as u64;
-        for line in self.flush_buf.drain(..) {
-            self.region.flush_line(line.0);
-        }
-        self.stats.data_flushes += n;
+        let n = self.emit_flushes();
         // Drain the policy's pending change so the next telemetered
         // store does not emit the event a second time.
         let change = self.policy.take_capacity_change();
@@ -308,6 +375,96 @@ impl FaseRuntime {
     /// The underlying region (read access for verification).
     pub fn region(&self) -> &PmemRegion {
         &self.region
+    }
+
+    /// Select the flush path. Switching requires an empty ring (switch
+    /// between FASEs, not inside one).
+    pub fn set_flush_mode(&mut self, mode: FlushMode) {
+        debug_assert!(self.ring.is_empty(), "switch flush modes between FASEs");
+        self.flush_mode = mode;
+    }
+
+    /// The active flush path.
+    pub fn flush_mode(&self) -> FlushMode {
+        self.flush_mode
+    }
+
+    /// Submission-ring counters (all zero while in sync mode).
+    pub fn ring_stats(&self) -> RingStats {
+        self.ring.stats()
+    }
+
+    /// Layer a volatile slab allocator over the heap: node allocation
+    /// amortizes persistent metadata updates to one per chunk and frees
+    /// become persist-free (crash leaks spare blocks, never corrupts —
+    /// see [`SlabAlloc`]). Requires [`FaseRuntime::with_heap`].
+    pub fn enable_slab(&mut self) {
+        assert!(self.heap.is_some(), "runtime has no heap");
+        self.slab = Some(SlabAlloc::default());
+    }
+
+    /// Slab counters, when [`FaseRuntime::enable_slab`] was called.
+    pub fn slab_stats(&self) -> Option<SlabStats> {
+        self.slab.as_ref().map(|s| s.stats())
+    }
+
+    /// Undo-log the *current* contents of `ranges` as one grouped
+    /// append: all records are written contiguously and persisted with
+    /// a single ranged flush + fence, then the tail publishes with one
+    /// more — two fences for the whole write set instead of two per
+    /// store ([`UndoLog::append_group`]). For the rest of this
+    /// outermost FASE per-store logging is suppressed, so **every**
+    /// subsequent store must target a prelogged range (debug builds
+    /// assert coverage). Call before the FASE's first store.
+    pub fn prelog(&mut self, ranges: &[(u64, u64)]) {
+        assert_eq!(
+            self.depth, 1,
+            "prelog belongs at the top of an outermost FASE"
+        );
+        assert!(!self.prelogged, "prelog once per FASE");
+        for &(off, len) in ranges {
+            assert!(
+                off.checked_add(len)
+                    .is_some_and(|end| end <= self.data_len as u64),
+                "prelog range outside data area"
+            );
+        }
+        self.log.append_group(&mut self.region, ranges);
+        self.prelogged = true;
+        #[cfg(debug_assertions)]
+        {
+            self.prelog_ranges.clear();
+            self.prelog_ranges.extend_from_slice(ranges);
+        }
+    }
+
+    /// Drain the policy's buffered flush obligations through the active
+    /// flush path, counting them into `data_flushes` at emission time —
+    /// so sync and pipelined runs report bit-identical flush counts
+    /// even when the ring later dedups or elides instructions. Returns
+    /// the obligation count.
+    fn emit_flushes(&mut self) -> u64 {
+        let n = self.flush_buf.len() as u64;
+        match self.flush_mode {
+            FlushMode::Sync => {
+                for line in self.flush_buf.drain(..) {
+                    self.region.flush_line(line.0);
+                }
+            }
+            FlushMode::Pipelined => {
+                for line in self.flush_buf.drain(..) {
+                    if !self.ring.submit(line.0) {
+                        // inline-drain fallback: single-thread mode
+                        // empties the full ring, then the submit retries
+                        self.ring.drain_all(&mut self.region);
+                        let ok = self.ring.submit(line.0);
+                        debug_assert!(ok, "ring accepts after a full drain");
+                    }
+                }
+            }
+        }
+        self.stats.data_flushes += n;
+        n
     }
 
     /// Current FASE nesting depth.
@@ -345,13 +502,21 @@ impl FaseRuntime {
         }
         if self.depth == 1 {
             self.policy.on_fase_end(&mut self.flush_buf);
-            let n = self.flush_buf.len() as u64;
-            for line in self.flush_buf.drain(..) {
-                self.region.flush_line(line.0);
+            let n = self.emit_flushes();
+            if self.flush_mode == FlushMode::Pipelined {
+                // pipelined commit: publish the epoch fence token, then
+                // retire everything submitted ≤ token as coalesced
+                // ranged sweeps — instead of the blocking per-line loop
+                let token = self.ring.fence_token();
+                self.ring.drain_upto(token, &mut self.region);
             }
-            self.stats.data_flushes += n;
             self.region.fence();
             self.stats.fences += 1;
+            if self.flush_mode == FlushMode::Pipelined {
+                // the epoch's captures are durable; later re-flushes of
+                // these lines must not be elided against this epoch
+                self.ring.end_epoch();
+            }
             if self.telemetry.is_some() {
                 let log_bytes = self.log.used(&self.region) - self.fase_log_start;
                 let t = self.stats.store_lines;
@@ -367,6 +532,9 @@ impl FaseRuntime {
                 }
             }
             self.log.commit(&mut self.region);
+            self.prelogged = false;
+            #[cfg(debug_assertions)]
+            self.prelog_ranges.clear();
             self.stats.fases += 1;
         }
         self.depth -= 1;
@@ -390,10 +558,21 @@ impl FaseRuntime {
             offset + bytes.len() <= self.data_len,
             "store outside data area"
         );
-        if self.depth > 0 {
+        if self.depth > 0 && !self.prelogged {
             let mut old = vec![0u8; bytes.len()];
             self.region.read(offset, &mut old);
             self.log.append_entry(&mut self.region, offset as u64, &old);
+        }
+        #[cfg(debug_assertions)]
+        if self.depth > 0 && self.prelogged {
+            let (s, e) = (offset as u64, (offset + bytes.len()) as u64);
+            debug_assert!(
+                self.prelog_ranges
+                    .iter()
+                    .any(|&(o, l)| o <= s && e <= o + l),
+                "store at {offset}+{} not covered by any prelogged range",
+                bytes.len()
+            );
         }
         self.region.write(offset, bytes);
         self.stats.stores += 1;
@@ -427,11 +606,7 @@ impl FaseRuntime {
                     tel.emit(EventKind::CapacityChange, t, knee as u64, cap as u64);
                 }
             }
-            let n = self.flush_buf.len() as u64;
-            for victim in self.flush_buf.drain(..) {
-                self.region.flush_line(victim.0);
-            }
-            self.stats.data_flushes += n;
+            self.emit_flushes();
         }
     }
 
@@ -467,16 +642,25 @@ impl FaseRuntime {
     // ----- heap ----------------------------------------------------------
 
     /// Allocate from the persistent heap (requires
-    /// [`FaseRuntime::with_heap`]).
+    /// [`FaseRuntime::with_heap`]). With the slab enabled, hot-path
+    /// allocation pops a volatile free list and only touches the heap's
+    /// persistent metadata once per carved chunk.
     pub fn alloc(&mut self, size: usize) -> Option<u64> {
         let heap = self.heap.expect("runtime has no heap");
-        heap.alloc(&mut self.region, size)
+        match &mut self.slab {
+            Some(slab) => slab.alloc(&heap, &mut self.region, size),
+            None => heap.alloc(&mut self.region, size),
+        }
     }
 
-    /// Free a heap block.
+    /// Free a heap block. With the slab enabled this is persist-free
+    /// (the block recycles through a volatile list).
     pub fn free(&mut self, offset: u64, size: usize) {
         let heap = self.heap.expect("runtime has no heap");
-        heap.free(&mut self.region, offset, size);
+        match &mut self.slab {
+            Some(slab) => slab.free(offset, size),
+            None => heap.free(&mut self.region, offset, size),
+        }
     }
 
     /// Durable root pointer.
@@ -495,13 +679,15 @@ impl FaseRuntime {
     /// Persist everything the policy still buffers (clean shutdown).
     pub fn sync(&mut self) {
         self.policy.on_fase_end(&mut self.flush_buf);
-        let n = self.flush_buf.len() as u64;
-        for line in self.flush_buf.drain(..) {
-            self.region.flush_line(line.0);
+        let n = self.emit_flushes();
+        if self.flush_mode == FlushMode::Pipelined {
+            self.ring.drain_all(&mut self.region);
         }
-        self.stats.data_flushes += n;
         self.region.fence();
         self.stats.fences += 1;
+        if self.flush_mode == FlushMode::Pipelined {
+            self.ring.end_epoch();
+        }
         if let Some(tel) = &mut self.telemetry {
             tel.add(CounterId::FlushesSync, n);
             tel.incr(CounterId::Fences);
@@ -516,6 +702,17 @@ impl FaseRuntime {
         self.depth = 0;
         self.flush_buf.clear();
         self.policy.reset();
+        // the cache contents are gone: forget submitted-but-undrained
+        // lines and all elision history, and drop slab free lists
+        // (blocks leak; the persisted bump cursor stays consistent)
+        self.ring.reset();
+        debug_assert!(self.ring.is_empty(), "ring empty after recovery reset");
+        if let Some(slab) = &mut self.slab {
+            slab.reset();
+        }
+        self.prelogged = false;
+        #[cfg(debug_assertions)]
+        self.prelog_ranges.clear();
         // The log was formatted by this runtime; a crash can tear it but
         // never strip the magic, so recovery cannot fail here.
         let rolled = self
@@ -951,6 +1148,160 @@ mod tests {
         let root = r.root() as usize;
         assert_eq!(root, a);
         assert_eq!(r.load_u64(root), 123);
+    }
+
+    #[test]
+    fn pipelined_flush_counts_are_bit_identical_to_sync() {
+        // the acceptance contract: FaseStats (flushes, ratios, fences)
+        // must not depend on the flush path, only the region-level
+        // instruction count may shrink (dedup + elision)
+        for kind in [
+            PolicyKind::Eager,
+            PolicyKind::Lazy,
+            PolicyKind::Atlas { size: 8 },
+            PolicyKind::ScFixed { capacity: 4 },
+        ] {
+            let run = |mode: FlushMode| {
+                let mut r = rt(kind.clone());
+                r.set_flush_mode(mode);
+                for round in 0..6u64 {
+                    r.fase(|r| {
+                        for rep in 0..3 {
+                            for i in 0..8usize {
+                                r.store_u64(i * 64, round * 100 + rep * 10 + i as u64);
+                            }
+                        }
+                    });
+                }
+                r
+            };
+            let sync = run(FlushMode::Sync);
+            let piped = run(FlushMode::Pipelined);
+            assert_eq!(sync.stats(), piped.stats(), "policy {}", kind.label());
+            assert!(
+                piped.region().stats().flushes <= sync.region().stats().flushes,
+                "pipelined path never issues more instructions ({})",
+                kind.label()
+            );
+            // both durable images agree after a clean shutdown
+            let a = {
+                let mut s = sync;
+                s.sync();
+                s.into_region().durable_image().to_vec()
+            };
+            let b = {
+                let mut p = piped;
+                p.sync();
+                p.into_region().durable_image().to_vec()
+            };
+            assert_eq!(a, b, "policy {}", kind.label());
+        }
+    }
+
+    #[test]
+    fn pipelined_path_preserves_atomicity() {
+        for kind in [
+            PolicyKind::Eager,
+            PolicyKind::Atlas { size: 8 },
+            PolicyKind::ScFixed { capacity: 4 },
+        ] {
+            for mode in [
+                CrashMode::StrictDurableOnly,
+                CrashMode::AllInFlightLands,
+                CrashMode::random(0.5, 0.5, 23),
+            ] {
+                let mut r = rt(kind.clone());
+                r.set_flush_mode(FlushMode::Pipelined);
+                r.fase(|r| {
+                    for i in 0..16 {
+                        r.store_u64(i * 8, 1000 + i as u64);
+                    }
+                });
+                r.begin_fase();
+                for i in 0..16 {
+                    r.store_u64(i * 8, 2000 + i as u64);
+                }
+                r.crash_and_recover(&mode);
+                for i in 0..16 {
+                    assert_eq!(
+                        r.load_u64(i * 8),
+                        1000 + i as u64,
+                        "policy {} mode {:?}",
+                        kind.label(),
+                        mode
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prelogged_fase_commits_and_rolls_back() {
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.set_flush_mode(FlushMode::Pipelined);
+        // committed prelogged FASE
+        r.begin_fase();
+        r.prelog(&[(0, 8), (64, 8)]);
+        r.store_u64(0, 7);
+        r.store_u64(64, 8);
+        r.end_fase();
+        // uncommitted prelogged FASE rolls back to the committed state
+        r.begin_fase();
+        r.prelog(&[(0, 8), (64, 8)]);
+        r.store_u64(0, 77);
+        r.store_u64(64, 88);
+        r.crash_and_recover(&CrashMode::AllInFlightLands);
+        assert_eq!(r.load_u64(0), 7);
+        assert_eq!(r.load_u64(64), 8);
+        assert_eq!(r.stats().rollbacks, 1);
+    }
+
+    #[test]
+    fn prelog_spends_two_fences_per_batch() {
+        let mut r = rt(PolicyKind::Lazy);
+        let fences_of = |r: &FaseRuntime| r.region().stats().fences;
+        // per-store logging: 2 fences per store
+        r.begin_fase();
+        let before = fences_of(&r);
+        for i in 0..8usize {
+            r.store_u64(i * 8, 1);
+        }
+        let per_store = fences_of(&r) - before;
+        r.end_fase();
+        assert_eq!(per_store, 16, "2 fences × 8 stores");
+        // grouped prelog: 2 fences for the whole batch
+        r.begin_fase();
+        let before = fences_of(&r);
+        r.prelog(&(0..8u64).map(|i| (i * 8, 8)).collect::<Vec<_>>());
+        for i in 0..8usize {
+            r.store_u64(i * 8, 2);
+        }
+        let grouped = fences_of(&r) - before;
+        r.end_fase();
+        assert_eq!(grouped, 2, "record span + tail publish only");
+    }
+
+    #[test]
+    fn slab_routes_alloc_and_free_volatilely() {
+        let mut r = FaseRuntime::with_heap(1 << 16, 1 << 16, &PolicyKind::Lazy);
+        r.enable_slab();
+        let a = r.alloc(64).unwrap();
+        let fences = r.region().stats().fences;
+        r.free(a, 64);
+        let b = r.alloc(64).unwrap();
+        assert_eq!(a, b, "volatile recycle");
+        assert_eq!(
+            r.region().stats().fences,
+            fences,
+            "no persists on the hot path"
+        );
+        let s = r.slab_stats().unwrap();
+        assert_eq!(s.fast_allocs, 2);
+        assert_eq!(s.frees, 1);
+        // crash: slab resets, heap stays consistent, fresh blocks only
+        r.crash_and_recover(&CrashMode::StrictDurableOnly);
+        let c = r.alloc(64).unwrap();
+        assert_ne!(c, a, "leaked chunk never re-handed out");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! micro-benchmark and Atlas's Makalu heap.
 
 use nvcache_core::{rename_for_epoch, PolicyKind};
-use nvcache_fase::{FaseRuntime, FaseStats, RecoveryError};
+use nvcache_fase::{FaseRuntime, FaseStats, FlushMode, RecoveryError};
 use nvcache_locality::{select_cache_size, BurstSampler, KneeConfig, Mrc};
 use nvcache_pmem::{CrashMode, CrashPlan, PmemRegion};
 use nvcache_trace::FxHashMap;
@@ -84,6 +84,13 @@ pub struct ShardConfig {
     pub policy: PolicyKind,
     /// Live adaptation; `None` = fixed policy behaviour.
     pub adapt: Option<AdaptConfig>,
+    /// Drive the pipelined flush path: policy flushes go through the
+    /// submission ring (coalesced ranged sweeps + FliT elision), batch
+    /// write sets are grouped-prelogged (two log fences per batch
+    /// instead of two per store), and node allocation runs through the
+    /// volatile slab. Flush counts/ratios stay bit-identical to the
+    /// sync path.
+    pub pipelined: bool,
 }
 
 impl Default for ShardConfig {
@@ -94,6 +101,7 @@ impl Default for ShardConfig {
             log_len: 1 << 16,
             policy: PolicyKind::ScAdaptive(Default::default()),
             adapt: None,
+            pipelined: false,
         }
     }
 }
@@ -113,6 +121,8 @@ pub struct Shard {
     pending_mrc: Option<Mrc>,
     chosen: Vec<CapacityChoice>,
     stream: Option<Vec<u64>>,
+    /// Pipelined flush path + grouped prelogging active.
+    pipelined: bool,
 }
 
 fn bucket_hash(key: u64) -> u64 {
@@ -148,7 +158,11 @@ impl Shard {
         Ok(shard)
     }
 
-    fn assemble(rt: FaseRuntime, bucket_base: usize, cfg: &ShardConfig, len: usize) -> Self {
+    fn assemble(mut rt: FaseRuntime, bucket_base: usize, cfg: &ShardConfig, len: usize) -> Self {
+        if cfg.pipelined {
+            rt.set_flush_mode(FlushMode::Pipelined);
+            rt.enable_slab();
+        }
         let (sampler, stream) = match &cfg.adapt {
             Some(a) => (
                 Some(BurstSampler::new(
@@ -172,6 +186,7 @@ impl Shard {
             pending_mrc: None,
             chosen: Vec::new(),
             stream,
+            pipelined: cfg.pipelined,
         }
     }
 
@@ -385,6 +400,27 @@ impl Shard {
             return false;
         }
         self.rt.begin_fase();
+        if self.pipelined {
+            // Grouped prelog: undo-capture the whole planned write set
+            // with two log fences instead of two per store. Duplicate
+            // ranges (repeated keys, shared bucket heads) all capture
+            // pre-FASE bytes, so rollback still lands on the pre-batch
+            // state.
+            let mut ranges: Vec<(u64, u64)> = Vec::with_capacity(ops.len() * 2);
+            for (op, i) in &ops {
+                let vlen = items[*i].1.len() as u64;
+                match *op {
+                    Op::Write { node } => {
+                        ranges.push(((node + NODE_HEADER) as u64, vlen));
+                    }
+                    Op::Insert { node, boff, .. } => {
+                        ranges.push((node as u64, NODE_HEADER as u64 + vlen));
+                        ranges.push((boff as u64, 8));
+                    }
+                }
+            }
+            self.rt.prelog(&ranges);
+        }
         for (op, i) in &ops {
             let value = &items[*i].1;
             match *op {
@@ -593,6 +629,7 @@ mod tests {
             log_len: 1 << 15,
             policy,
             adapt: None,
+            pipelined: false,
         }
     }
 
@@ -642,6 +679,7 @@ mod tests {
             log_len: 1 << 14,
             policy: PolicyKind::Lazy,
             adapt: None,
+            pipelined: false,
         };
         let mut s = Shard::new(&cfg);
         let mut inserted = 0u64;
@@ -786,5 +824,77 @@ mod tests {
             assert!(s.get(i).is_some());
         }
         assert!(s.stream().unwrap().len() >= 2000);
+    }
+
+    /// The pipelined path (ring + grouped prelog + slab) is a pure
+    /// mechanism change: same contents, same store lines, same policy
+    /// flush counts as the sync path over an identical op sequence.
+    #[test]
+    fn pipelined_shard_is_bit_identical_to_sync() {
+        let sync_cfg = small(PolicyKind::ScFixed { capacity: 4 });
+        let pipe_cfg = ShardConfig {
+            pipelined: true,
+            ..sync_cfg.clone()
+        };
+        let mut sync = Shard::new(&sync_cfg);
+        let mut pipe = Shard::new(&pipe_cfg);
+        let batch: Vec<(u64, Vec<u8>)> = (0..64u64).map(|i| (i % 24, vec![i as u8; 40])).collect();
+        for s in [&mut sync, &mut pipe] {
+            assert!(s.put_many(&batch));
+            assert!(s.put_many(&batch)); // second pass: all in-place
+            assert!(s.put(99, b"solo"));
+            assert!(s.delete(3));
+        }
+        for i in 0..24u64 {
+            assert_eq!(sync.get(i), pipe.get(i), "key {i}");
+        }
+        assert_eq!(sync.len(), pipe.len());
+        let (a, b) = (sync.stats(), pipe.stats());
+        assert_eq!(a.store_lines, b.store_lines, "store lines diverged");
+        assert_eq!(a.data_flushes, b.data_flushes, "flush counts diverged");
+        assert_eq!(a.fases, b.fases);
+    }
+
+    /// A crash mid-batch on the pipelined path rolls the whole group
+    /// back: grouped prelogging keeps the all-or-nothing FASE contract.
+    #[test]
+    fn pipelined_put_many_is_atomic_under_crash() {
+        let cfg = ShardConfig {
+            pipelined: true,
+            ..small(PolicyKind::ScFixed { capacity: 4 })
+        };
+        for mode in [
+            CrashMode::StrictDurableOnly,
+            CrashMode::AllInFlightLands,
+            CrashMode::random(0.5, 0.5, 11),
+        ] {
+            let mut s = Shard::new(&cfg);
+            let before: Vec<(u64, Vec<u8>)> = (0..16u64).map(|i| (i, vec![1u8; 16])).collect();
+            assert!(s.put_many(&before));
+            s.sync();
+            // updates + fresh inserts in one batch, crashed mid-FASE
+            let batch: Vec<(u64, Vec<u8>)> = (8..32u64).map(|i| (i, vec![2u8; 16])).collect();
+            let step = s.steps() + 40;
+            s.arm_crash(CrashPlan {
+                at_step: step,
+                mode: mode.clone(),
+            });
+            assert!(s.put_many(&batch));
+            let image = s.take_crash_image().expect("plan must have fired");
+            let mut r = Shard::reopen_from_image(image, &cfg).expect("recovery");
+            for i in 0..16u64 {
+                assert_eq!(
+                    r.get(i).as_deref(),
+                    Some(&[1u8; 16][..]),
+                    "key {i} ({mode:?})"
+                );
+            }
+            for i in 16..32u64 {
+                assert_eq!(r.get(i), None, "key {i} must not survive ({mode:?})");
+            }
+            // the shard keeps serving on the recovered image
+            assert!(r.put(100, b"after"));
+            assert_eq!(r.get(100).as_deref(), Some(&b"after"[..]));
+        }
     }
 }

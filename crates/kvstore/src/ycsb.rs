@@ -364,6 +364,7 @@ mod tests {
                 log_len: 1 << 15,
                 policy: PolicyKind::ScFixed { capacity: 8 },
                 adapt: None,
+                pipelined: false,
             },
         })
     }

@@ -35,6 +35,7 @@ fn adaptive_store(shards: usize) -> KvStore {
                 record_stream: true,
                 ..Default::default()
             }),
+            pipelined: false,
         },
     })
 }

@@ -19,6 +19,7 @@ fn single_shard(policy: PolicyKind) -> KvStore {
             log_len: 1 << 16,
             policy,
             adapt: None,
+            pipelined: false,
         },
     })
 }

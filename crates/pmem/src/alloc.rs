@@ -28,7 +28,7 @@ pub struct PAlloc {
     _priv: (),
 }
 
-fn class_of(size: usize) -> Option<usize> {
+pub(crate) fn class_of(size: usize) -> Option<usize> {
     if size == 0 {
         return None;
     }
@@ -43,7 +43,7 @@ fn class_of(size: usize) -> Option<usize> {
 }
 
 /// Byte size of class `i`.
-fn class_size(i: usize) -> usize {
+pub(crate) fn class_size(i: usize) -> usize {
     16usize << i
 }
 
@@ -123,6 +123,34 @@ impl PAlloc {
         region.persist(offset as usize, 8);
         region.write_u64(head_off, offset);
         region.persist(head_off, 8);
+    }
+
+    /// Carve `count` contiguous blocks of the size class covering
+    /// `size` from the bump region with a **single** metadata persist
+    /// (one cursor update instead of one per block) — the chunk feed
+    /// for [`crate::slab::SlabAlloc`]. Returns `(first_offset,
+    /// block_bytes)`; block `i` starts at `first_offset + i *
+    /// block_bytes`. `None` when the size has no class or the whole
+    /// chunk does not fit below the limit.
+    pub fn bump_chunk(
+        &self,
+        region: &mut PmemRegion,
+        size: usize,
+        count: usize,
+    ) -> Option<(u64, usize)> {
+        if count == 0 {
+            return None;
+        }
+        let class = class_of(size)?;
+        let block = class_size(class);
+        let bump = region.read_u64(OFF_BUMP);
+        let span = (block * count) as u64;
+        if bump + span > region.read_u64(OFF_LIMIT) {
+            return None;
+        }
+        region.write_u64(OFF_BUMP, bump + span);
+        region.persist(OFF_BUMP, 8);
+        Some((bump, block))
     }
 
     /// Bytes remaining for fresh (bump) allocation.

@@ -29,6 +29,13 @@
 //! [`alloc::PAlloc`] is a small recoverable allocator over a region
 //! (bump + size-segregated free lists, metadata in-region), standing in
 //! for the Makalu-style allocation Atlas relies on.
+//!
+//! [`ring::FlushRing`] is the asynchronous flush pipeline: a mutex-free
+//! submission ring whose drain side sorts, dedups, FliT-elides, and
+//! coalesces lines into ranged sweeps — while keeping every swept line
+//! an individual crash-visible micro-step. [`slab::SlabAlloc`] layers
+//! volatile size-classed free lists over `PAlloc` so hot-path node
+//! allocation stops paying a fence per block.
 
 #![warn(missing_docs)]
 
@@ -36,8 +43,12 @@ pub mod alloc;
 pub mod crash;
 pub mod flush;
 pub mod region;
+pub mod ring;
+pub mod slab;
 
 pub use alloc::PAlloc;
 pub use crash::{CrashMode, CrashPlan};
 pub use flush::{detect_flush_instr, flush_ptr, sfence, FlushInstr};
 pub use region::{PmemRegion, PmemStats, LINE_SIZE};
+pub use ring::{coalesce_sorted, FenceToken, FlushRing, RingStats};
+pub use slab::{SlabAlloc, SlabStats};

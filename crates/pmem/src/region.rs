@@ -256,6 +256,23 @@ impl PmemRegion {
         }
     }
 
+    /// Ranged sweep: flush `n` consecutive lines starting at `start`.
+    /// Hardware executes one write-back per covered line inside a
+    /// ranged `clwb` sweep, so each line is still its own persistence
+    /// micro-step — armed crash plans can cut execution mid-sweep.
+    pub fn flush_line_run(&mut self, start: u64, n: u64) {
+        for l in start..start + n {
+            self.flush_line(l);
+        }
+    }
+
+    /// Is `line` dirty (volatile bytes newer than any flush capture)?
+    /// Gates FliT-style flush elision: a clean line flushed earlier in
+    /// the same commit epoch has nothing new to write back.
+    pub fn line_is_dirty(&self, line: u64) -> bool {
+        self.dirty.contains(&line)
+    }
+
     /// `sfence`: commit all pending flush captures to the durable image.
     pub fn fence(&mut self) {
         self.micro_step();

@@ -1,0 +1,442 @@
+//! Asynchronous flush pipeline: a mutex-free submission ring that turns
+//! per-line blocking flushes into sorted, coalesced ranged sweeps.
+//!
+//! The paper's central mechanism is overlapping cache-line write-backs
+//! with computation; the remaining software cost is the *submission*
+//! path itself. This module provides the pipelined flush path:
+//!
+//! * **Submission ring** — a fixed-capacity power-of-two ring of
+//!   `AtomicU64` slots. The submit side ([`FlushRing::submit`]) is
+//!   mutex-free: one relaxed tail load, one acquire head load, one
+//!   release tail publish. Producers never block — a full ring returns
+//!   `false` and the caller drains inline (the single-thread fallback
+//!   the runtime uses, since the emulated [`PmemRegion`] is
+//!   single-owner).
+//! * **Fence tokens** — commit no longer walks a buffer flushing line
+//!   by line. It publishes a [`FenceToken`] (a tail snapshot) and asks
+//!   the drain side to retire everything submitted at or before the
+//!   token ([`FlushRing::drain_upto`]).
+//! * **Ranged sweeps** — the drain sorts and dedups the batch, then
+//!   coalesces adjacent lines into contiguous runs
+//!   ([`coalesce_sorted`]) swept with one ranged
+//!   `clwb`/`clflushopt`-style pass per run.
+//! * **FliT-style elision** — a per-line epoch map records lines
+//!   already flushed in the current commit epoch; a re-submitted line
+//!   that is still clean is skipped entirely. This is safe in the
+//!   region model because flushing a clean line is a no-op, and safe on
+//!   hardware because the line's latest bytes are already in flight and
+//!   nothing re-dirtied it ([`PmemRegion::line_is_dirty`] gates the
+//!   skip). [`FlushRing::end_epoch`] advances the epoch after the fence
+//!   that makes the captures durable.
+//!
+//! **Crash visibility.** Every line actually swept still executes its
+//! own `flush_line` micro-step against the region (hardware executes
+//! one write-back per line inside a ranged sweep too), so an armed
+//! [`crate::CrashPlan`] can cut execution *inside* a drain exactly as
+//! it could inside the old blocking loop. Submits and fence-token
+//! publishes are volatile transitions — they move bytes into no cache
+//! and therefore are not persistence micro-steps; a crash between
+//! submit and drain simply loses the (still volatile, still dirty)
+//! lines, which the dirty-eviction adversaries already model.
+
+use crate::region::PmemRegion;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters of one [`FlushRing`]'s lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Lines accepted by [`FlushRing::submit`].
+    pub submitted: u64,
+    /// Lines actually swept (flush instructions issued).
+    pub flushed: u64,
+    /// Lines skipped by same-epoch flush elision.
+    pub elided: u64,
+    /// Contiguous ranged sweeps issued (≤ `flushed`).
+    pub sweeps: u64,
+    /// Drain passes executed.
+    pub drains: u64,
+}
+
+/// A position in the submission stream: everything submitted strictly
+/// before the token is covered by a drain up to it. Obtained from
+/// [`FlushRing::fence_token`] at commit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FenceToken(u64);
+
+/// Coalesce a **sorted, deduplicated** slice of line indices into
+/// maximal contiguous runs `(start, len)`.
+///
+/// The union of the returned runs is exactly the input set — no line is
+/// flushed twice and none is dropped (property-tested in the workspace
+/// suite). Unsorted or duplicated input is a logic error; debug builds
+/// assert.
+pub fn coalesce_sorted(lines: &[u64]) -> Vec<(u64, u64)> {
+    debug_assert!(
+        lines.windows(2).all(|w| w[0] < w[1]),
+        "input must be sorted+deduped"
+    );
+    let mut runs = Vec::new();
+    let mut it = lines.iter().copied();
+    let Some(first) = it.next() else {
+        return runs;
+    };
+    let (mut start, mut len) = (first, 1u64);
+    for l in it {
+        if l == start + len {
+            len += 1;
+        } else {
+            runs.push((start, len));
+            start = l;
+            len = 1;
+        }
+    }
+    runs.push((start, len));
+    runs
+}
+
+/// The flush submission ring. Submit side is mutex-free (atomics only);
+/// the drain side is exclusive (`&mut self`), matching the
+/// single-owner region it sweeps into.
+#[derive(Debug)]
+pub struct FlushRing {
+    /// Line indices, indexed by sequence number & mask.
+    slots: Box<[AtomicU64]>,
+    /// Next sequence number to consume.
+    head: AtomicU64,
+    /// Next sequence number to publish.
+    tail: AtomicU64,
+    mask: u64,
+    /// Current commit epoch (advanced by [`FlushRing::end_epoch`]).
+    epoch: u64,
+    /// Per-line epoch stamp (`epoch + 1`; 0 = never swept), indexed by
+    /// line and lazily sized to the region on first drain. Dense so the
+    /// drain hot path does an array index per line instead of a hash
+    /// probe.
+    flushed_epoch: Vec<u64>,
+    /// Drain-side scratch buffer, reused across drains.
+    scratch: Vec<u64>,
+    stats: RingStats,
+}
+
+impl Clone for FlushRing {
+    fn clone(&self) -> Self {
+        let slots: Box<[AtomicU64]> = self
+            .slots
+            .iter()
+            .map(|s| AtomicU64::new(s.load(Ordering::Relaxed)))
+            .collect();
+        FlushRing {
+            slots,
+            head: AtomicU64::new(self.head.load(Ordering::Relaxed)),
+            tail: AtomicU64::new(self.tail.load(Ordering::Relaxed)),
+            mask: self.mask,
+            epoch: self.epoch,
+            flushed_epoch: self.flushed_epoch.clone(),
+            scratch: Vec::new(),
+            stats: self.stats,
+        }
+    }
+}
+
+impl FlushRing {
+    /// A ring with at least `capacity` slots (rounded up to a power of
+    /// two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Box<[AtomicU64]> = (0..cap).map(|_| AtomicU64::new(0)).collect();
+        FlushRing {
+            slots,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            mask: (cap - 1) as u64,
+            epoch: 0,
+            flushed_epoch: Vec::new(),
+            scratch: Vec::new(),
+            stats: RingStats::default(),
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lines submitted but not yet drained.
+    pub fn pending(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head) as usize
+    }
+
+    /// True iff no submitted line awaits a drain.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> RingStats {
+        self.stats
+    }
+
+    /// Push one line into the ring. Mutex-free: a relaxed tail read, an
+    /// acquire head read, a release publish. Returns `false` when the
+    /// ring is full — the caller must drain (inline-drain fallback) and
+    /// retry.
+    #[inline]
+    pub fn submit(&self, line: u64) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.slots.len() as u64 {
+            return false;
+        }
+        self.slots[(tail & self.mask) as usize].store(line, Ordering::Relaxed);
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Snapshot the submission stream: a subsequent
+    /// [`FlushRing::drain_upto`] with this token retires every line
+    /// submitted before the snapshot. This is the "publish epoch fence
+    /// token" half of pipelined commit.
+    #[inline]
+    pub fn fence_token(&self) -> FenceToken {
+        FenceToken(self.tail.load(Ordering::Acquire))
+    }
+
+    /// Retire every submitted line up to `token`: pop, sort, dedup,
+    /// elide same-epoch clean lines, then sweep the rest as coalesced
+    /// contiguous runs of per-line flushes. Each swept line is one
+    /// persistence micro-step on `region` (crash plans can fire inside
+    /// the drain). Returns the number of flush instructions issued.
+    pub fn drain_upto(&mut self, token: FenceToken, region: &mut PmemRegion) -> u64 {
+        let head = self.head.load(Ordering::Relaxed);
+        let upto = token.0.min(self.tail.load(Ordering::Acquire));
+        if upto.wrapping_sub(head) == 0 {
+            return 0;
+        }
+        self.scratch.clear();
+        let mut seq = head;
+        while seq != upto {
+            self.scratch
+                .push(self.slots[(seq & self.mask) as usize].load(Ordering::Relaxed));
+            seq = seq.wrapping_add(1);
+        }
+        self.head.store(upto, Ordering::Release);
+        let popped = self.scratch.len() as u64;
+        self.stats.submitted += popped;
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        // FliT-style elision: a line already swept this epoch whose
+        // bytes have not been re-dirtied since has nothing new to write
+        // back — skip the instruction entirely.
+        let lines = region.line_count() as usize;
+        if self.flushed_epoch.len() < lines {
+            self.flushed_epoch.resize(lines, 0);
+        }
+        let stamp = self.epoch.wrapping_add(1);
+        let mut kept = 0usize;
+        for i in 0..self.scratch.len() {
+            let line = self.scratch[i];
+            let seen = self.flushed_epoch.get(line as usize) == Some(&stamp);
+            if seen && !region.line_is_dirty(line) {
+                self.stats.elided += 1;
+            } else {
+                if let Some(slot) = self.flushed_epoch.get_mut(line as usize) {
+                    *slot = stamp;
+                }
+                self.scratch[kept] = line;
+                kept += 1;
+            }
+        }
+        self.scratch.truncate(kept);
+        let mut issued = 0u64;
+        for (start, len) in coalesce_sorted(&self.scratch) {
+            region.flush_line_run(start, len);
+            self.stats.sweeps += 1;
+            issued += len;
+        }
+        self.stats.flushed += issued;
+        self.stats.drains += 1;
+        issued
+    }
+
+    /// Drain everything currently submitted.
+    pub fn drain_all(&mut self, region: &mut PmemRegion) -> u64 {
+        let token = self.fence_token();
+        self.drain_upto(token, region)
+    }
+
+    /// Close the current commit epoch (call after the fence that made
+    /// this epoch's captures durable): subsequently submitted lines are
+    /// never elided against pre-fence flushes.
+    pub fn end_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Forget all submitted-but-undrained lines and elision history.
+    /// Used on crash recovery: the cache content is gone, so the ring's
+    /// view of it must go too.
+    pub fn reset(&mut self) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        self.head.store(tail, Ordering::Relaxed);
+        self.flushed_epoch.fill(0);
+        self.epoch = 0;
+        self.scratch.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::CrashMode;
+
+    #[test]
+    fn coalesce_basic() {
+        assert_eq!(coalesce_sorted(&[]), vec![]);
+        assert_eq!(coalesce_sorted(&[5]), vec![(5, 1)]);
+        assert_eq!(coalesce_sorted(&[1, 2, 3]), vec![(1, 3)]);
+        assert_eq!(coalesce_sorted(&[1, 3, 4, 9]), vec![(1, 1), (3, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn submit_drain_flushes_exactly_the_set() {
+        let mut ring = FlushRing::new(8);
+        let mut r = PmemRegion::new(1024);
+        for off in [0usize, 64, 128, 320] {
+            r.write(off, b"x");
+        }
+        for line in [5u64, 0, 2, 1, 5, 0] {
+            assert!(ring.submit(line));
+        }
+        let issued = ring.drain_all(&mut r);
+        assert_eq!(issued, 4, "dedup to {{0,1,2,5}}");
+        assert_eq!(ring.stats().sweeps, 2, "runs [0..3) and [5]");
+        r.fence();
+        r.crash(&CrashMode::StrictDurableOnly);
+        assert_eq!(r.slice(0, 1), b"x");
+        assert_eq!(r.slice(64, 1), b"x");
+        assert_eq!(r.slice(128, 1), b"x");
+        assert_eq!(r.slice(320, 1), b"x");
+    }
+
+    #[test]
+    fn full_ring_rejects_submit() {
+        let ring = FlushRing::new(4);
+        for i in 0..4 {
+            assert!(ring.submit(i));
+        }
+        assert!(!ring.submit(99), "full ring must refuse");
+        assert_eq!(ring.pending(), 4);
+    }
+
+    #[test]
+    fn drain_frees_capacity() {
+        let mut ring = FlushRing::new(4);
+        let mut r = PmemRegion::new(1024);
+        for i in 0..4 {
+            assert!(ring.submit(i));
+        }
+        ring.drain_all(&mut r);
+        assert!(ring.is_empty());
+        assert!(ring.submit(7), "capacity reclaimed");
+    }
+
+    #[test]
+    fn same_epoch_clean_line_is_elided() {
+        let mut ring = FlushRing::new(16);
+        let mut r = PmemRegion::new(1024);
+        r.write(0, b"a");
+        ring.submit(0);
+        assert_eq!(ring.drain_all(&mut r), 1);
+        // resubmitted in the same epoch, not re-dirtied: elided
+        ring.submit(0);
+        assert_eq!(ring.drain_all(&mut r), 0);
+        assert_eq!(ring.stats().elided, 1);
+        // re-dirtied: must flush again even in the same epoch
+        r.write(0, b"b");
+        ring.submit(0);
+        assert_eq!(ring.drain_all(&mut r), 1);
+    }
+
+    #[test]
+    fn epoch_end_disables_elision() {
+        let mut ring = FlushRing::new(16);
+        let mut r = PmemRegion::new(1024);
+        r.write(0, b"a");
+        ring.submit(0);
+        ring.drain_all(&mut r);
+        r.fence();
+        ring.end_epoch();
+        ring.submit(0);
+        assert_eq!(ring.drain_all(&mut r), 1, "new epoch: swept again");
+        assert_eq!(ring.stats().elided, 0);
+    }
+
+    #[test]
+    fn fence_token_bounds_the_drain() {
+        let mut ring = FlushRing::new(16);
+        let mut r = PmemRegion::new(1024);
+        ring.submit(1);
+        ring.submit(2);
+        let tok = ring.fence_token();
+        ring.submit(3);
+        assert_eq!(ring.drain_upto(tok, &mut r), 2, "line 3 is past the token");
+        assert_eq!(ring.pending(), 1);
+        assert_eq!(ring.drain_all(&mut r), 1);
+    }
+
+    #[test]
+    fn drain_micro_steps_match_blocking_loop() {
+        // the pipelined sweep must expose the same per-line micro-step
+        // space a blocking flush loop would for the same (deduped) set
+        let mut ring = FlushRing::new(16);
+        let mut a = PmemRegion::new(1024);
+        let mut b = PmemRegion::new(1024);
+        for off in [0usize, 64, 128] {
+            a.write(off, b"x");
+            b.write(off, b"x");
+        }
+        for line in [2u64, 0, 1] {
+            ring.submit(line);
+        }
+        ring.drain_all(&mut a);
+        for line in [0u64, 1, 2] {
+            b.flush_line(line);
+        }
+        assert_eq!(a.step(), b.step(), "identical crash-point index space");
+        assert_eq!(a.stats().flushes, b.stats().flushes);
+    }
+
+    #[test]
+    fn reset_clears_pending_and_elision_history() {
+        let mut ring = FlushRing::new(8);
+        let mut r = PmemRegion::new(1024);
+        r.write(0, b"a");
+        ring.submit(0);
+        ring.drain_all(&mut r);
+        ring.submit(0);
+        ring.reset();
+        assert!(ring.is_empty());
+        r.write(0, b"b");
+        ring.submit(0);
+        assert_eq!(ring.drain_all(&mut r), 1, "history gone after reset");
+    }
+
+    #[test]
+    fn wraparound_preserves_fifo_set() {
+        let mut ring = FlushRing::new(4);
+        let mut r = PmemRegion::new(64 * 64);
+        let mut total = 0;
+        for round in 0..10u64 {
+            for i in 0..4u64 {
+                let line = round * 4 + i;
+                r.write(line as usize * 64, b"w");
+                assert!(ring.submit(line));
+            }
+            total += ring.drain_all(&mut r);
+            ring.end_epoch();
+        }
+        assert_eq!(total, 40);
+        assert_eq!(ring.stats().drains, 10);
+    }
+}

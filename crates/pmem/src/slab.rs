@@ -1,0 +1,220 @@
+//! Volatile slab layer over [`PAlloc`]: size-classed free lists carved
+//! from bump chunks, so hot-path allocation stops touching the general
+//! allocator's persistent metadata.
+//!
+//! [`PAlloc`] persists (flush + fence) on every `alloc` and twice on
+//! every `free` — correct, but two fences per KV node is exactly the
+//! per-operation overhead the paper's software-caching argument says to
+//! amortize. The slab amortizes it:
+//!
+//! * **alloc** — pop from a volatile per-class free list; when empty,
+//!   carve a whole chunk of blocks from the heap with **one** persisted
+//!   cursor update ([`PAlloc::bump_chunk`]) and stock the list; when
+//!   the bump region is exhausted, fall back to [`PAlloc::alloc`]
+//!   (which recycles the heap's own persistent free lists).
+//! * **free** — push onto the volatile list. Zero persists.
+//!
+//! **Crash safety by leak.** The free lists live in DRAM only, so a
+//! crash forgets which carved blocks were unused — they leak, the heap
+//! is never corrupted (the persisted bump cursor already covers every
+//! block handed to the slab). Recovery calls [`SlabAlloc::reset`] and
+//! the slab restocks from fresh chunks. Leaked blocks are reclaimable
+//! by any future offline sweep; within the FASE model, losing spare
+//! capacity is strictly safer than replaying allocator metadata.
+
+use crate::alloc::{class_of, class_size, PAlloc};
+use crate::region::PmemRegion;
+
+/// Number of size classes, mirroring [`PAlloc`]'s (16..=4096 bytes).
+const NUM_CLASSES: usize = 9;
+
+/// Default blocks carved per chunk.
+pub const DEFAULT_CHUNK_BLOCKS: usize = 32;
+
+/// Counters of one slab's lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlabStats {
+    /// Allocations served from a volatile free list (no persist).
+    pub fast_allocs: u64,
+    /// Chunks carved from the bump region (one persist each).
+    pub chunks: u64,
+    /// Allocations that fell back to [`PAlloc::alloc`].
+    pub fallback_allocs: u64,
+    /// Frees absorbed volatilely (zero persists).
+    pub frees: u64,
+}
+
+/// Volatile size-classed slab allocator over a [`PAlloc`] heap.
+#[derive(Debug, Clone)]
+pub struct SlabAlloc {
+    /// Per-class free block offsets (DRAM only).
+    free: Vec<Vec<u64>>,
+    chunk_blocks: usize,
+    stats: SlabStats,
+}
+
+impl Default for SlabAlloc {
+    fn default() -> Self {
+        Self::new(DEFAULT_CHUNK_BLOCKS)
+    }
+}
+
+impl SlabAlloc {
+    /// A slab that carves `chunk_blocks` blocks per bump chunk
+    /// (minimum 1).
+    pub fn new(chunk_blocks: usize) -> Self {
+        SlabAlloc {
+            free: vec![Vec::new(); NUM_CLASSES],
+            chunk_blocks: chunk_blocks.max(1),
+            stats: SlabStats::default(),
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> SlabStats {
+        self.stats
+    }
+
+    /// Allocate `size` bytes from `heap`. Fast path is a volatile list
+    /// pop; slow path carves a chunk (one persist) or falls back to the
+    /// general allocator. `None` only when the heap itself is
+    /// exhausted or `size` exceeds the largest class.
+    pub fn alloc(&mut self, heap: &PAlloc, region: &mut PmemRegion, size: usize) -> Option<u64> {
+        let class = class_of(size)?;
+        if let Some(off) = self.free[class].pop() {
+            self.stats.fast_allocs += 1;
+            return Some(off);
+        }
+        if let Some((start, block)) = heap.bump_chunk(region, size, self.chunk_blocks) {
+            self.stats.chunks += 1;
+            debug_assert_eq!(block, class_size(class));
+            // stock newest-last so block 0 is handed out first
+            for i in (1..self.chunk_blocks).rev() {
+                self.free[class].push(start + (i * block) as u64);
+            }
+            self.stats.fast_allocs += 1;
+            return Some(start);
+        }
+        // bump region exhausted: the heap's persistent free lists may
+        // still hold recycled blocks
+        let off = heap.alloc(region, size)?;
+        self.stats.fallback_allocs += 1;
+        Some(off)
+    }
+
+    /// Return the block at `offset` (allocated with `size`) to the
+    /// volatile free list. Zero persists; the block is reusable by the
+    /// next same-class [`SlabAlloc::alloc`] until a crash forgets it.
+    pub fn free(&mut self, offset: u64, size: usize) {
+        let class = class_of(size).expect("size was allocatable");
+        self.free[class].push(offset);
+        self.stats.frees += 1;
+    }
+
+    /// Drop all volatile free lists. Call on crash recovery: blocks the
+    /// slab was holding leak (safe), they are never handed out against
+    /// a reverted heap image.
+    pub fn reset(&mut self) {
+        for list in &mut self.free {
+            list.clear();
+        }
+    }
+
+    /// Blocks currently stocked across all classes.
+    pub fn stocked(&self) -> usize {
+        self.free.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::CrashMode;
+
+    fn fresh(len: usize) -> (PmemRegion, PAlloc) {
+        let mut r = PmemRegion::new(len);
+        let a = PAlloc::format(&mut r);
+        (r, a)
+    }
+
+    #[test]
+    fn chunk_amortizes_persists() {
+        let (mut r, heap) = fresh(1 << 18);
+        let mut slab = SlabAlloc::new(16);
+        let before = r.stats().fences;
+        let blocks: Vec<u64> = (0..16)
+            .map(|_| slab.alloc(&heap, &mut r, 64).unwrap())
+            .collect();
+        let fences = r.stats().fences - before;
+        assert_eq!(fences, 1, "16 allocs, one chunk carve, one fence");
+        assert_eq!(slab.stats().chunks, 1);
+        // distinct, contiguous, class-sized
+        for w in blocks.windows(2) {
+            assert_eq!(w[1] - w[0], 64);
+        }
+    }
+
+    #[test]
+    fn free_is_volatile_and_recycles() {
+        let (mut r, heap) = fresh(1 << 18);
+        let mut slab = SlabAlloc::new(4);
+        let x = slab.alloc(&heap, &mut r, 100).unwrap();
+        let before = r.stats().fences;
+        slab.free(x, 100);
+        assert_eq!(r.stats().fences, before, "free persists nothing");
+        let y = slab.alloc(&heap, &mut r, 100).unwrap();
+        assert_eq!(x, y, "LIFO recycle");
+        assert_eq!(r.stats().fences, before, "recycled alloc persists nothing");
+    }
+
+    #[test]
+    fn classes_do_not_mix() {
+        let (mut r, heap) = fresh(1 << 18);
+        let mut slab = SlabAlloc::new(4);
+        let x = slab.alloc(&heap, &mut r, 16).unwrap();
+        slab.free(x, 16);
+        let y = slab.alloc(&heap, &mut r, 1000).unwrap();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn falls_back_to_heap_free_lists_when_bump_exhausted() {
+        let mut r = PmemRegion::new(1 << 16);
+        let limit = (PAlloc::heap_start() + 4 * 128) as u64;
+        let heap = PAlloc::format_with_limit(&mut r, limit);
+        // exhaust the bump region through the general allocator …
+        let blocks: Vec<u64> = std::iter::from_fn(|| heap.alloc(&mut r, 128)).collect();
+        assert_eq!(blocks.len(), 4);
+        // … recycle one into the heap's persistent free list
+        heap.free(&mut r, blocks[2], 128);
+        let mut slab = SlabAlloc::new(8);
+        // chunk carve cannot fit → fallback path must find the block
+        assert_eq!(slab.alloc(&heap, &mut r, 128), Some(blocks[2]));
+        assert_eq!(slab.stats().fallback_allocs, 1);
+        assert_eq!(slab.alloc(&heap, &mut r, 128), None, "then exhausted");
+    }
+
+    #[test]
+    fn reset_leaks_blocks_but_heap_stays_consistent() {
+        let (mut r, heap) = fresh(1 << 18);
+        let mut slab = SlabAlloc::new(8);
+        let x = slab.alloc(&heap, &mut r, 64).unwrap();
+        slab.free(x, 64);
+        assert!(slab.stocked() > 0);
+        r.crash(&CrashMode::StrictDurableOnly);
+        slab.reset();
+        assert_eq!(slab.stocked(), 0);
+        let heap2 = PAlloc::open(&r).expect("heap reopens");
+        // fresh chunk comes from past the leaked one — no overlap
+        let y = slab.alloc(&heap2, &mut r, 64).unwrap();
+        assert!(y >= x + 8 * 64, "leaked chunk never re-handed out");
+    }
+
+    #[test]
+    fn oversize_requests_are_refused() {
+        let (mut r, heap) = fresh(1 << 18);
+        let mut slab = SlabAlloc::default();
+        assert_eq!(slab.alloc(&heap, &mut r, 8192), None);
+        assert_eq!(slab.alloc(&heap, &mut r, 0), None);
+    }
+}

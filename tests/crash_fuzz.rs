@@ -13,7 +13,7 @@
 //! flush and fence, inside the commit window — has no place to hide.
 
 use nvcache::core::{AdaptiveConfig, PolicyKind};
-use nvcache::fase::{crash_fuzz, CrashFuzzConfig, FaseRuntime, RecoveryError};
+use nvcache::fase::{crash_fuzz, CrashFuzzConfig, FaseRuntime, FlushMode, RecoveryError};
 use nvcache::pmem::{CrashMode, CrashPlan, PmemRegion};
 use nvcache::telemetry::{CounterId, EventKind, TelemetryConfig};
 use proptest::prelude::*;
@@ -41,26 +41,35 @@ fn all_modes(seed: u64) -> Vec<CrashMode> {
 }
 
 /// The acceptance matrix: all six policies × all three crash
-/// adversaries × several program seeds, crashing at every micro-step.
-/// Must cover ≥ 1000 distinct (program, step, mode, policy) schedules
-/// and pass the oracle on every one.
+/// adversaries × both flush paths × several program seeds, crashing at
+/// every micro-step. The pipelined path's ring drain executes per-line
+/// micro-steps, so the armed crash plan cuts inside its coalesced
+/// sweeps exactly as it cuts inside the sync loop. Must cover ≥ 1000
+/// distinct (program, step, mode, policy, path) schedules and pass the
+/// oracle on every one.
 #[test]
 fn full_matrix_every_step_every_policy_every_mode() {
-    let cfg = CrashFuzzConfig::default();
     let mut schedules = 0u64;
-    for kind in all_policies() {
-        for seed in 0..2u64 {
-            for mode in all_modes(seed) {
-                let r = crash_fuzz(&kind, &mode, seed, &cfg);
-                assert!(
-                    r.passed(),
-                    "policy {} mode {:?} seed {seed}: {} failures, first: {:?}",
-                    kind.label(),
-                    mode,
-                    r.failure_count,
-                    r.failures.first()
-                );
-                schedules += r.schedules;
+    for flush_mode in [FlushMode::Sync, FlushMode::Pipelined] {
+        let cfg = CrashFuzzConfig {
+            flush_mode,
+            ..CrashFuzzConfig::default()
+        };
+        for kind in all_policies() {
+            for seed in 0..2u64 {
+                for mode in all_modes(seed) {
+                    let r = crash_fuzz(&kind, &mode, seed, &cfg);
+                    assert!(
+                        r.passed(),
+                        "policy {} mode {:?} path {} seed {seed}: {} failures, first: {:?}",
+                        kind.label(),
+                        mode,
+                        flush_mode.label(),
+                        r.failure_count,
+                        r.failures.first()
+                    );
+                    schedules += r.schedules;
+                }
             }
         }
     }
@@ -88,15 +97,21 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Property form: arbitrary program seeds and adversary seeds, a
-    /// strided sample of crash steps, any policy — the oracle holds.
+    /// strided sample of crash steps, any policy, either flush path —
+    /// the oracle holds.
     #[test]
     fn random_programs_recover_to_committed_snapshot(
         seed in any::<u64>(),
         policy_ix in 0usize..6,
         mode_ix in 0usize..3,
         stride in 3u64..11,
+        pipelined in any::<bool>(),
     ) {
-        let cfg = CrashFuzzConfig { step_stride: stride, ..Default::default() };
+        let cfg = CrashFuzzConfig {
+            step_stride: stride,
+            flush_mode: if pipelined { FlushMode::Pipelined } else { FlushMode::Sync },
+            ..Default::default()
+        };
         let kind = all_policies()[policy_ix].clone();
         let mode = all_modes(seed ^ 0x9e37).swap_remove(mode_ix);
         let r = crash_fuzz(&kind, &mode, seed, &cfg);

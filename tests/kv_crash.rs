@@ -79,13 +79,14 @@ fn apply(s: &mut Shard, op: &Op) {
     }
 }
 
-fn shard_cfg(policy: PolicyKind) -> ShardConfig {
+fn shard_cfg(policy: PolicyKind, pipelined: bool) -> ShardConfig {
     ShardConfig {
         buckets: 16, // few buckets → long chains → bucket threading under stress
         data_len: 1 << 18,
         log_len: 1 << 15,
         policy,
         adapt: None,
+        pipelined,
     }
 }
 
@@ -130,8 +131,11 @@ fn record(cfg: &ShardConfig, prog: &[Op]) -> (Vec<u64>, Vec<Snapshot>) {
 #[test]
 fn shard_recovers_committed_prefix_at_sampled_micro_steps() {
     let prog = program(2017, 30, 24);
-    for policy in policies() {
-        let cfg = shard_cfg(policy);
+    for (policy, pipelined) in policies()
+        .into_iter()
+        .flat_map(|p| [(p.clone(), false), (p, true)])
+    {
+        let cfg = shard_cfg(policy, pipelined);
         let (commit_steps, snaps) = record(&cfg, &prog);
         let setup = commit_steps[0];
         let total = *commit_steps.last().unwrap();
@@ -179,10 +183,11 @@ fn shard_recovers_committed_prefix_at_sampled_micro_steps() {
                     got == snaps[committed]
                         || Some(&got) == snaps.get(committed + 1)
                         || mid.as_ref() == Some(&got),
-                    "policy {} mode {mode:?} crash at step {k}: state is neither \
-                     op {committed}'s snapshot, nor op {}'s, nor the replace \
-                     mid-state",
+                    "policy {} path {} mode {mode:?} crash at step {k}: state is \
+                     neither op {committed}'s snapshot, nor op {}'s, nor the \
+                     replace mid-state",
                     cfg.policy.label(),
+                    if pipelined { "pipelined" } else { "sync" },
                     committed + 1,
                 );
                 assert_eq!(rec.len(), got.len());
@@ -199,7 +204,7 @@ fn shard_recovers_committed_prefix_at_sampled_micro_steps() {
 fn store_survives_repeated_all_shard_crashes_between_ops() {
     let store = KvStore::new(&KvConfig {
         shards: 4,
-        shard: shard_cfg(PolicyKind::ScFixed { capacity: 8 }),
+        shard: shard_cfg(PolicyKind::ScFixed { capacity: 8 }, true),
     });
     let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
     let mut s = 99u64;
@@ -240,9 +245,9 @@ fn store_survives_repeated_all_shard_crashes_between_ops() {
 /// entire slice of the batch or none of it, never a partial batch.
 #[test]
 fn put_many_is_all_or_nothing_per_shard_at_every_armed_cut() {
-    let cfg = shard_cfg(PolicyKind::Atlas { size: 8 });
     const SHARDS: usize = 2;
     for (delta, mode_seed) in [(1u64, 0u64), (3, 1), (7, 2), (13, 3), (29, 4), (53, 5)] {
+        let cfg = shard_cfg(PolicyKind::Atlas { size: 8 }, mode_seed.is_multiple_of(2));
         let store = KvStore::new(&KvConfig {
             shards: SHARDS,
             shard: cfg.clone(),
