@@ -21,6 +21,13 @@
 //! is the CI smoke form of `tests/crash_fuzz.rs` — every micro-step of
 //! each program is crashed, recovered and checked against the oracle.
 //!
+//! `repro telemetry-diff BASE NEW [--threshold T] [--schema-only]`
+//! compares two harness JSON artifacts (BENCH_kv.json, or any file the
+//! harness writes). Schema drift (keys, types, array lengths, identity
+//! labels) always exits 2; a thresholded wall-clock metric moving the
+//! wrong way by more than `T` (default 0.2 = 20%) exits 1 unless
+//! `--schema-only`. CI runs the schema-only form on two smoke passes.
+//!
 //! `--scale` is the fraction of the paper's problem sizes (default
 //! 0.05); absolute numbers shrink with it but orderings and ratios are
 //! scale-stable (EXPERIMENTS.md). Use `--scale 1.0` for paper sizes
@@ -33,7 +40,7 @@
 
 use nvcache_bench::experiments::{ablations, figs, kv, tables, DEFAULT_SCALE, THREAD_SWEEP};
 use nvcache_bench::report::{json_str, telemetry_envelope, telemetry_table};
-use nvcache_bench::{telemetry, Table};
+use nvcache_bench::{diff, jsonv, telemetry, Table};
 use nvcache_cachesim::MachineConfig;
 use nvcache_core::{
     run_policy_dyn, run_policy_traced, run_policy_traced_dyn, run_policy_with, AdaptiveConfig,
@@ -110,12 +117,15 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro <experiment> [--scale S] [--threads a,b,c] [--json] [--telemetry FILE]\n\
          \x20      repro crash-matrix [--seeds N] [--json]\n\
+         \x20      repro telemetry-diff BASE NEW [--threshold T] [--schema-only] [--json]\n\
          experiments: table1 table2 table3 table4 fig2 fig4 fig5 fig6 fig7 fig8\n\
          \x20            ablation-knee ablation-atlas ablation-bound ablation-burst\n\
          \x20            ablation-clwb ablation-phased ablation-groups\n\
          \x20            bench-replay (writes BENCH_replay.json)\n\
          \x20            kv-bench [--smoke] (YCSB grid; writes BENCH_kv.json)\n\
          \x20            crash-matrix (crash-point fuzz; nonzero exit on failure)\n\
+         \x20            telemetry-diff (compare two harness JSON artifacts;\n\
+         \x20                            exits 2 on schema drift, 1 on regression)\n\
          \x20            all | ablations"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -438,7 +448,78 @@ fn crash_matrix(seeds: u64) -> (Table, u64, bool) {
     (t, total, all_ok)
 }
 
+/// `repro telemetry-diff BASE NEW [--threshold T] [--schema-only]
+/// [--json]` — own arg grammar (two positionals), so it is dispatched
+/// before the generic experiment parser.
+fn telemetry_diff(rest: Vec<String>) -> ! {
+    let mut files: Vec<String> = Vec::new();
+    let mut threshold = 0.2f64;
+    let mut schema_only = false;
+    let mut json = false;
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| *t >= 0.0)
+                    .unwrap_or_else(|| usage("missing or bad value for --threshold"));
+            }
+            "--schema-only" => schema_only = true,
+            "--json" => json = true,
+            "--help" | "-h" => usage(""),
+            other if !other.starts_with('-') && files.len() < 2 => files.push(other.to_string()),
+            other => usage(&format!("unexpected argument {other}")),
+        }
+    }
+    if files.len() != 2 {
+        usage("telemetry-diff needs exactly two files: BASE NEW");
+    }
+    let load = |path: &str| -> jsonv::Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        jsonv::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let rep = diff::diff(&load(&files[0]), &load(&files[1]), threshold);
+    let mut t = Table::new(
+        &format!(
+            "telemetry-diff: {} vs {} (threshold {:.0}%{})",
+            files[0],
+            files[1],
+            threshold * 100.0,
+            if schema_only { ", schema only" } else { "" }
+        ),
+        &["metric", "baseline", "new", "ratio", "verdict"],
+    );
+    for row in diff::report_rows(&rep) {
+        t.row(row);
+    }
+    if json {
+        println!("{}", t.to_json());
+    } else {
+        t.print();
+    }
+    let code = rep.exit_code(schema_only);
+    eprintln!(
+        "[telemetry-diff: {} schema errors, {} regressions ({} metrics) -> exit {code}]",
+        rep.schema_errors.len(),
+        rep.regressions.len(),
+        rep.compared
+    );
+    std::process::exit(code);
+}
+
 fn main() {
+    let mut argv = std::env::args().skip(1);
+    if argv.next().as_deref() == Some("telemetry-diff") {
+        telemetry_diff(argv.collect());
+    }
     let args = parse_args();
     if args.experiment == "crash-matrix" {
         let start = std::time::Instant::now();

@@ -1,0 +1,282 @@
+//! `repro telemetry-diff` — structural and threshold comparison of two
+//! harness JSON artifacts (`BENCH_kv.json`, `BENCH_replay.json`, or a
+//! `--telemetry` envelope).
+//!
+//! Two verdict classes, reported separately because they gate
+//! differently in CI:
+//!
+//! - **schema errors** — a key present on one side only, a type change,
+//!   an array length change, or an identity field (strings, booleans)
+//!   whose value moved. These always fail: they mean the artifact's
+//!   shape drifted and downstream parsers/gates would break.
+//! - **regressions** — a known wall-clock metric moved past the
+//!   threshold in its bad direction (throughput down, latency up).
+//!   These fail unless the caller asked for `--schema-only` (CI runs
+//!   schema-only: smoke runs on shared runners are too noisy to gate on
+//!   wall-clock).
+//!
+//! Metrics are matched positionally: the harness emits its result
+//! arrays in a fixed grid order, and the identity-field check catches
+//! any misalignment (a reordered grid shows up as `"mix": "A" != "B"`,
+//! not as a bogus regression).
+
+use crate::jsonv::Json;
+
+/// Direction of "bad" for a numeric leaf, keyed by field name.
+fn direction(key: &str) -> Option<Direction> {
+    match key {
+        // higher is better — regression when the new value drops
+        "throughput_ops_s" | "writes_per_sec" | "speedup_vs_sync" | "speedup_vs_seq"
+        | "speedup_vs_dyn" => Some(Direction::HigherBetter),
+        // lower is better — regression when the new value climbs
+        "p50_ns" | "p99_ns" | "p999_ns" | "secs" | "cycles" => Some(Direction::LowerBetter),
+        _ => None,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    HigherBetter,
+    LowerBetter,
+}
+
+/// One thresholded metric that moved the wrong way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Dotted path of the metric (`results[3].p99_ns`).
+    pub path: String,
+    /// Baseline value.
+    pub base: f64,
+    /// New value.
+    pub new: f64,
+    /// `new / base` (∞ when the baseline is 0).
+    pub ratio: f64,
+}
+
+/// The full comparison outcome.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Structural drift — always a failure.
+    pub schema_errors: Vec<String>,
+    /// Thresholded wall-clock metrics that moved the wrong way.
+    pub regressions: Vec<Regression>,
+    /// Numeric leaves compared against a threshold.
+    pub compared: usize,
+}
+
+impl DiffReport {
+    /// Suggested process exit code: 2 for schema drift (even under
+    /// `--schema-only`), 1 for regressions, 0 when clean.
+    pub fn exit_code(&self, schema_only: bool) -> i32 {
+        if !self.schema_errors.is_empty() {
+            2
+        } else if !schema_only && !self.regressions.is_empty() {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// Compare `new` against `base`. `threshold` is the tolerated relative
+/// move of each thresholded metric (0.2 = 20%).
+pub fn diff(base: &Json, new: &Json, threshold: f64) -> DiffReport {
+    let mut rep = DiffReport::default();
+    walk(base, new, "$", threshold, &mut rep);
+    rep
+}
+
+fn walk(base: &Json, new: &Json, path: &str, threshold: f64, rep: &mut DiffReport) {
+    match (base, new) {
+        (Json::Obj(bm), Json::Obj(nm)) => {
+            for (k, bv) in bm {
+                match new.get(k) {
+                    Some(nv) => walk(bv, nv, &format!("{path}.{k}"), threshold, rep),
+                    None => rep
+                        .schema_errors
+                        .push(format!("{path}.{k}: missing in new artifact")),
+                }
+            }
+            for (k, _) in nm {
+                if base.get(k).is_none() {
+                    rep.schema_errors
+                        .push(format!("{path}.{k}: missing in baseline"));
+                }
+            }
+        }
+        (Json::Arr(bv), Json::Arr(nv)) => {
+            if bv.len() != nv.len() {
+                rep.schema_errors.push(format!(
+                    "{path}: array length {} -> {}",
+                    bv.len(),
+                    nv.len()
+                ));
+            }
+            for (i, (b, n)) in bv.iter().zip(nv).enumerate() {
+                walk(b, n, &format!("{path}[{i}]"), threshold, rep);
+            }
+        }
+        (Json::Num(b), Json::Num(n)) => {
+            let key = path.rsplit('.').next().unwrap_or(path);
+            if let Some(dir) = direction(key) {
+                rep.compared += 1;
+                let bad = match dir {
+                    Direction::HigherBetter => *n < *b * (1.0 - threshold),
+                    Direction::LowerBetter => *n > *b * (1.0 + threshold),
+                };
+                if bad {
+                    rep.regressions.push(Regression {
+                        path: path.to_string(),
+                        base: *b,
+                        new: *n,
+                        ratio: if *b == 0.0 { f64::INFINITY } else { *n / *b },
+                    });
+                }
+            }
+        }
+        (Json::Str(b), Json::Str(n)) => {
+            // identity fields: a moved label means the grids are
+            // misaligned, which would turn every metric diff into noise
+            if b != n {
+                rep.schema_errors
+                    .push(format!("{path}: \"{b}\" != \"{n}\""));
+            }
+        }
+        (Json::Bool(b), Json::Bool(n)) => {
+            if b != n {
+                rep.schema_errors.push(format!("{path}: {b} != {n}"));
+            }
+        }
+        (Json::Null, Json::Null) => {}
+        // null <-> number is a legitimate run-to-run difference for
+        // optional cells (a controller that fired in one run and not
+        // the other), not schema drift
+        (Json::Null, Json::Num(_)) | (Json::Num(_), Json::Null) => {}
+        (b, n) => {
+            rep.schema_errors.push(format!(
+                "{path}: type {} -> {}",
+                b.type_name(),
+                n.type_name()
+            ));
+        }
+    }
+}
+
+/// Render the report as table rows (`metric`, `baseline`, `new`,
+/// `ratio`, `verdict`) for the harness's text table.
+pub fn report_rows(rep: &DiffReport) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for e in &rep.schema_errors {
+        rows.push(vec![
+            e.clone(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "SCHEMA".into(),
+        ]);
+    }
+    for r in &rep.regressions {
+        rows.push(vec![
+            r.path.clone(),
+            format!("{:.0}", r.base),
+            format!("{:.0}", r.new),
+            format!("{:.2}x", r.ratio),
+            "REGRESSED".into(),
+        ]);
+    }
+    if rows.is_empty() {
+        rows.push(vec![
+            format!("{} metrics compared", rep.compared),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "pass".into(),
+        ]);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonv::parse;
+
+    fn kv(th: f64, p99: f64) -> Json {
+        parse(&format!(
+            r#"{{"experiment": "kv_ycsb", "results": [
+                 {{"mix": "A", "policy": "SC", "throughput_ops_s": {th},
+                   "p99_ns": {p99}, "windows_to_knee": [1, 2]}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let rep = diff(&kv(100_000.0, 4096.0), &kv(100_000.0, 4096.0), 0.2);
+        assert!(rep.schema_errors.is_empty());
+        assert!(rep.regressions.is_empty());
+        assert_eq!(rep.compared, 2);
+        assert_eq!(rep.exit_code(false), 0);
+    }
+
+    #[test]
+    fn noise_within_threshold_passes() {
+        let rep = diff(&kv(100_000.0, 4096.0), &kv(85_000.0, 4900.0), 0.2);
+        assert!(rep.regressions.is_empty(), "{:?}", rep.regressions);
+    }
+
+    #[test]
+    fn throughput_drop_past_threshold_regresses() {
+        let rep = diff(&kv(100_000.0, 4096.0), &kv(70_000.0, 4096.0), 0.2);
+        assert_eq!(rep.regressions.len(), 1);
+        assert!(rep.regressions[0].path.ends_with("throughput_ops_s"));
+        assert_eq!(rep.exit_code(false), 1);
+        assert_eq!(rep.exit_code(true), 0, "--schema-only ignores regressions");
+    }
+
+    #[test]
+    fn latency_climb_past_threshold_regresses() {
+        let rep = diff(&kv(100_000.0, 4096.0), &kv(100_000.0, 9000.0), 0.2);
+        assert_eq!(rep.regressions.len(), 1);
+        assert!(rep.regressions[0].path.ends_with("p99_ns"));
+        assert!((rep.regressions[0].ratio - 9000.0 / 4096.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_is_never_a_regression() {
+        let rep = diff(&kv(100_000.0, 4096.0), &kv(300_000.0, 100.0), 0.2);
+        assert!(rep.regressions.is_empty());
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_schema_errors() {
+        let base = parse(r#"{"a": 1, "p99_ns": 2}"#).unwrap();
+        let new = parse(r#"{"a": 1, "b": 3}"#).unwrap();
+        let rep = diff(&base, &new, 0.2);
+        assert_eq!(rep.schema_errors.len(), 2);
+        assert_eq!(
+            rep.exit_code(true),
+            2,
+            "schema drift fails even schema-only"
+        );
+    }
+
+    #[test]
+    fn type_and_identity_changes_are_schema_errors() {
+        let base = parse(r#"{"mix": "A", "x": 1, "arr": [1, 2]}"#).unwrap();
+        let new = parse(r#"{"mix": "B", "x": "one", "arr": [1]}"#).unwrap();
+        let rep = diff(&base, &new, 0.2);
+        let msgs = rep.schema_errors.join("\n");
+        assert!(msgs.contains("$.mix"), "{msgs}");
+        assert!(msgs.contains("$.x: type number -> string"), "{msgs}");
+        assert!(msgs.contains("$.arr: array length 2 -> 1"), "{msgs}");
+    }
+
+    #[test]
+    fn optional_cells_may_toggle_null() {
+        let base = parse(r#"{"chosen_capacity": [24, null]}"#).unwrap();
+        let new = parse(r#"{"chosen_capacity": [null, 25]}"#).unwrap();
+        let rep = diff(&base, &new, 0.2);
+        assert!(rep.schema_errors.is_empty(), "{:?}", rep.schema_errors);
+    }
+}

@@ -14,6 +14,7 @@ use nvcache_kvstore::{
     load, run, AdaptConfig, KeyDist, KvConfig, KvStore, Mix, ShardConfig, YcsbConfig,
 };
 use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
+use nvcache_telemetry::{convergence, CapacityEvent, ConvergenceConfig, HistId, Histogram};
 
 /// Shards in the grid (acceptance floor: ≥ 4).
 const SHARDS: usize = 4;
@@ -81,6 +82,13 @@ struct PathRun {
     caps: Vec<Option<usize>>,
     online: Vec<Option<usize>>,
     offline: Vec<Option<usize>>,
+    /// Merged get+put+put_many latency percentiles (ns).
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    /// Per-shard windows-to-knee from the live controller's decision
+    /// stream (SC only).
+    wtk: Vec<Option<usize>>,
 }
 
 /// Run the YCSB grid (mixes A/B/C × ER/AT/SC-adaptive at [`SHARDS`]
@@ -122,9 +130,11 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
             "Kops/s",
             "x sync",
             "flush ratio",
+            "p50/p99/p999 ns",
             "capacity/shard",
             "online knee",
             "offline knee",
+            "wins-to-knee",
         ],
     );
     let mut records = Vec::new();
@@ -164,6 +174,7 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                         batch: BATCH,
                         target_ops_per_sec: None,
                         windows: 1,
+                        ..Default::default()
                     },
                 );
                 rep.windows.iter().map(|w| w.stats).sum()
@@ -204,6 +215,8 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                         batch: BATCH,
                         target_ops_per_sec: None,
                         windows: 4,
+                        latency: true,
+                        ..Default::default()
                     },
                 );
                 total_ops = rep.ops;
@@ -211,9 +224,18 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                 // live-controller outcomes (SC only): chosen capacity +
                 // online knee per shard, and the offline exact-Mattson
                 // knee over the same recorded window
+                // merged op-latency percentiles over every span kind the
+                // workers record (get + put + batched put_many)
+                let lat = rep.latency.as_ref().expect("latency recording on");
+                let mut merged = Histogram::new();
+                for id in [HistId::KvGetNs, HistId::KvPutNs, HistId::KvPutManyNs] {
+                    merged.merge(lat.hist(id));
+                }
+                let (p50, p99, p999) = merged.percentiles();
                 let mut caps: Vec<Option<usize>> = vec![None; SHARDS];
                 let mut online: Vec<Option<usize>> = vec![None; SHARDS];
                 let mut offline: Vec<Option<usize>> = vec![None; SHARDS];
+                let mut wtk: Vec<Option<usize>> = vec![None; SHARDS];
                 if cell.policy_label == "SC" {
                     for s in 0..SHARDS {
                         store.with_shard(s, |sh| {
@@ -221,6 +243,20 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                                 caps[s] = Some(c.capacity);
                                 online[s] = Some(c.knee);
                             }
+                            // convergence over the shard's full decision
+                            // stream: how many MRC windows until the
+                            // controller landed on (and kept) the knee
+                            let evs: Vec<CapacityEvent> = sh
+                                .chosen()
+                                .iter()
+                                .map(|c| CapacityEvent {
+                                    t: c.op,
+                                    knee: c.knee as u64,
+                                    capacity: c.capacity as u64,
+                                })
+                                .collect();
+                            wtk[s] = convergence::analyze(&evs, &ConvergenceConfig::default())
+                                .windows_to_knee;
                             if let Some(w) = sh.stream().and_then(|st| st.get(..burst)) {
                                 offline[s] = Some(select_cache_size(
                                     &lru_mrc(w, knee_cfg.max_size),
@@ -237,6 +273,10 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                     caps,
                     online,
                     offline,
+                    p50,
+                    p99,
+                    p999,
+                    wtk,
                 };
                 let slot = &mut best[pipelined as usize];
                 if slot.as_ref().is_none_or(|b| this.throughput > b.throughput) {
@@ -269,27 +309,35 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                 format!("{:.0}", r.throughput / 1e3),
                 format!("{speedup:.2}"),
                 format!("{flush_ratio:.4}"),
+                format!("{}/{}/{}", r.p50, r.p99, r.p999),
                 fmt_opt(&r.caps),
                 fmt_opt(&r.online),
                 fmt_opt(&r.offline),
+                fmt_opt(&r.wtk),
             ]);
             records.push(format!(
                 "    {{\"mix\": {}, \"policy\": {}, \"flush_path\": {}, \
                  \"throughput_ops_s\": {:.0}, \"speedup_vs_sync\": {:.4}, \
                  \"flush_ratio\": {:.6}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
                  \"store_lines\": {}, \"data_flushes\": {}, \
-                 \"chosen_capacity\": {}, \"online_knee\": {}, \"offline_knee\": {}}}",
+                 \"chosen_capacity\": {}, \"online_knee\": {}, \"offline_knee\": {}, \
+                 \"windows_to_knee\": {}}}",
                 json_str(cell.mix.label()),
                 json_str(cell.policy_label),
                 json_str(r.path),
                 r.throughput,
                 speedup,
                 flush_ratio,
+                r.p50,
+                r.p99,
+                r.p999,
                 r.serving.store_lines,
                 r.serving.data_flushes,
                 json_opt_list(&r.caps),
                 json_opt_list(&r.online),
                 json_opt_list(&r.offline),
+                json_opt_list(&r.wtk),
             ));
         }
     }

@@ -10,7 +10,9 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod diff;
 pub mod experiments;
+pub mod jsonv;
 pub mod pool;
 pub mod report;
 pub mod telemetry;

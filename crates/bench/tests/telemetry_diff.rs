@@ -1,0 +1,82 @@
+//! End-to-end check of the `repro telemetry-diff` exit-code contract:
+//! clean pair → 0, injected wall-clock regression → 1 (but 0 under
+//! `--schema-only`), schema drift → 2 always. This is the acceptance
+//! gate for the CI telemetry-smoke step, which runs the schema-only
+//! form on two smoke kv-bench passes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BASE: &str = r#"{
+  "experiment": "kv_ycsb",
+  "results": [
+    {"mix": "A", "policy": "SC", "flush_path": "sync",
+     "throughput_ops_s": 100000, "p50_ns": 900, "p99_ns": 4096,
+     "p999_ns": 9000, "windows_to_knee": [1, 1, 2, 1]}
+  ]
+}"#;
+
+fn write_tmp(name: &str, text: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("repro_tdiff_{}_{name}.json", std::process::id()));
+    std::fs::write(&p, text).expect("write temp artifact");
+    p
+}
+
+fn run_diff(base: &PathBuf, new: &PathBuf, extra: &[&str]) -> i32 {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("telemetry-diff")
+        .arg(base)
+        .arg(new)
+        .args(extra)
+        .output()
+        .expect("spawn repro");
+    out.status.code().expect("exit code")
+}
+
+#[test]
+fn identical_artifacts_exit_zero() {
+    let a = write_tmp("id_a", BASE);
+    let b = write_tmp("id_b", BASE);
+    assert_eq!(run_diff(&a, &b, &[]), 0);
+    assert_eq!(run_diff(&a, &b, &["--json"]), 0);
+}
+
+#[test]
+fn injected_regression_exits_nonzero() {
+    let slow = BASE
+        .replace(
+            "\"throughput_ops_s\": 100000",
+            "\"throughput_ops_s\": 60000",
+        )
+        .replace("\"p99_ns\": 4096", "\"p99_ns\": 20000");
+    let a = write_tmp("reg_a", BASE);
+    let b = write_tmp("reg_b", &slow);
+    assert_eq!(
+        run_diff(&a, &b, &[]),
+        1,
+        "20% threshold must flag a 40% drop"
+    );
+    // a generous threshold tolerates the same pair
+    assert_eq!(run_diff(&a, &b, &["--threshold", "5.0"]), 0);
+    // schema-only mode ignores wall-clock moves entirely
+    assert_eq!(run_diff(&a, &b, &["--schema-only"]), 0);
+}
+
+#[test]
+fn schema_drift_exits_two_even_schema_only() {
+    let drifted = BASE.replace("\"p999_ns\": 9000, ", "");
+    let a = write_tmp("sch_a", BASE);
+    let b = write_tmp("sch_b", &drifted);
+    assert_eq!(run_diff(&a, &b, &[]), 2);
+    assert_eq!(run_diff(&a, &b, &["--schema-only"]), 2);
+}
+
+#[test]
+fn unreadable_or_invalid_input_exits_two() {
+    let a = write_tmp("bad_a", BASE);
+    let b = write_tmp("bad_b", "{ not json");
+    assert_eq!(run_diff(&a, &b, &[]), 2);
+    let missing = PathBuf::from("/nonexistent/never.json");
+    assert_eq!(run_diff(&a, &missing, &[]), 2);
+}

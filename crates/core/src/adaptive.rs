@@ -143,6 +143,10 @@ impl PersistPolicy for AdaptiveScPolicy {
         "SC"
     }
 
+    fn sc_capacity(&self) -> Option<usize> {
+        Some(self.capacity())
+    }
+
     #[inline]
     fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
         if self.cfg.external_control {

@@ -31,8 +31,8 @@
 use crate::policy::{PersistPolicy, PolicyKind, StoreOutcome};
 use nvcache_cachesim::{Machine, MachineConfig, MachineReport};
 use nvcache_telemetry::{
-    CounterId, EventKind, HistId, NullRecorder, Recorder, TelemetryConfig, TelemetrySnapshot,
-    ThreadRecorder,
+    CounterId, EventKind, HistId, NullRecorder, Recorder, Sample, TelemetryConfig,
+    TelemetrySnapshot, ThreadRecorder,
 };
 use nvcache_trace::{Event, ThreadTrace, Trace};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -571,6 +571,13 @@ fn replay_thread<P: PersistPolicy + ?Sized, R: Recorder>(
     let mut buf = Vec::with_capacity(FLUSH_BUF_CAPACITY);
     let mut fase_stores = 0u64;
     let mut batch = StoreBatch::default();
+    // runtime-sampler state (recorder-on only): FASE ordinal drives the
+    // cadence; hit/miss running totals survive the per-chunk batch
+    // drain. Everything sampled is a pure function of the workload
+    // (simulated cycles, queue depth, counters) — never wall-clock — so
+    // parallel replay snapshots stay bit-identical to sequential.
+    let mut fases = 0u64;
+    let (mut cum_hits, mut cum_misses) = (0u64, 0u64);
     for chunk in thread.events.chunks(REPLAY_CHUNK) {
         for e in chunk {
             match e {
@@ -589,10 +596,12 @@ fn replay_thread<P: PersistPolicy + ?Sized, R: Recorder>(
                         match outcome {
                             StoreOutcome::Combined => {
                                 batch.hits += 1;
+                                cum_hits += 1;
                                 rec.emit(EventKind::ScHit, m.now(), l.0, 0);
                             }
                             StoreOutcome::Inserted => {
                                 batch.misses += 1;
+                                cum_misses += 1;
                                 rec.emit(EventKind::ScInsert, m.now(), l.0, 0);
                             }
                         }
@@ -641,6 +650,21 @@ fn replay_thread<P: PersistPolicy + ?Sized, R: Recorder>(
                             rec.observe(HistId::FaseStores, fase_stores);
                             rec.emit(EventKind::QueueDrain, m.now(), drain_stall, 0);
                             rec.emit(EventKind::FaseEnd, m.now(), fase_stores, n);
+                            fases += 1;
+                            if rec.sample_due(fases) {
+                                let total = cum_hits + cum_misses;
+                                rec.sample(Sample {
+                                    t: m.now(),
+                                    tid: tid as u32,
+                                    ring_depth: m.queue_depth() as u64,
+                                    capacity: policy.sc_capacity().map_or(0, |c| c as u64),
+                                    hit_ratio_bp: (cum_hits * 10_000)
+                                        .checked_div(total)
+                                        .unwrap_or(0)
+                                        as u32,
+                                    stalls: m.fase_stall_cycles(),
+                                });
+                            }
                         } else {
                             drain_fase_buf(&mut m, &mut buf, cfg.flush_path, rec);
                             m.fence();

@@ -62,6 +62,13 @@ pub trait PersistPolicy {
         None
     }
 
+    /// Current software-cache capacity in lines; `None` for policies
+    /// without a resizable cache. The runtime sampler reads this to put
+    /// the live capacity on its time series. Default: no cache.
+    fn sc_capacity(&self) -> Option<usize> {
+        None
+    }
+
     /// Forget all buffered state (used between runs).
     fn reset(&mut self);
 }
@@ -249,6 +256,11 @@ impl PersistPolicy for Policy {
     #[inline]
     fn take_capacity_change(&mut self) -> Option<(usize, usize)> {
         each_variant!(self, p => p.take_capacity_change())
+    }
+
+    #[inline]
+    fn sc_capacity(&self) -> Option<usize> {
+        Policy::sc_capacity(self)
     }
 
     #[inline]

@@ -67,6 +67,10 @@ impl PersistPolicy for ScPolicy {
         "SC-offline"
     }
 
+    fn sc_capacity(&self) -> Option<usize> {
+        Some(self.capacity())
+    }
+
     #[inline]
     fn on_store(&mut self, line: Line, out: &mut Vec<Line>) -> StoreOutcome {
         match self.cache.touch(line) {

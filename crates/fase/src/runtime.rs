@@ -17,7 +17,8 @@ use nvcache_pmem::{
     CrashMode, CrashPlan, FlushRing, PAlloc, PmemRegion, RingStats, SlabAlloc, SlabStats,
 };
 use nvcache_telemetry::{
-    CounterId, EventKind, HistId, Recorder, TelemetryConfig, TelemetrySnapshot, ThreadRecorder,
+    Clock, ClockSource, CounterId, EventKind, HistId, Recorder, Sample, TelemetryConfig,
+    TelemetrySnapshot, ThreadRecorder,
 };
 use nvcache_trace::{Line, StoreSink, ThreadTrace, TraceRecorder};
 
@@ -147,6 +148,16 @@ pub struct FaseRuntime {
     /// Optional telemetry shard (one branch per store when disabled);
     /// timeline time axis = store-line ordinal.
     telemetry: Option<ThreadRecorder>,
+    /// Span-timing clock; swap in a [`ClockSource::fake`] for
+    /// deterministic latency tests. Only read when telemetry is on.
+    clock: ClockSource,
+    /// Ring-full inline-drain fallbacks (the pipelined path's stall
+    /// analog, reported by the runtime sampler).
+    ring_fallbacks: u64,
+    /// Wall nanoseconds the most recent recovery took
+    /// (`try_reopen`/`reopen` or `crash_and_recover`); `None` until one
+    /// runs.
+    last_recovery_ns: Option<u64>,
     /// Log bytes used when the current outermost FASE began.
     fase_log_start: u64,
     /// Store lines inside the current outermost FASE.
@@ -197,6 +208,9 @@ impl FaseRuntime {
             stats: FaseStats::default(),
             stats_taken: FaseStats::default(),
             telemetry: None,
+            clock: ClockSource::mono(),
+            ring_fallbacks: 0,
+            last_recovery_ns: None,
             fase_log_start: 0,
             fase_store_lines: 0,
             flush_mode: FlushMode::Sync,
@@ -253,9 +267,12 @@ impl FaseRuntime {
         log_len: usize,
         policy: &PolicyKind,
     ) -> Result<Self, RecoveryError> {
+        let clock = ClockSource::mono();
+        let t0 = clock.now_ns();
         let data_len = data_len.div_ceil(64) * 64;
         let mut log = UndoLog::open(&region, data_len, log_len)?;
         let rolled = log.recover(&mut region)?;
+        let recovery_ns = clock.now_ns().saturating_sub(t0);
         let heap = PAlloc::open(&region);
         let mut stats = FaseStats::default();
         if rolled > 0 {
@@ -275,6 +292,9 @@ impl FaseRuntime {
             stats,
             stats_taken: FaseStats::default(),
             telemetry: None,
+            clock,
+            ring_fallbacks: 0,
+            last_recovery_ns: Some(recovery_ns),
             fase_log_start: 0,
             fase_store_lines: 0,
             flush_mode: FlushMode::Sync,
@@ -314,6 +334,18 @@ impl FaseRuntime {
         self.telemetry
             .take()
             .map(|rec| TelemetrySnapshot::from_threads(vec![rec]))
+    }
+
+    /// Replace the span-timing clock (tests install a
+    /// [`ClockSource::fake`] for deterministic latency histograms).
+    pub fn set_clock(&mut self, clock: ClockSource) {
+        self.clock = clock;
+    }
+
+    /// Wall nanoseconds the most recent recovery took (`try_reopen` or
+    /// [`FaseRuntime::crash_and_recover`]); `None` until one runs.
+    pub fn last_recovery_ns(&self) -> Option<u64> {
+        self.last_recovery_ns
     }
 
     /// Usable data bytes.
@@ -456,6 +488,7 @@ impl FaseRuntime {
                     if !self.ring.submit(line.0) {
                         // inline-drain fallback: single-thread mode
                         // empties the full ring, then the submit retries
+                        self.ring_fallbacks += 1;
                         self.ring.drain_all(&mut self.region);
                         let ok = self.ring.submit(line.0);
                         debug_assert!(ok, "ring accepts after a full drain");
@@ -501,14 +534,30 @@ impl FaseRuntime {
             r.fase_end();
         }
         if self.depth == 1 {
+            // span-time the whole commit (and the ring drain within it);
+            // the clock is only read when telemetry is live
+            let commit_t0 = if self.telemetry.is_some() {
+                self.clock.now_ns()
+            } else {
+                0
+            };
             self.policy.on_fase_end(&mut self.flush_buf);
             let n = self.emit_flushes();
             if self.flush_mode == FlushMode::Pipelined {
                 // pipelined commit: publish the epoch fence token, then
                 // retire everything submitted ≤ token as coalesced
                 // ranged sweeps — instead of the blocking per-line loop
+                let drain_t0 = if self.telemetry.is_some() {
+                    self.clock.now_ns()
+                } else {
+                    0
+                };
                 let token = self.ring.fence_token();
                 self.ring.drain_upto(token, &mut self.region);
+                if let Some(tel) = &mut self.telemetry {
+                    let dt = self.clock.now_ns().saturating_sub(drain_t0);
+                    tel.observe(HistId::RingDrainNs, dt);
+                }
             }
             self.region.fence();
             self.stats.fences += 1;
@@ -536,6 +585,33 @@ impl FaseRuntime {
             #[cfg(debug_assertions)]
             self.prelog_ranges.clear();
             self.stats.fases += 1;
+            if self.telemetry.is_some() {
+                let fases = self.stats.fases;
+                let t = self.stats.store_lines;
+                let ring_depth = self.ring.pending() as u64;
+                let capacity = self.policy.sc_capacity().map_or(0, |c| c as u64);
+                let stalls = self.ring_fallbacks;
+                if let Some(tel) = &mut self.telemetry {
+                    let dt = self.clock.now_ns().saturating_sub(commit_t0);
+                    tel.observe(HistId::FaseCommitNs, dt);
+                    // runtime sampler: one time-series point every
+                    // `sample_every` FASEs (time axis = store-line
+                    // ordinal, like the event timeline)
+                    if tel.sample_due(fases) {
+                        let hits = tel.counter(CounterId::ScHits);
+                        let misses = tel.counter(CounterId::ScMisses);
+                        let total = hits + misses;
+                        tel.sample(Sample {
+                            t,
+                            tid: tel.tid(),
+                            ring_depth,
+                            capacity,
+                            hit_ratio_bp: (hits * 10_000).checked_div(total).unwrap_or(0) as u32,
+                            stalls,
+                        });
+                    }
+                }
+            }
         }
         self.depth -= 1;
     }
@@ -698,6 +774,7 @@ impl FaseRuntime {
     /// runtime continues over the recovered state. Any open FASE is
     /// rolled back (all-or-nothing).
     pub fn crash_and_recover(&mut self, mode: &CrashMode) {
+        let recovery_t0 = self.clock.now_ns();
         self.region.crash(mode);
         self.depth = 0;
         self.flush_buf.clear();
@@ -731,6 +808,11 @@ impl FaseRuntime {
                     self.region.stats().crashes,
                 );
             }
+        }
+        let recovery_ns = self.clock.now_ns().saturating_sub(recovery_t0);
+        self.last_recovery_ns = Some(recovery_ns);
+        if let Some(tel) = &mut self.telemetry {
+            tel.observe(HistId::RecoveryNs, recovery_ns);
         }
     }
 
@@ -953,6 +1035,93 @@ mod tests {
         assert_eq!(h.count, 10, "one sample per FASE");
         assert_eq!(h.max, 60, "5 reps × 12 lines");
         assert!(r.take_telemetry().is_none(), "drained");
+    }
+
+    #[test]
+    fn commit_spans_are_deterministic_under_fake_clock() {
+        use nvcache_telemetry::HistId;
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.enable_telemetry(&TelemetryConfig::default());
+        // every clock read advances by exactly 10ns: a sync-mode commit
+        // reads the clock twice (start + observe), so each FaseCommitNs
+        // sample is exactly 10
+        r.set_clock(ClockSource::fake(0, 10));
+        for i in 0..4 {
+            r.fase(|r| r.store_u64(i * 8, i as u64));
+        }
+        let snap = r.take_telemetry().unwrap();
+        let h = snap.hist(HistId::FaseCommitNs);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 40, "10ns per commit, deterministic");
+        assert_eq!(h.max, 10);
+        let (p50, p99, p999) = h.percentiles();
+        assert_eq!((p50, p99, p999), (10, 10, 10));
+        assert!(
+            snap.hist(HistId::RingDrainNs).is_empty(),
+            "sync mode never drains the ring"
+        );
+    }
+
+    #[test]
+    fn pipelined_commits_record_ring_drain_spans() {
+        use nvcache_telemetry::HistId;
+        let mut r = rt(PolicyKind::Lazy);
+        r.set_flush_mode(FlushMode::Pipelined);
+        r.enable_telemetry(&TelemetryConfig::default());
+        r.set_clock(ClockSource::fake(0, 5));
+        for i in 0..3 {
+            r.fase(|r| r.store_u64(i * 64, 7));
+        }
+        let snap = r.take_telemetry().unwrap();
+        assert_eq!(snap.hist(HistId::RingDrainNs).count, 3);
+        assert_eq!(snap.hist(HistId::FaseCommitNs).count, 3);
+        // the drain span nests inside the commit span
+        assert!(snap.hist(HistId::FaseCommitNs).max >= snap.hist(HistId::RingDrainNs).max);
+    }
+
+    #[test]
+    fn recovery_is_span_timed() {
+        use nvcache_telemetry::HistId;
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.enable_telemetry(&TelemetryConfig::default());
+        r.set_clock(ClockSource::fake(0, 3));
+        assert_eq!(r.last_recovery_ns(), None);
+        r.fase(|r| r.store_u64(0, 1));
+        r.crash_and_recover(&CrashMode::StrictDurableOnly);
+        assert!(r.last_recovery_ns().is_some());
+        let snap = r.take_telemetry().unwrap();
+        assert_eq!(snap.hist(HistId::RecoveryNs).count, 1);
+    }
+
+    #[test]
+    fn reopen_records_recovery_duration() {
+        let mut r = rt(PolicyKind::Lazy);
+        r.fase(|r| r.store_u64(0, 42));
+        let region = r.into_region();
+        let r2 = FaseRuntime::reopen(region, 1 << 16, 1 << 16, &PolicyKind::Lazy);
+        assert!(r2.last_recovery_ns().is_some(), "reopen timed its recovery");
+    }
+
+    #[test]
+    fn runtime_sampler_emits_series_at_fase_cadence() {
+        let cfg = TelemetryConfig {
+            sample_every: 8,
+            ..Default::default()
+        };
+        let mut r = rt(PolicyKind::ScFixed { capacity: 8 });
+        r.enable_telemetry(&cfg);
+        for i in 0..32 {
+            r.fase(|r| r.store_u64((i % 16) * 8, i as u64));
+        }
+        let snap = r.take_telemetry().unwrap();
+        assert_eq!(snap.series.len(), 4, "32 FASEs / cadence 8");
+        for s in &snap.series {
+            assert_eq!(s.capacity, 8, "ScFixed capacity on the series");
+            assert!(s.hit_ratio_bp <= 10_000);
+            assert_eq!(s.ring_depth, 0, "sync mode keeps the ring empty");
+        }
+        // time axis is the store-line ordinal: strictly increasing here
+        assert!(snap.series.windows(2).all(|w| w[0].t < w[1].t));
     }
 
     #[test]

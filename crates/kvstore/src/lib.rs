@@ -49,5 +49,5 @@ pub mod ycsb;
 pub use shard::{AdaptConfig, CapacityChoice, Shard, ShardConfig, MAX_VALUE_LEN};
 pub use store::{KvConfig, KvStore};
 pub use ycsb::{
-    load, run, value_bytes, KeyDist, Mix, WindowStats, YcsbConfig, YcsbReport, Zipfian,
+    load, run, value_bytes, KeyDist, Mix, ThetaShift, WindowStats, YcsbConfig, YcsbReport, Zipfian,
 };

@@ -12,9 +12,13 @@
 //! [`Shard::take_stats`]: crate::shard::Shard::take_stats
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use nvcache_fase::FaseStats;
+use nvcache_telemetry::{
+    MonoClock, Recorder, SpanId, TelemetryConfig, TelemetrySnapshot, ThreadRecorder,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -111,6 +115,21 @@ impl Zipfian {
     }
 }
 
+/// A single mid-run change of the zipfian skew: the minimal workload
+/// phase shift the adaptation-convergence checker needs. After
+/// `at_frac` of each worker's ops, key popularity switches to a
+/// zipfian with the new `theta` (regardless of the initial
+/// distribution), moving the working-set knee so the controller must
+/// re-find it. A fuller non-stationary suite is future work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThetaShift {
+    /// Fraction of each worker's ops after which the shift happens
+    /// (clamped into `[0, 1]`).
+    pub at_frac: f64,
+    /// Post-shift zipfian theta (must satisfy `0 < theta < 1`).
+    pub theta: f64,
+}
+
 /// Shape of one benchmark run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct YcsbConfig {
@@ -140,6 +159,14 @@ pub struct YcsbConfig {
     pub target_ops_per_sec: Option<f64>,
     /// Stat windows sampled live during the run.
     pub windows: usize,
+    /// Optional single mid-run zipfian skew change (workload phase
+    /// shift for convergence measurement).
+    pub theta_shift: Option<ThetaShift>,
+    /// Span-time every op into per-worker latency histograms
+    /// (`kv_get_ns`/`kv_put_ns`/`kv_put_many_ns`), merged in tid order
+    /// into [`YcsbReport::latency`]. Off by default: the timed closed
+    /// loop stays free of clock reads.
+    pub latency: bool,
 }
 
 impl Default for YcsbConfig {
@@ -155,6 +182,8 @@ impl Default for YcsbConfig {
             batch: 1,
             target_ops_per_sec: None,
             windows: 8,
+            theta_shift: None,
+            latency: false,
         }
     }
 }
@@ -190,6 +219,9 @@ pub struct YcsbReport {
     /// Live per-window stats (flush ratio per window via
     /// [`FaseStats::flush_ratio`]).
     pub windows: Vec<WindowStats>,
+    /// Merged per-op latency telemetry (worker shards merged in tid
+    /// order); `Some` iff [`YcsbConfig::latency`] was set.
+    pub latency: Option<TelemetrySnapshot>,
 }
 
 /// Deterministic value bytes for `(key, version)`.
@@ -215,6 +247,24 @@ pub fn load(store: &KvStore, keys: usize, value_len: usize) -> usize {
         .count()
 }
 
+/// Run `f` under a latency span when a recorder is live (the span
+/// guard reads the clock twice); plain call otherwise.
+#[inline]
+fn timed<T>(
+    rec: &mut Option<ThreadRecorder>,
+    clock: &MonoClock,
+    id: SpanId,
+    f: impl FnOnce() -> T,
+) -> T {
+    match rec {
+        Some(r) => {
+            let _g = r.span(clock, id);
+            f()
+        }
+        None => f(),
+    }
+}
+
 /// Run the timed phase of `cfg` against `store` (already loaded).
 ///
 /// Closed loop by default; set [`YcsbConfig::target_ops_per_sec`] for
@@ -226,7 +276,15 @@ pub fn run(store: &KvStore, cfg: &YcsbConfig) -> YcsbReport {
         KeyDist::Zipfian { theta } => Some(Zipfian::new(cfg.keys.max(2), theta)),
         KeyDist::Uniform => None,
     };
+    // the post-shift sampler (precomputed once; zetan is O(keys))
+    let zipf_shifted = cfg
+        .theta_shift
+        .map(|s| Zipfian::new(cfg.keys.max(2), s.theta));
+    let shift_at = cfg
+        .theta_shift
+        .map(|s| (s.at_frac.clamp(0.0, 1.0) * cfg.ops_per_worker as f64) as usize);
     let (read_f, update_f, _) = cfg.mix.fractions();
+    let recorders: Mutex<Vec<ThreadRecorder>> = Mutex::new(Vec::new());
     let completed = AtomicU64::new(0);
     let next_key = AtomicU64::new(cfg.keys as u64);
     let reads = AtomicU64::new(0);
@@ -247,22 +305,29 @@ pub fn run(store: &KvStore, cfg: &YcsbConfig) -> YcsbReport {
     std::thread::scope(|scope| {
         for w in 0..cfg.workers {
             let zipf = zipf.clone();
+            let zipf_shifted = zipf_shifted.clone();
             let (completed, next_key) = (&completed, &next_key);
             let (reads, updates, inserts) = (&reads, &updates, &inserts);
             let (not_found, rejected) = (&not_found, &rejected);
+            let recorders = &recorders;
             scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(
                     cfg.seed ^ (w as u64).wrapping_mul(0xa076_1d64_78bd_642f),
                 );
                 let pace = cfg.target_ops_per_sec.map(|r| (Instant::now(), r));
+                let clock = MonoClock::new();
+                let mut rec = cfg
+                    .latency
+                    .then(|| ThreadRecorder::new(w as u32, &TelemetryConfig::default()));
                 // group-commit buffer (batch > 1): writes park here and
                 // land together via put_many as one FASE per shard
                 let mut pending: Vec<(u64, Vec<u8>)> = Vec::new();
-                let flush = |pending: &mut Vec<(u64, Vec<u8>)>| {
+                let flush = |pending: &mut Vec<(u64, Vec<u8>)>,
+                             rec: &mut Option<ThreadRecorder>| {
                     if pending.is_empty() {
                         return;
                     }
-                    if !store.put_many(pending) {
+                    if !timed(rec, &clock, SpanId::KvPutMany, || store.put_many(pending)) {
                         rejected.fetch_add(pending.len() as u64, Ordering::Relaxed);
                     }
                     completed.fetch_add(pending.len() as u64, Ordering::Relaxed);
@@ -276,14 +341,21 @@ pub fn run(store: &KvStore, cfg: &YcsbConfig) -> YcsbReport {
                             std::hint::spin_loop();
                         }
                     }
-                    let key = match &zipf {
+                    // after the phase shift, key popularity follows the
+                    // shifted zipfian (every worker shifts at the same
+                    // local op index: deterministic per worker)
+                    let sampler = match (&zipf_shifted, shift_at) {
+                        (Some(z2), Some(at)) if i >= at => Some(z2),
+                        _ => zipf.as_ref(),
+                    };
+                    let key = match sampler {
                         Some(z) => z.rank(rng.gen::<f64>()),
                         None => rng.gen_range(0..cfg.keys as u64),
                     };
                     let r = rng.gen::<f64>();
                     if r < read_f {
                         reads.fetch_add(1, Ordering::Relaxed);
-                        if store.get(key).is_none() {
+                        if timed(&mut rec, &clock, SpanId::KvGet, || store.get(key)).is_none() {
                             not_found.fetch_add(1, Ordering::Relaxed);
                         }
                         completed.fetch_add(1, Ordering::Relaxed);
@@ -300,16 +372,19 @@ pub fn run(store: &KvStore, cfg: &YcsbConfig) -> YcsbReport {
                     if cfg.batch > 1 {
                         pending.push((k, v));
                         if pending.len() >= cfg.batch {
-                            flush(&mut pending);
+                            flush(&mut pending, &mut rec);
                         }
                     } else {
-                        if !store.put(k, &v) {
+                        if !timed(&mut rec, &clock, SpanId::KvPut, || store.put(k, &v)) {
                             rejected.fetch_add(1, Ordering::Relaxed);
                         }
                         completed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                flush(&mut pending);
+                flush(&mut pending, &mut rec);
+                if let Some(r) = rec {
+                    recorders.lock().unwrap_or_else(|e| e.into_inner()).push(r);
+                }
             });
         }
         // live window scraping while the workers serve
@@ -335,6 +410,13 @@ pub fn run(store: &KvStore, cfg: &YcsbConfig) -> YcsbReport {
             stats: tail,
         });
     }
+    // merge worker latency shards in tid order (the snapshot
+    // determinism contract; arrival order here is scheduling-dependent)
+    let latency = cfg.latency.then(|| {
+        let mut shards = recorders.into_inner().unwrap_or_else(|e| e.into_inner());
+        shards.sort_by_key(|r| r.tid());
+        TelemetrySnapshot::from_threads(shards)
+    });
     YcsbReport {
         ops: total_ops,
         reads: reads.into_inner(),
@@ -345,6 +427,7 @@ pub fn run(store: &KvStore, cfg: &YcsbConfig) -> YcsbReport {
         elapsed_secs: elapsed,
         throughput_ops_per_sec: total_ops as f64 / elapsed.max(1e-9),
         windows,
+        latency,
     }
 }
 
@@ -495,6 +578,112 @@ mod tests {
             rep.elapsed_secs >= 0.018,
             "open loop must pace: {}s",
             rep.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn latency_recording_spans_every_op() {
+        use nvcache_telemetry::HistId;
+        let store = small_store(2);
+        load(&store, 200, 24);
+        let rep = run(
+            &store,
+            &YcsbConfig {
+                keys: 200,
+                ops_per_worker: 400,
+                workers: 2,
+                mix: Mix::A,
+                value_len: 24,
+                windows: 0,
+                latency: true,
+                ..Default::default()
+            },
+        );
+        let snap = rep.latency.expect("latency snapshot requested");
+        assert_eq!(snap.threads, 2, "one shard per worker");
+        assert_eq!(snap.hist(HistId::KvGetNs).count, rep.reads);
+        assert_eq!(
+            snap.hist(HistId::KvPutNs).count,
+            rep.updates + rep.inserts,
+            "batch=1: every write is one put span"
+        );
+        assert!(snap.hist(HistId::KvPutManyNs).is_empty());
+        let (p50, p99, p999) = snap.hist(HistId::KvGetNs).percentiles();
+        assert!(p50 <= p99 && p99 <= p999);
+    }
+
+    #[test]
+    fn batched_runs_record_put_many_spans() {
+        use nvcache_telemetry::HistId;
+        let store = small_store(2);
+        load(&store, 200, 24);
+        let rep = run(
+            &store,
+            &YcsbConfig {
+                keys: 200,
+                ops_per_worker: 400,
+                workers: 1,
+                mix: Mix::A,
+                value_len: 24,
+                batch: 32,
+                windows: 0,
+                latency: true,
+                ..Default::default()
+            },
+        );
+        let snap = rep.latency.unwrap();
+        assert!(snap.hist(HistId::KvPutManyNs).count > 0);
+        assert!(snap.hist(HistId::KvPutNs).is_empty(), "writes all batched");
+    }
+
+    #[test]
+    fn latency_off_reports_none() {
+        let store = small_store(2);
+        load(&store, 100, 16);
+        let rep = run(
+            &store,
+            &YcsbConfig {
+                keys: 100,
+                ops_per_worker: 100,
+                workers: 1,
+                value_len: 16,
+                windows: 0,
+                ..Default::default()
+            },
+        );
+        assert!(rep.latency.is_none());
+    }
+
+    #[test]
+    fn theta_shift_is_deterministic_and_changes_the_stream() {
+        let mk = |shift: Option<ThetaShift>| {
+            let store = small_store(2);
+            load(&store, 400, 24);
+            run(
+                &store,
+                &YcsbConfig {
+                    keys: 400,
+                    ops_per_worker: 600,
+                    workers: 1,
+                    mix: Mix::A,
+                    value_len: 24,
+                    seed: 77,
+                    windows: 0,
+                    theta_shift: shift,
+                    ..Default::default()
+                },
+            );
+            store.dump()
+        };
+        let shift = Some(ThetaShift {
+            at_frac: 0.5,
+            theta: 0.2,
+        });
+        assert_eq!(mk(shift), mk(shift), "shifted runs stay reproducible");
+        assert_ne!(
+            mk(shift),
+            mk(None),
+            "the shift must actually change the key stream"
         );
     }
 

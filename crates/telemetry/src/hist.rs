@@ -89,6 +89,64 @@ impl Histogram {
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }
+
+    /// Inclusive upper edge of bucket `i` (0, 1, 3, 7, …); the
+    /// saturated last bucket is capped by the largest sample seen so
+    /// the interpolation below never extrapolates past real data.
+    fn bucket_hi(&self, i: usize) -> u64 {
+        if i + 1 >= HIST_BUCKETS {
+            self.max
+        } else {
+            Self::bucket_lo(i + 1) - 1
+        }
+    }
+
+    /// Quantile `q` ∈ [0, 1] of the recorded samples.
+    ///
+    /// Walks the buckets to the one holding the rank-`ceil(q·count)`
+    /// sample and linearly interpolates within its `[lo, hi]` range —
+    /// exact to within one bucket's width, which at log2 granularity is
+    /// a ≤ 2x bound on the true order statistic. Conventions chosen for
+    /// robustness rather than surprise: an empty histogram reports 0,
+    /// `q` is clamped into [0, 1], `q = 0` resolves to the rank-1 sample
+    /// (low end of the first occupied bucket), `q = 1` reports `max`,
+    /// and the saturated top bucket interpolates toward `max` instead
+    /// of `u64::MAX`. The result never exceeds `max`.
+    pub fn p(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; q = 0 maps to rank 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = Self::bucket_lo(i);
+                let hi = self.bucket_hi(i).max(lo);
+                // Position of the target among this bucket's n samples.
+                let in_bucket = rank - seen;
+                if in_bucket == n {
+                    // bucket's last sample: exact integer edge, no f64
+                    // rounding near u64::MAX
+                    return hi.min(self.max);
+                }
+                let frac = in_bucket as f64 / n as f64;
+                let v = lo as f64 + (hi - lo) as f64 * frac;
+                return (v.round() as u64).min(self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// The (p50, p99, p999) triple used by the bench tables.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (self.p(0.50), self.p(0.99), self.p(0.999))
+    }
 }
 
 #[cfg(test)]
@@ -176,5 +234,124 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.max, 0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0, -1.0, 2.0] {
+            assert_eq!(h.p(q), 0, "q={q}");
+        }
+        assert_eq!(h.percentiles(), (0, 0, 0));
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample() {
+        for v in [0u64, 1, 7, 1000, u64::MAX] {
+            let mut h = Histogram::new();
+            h.observe(v);
+            for q in [0.0, 0.5, 0.999, 1.0] {
+                assert_eq!(h.p(q), v, "v={v} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_q_and_never_exceeds_max() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 16, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.p(-0.5), h.p(0.0));
+        assert_eq!(h.p(7.0), h.p(1.0));
+        assert_eq!(h.p(1.0), 1000);
+        for i in 0..=100 {
+            assert!(h.p(i as f64 / 100.0) <= h.max);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bucket_accurate() {
+        let mut h = Histogram::new();
+        // 90 small samples, 10 large ones: p50 must land in the small
+        // cluster's bucket range, p99 in the large one's.
+        for _ in 0..90 {
+            h.observe(10);
+        }
+        for _ in 0..10 {
+            h.observe(100_000);
+        }
+        let (p50, p99, p999) = h.percentiles();
+        assert!((8..16).contains(&p50), "p50={p50}");
+        assert!((65_536..=131_071).contains(&p99), "p99={p99}");
+        assert!(p50 <= p99 && p99 <= p999, "({p50}, {p99}, {p999})");
+        assert!(p999 <= h.max);
+    }
+
+    #[test]
+    fn saturated_top_bucket_interpolates_toward_max_not_u64_max() {
+        let mut h = Histogram::new();
+        let sat_lo = 1u64 << (HIST_BUCKETS - 2);
+        h.observe(sat_lo);
+        h.observe(sat_lo + 10);
+        h.observe(sat_lo + 20);
+        // all mass in the saturated bucket: quantiles interpolate in
+        // [sat_lo, max], never toward the bucket's notional u64::MAX end
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let p = h.p(q);
+            assert!(p >= sat_lo && p <= sat_lo + 20, "q={q} p={p}");
+        }
+        assert_eq!(h.p(1.0), sat_lo + 20);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Round-trip: every value lands in a bucket whose `[lo, hi]`
+        /// range contains it, and `bucket_lo(bucket_of(v)) <= v`.
+        #[test]
+        fn bucket_of_and_bucket_lo_round_trip(v in any::<u64>()) {
+            let i = Histogram::bucket_of(v);
+            prop_assert!(i < HIST_BUCKETS);
+            prop_assert!(Histogram::bucket_lo(i) <= v);
+            if i + 1 < HIST_BUCKETS {
+                // below the saturated bucket the next edge bounds v
+                prop_assert!(v < Histogram::bucket_lo(i + 1));
+            } else {
+                // the top bucket catches everything from its edge up
+                // to and including u64::MAX
+                prop_assert!(v >= Histogram::bucket_lo(HIST_BUCKETS - 1));
+            }
+        }
+
+        /// Every bucket edge maps back to its own bucket.
+        #[test]
+        fn bucket_lo_is_a_fixed_point(i in 0usize..HIST_BUCKETS) {
+            prop_assert_eq!(Histogram::bucket_of(Histogram::bucket_lo(i)), i);
+        }
+
+        /// Quantiles of arbitrary sample sets stay within [min-bucket
+        /// edge, max] and are monotone in q.
+        #[test]
+        fn quantiles_bounded_and_monotone(
+            samples in proptest::collection::vec(any::<u64>(), 1..200)
+        ) {
+            let mut h = Histogram::new();
+            for &s in &samples {
+                h.observe(s);
+            }
+            let mut last = 0u64;
+            for i in 0..=20 {
+                let p = h.p(i as f64 / 20.0);
+                prop_assert!(p <= h.max);
+                prop_assert!(p >= last, "quantiles must be monotone");
+                last = p;
+            }
+            prop_assert_eq!(h.p(1.0), h.max);
+        }
     }
 }

@@ -18,15 +18,23 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
+pub mod convergence;
 pub mod hist;
 pub mod recorder;
 pub mod ring;
+pub mod series;
 pub mod snapshot;
+pub mod span;
 
+pub use clock::{Clock, ClockSource, FakeClock, MonoClock};
+pub use convergence::{CapacityEvent, Convergence, ConvergenceConfig, ShiftReport};
 pub use hist::{Histogram, HIST_BUCKETS};
 pub use recorder::{
     CounterId, HistId, NullRecorder, Recorder, TelemetryConfig, ThreadRecorder, NUM_COUNTERS,
     NUM_HISTS,
 };
 pub use ring::{Event, EventKind, EventRing};
+pub use series::{Sample, SeriesRing};
 pub use snapshot::TelemetrySnapshot;
+pub use span::{SpanGuard, SpanId};

@@ -2,8 +2,11 @@
 //! [`NullRecorder`] (compiles to nothing) and the per-thread
 //! [`ThreadRecorder`] shard.
 
+use crate::clock::Clock;
 use crate::hist::Histogram;
 use crate::ring::{EventKind, EventRing};
+use crate::series::{Sample, SeriesRing};
+use crate::span::{SpanGuard, SpanId};
 
 /// Enumerated monotonic counters. Each simulated thread owns one flat
 /// `[u64; NUM_COUNTERS]` shard; snapshots sum the shards in tid order.
@@ -99,10 +102,22 @@ pub enum HistId {
     FaseStores,
     /// Undo-log bytes per outermost FASE (FASE runtime only).
     FaseLogBytes,
+    /// KV `get` latency in nanoseconds (span-timed).
+    KvGetNs,
+    /// KV `put`/`delete` latency in nanoseconds (span-timed).
+    KvPutNs,
+    /// KV `put_many` group-commit latency in nanoseconds (span-timed).
+    KvPutManyNs,
+    /// FASE commit (`end_fase`) latency in nanoseconds (span-timed).
+    FaseCommitNs,
+    /// Flush-ring drain-pass latency in nanoseconds (span-timed).
+    RingDrainNs,
+    /// Recovery / reopen latency in nanoseconds (span-timed).
+    RecoveryNs,
 }
 
 /// Number of histograms.
-pub const NUM_HISTS: usize = 5;
+pub const NUM_HISTS: usize = 11;
 
 /// All histograms, in shard order.
 pub const ALL_HISTS: [HistId; NUM_HISTS] = [
@@ -111,6 +126,12 @@ pub const ALL_HISTS: [HistId; NUM_HISTS] = [
     HistId::DrainStall,
     HistId::FaseStores,
     HistId::FaseLogBytes,
+    HistId::KvGetNs,
+    HistId::KvPutNs,
+    HistId::KvPutManyNs,
+    HistId::FaseCommitNs,
+    HistId::RingDrainNs,
+    HistId::RecoveryNs,
 ];
 
 impl HistId {
@@ -122,6 +143,12 @@ impl HistId {
             HistId::DrainStall => "drain_stall_cycles",
             HistId::FaseStores => "fase_stores",
             HistId::FaseLogBytes => "fase_log_bytes",
+            HistId::KvGetNs => "kv_get_ns",
+            HistId::KvPutNs => "kv_put_ns",
+            HistId::KvPutManyNs => "kv_put_many_ns",
+            HistId::FaseCommitNs => "fase_commit_ns",
+            HistId::RingDrainNs => "ring_drain_ns",
+            HistId::RecoveryNs => "recovery_ns",
         }
     }
 }
@@ -132,12 +159,22 @@ pub struct TelemetryConfig {
     /// Per-thread event-ring capacity (the timeline keeps the last N
     /// events of each thread).
     pub ring_capacity: usize,
+    /// Runtime-sampler cadence: take one [`Sample`] every N ops (FASEs
+    /// in the FASE runtime, outermost FASE commits in the replay
+    /// engine). 0 disables the sampler.
+    pub sample_every: u64,
+    /// Per-thread bound on retained samples; the series decimates
+    /// (keeps every other sample, doubles its stride) when full, so it
+    /// always spans the whole run.
+    pub series_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
     fn default() -> Self {
         TelemetryConfig {
             ring_capacity: 4096,
+            sample_every: 1024,
+            series_capacity: 256,
         }
     }
 }
@@ -164,6 +201,28 @@ pub trait Recorder {
 
     /// Append a timeline event at time `t` with payload `(a, b)`.
     fn emit(&mut self, kind: EventKind, t: u64, a: u64, b: u64);
+
+    /// Offer one runtime-sampler observation to the time series.
+    fn sample(&mut self, s: Sample);
+
+    /// Should the sampler fire for op ordinal `n`? Callers guard the
+    /// (possibly costly) assembly of a [`Sample`] behind this. Always
+    /// `false` for disabled recorders.
+    #[inline(always)]
+    fn sample_due(&self, _n: u64) -> bool {
+        false
+    }
+
+    /// Open a span: measures from this call until the guard drops,
+    /// recording elapsed nanoseconds into `id`'s latency histogram.
+    /// Through [`NullRecorder`] the clock is never read.
+    #[inline]
+    fn span<'a, C: Clock>(&'a mut self, clock: &'a C, id: SpanId) -> SpanGuard<'a, Self, C>
+    where
+        Self: Sized,
+    {
+        SpanGuard::start(self, clock, id)
+    }
 }
 
 /// The disabled recorder: every method is an empty inline body and
@@ -183,6 +242,9 @@ impl Recorder for NullRecorder {
 
     #[inline(always)]
     fn emit(&mut self, _kind: EventKind, _t: u64, _a: u64, _b: u64) {}
+
+    #[inline(always)]
+    fn sample(&mut self, _s: Sample) {}
 }
 
 /// A live per-thread shard: flat counter array, fixed histogram array,
@@ -194,6 +256,8 @@ pub struct ThreadRecorder {
     counters: [u64; NUM_COUNTERS],
     hists: [Histogram; NUM_HISTS],
     ring: EventRing,
+    series: SeriesRing,
+    sample_every: u64,
 }
 
 impl ThreadRecorder {
@@ -204,6 +268,8 @@ impl ThreadRecorder {
             counters: [0; NUM_COUNTERS],
             hists: std::array::from_fn(|_| Histogram::new()),
             ring: EventRing::new(cfg.ring_capacity),
+            series: SeriesRing::new(cfg.series_capacity),
+            sample_every: cfg.sample_every,
         }
     }
 
@@ -227,7 +293,13 @@ impl ThreadRecorder {
         &self.ring
     }
 
-    /// Decompose into (tid, counters, histograms, timeline events).
+    /// The sampler's time series (read access).
+    pub fn series(&self) -> &SeriesRing {
+        &self.series
+    }
+
+    /// Decompose into (tid, counters, histograms, timeline events,
+    /// sampler series).
     pub fn into_parts(
         self,
     ) -> (
@@ -235,8 +307,15 @@ impl ThreadRecorder {
         [u64; NUM_COUNTERS],
         [Histogram; NUM_HISTS],
         Vec<crate::ring::Event>,
+        Vec<Sample>,
     ) {
-        (self.tid, self.counters, self.hists, self.ring.into_vec())
+        (
+            self.tid,
+            self.counters,
+            self.hists,
+            self.ring.into_vec(),
+            self.series.into_vec(),
+        )
     }
 }
 
@@ -256,6 +335,16 @@ impl Recorder for ThreadRecorder {
     #[inline]
     fn emit(&mut self, kind: EventKind, t: u64, a: u64, b: u64) {
         self.ring.push(t, self.tid, kind, a, b);
+    }
+
+    #[inline]
+    fn sample(&mut self, s: Sample) {
+        self.series.push(s);
+    }
+
+    #[inline]
+    fn sample_due(&self, n: u64) -> bool {
+        self.sample_every != 0 && n.is_multiple_of(self.sample_every)
     }
 }
 
@@ -284,6 +373,41 @@ mod tests {
         assert_eq!(r.hist(HistId::QueueDepth).count, 1);
         assert_eq!(r.ring().len(), 1);
         assert_eq!(r.ring().iter().next().unwrap().tid, 3);
+    }
+
+    #[test]
+    fn thread_recorder_sampling_follows_cadence() {
+        let cfg = TelemetryConfig {
+            sample_every: 4,
+            ..Default::default()
+        };
+        let mut r = ThreadRecorder::new(1, &cfg);
+        let mut taken = 0u64;
+        for n in 1..=16u64 {
+            if r.sample_due(n) {
+                taken += 1;
+                r.sample(Sample {
+                    t: n,
+                    tid: 1,
+                    ring_depth: 0,
+                    capacity: 8,
+                    hit_ratio_bp: 0,
+                    stalls: 0,
+                });
+            }
+        }
+        assert_eq!(taken, 4, "n = 4, 8, 12, 16");
+        assert_eq!(r.series().len(), 4);
+        // cadence 0 disables
+        let off = ThreadRecorder::new(
+            1,
+            &TelemetryConfig {
+                sample_every: 0,
+                ..Default::default()
+            },
+        );
+        assert!(!off.sample_due(0));
+        assert!(!off.sample_due(1024));
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! The runtime sampler's time series: periodic [`Sample`]s of the
+//! persistence pipeline's live state (flush-ring depth, chosen cache
+//! capacity, hit ratio, stall counts) kept in a bounded ring.
+//!
+//! Bounding uses *decimation*, not eviction: when the ring fills, every
+//! other retained sample is dropped and the keep-stride doubles, so the
+//! series always spans the whole run at progressively coarser
+//! resolution instead of keeping only the tail. All fields are
+//! integers (the hit ratio is basis points) so series from a parallel
+//! run merge deterministically and compare with `Eq`.
+
+/// One sampler observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Sample time on the owner's time axis: simulated cycles in the
+    /// replay engine, FASE ordinal in the FASE runtime. Monotone
+    /// non-decreasing per thread, never wall-clock (determinism).
+    pub t: u64,
+    /// Thread id of the sampling shard.
+    pub tid: u32,
+    /// Flush-ring occupancy (0 on the synchronous path).
+    pub ring_depth: u64,
+    /// Chosen software-cache capacity in lines; 0 when the active
+    /// policy has no resizable cache.
+    pub capacity: u64,
+    /// Cumulative software-cache hit ratio in basis points
+    /// (hits * 10_000 / (hits + misses); 0 when no stores yet).
+    pub hit_ratio_bp: u32,
+    /// Cumulative stall signal: stall cycles in the replay engine,
+    /// inline-drain fallbacks (ring-full events) in the FASE runtime.
+    pub stalls: u64,
+}
+
+/// Bounded decimating sample ring (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesRing {
+    samples: Vec<Sample>,
+    capacity: usize,
+    /// Keep one offered sample out of every `stride`.
+    stride: u64,
+    /// Total samples offered so far.
+    offered: u64,
+}
+
+impl SeriesRing {
+    /// A ring retaining at most `capacity` samples (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        SeriesRing {
+            samples: Vec::new(),
+            capacity,
+            stride: 1,
+            offered: 0,
+        }
+    }
+
+    /// Offer one sample; it is retained iff it falls on the current
+    /// stride. Filling the ring halves the retained set and doubles
+    /// the stride, keeping whole-run coverage within the bound.
+    pub fn push(&mut self, s: Sample) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.offered.is_multiple_of(self.stride) {
+            if self.samples.len() == self.capacity {
+                // decimate: keep every other sample, coarsen stride
+                let mut i = 0u32;
+                self.samples.retain(|_| {
+                    let keep = i.is_multiple_of(2);
+                    i += 1;
+                    keep
+                });
+                self.stride = self.stride.saturating_mul(2);
+                if !self.offered.is_multiple_of(self.stride) {
+                    self.offered += 1;
+                    return;
+                }
+            }
+            self.samples.push(s);
+        }
+        self.offered += 1;
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True iff nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Current keep-stride (1 until the first decimation).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Total samples offered over the ring's lifetime.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Consume into the retained sample vector.
+    pub fn into_vec(self) -> Vec<Sample> {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t: u64) -> Sample {
+        Sample {
+            t,
+            tid: 0,
+            ring_depth: t % 7,
+            capacity: 64,
+            hit_ratio_bp: 5000,
+            stalls: 0,
+        }
+    }
+
+    #[test]
+    fn retains_everything_under_capacity() {
+        let mut r = SeriesRing::new(8);
+        for t in 0..5 {
+            r.push(s(t));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.stride(), 1);
+        let ts: Vec<u64> = r.samples().iter().map(|x| x.t).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn decimation_keeps_whole_run_coverage() {
+        let mut r = SeriesRing::new(4);
+        for t in 0..100 {
+            r.push(s(t));
+        }
+        assert!(r.len() <= 4, "bound respected: {}", r.len());
+        assert!(r.stride() > 1, "must have decimated");
+        let ts: Vec<u64> = r.samples().iter().map(|x| x.t).collect();
+        // oldest sample is still t=0 (coverage from the start) and the
+        // retained set is strictly increasing
+        assert_eq!(ts[0], 0);
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        // latest retained sample is within one stride of the end
+        assert!(*ts.last().unwrap() + r.stride() > 99);
+        assert_eq!(r.offered(), 100);
+    }
+
+    #[test]
+    fn zero_capacity_disables_sampling() {
+        let mut r = SeriesRing::new(0);
+        for t in 0..10 {
+            r.push(s(t));
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.into_vec(), vec![]);
+    }
+
+    #[test]
+    fn retained_samples_follow_stride() {
+        let mut r = SeriesRing::new(4);
+        for t in 0..64 {
+            r.push(s(t));
+        }
+        let stride = r.stride();
+        for x in r.samples() {
+            assert_eq!(x.t % stride, 0, "t={} stride={stride}", x.t);
+        }
+    }
+}

@@ -9,6 +9,7 @@
 use crate::hist::Histogram;
 use crate::recorder::{ThreadRecorder, ALL_COUNTERS, ALL_HISTS, NUM_COUNTERS, NUM_HISTS};
 use crate::ring::Event;
+use crate::series::Sample;
 use std::fmt::Write as _;
 
 /// The aggregated result of one instrumented run.
@@ -26,6 +27,9 @@ pub struct TelemetrySnapshot {
     pub timeline: Vec<Event>,
     /// Events lost to per-thread ring wraparound.
     pub dropped_events: u64,
+    /// Merged runtime-sampler series, sorted by `(t, tid)` (each
+    /// thread's samples are already time-ordered).
+    pub series: Vec<Sample>,
 }
 
 impl TelemetrySnapshot {
@@ -35,11 +39,12 @@ impl TelemetrySnapshot {
         let mut per_thread = Vec::with_capacity(shards.len());
         let mut hists: [Histogram; NUM_HISTS] = std::array::from_fn(|_| Histogram::new());
         let mut timeline = Vec::new();
+        let mut series = Vec::new();
         let mut dropped = 0u64;
         let threads = shards.len();
         for shard in shards {
             dropped += shard.ring().dropped();
-            let (_tid, c, h, events) = shard.into_parts();
+            let (_tid, c, h, events, samples) = shard.into_parts();
             for (acc, v) in counters.iter_mut().zip(&c) {
                 *acc += v;
             }
@@ -48,9 +53,11 @@ impl TelemetrySnapshot {
                 acc.merge(v);
             }
             timeline.extend(events);
+            series.extend(samples);
         }
         // deterministic interleaving: time, then tid, then per-thread seq
         timeline.sort_by_key(|e| (e.t, e.tid, e.seq));
+        series.sort_by_key(|s| (s.t, s.tid));
         TelemetrySnapshot {
             threads,
             counters,
@@ -58,6 +65,7 @@ impl TelemetrySnapshot {
             hists,
             timeline,
             dropped_events: dropped,
+            series,
         }
     }
 
@@ -145,6 +153,25 @@ impl TelemetrySnapshot {
         }
         out.push_str("      },\n");
         let _ = writeln!(out, "      \"dropped_events\": {},", self.dropped_events);
+        out.push_str("      \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n        {{\"t\": {}, \"tid\": {}, \"ring_depth\": {}, \"capacity\": {}, \"hit_ratio_bp\": {}, \"stalls\": {}}}",
+                if i == 0 { "" } else { "," },
+                s.t,
+                s.tid,
+                s.ring_depth,
+                s.capacity,
+                s.hit_ratio_bp,
+                s.stalls
+            );
+        }
+        out.push_str(if self.series.is_empty() {
+            "],\n"
+        } else {
+            "\n      ],\n"
+        });
         out.push_str("      \"timeline\": [");
         for (i, e) in self.timeline.iter().enumerate() {
             let _ = write!(
@@ -183,7 +210,21 @@ impl TelemetrySnapshot {
                     format!("{} (mean/max)", id.name()),
                     format!("{:.1}/{}", h.mean(), h.max),
                 ));
+                // latency spans get the paper-facing percentile triple
+                if id.name().ends_with("_ns") {
+                    let (p50, p99, p999) = h.percentiles();
+                    rows.push((
+                        format!("{} (p50/p99/p999)", id.name()),
+                        format!("{p50}/{p99}/{p999}"),
+                    ));
+                }
             }
+        }
+        if !self.series.is_empty() {
+            rows.push((
+                "sampler series (kept)".to_string(),
+                self.series.len().to_string(),
+            ));
         }
         let resizes = self.capacity_timeline();
         if !resizes.is_empty() {
@@ -258,6 +299,43 @@ mod tests {
         let rows = snap.summary_rows();
         assert!(rows.iter().any(|(k, _)| k == "stores"));
         assert!(!rows.iter().any(|(k, _)| k == "flushes_sync"));
+    }
+
+    #[test]
+    fn series_merges_sorted_by_time_then_tid() {
+        use crate::series::Sample;
+        let cfg = TelemetryConfig::default();
+        let mut a = ThreadRecorder::new(0, &cfg);
+        let mut b = ThreadRecorder::new(1, &cfg);
+        let mk = |t, tid| Sample {
+            t,
+            tid,
+            ring_depth: 1,
+            capacity: 64,
+            hit_ratio_bp: 2500,
+            stalls: 0,
+        };
+        a.sample(mk(10, 0));
+        a.sample(mk(30, 0));
+        b.sample(mk(10, 1));
+        b.sample(mk(20, 1));
+        let snap = TelemetrySnapshot::from_threads(vec![a, b]);
+        let order: Vec<(u64, u32)> = snap.series.iter().map(|s| (s.t, s.tid)).collect();
+        assert_eq!(order, vec![(10, 0), (10, 1), (20, 1), (30, 0)]);
+        let j = snap.to_json();
+        assert!(j.contains("\"series\""), "{j}");
+        assert!(j.contains("\"hit_ratio_bp\": 2500"), "{j}");
+        assert!(snap
+            .summary_rows()
+            .iter()
+            .any(|(k, _)| k == "sampler series (kept)"));
+    }
+
+    #[test]
+    fn empty_series_still_emits_key() {
+        let snap = TelemetrySnapshot::from_threads(vec![shard(0, 1)]);
+        assert!(snap.series.is_empty());
+        assert!(snap.to_json().contains("\"series\": []"));
     }
 
     #[test]
