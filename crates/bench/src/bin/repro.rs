@@ -407,42 +407,66 @@ fn crash_matrix(seeds: u64) -> (Table, u64, bool) {
             "Crash-point matrix: {} FASEs/program, {seeds} seeds, crash at every micro-step",
             cfg.fases
         ),
-        &["policy", "mode", "seeds", "schedules", "failures", "result"],
+        &[
+            "policy",
+            "mode",
+            "clients",
+            "seeds",
+            "schedules",
+            "failures",
+            "result",
+        ],
     );
     let mut total = 0u64;
     let mut all_ok = true;
     for kind in &policies {
         for mode_name in ["strict", "all-in-flight", "random"] {
-            let mut schedules = 0u64;
-            let mut failures = 0u64;
-            for seed in 0..seeds {
-                let mode = match mode_name {
-                    "strict" => CrashMode::StrictDurableOnly,
-                    "all-in-flight" => CrashMode::AllInFlightLands,
-                    _ => CrashMode::random(0.5, 0.5, seed),
+            // clients > 1 sweeps the concurrent submission path: each
+            // FASE is a cross-client group commit (a smaller program,
+            // since per-FASE step mass grows with the merge width).
+            for clients in [1usize, 4] {
+                let cell_cfg = if clients == 1 {
+                    cfg.clone()
+                } else {
+                    CrashFuzzConfig {
+                        fases: 3,
+                        stores_per_fase: 4,
+                        clients,
+                        ..cfg.clone()
+                    }
                 };
-                let r = crash_fuzz(kind, &mode, seed, &cfg);
-                schedules += r.schedules;
-                failures += r.failure_count;
-                if let Some(f) = r.failures.first() {
-                    eprintln!(
-                        "FAIL {} {mode_name} seed {seed} step {}: {}",
-                        kind.label(),
-                        f.step,
-                        f.detail
-                    );
+                let mut schedules = 0u64;
+                let mut failures = 0u64;
+                for seed in 0..seeds {
+                    let mode = match mode_name {
+                        "strict" => CrashMode::StrictDurableOnly,
+                        "all-in-flight" => CrashMode::AllInFlightLands,
+                        _ => CrashMode::random(0.5, 0.5, seed),
+                    };
+                    let r = crash_fuzz(kind, &mode, seed, &cell_cfg);
+                    schedules += r.schedules;
+                    failures += r.failure_count;
+                    if let Some(f) = r.failures.first() {
+                        eprintln!(
+                            "FAIL {} {mode_name} clients {clients} seed {seed} step {}: {}",
+                            kind.label(),
+                            f.step,
+                            f.detail
+                        );
+                    }
                 }
+                total += schedules;
+                all_ok &= failures == 0;
+                t.row(vec![
+                    kind.label().to_string(),
+                    mode_name.to_string(),
+                    clients.to_string(),
+                    seeds.to_string(),
+                    schedules.to_string(),
+                    failures.to_string(),
+                    if failures == 0 { "pass" } else { "FAIL" }.to_string(),
+                ]);
             }
-            total += schedules;
-            all_ok &= failures == 0;
-            t.row(vec![
-                kind.label().to_string(),
-                mode_name.to_string(),
-                seeds.to_string(),
-                schedules.to_string(),
-                failures.to_string(),
-                if failures == 0 { "pass" } else { "FAIL" }.to_string(),
-            ]);
         }
     }
     (t, total, all_ok)

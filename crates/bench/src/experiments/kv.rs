@@ -11,7 +11,8 @@ use crate::report::{json_str, Table};
 use nvcache_core::{AdaptiveConfig, PolicyKind};
 use nvcache_fase::FaseStats;
 use nvcache_kvstore::{
-    load, run, AdaptConfig, KeyDist, KvConfig, KvStore, Mix, ShardConfig, YcsbConfig,
+    load, load_on, run, run_on, AdaptConfig, KeyDist, KvConfig, KvServer, KvStore, Mix,
+    ServerConfig, ShardConfig, YcsbConfig,
 };
 use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
 use nvcache_telemetry::{convergence, CapacityEvent, ConvergenceConfig, HistId, Histogram};
@@ -28,7 +29,7 @@ struct Cell {
     policy_label: &'static str,
 }
 
-fn store_for(policy_label: &str, burst: usize, pipelined: bool) -> KvStore {
+fn config_for(policy_label: &str, burst: usize, pipelined: bool) -> KvConfig {
     let (policy, adapt) = match policy_label {
         "ER" => (PolicyKind::Eager, None),
         "AT" => (PolicyKind::Atlas { size: 8 }, None),
@@ -45,7 +46,7 @@ fn store_for(policy_label: &str, burst: usize, pipelined: bool) -> KvStore {
         ),
         other => unreachable!("unknown policy label {other}"),
     };
-    KvStore::new(&KvConfig {
+    KvConfig {
         shards: SHARDS,
         shard: ShardConfig {
             // the layout's per-shard maximum: keeps hash chains short so
@@ -58,7 +59,11 @@ fn store_for(policy_label: &str, burst: usize, pipelined: bool) -> KvStore {
             adapt,
             pipelined,
         },
-    })
+    }
+}
+
+fn store_for(policy_label: &str, burst: usize, pipelined: bool) -> KvStore {
+    KvStore::new(&config_for(policy_label, burst, pipelined))
 }
 
 fn json_opt_list(v: &[Option<usize>]) -> String {
@@ -91,14 +96,35 @@ struct PathRun {
     wtk: Vec<Option<usize>>,
 }
 
+/// One run of a concurrent-grid cell: N clients driving the MPSC
+/// submission queues of a live [`KvServer`].
+struct ConcRun {
+    path: &'static str,
+    throughput: f64,
+    /// Mean requests per drained batch over the measurement phase.
+    occupancy: f64,
+    serving: FaseStats,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+}
+
 /// Run the YCSB grid (mixes A/B/C × ER/AT/SC-adaptive at [`SHARDS`]
 /// shards), each cell once over the sync flush path and once over the
 /// pipelined one (submission ring + grouped prelog + slab), print the
 /// table, and write `BENCH_kv.json`. Per cell, a deterministic
 /// single-worker parity run asserts that the two paths agree
 /// bit-for-bit on store lines and policy flush counts — only wall-clock
-/// may differ. `smoke` shrinks the sizes to CI scale (same grid, same
-/// schema).
+/// may differ.
+///
+/// A second, *concurrent* grid (mixes A/B, 8 closed-loop clients on
+/// one contended lane) drives a [`KvServer`] — dedicated worker thread
+/// per shard behind a bounded MPSC queue — once with group commit off
+/// (`mpsc-unbatched`, one request per FASE) and once draining
+/// everything in flight into a single cross-client FASE
+/// (`mpsc-grouped`); `speedup_vs_unbatched` and the mean drained-batch
+/// occupancy land in the same JSON. `smoke` shrinks the sizes to CI
+/// scale (same grids, same schema).
 pub fn kv_bench(scale: f64, smoke: bool) -> Table {
     // Oversubscribing the host measures scheduler churn, not the
     // store: cap the worker pool at the hardware's parallelism (a
@@ -127,8 +153,11 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
             "mix",
             "policy",
             "path",
+            "clients",
             "Kops/s",
             "x sync",
+            "x unbatch",
+            "occ",
             "flush ratio",
             "p50/p99/p999 ns",
             "capacity/shard",
@@ -306,8 +335,11 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                 cell.mix.label().to_string(),
                 cell.policy_label.to_string(),
                 r.path.to_string(),
+                workers.to_string(),
                 format!("{:.0}", r.throughput / 1e3),
                 format!("{speedup:.2}"),
+                "-".to_string(),
+                "-".to_string(),
                 format!("{flush_ratio:.4}"),
                 format!("{}/{}/{}", r.p50, r.p99, r.p999),
                 fmt_opt(&r.caps),
@@ -317,7 +349,9 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
             ]);
             records.push(format!(
                 "    {{\"mix\": {}, \"policy\": {}, \"flush_path\": {}, \
+                 \"clients\": {workers}, \
                  \"throughput_ops_s\": {:.0}, \"speedup_vs_sync\": {:.4}, \
+                 \"speedup_vs_unbatched\": null, \"batch_occupancy_mean\": null, \
                  \"flush_ratio\": {:.6}, \
                  \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
                  \"store_lines\": {}, \"data_flushes\": {}, \
@@ -338,6 +372,161 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                 json_opt_list(&r.online),
                 json_opt_list(&r.offline),
                 json_opt_list(&r.wtk),
+            ));
+        }
+    }
+
+    // ---- concurrent shard runtime: MPSC submission + group commit ----
+    //
+    // N closed-loop clients push single-op requests (batch = 1, so the
+    // loadgen does no client-side write combining) into each shard's
+    // bounded submission queue. The worker thread either serves one
+    // request per FASE ("mpsc-unbatched", max_batch = 1 — the queued
+    // no-group-commit baseline) or drains everything in flight into one
+    // cross-client FASE ("mpsc-grouped"). Same server, same queue, same
+    // handoff — the only variable is group commit, and
+    // `speedup_vs_unbatched` is its measured step change.
+    let clients = 8usize;
+    // One lane: group commit needs requests *piling up* behind a busy
+    // worker, so the contended regime is clients ≥ lanes. (The legacy
+    // grid above measures shard-parallel scaling; this grid measures
+    // per-lane batching.)
+    let conc_shards = 1usize;
+    // Long enough per run (~0.3 s at single-core throughput) that a
+    // scheduler burst can't swallow a whole repeat — the queue handoff
+    // makes these runs an order of magnitude slower per op than the
+    // direct grid, so they need fewer ops, not more.
+    let conc_ops = if smoke {
+        2_000
+    } else {
+        ops_per_worker.max(10_000)
+    };
+    // The measured effect on the read-heavy mix is a few percent —
+    // close to host noise on a shared single-core machine. That noise
+    // is one-sided (load only ever slows a run down), so each path's
+    // best-observed throughput converges to its true ceiling from
+    // below: keep interleaving repeats until neither path's best has
+    // improved for `settle` consecutive rounds, rather than trusting a
+    // fixed repeat count to have sampled both ceilings.
+    let (min_rounds, settle, max_rounds) = if smoke { (1, 0, 1) } else { (repeats, 3, 24) };
+    for mix in [Mix::A, Mix::B] {
+        let mut best: [Option<ConcRun>; 2] = [None, None];
+        let (mut rounds, mut stale) = (0usize, 0usize);
+        while rounds < min_rounds || (stale < settle && rounds < max_rounds) {
+            let mut improved = false;
+            for (pi, path) in ["mpsc-unbatched", "mpsc-grouped"].into_iter().enumerate() {
+                let server = KvServer::new(
+                    &KvConfig {
+                        shards: conc_shards,
+                        ..config_for("SC", burst, true)
+                    },
+                    &ServerConfig {
+                        max_batch: if pi == 0 { 1 } else { usize::MAX },
+                        ..Default::default()
+                    },
+                );
+                load_on(&server, keys, VALUE_LEN);
+                // queue counters accumulate from birth; snapshot after
+                // the load phase so occupancy reflects the measurement
+                let qs0 = server.queue_stats();
+                let rep = run_on(
+                    &server,
+                    &YcsbConfig {
+                        keys,
+                        ops_per_worker: conc_ops,
+                        workers: clients,
+                        mix,
+                        dist: KeyDist::Zipfian { theta: 0.99 },
+                        value_len: VALUE_LEN,
+                        seed: 42,
+                        batch: 1,
+                        target_ops_per_sec: None,
+                        windows: 4,
+                        latency: true,
+                        ..Default::default()
+                    },
+                );
+                let qs1 = server.queue_stats();
+                let batches = qs1.batches - qs0.batches;
+                let occupancy = if batches == 0 {
+                    0.0
+                } else {
+                    (qs1.drained - qs0.drained) as f64 / batches as f64
+                };
+                let serving: FaseStats = rep.windows.iter().map(|w| w.stats).sum();
+                let lat = rep.latency.as_ref().expect("latency recording on");
+                let mut merged = Histogram::new();
+                for id in [HistId::KvGetNs, HistId::KvPutNs, HistId::KvPutManyNs] {
+                    merged.merge(lat.hist(id));
+                }
+                let (p50, p99, p999) = merged.percentiles();
+                let this = ConcRun {
+                    path,
+                    throughput: rep.throughput_ops_per_sec,
+                    occupancy,
+                    serving,
+                    p50,
+                    p99,
+                    p999,
+                };
+                let slot = &mut best[pi];
+                if slot.as_ref().is_none_or(|b| this.throughput > b.throughput) {
+                    *slot = Some(this);
+                    improved = true;
+                }
+            }
+            rounds += 1;
+            if improved {
+                stale = 0;
+            } else {
+                stale += 1;
+            }
+        }
+        let runs: Vec<ConcRun> = best
+            .into_iter()
+            .map(|b| b.expect("at least one repeat"))
+            .collect();
+        let unbatched_tput = runs[0].throughput;
+        for r in &runs {
+            let speedup_vs_unbatched = r.throughput / unbatched_tput;
+            let flush_ratio = r.serving.flush_ratio();
+            t.row(vec![
+                mix.label().to_string(),
+                "SC".to_string(),
+                r.path.to_string(),
+                clients.to_string(),
+                format!("{:.0}", r.throughput / 1e3),
+                "-".to_string(),
+                format!("{speedup_vs_unbatched:.2}"),
+                format!("{:.1}", r.occupancy),
+                format!("{flush_ratio:.4}"),
+                format!("{}/{}/{}", r.p50, r.p99, r.p999),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+            records.push(format!(
+                "    {{\"mix\": {}, \"policy\": \"SC\", \"flush_path\": {}, \
+                 \"clients\": {clients}, \
+                 \"throughput_ops_s\": {:.0}, \"speedup_vs_sync\": null, \
+                 \"speedup_vs_unbatched\": {:.4}, \"batch_occupancy_mean\": {:.4}, \
+                 \"flush_ratio\": {:.6}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+                 \"store_lines\": {}, \"data_flushes\": {}, \
+                 \"chosen_capacity\": null, \"online_knee\": null, \
+                 \"offline_knee\": null, \"windows_to_knee\": null}}",
+                json_str(mix.label()),
+                json_str(r.path),
+                r.throughput,
+                speedup_vs_unbatched,
+                r.occupancy,
+                flush_ratio,
+                r.p50,
+                r.p99,
+                r.p999,
+                r.serving.store_lines,
+                r.serving.data_flushes,
             ));
         }
     }

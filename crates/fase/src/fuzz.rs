@@ -56,6 +56,15 @@ pub struct CrashFuzzConfig {
     /// sweep covers the grouped-append commit protocol's micro-steps
     /// (record span flush, tail publish, ring drains, fence token).
     pub flush_mode: FlushMode,
+    /// Concurrent submitters per group commit. With `clients > 1` each
+    /// FASE is a *cross-client batch*: every client contributes its own
+    /// deterministic store stream and the worker drains them into one
+    /// failure-atomic section — the shard worker's group-commit shape.
+    /// The oracle then asserts the merged batch is all-or-nothing: a
+    /// crash mid-drain can never expose one client's writes without the
+    /// rest of the same acknowledged batch. `clients = 1` reproduces
+    /// the historical single-stream programs bit-for-bit.
+    pub clients: usize,
 }
 
 impl Default for CrashFuzzConfig {
@@ -67,6 +76,7 @@ impl Default for CrashFuzzConfig {
             log_len: 1 << 14,
             step_stride: 1,
             flush_mode: FlushMode::Sync,
+            clients: 1,
         }
     }
 }
@@ -104,18 +114,27 @@ impl CrashFuzzReport {
 type Program = Vec<Vec<(usize, u64)>>;
 
 /// Generate the deterministic random program for `seed`.
+///
+/// Each FASE is the concatenation of `cfg.clients` per-client store
+/// streams drained in submission order — the same merge a shard worker
+/// performs when it group-commits everything in flight. With one
+/// client this degenerates to the historical generator: the RNG draw
+/// sequence is identical, so legacy seeds map to identical programs.
 fn generate_program(seed: u64, cfg: &CrashFuzzConfig) -> Program {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x0006_ea5e);
+    let clients = cfg.clients.max(1);
     (0..cfg.fases)
         .map(|_| {
-            let n = rng.gen_range(1..cfg.stores_per_fase + 1);
-            (0..n)
-                .map(|_| {
+            let mut batch = Vec::new();
+            for _client in 0..clients {
+                let n = rng.gen_range(1..cfg.stores_per_fase + 1);
+                for _ in 0..n {
                     let slot = rng.gen_range(0..cfg.slots);
                     let value = rng.gen::<u64>() | 1; // nonzero
-                    (slot, value)
-                })
-                .collect()
+                    batch.push((slot, value));
+                }
+            }
+            batch
         })
         .collect()
 }
@@ -350,6 +369,63 @@ mod tests {
             CrashMode::random(0.5, 0.5, 13),
         ] {
             let r = crash_fuzz(&PolicyKind::ScFixed { capacity: 4 }, &mode, 5, &cfg);
+            assert!(r.schedules > 30, "swept {} schedules", r.schedules);
+            assert!(r.passed(), "mode {mode:?} failures: {:?}", r.failures);
+        }
+    }
+
+    #[test]
+    fn one_client_reproduces_the_legacy_program_shape() {
+        // clients = 1 must not disturb the RNG draw sequence: the
+        // per-FASE store counts stay within the single-stream bound.
+        let cfg = CrashFuzzConfig::default();
+        assert_eq!(cfg.clients, 1);
+        let p = generate_program(7, &cfg);
+        assert_eq!(p.len(), cfg.fases);
+        for fase in &p {
+            assert!((1..=cfg.stores_per_fase).contains(&fase.len()));
+        }
+    }
+
+    #[test]
+    fn multi_client_batches_merge_every_submitters_stream() {
+        let cfg = CrashFuzzConfig {
+            clients: 4,
+            ..CrashFuzzConfig::default()
+        };
+        let p = generate_program(7, &cfg);
+        assert_eq!(p.len(), cfg.fases);
+        for fase in &p {
+            // each of the 4 clients contributes at least one store
+            assert!(fase.len() >= cfg.clients);
+            assert!(fase.len() <= cfg.clients * cfg.stores_per_fase);
+        }
+        assert_eq!(
+            generate_program(7, &cfg),
+            generate_program(7, &cfg),
+            "concurrent programs stay seed-deterministic"
+        );
+    }
+
+    #[test]
+    fn cross_client_group_commit_never_tears_at_any_step() {
+        // The concurrent-submission sweep: each FASE carries several
+        // clients' writes; a crash anywhere mid-drain must recover to
+        // a committed prefix of whole batches — never a partial merge.
+        let cfg = CrashFuzzConfig {
+            slots: 8,
+            fases: 3,
+            stores_per_fase: 3,
+            clients: 3,
+            flush_mode: FlushMode::Pipelined,
+            ..CrashFuzzConfig::default()
+        };
+        for mode in [
+            CrashMode::StrictDurableOnly,
+            CrashMode::AllInFlightLands,
+            CrashMode::random(0.5, 0.5, 29),
+        ] {
+            let r = crash_fuzz(&PolicyKind::ScFixed { capacity: 4 }, &mode, 11, &cfg);
             assert!(r.schedules > 30, "swept {} schedules", r.schedules);
             assert!(r.passed(), "mode {mode:?} failures: {:?}", r.failures);
         }

@@ -816,6 +816,53 @@ impl FaseRuntime {
         }
     }
 
+    /// Recover the runtime after a *panic* unwound through an open FASE
+    /// (no power failure — the region keeps every line it holds). A
+    /// worker that dies mid-section leaves `depth > 0`, a partially
+    /// filled flush buffer, possibly a prelogged-but-uncommitted write
+    /// set, and submitted-but-undrained ring entries; without healing,
+    /// the next caller through a poisoned lock would nest its sections
+    /// inside the abandoned one forever (no outermost `end_fase` ever
+    /// runs, so nothing commits and the in-flight flush buffer leaks).
+    ///
+    /// Healing drops all of that volatile residue, rolls the abandoned
+    /// section back through the undo log (its entries were durable
+    /// before any data store, so the pre-section state is recoverable
+    /// in place), and leaves the runtime serving again. Returns whether
+    /// there was anything to heal.
+    pub fn heal_after_panic(&mut self) -> bool {
+        let open =
+            self.depth > 0 || !self.flush_buf.is_empty() || self.prelogged || !self.ring.is_empty();
+        if !open {
+            // nothing abandoned: still run log recovery, which is a
+            // no-op on a committed log (idempotent and cheap)
+            return self.log.recover(&mut self.region).unwrap_or(0) > 0;
+        }
+        self.depth = 0;
+        self.flush_buf.clear();
+        self.policy.reset();
+        self.ring.reset();
+        if let Some(slab) = &mut self.slab {
+            slab.reset();
+        }
+        self.prelogged = false;
+        #[cfg(debug_assertions)]
+        self.prelog_ranges.clear();
+        let rolled = self
+            .log
+            .recover(&mut self.region)
+            .expect("in-process log lost its header");
+        if rolled > 0 {
+            self.stats.rollbacks += 1;
+            if let Some(tel) = &mut self.telemetry {
+                let t = self.stats.store_lines;
+                tel.incr(CounterId::Rollbacks);
+                tel.emit(EventKind::Rollback, t, rolled as u64, 0);
+            }
+        }
+        true
+    }
+
     /// Arm a crash plan on the underlying region: the crash image is
     /// captured when the region's micro-step counter reaches the plan's
     /// step (see [`PmemRegion::arm_crash`]); execution continues
@@ -1486,5 +1533,64 @@ mod tests {
     fn unbalanced_end_panics() {
         let mut r = rt(PolicyKind::Best);
         r.end_fase();
+    }
+
+    /// Regression (panic mid-FASE): before healing existed, an unwind
+    /// through an open section left `depth > 0` and a stale flush
+    /// buffer, so every later section nested inside the abandoned one —
+    /// no outermost commit ever ran again. `heal_after_panic` must roll
+    /// the abandoned section back and restore normal commit behaviour.
+    #[test]
+    fn heal_after_panic_rolls_back_and_resumes_commits() {
+        let mut r = rt(PolicyKind::ScFixed { capacity: 4 });
+        r.fase(|r| r.store_u64(64, 0xAAAA));
+        let committed_fases = r.stats().fases;
+        // simulate the unwound worker: open section, stores issued,
+        // never closed
+        r.begin_fase();
+        r.store_u64(64, 0xBBBB);
+        r.store_u64(128, 0xCCCC);
+        assert!(r.heal_after_panic(), "abandoned section must be healed");
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.stats().rollbacks, 1);
+        // the torn writes rolled back in place
+        assert_eq!(r.load_u64(64), 0xAAAA);
+        assert_eq!(r.load_u64(128), 0);
+        // sections commit again (the regression: fases stayed frozen)
+        r.fase(|r| r.store_u64(64, 0xDDDD));
+        assert_eq!(r.stats().fases, committed_fases + 1);
+        assert_eq!(r.load_u64(64), 0xDDDD);
+        // the healed state is crash-consistent
+        r.crash_and_recover(&CrashMode::StrictDurableOnly);
+        assert_eq!(r.load_u64(64), 0xDDDD);
+    }
+
+    /// Healing the pipelined runtime also drops submitted-but-undrained
+    /// ring entries and the prelogged write set of the abandoned FASE.
+    #[test]
+    fn heal_after_panic_clears_pipelined_residue() {
+        let mut r = rt(PolicyKind::Eager);
+        r.set_flush_mode(FlushMode::Pipelined);
+        r.fase(|r| r.store_u64(64, 1));
+        r.begin_fase();
+        r.prelog(&[(128, 8)]);
+        r.store_u64(128, 2);
+        assert!(r.heal_after_panic());
+        assert_eq!(r.load_u64(128), 0, "prelogged store rolled back");
+        // ring is usable again: a clean pipelined FASE commits
+        r.fase(|r| r.store_u64(128, 3));
+        assert_eq!(r.load_u64(128), 3);
+        r.crash_and_recover(&CrashMode::StrictDurableOnly);
+        assert_eq!(r.load_u64(128), 3);
+    }
+
+    /// Healing a quiescent runtime is a no-op.
+    #[test]
+    fn heal_after_panic_is_noop_when_clean() {
+        let mut r = rt(PolicyKind::Lazy);
+        r.fase(|r| r.store_u64(64, 5));
+        assert!(!r.heal_after_panic());
+        assert_eq!(r.stats().rollbacks, 0);
+        assert_eq!(r.load_u64(64), 5);
     }
 }

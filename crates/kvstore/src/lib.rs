@@ -42,12 +42,19 @@
 //! assert!(store.stats().data_flushes > 0);
 //! ```
 
+pub mod queue;
+pub mod server;
 pub mod shard;
 pub mod store;
 pub mod ycsb;
 
-pub use shard::{AdaptConfig, CapacityChoice, Shard, ShardConfig, MAX_VALUE_LEN};
+pub use queue::{Backpressure, Completion, PushError, QueueStats, SubmissionQueue};
+pub use server::{KvClient, KvServer, ServerConfig};
+pub use shard::{
+    AdaptConfig, BatchReply, BatchRequest, CapacityChoice, Shard, ShardConfig, MAX_VALUE_LEN,
+};
 pub use store::{KvConfig, KvStore};
 pub use ycsb::{
-    load, run, value_bytes, KeyDist, Mix, ThetaShift, WindowStats, YcsbConfig, YcsbReport, Zipfian,
+    load, load_on, run, run_on, value_bytes, KeyDist, KvTarget, Mix, ThetaShift, WindowStats,
+    YcsbConfig, YcsbReport, Zipfian,
 };

@@ -1,0 +1,601 @@
+//! The concurrent shard runtime: one dedicated worker thread per
+//! shard, fed by a bounded MPSC [`SubmissionQueue`], serving drained
+//! batches through [`Shard::serve_batch`] — cross-client group commit.
+//!
+//! Any number of [`KvClient`] handles enqueue `Get`/`Put`/`PutMany`/
+//! `Delete` requests carrying [`Completion`] slots; each shard's worker
+//! drains *everything in flight* (up to [`ServerConfig::max_batch`]) in
+//! one lock acquisition and serves the whole convoy as grouped FASEs.
+//! The batch size is therefore adaptive by construction: it *is* the
+//! queue depth at drain time — an idle shard serves per-op latency-
+//! optimally (batches of one), a contended shard amortizes its log and
+//! commit fences over every client that queued behind the FASE in
+//! progress.
+//!
+//! Ack contract: a completion is filled only after the batch returned
+//! from [`Shard::serve_batch`], i.e. after the FASE holding the request
+//! committed. **Acknowledged ⇒ durable**: a crash can only take back
+//! requests whose completions were never filled (they roll back whole —
+//! the committed-prefix oracle in `tests/kv_crash.rs` sweeps exactly
+//! this). The converse does not hold: a worker that panics mid-batch
+//! fails every outstanding completion in the batch, including requests
+//! whose segment had already committed — acks are at-most-once, not
+//! exactly-once.
+//!
+//! Worker panics do not wedge the lane: the loop catches the unwind,
+//! heals the shard in place ([`Shard::heal_after_panic`] rolls the
+//! abandoned FASE back and drops volatile runtime residue), fails the
+//! batch's completions, and keeps serving.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use nvcache_fase::FaseStats;
+use nvcache_pmem::CrashMode;
+
+use crate::queue::{Backpressure, Completion, PushError, QueueStats, SubmissionQueue};
+use crate::shard::{BatchReply, BatchRequest, CapacityChoice, Shard};
+use crate::store::{route_hash, KvConfig};
+
+/// Shape of the concurrent serving layer (per shard lane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bound on requests in flight per shard queue.
+    pub queue_capacity: usize,
+    /// What a producer experiences at capacity.
+    pub backpressure: Backpressure,
+    /// Largest batch one drain may form (clamped to `queue_capacity`).
+    /// `1` degenerates to per-request FASEs over the identical thread
+    /// and queue machinery — the `speedup_vs_unbatched` baseline.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 256,
+            backpressure: Backpressure::Block,
+            max_batch: usize::MAX,
+        }
+    }
+}
+
+/// A queued request: the operation plus the completion slot its ack
+/// flows back through.
+enum Request {
+    Get(u64, Completion<Option<Vec<u8>>>),
+    Put(u64, Vec<u8>, Completion<bool>),
+    PutMany(Vec<(u64, Vec<u8>)>, Completion<bool>),
+    Delete(u64, Completion<bool>),
+}
+
+/// The completion half of a request, split off for positional reply
+/// routing after [`Shard::serve_batch`].
+enum ReplySlot {
+    Value(Completion<Option<Vec<u8>>>),
+    Done(Completion<bool>),
+}
+
+impl ReplySlot {
+    fn fill(self, reply: BatchReply) {
+        match (self, reply) {
+            (ReplySlot::Value(c), BatchReply::Value(v)) => c.fill(v),
+            (ReplySlot::Done(c), BatchReply::Done(b)) => c.fill(b),
+            _ => unreachable!("serve_batch replies positionally"),
+        }
+    }
+
+    /// Negative ack for a batch the worker could not serve (panic path):
+    /// reads report absent, writes report failure.
+    fn fail(self) {
+        match self {
+            ReplySlot::Value(c) => c.fill(None),
+            ReplySlot::Done(c) => c.fill(false),
+        }
+    }
+}
+
+struct Lane {
+    shard: Arc<Mutex<Shard>>,
+    queue: Arc<SubmissionQueue<Request>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// A [`KvStore`]-shaped store served by per-shard worker threads (see
+/// the module docs). Build with [`KvServer::new`], hand out cheap
+/// [`KvClient`] handles with [`KvServer::client`], and shut down with
+/// [`KvServer::shutdown`] (or let `Drop` do it).
+///
+/// [`KvStore`]: crate::store::KvStore
+pub struct KvServer {
+    lanes: Vec<Lane>,
+    /// A resident client handle for callers that drive the server
+    /// directly (e.g. the loadgen's `KvTarget` impl) without paying a
+    /// handle allocation per op.
+    client: KvClient,
+    /// Worker panics healed without losing the lane.
+    healed_panics: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for KvServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvServer")
+            .field("lanes", &self.lanes.len())
+            .finish()
+    }
+}
+
+fn lock(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl KvServer {
+    /// Spawn one worker thread (and queue) per shard of `cfg`.
+    pub fn new(cfg: &KvConfig, scfg: &ServerConfig) -> Self {
+        assert!(cfg.shards >= 1, "at least one shard");
+        assert!(scfg.max_batch >= 1, "a batch holds at least one request");
+        let healed_panics = Arc::new(AtomicU64::new(0));
+        let max_batch = scfg.max_batch.min(scfg.queue_capacity);
+        let lanes = (0..cfg.shards)
+            .map(|_| {
+                let shard = Arc::new(Mutex::new(Shard::new(&cfg.shard)));
+                let queue = Arc::new(SubmissionQueue::new(scfg.queue_capacity, scfg.backpressure));
+                let worker = {
+                    let shard = Arc::clone(&shard);
+                    let queue = Arc::clone(&queue);
+                    let healed = Arc::clone(&healed_panics);
+                    std::thread::spawn(move || worker_loop(&shard, &queue, max_batch, &healed))
+                };
+                Lane {
+                    shard,
+                    queue,
+                    worker: Some(worker),
+                }
+            })
+            .collect::<Vec<Lane>>();
+        let client = KvClient {
+            queues: lanes.iter().map(|l| Arc::clone(&l.queue)).collect(),
+        };
+        KvServer {
+            lanes,
+            client,
+            healed_panics,
+        }
+    }
+
+    /// A client handle: routes per key, enqueues, blocks on completion.
+    pub fn client(&self) -> KvClient {
+        self.client.clone()
+    }
+
+    /// Borrow the server's resident client (no allocation).
+    pub fn handle(&self) -> &KvClient {
+        &self.client
+    }
+
+    /// Number of shard lanes.
+    pub fn num_shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Shard lane serving `key` (same routing as [`KvStore`]).
+    ///
+    /// [`KvStore`]: crate::store::KvStore
+    pub fn shard_of(&self, key: u64) -> usize {
+        (route_hash(key) % self.lanes.len() as u64) as usize
+    }
+
+    /// Run `f` with shard `i` locked (stats scraping, crash plumbing in
+    /// tests). Serializes with the worker's batches: the worker holds
+    /// the same lock while serving, never between batches.
+    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&mut Shard) -> R) -> R {
+        f(&mut lock(&self.lanes[i].shard))
+    }
+
+    /// Cumulative runtime counters summed over shards.
+    pub fn stats(&self) -> FaseStats {
+        self.lanes.iter().map(|l| lock(&l.shard).stats()).sum()
+    }
+
+    /// Per-window counters summed over shards.
+    pub fn take_stats(&self) -> FaseStats {
+        self.lanes.iter().map(|l| lock(&l.shard).take_stats()).sum()
+    }
+
+    /// Batch-formation counters merged over every lane's queue — the
+    /// source of the benchmark's `batch_occupancy_mean` column.
+    pub fn queue_stats(&self) -> QueueStats {
+        let mut s = QueueStats::default();
+        for l in &self.lanes {
+            s.merge(&l.queue.stats());
+        }
+        s
+    }
+
+    /// Worker panics healed in place so far.
+    pub fn healed_panics(&self) -> u64 {
+        self.healed_panics.load(Ordering::Relaxed)
+    }
+
+    /// Restart every shard's adaptation measurement (post-load).
+    pub fn reset_samplers(&self) {
+        for l in &self.lanes {
+            lock(&l.shard).reset_sampler();
+        }
+    }
+
+    /// Live-controller capacity decisions per shard.
+    pub fn chosen(&self) -> Vec<Vec<CapacityChoice>> {
+        self.lanes
+            .iter()
+            .map(|l| lock(&l.shard).chosen().to_vec())
+            .collect()
+    }
+
+    /// Total live keys across shards.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|l| lock(&l.shard).len()).sum()
+    }
+
+    /// Is every shard empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every `(key, value)` pair across shards, sorted by key.
+    pub fn dump(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut all: Vec<(u64, Vec<u8>)> = self
+            .lanes
+            .iter()
+            .flat_map(|l| lock(&l.shard).dump())
+            .collect();
+        all.sort_unstable_by_key(|&(k, _)| k);
+        all
+    }
+
+    /// Inject a power failure on every shard and recover in place,
+    /// while the workers keep serving. Each shard's crash lands
+    /// *between* its worker's batches (the crash takes the same lock
+    /// the worker serves under), so acknowledged — committed — requests
+    /// survive and in-flight ones are simply not yet in the region.
+    pub fn crash_and_recover_all(&self, mode: &CrashMode) {
+        for l in &self.lanes {
+            lock(&l.shard).crash_and_recover(mode);
+        }
+    }
+
+    /// Flush every shard's buffered state (clean shutdown).
+    pub fn sync_all(&self) {
+        for l in &self.lanes {
+            lock(&l.shard).sync();
+        }
+    }
+
+    /// Close the queues, drain the tails, and join the workers. Pending
+    /// requests still get served (close lets queued work finish);
+    /// pushes racing the close fail with their request handed back.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        for l in &self.lanes {
+            l.queue.close();
+        }
+        for l in &mut self.lanes {
+            if let Some(h) = l.worker.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for KvServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// A cheap, cloneable client handle over a [`KvServer`]'s submission
+/// queues. Every call is blocking: enqueue, then wait on the completion
+/// slot (filled only after the owning batch's FASE committed).
+#[derive(Clone)]
+pub struct KvClient {
+    queues: Vec<Arc<SubmissionQueue<Request>>>,
+}
+
+impl std::fmt::Debug for KvClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvClient")
+            .field("shards", &self.queues.len())
+            .finish()
+    }
+}
+
+impl KvClient {
+    fn queue_for(&self, key: u64) -> &SubmissionQueue<Request> {
+        &self.queues[(route_hash(key) % self.queues.len() as u64) as usize]
+    }
+
+    /// Look up `key`. `None` covers both absence and a refused
+    /// submission (full queue under [`Backpressure::Reject`], or a
+    /// server that shut down).
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        let c = Completion::new();
+        match self.queue_for(key).push(Request::Get(key, c.clone())) {
+            Ok(()) => c.wait(),
+            Err(PushError::Full(_) | PushError::Closed(_)) => None,
+        }
+    }
+
+    /// Insert or update `key → value`; `false` when the shard rejected
+    /// the write *or* the submission itself was refused.
+    pub fn put(&self, key: u64, value: &[u8]) -> bool {
+        let c = Completion::new();
+        match self
+            .queue_for(key)
+            .push(Request::Put(key, value.to_vec(), c.clone()))
+        {
+            Ok(()) => c.wait(),
+            Err(_) => false,
+        }
+    }
+
+    /// Apply a client-side batch: split by shard, enqueue one `PutMany`
+    /// per involved lane, wait for all acks. Per-lane slices keep the
+    /// store's per-shard atomicity contract; the lanes' FASEs may
+    /// additionally absorb other clients' concurrent writes (that is
+    /// the point).
+    pub fn put_many(&self, items: &[(u64, Vec<u8>)]) -> bool {
+        let mut by_shard: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); self.queues.len()];
+        for (k, v) in items {
+            by_shard[(route_hash(*k) % self.queues.len() as u64) as usize].push((*k, v.clone()));
+        }
+        let mut waits: Vec<Completion<bool>> = Vec::new();
+        let mut ok = true;
+        for (i, group) in by_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let c = Completion::new();
+            match self.queues[i].push(Request::PutMany(group, c.clone())) {
+                Ok(()) => waits.push(c),
+                Err(_) => ok = false,
+            }
+        }
+        for c in waits {
+            ok &= c.wait();
+        }
+        ok
+    }
+
+    /// Remove `key`; `false` for absent keys and refused submissions.
+    pub fn delete(&self, key: u64) -> bool {
+        let c = Completion::new();
+        match self.queue_for(key).push(Request::Delete(key, c.clone())) {
+            Ok(()) => c.wait(),
+            Err(_) => false,
+        }
+    }
+}
+
+/// The per-shard worker: drain everything in flight, serve it as one
+/// grouped batch under the shard lock, ack after commit. Panics heal.
+fn worker_loop(
+    shard: &Mutex<Shard>,
+    queue: &SubmissionQueue<Request>,
+    max_batch: usize,
+    healed: &AtomicU64,
+) {
+    let mut batch: Vec<Request> = Vec::new();
+    let mut reqs: Vec<BatchRequest> = Vec::new();
+    let mut slots: Vec<ReplySlot> = Vec::new();
+    loop {
+        batch.clear();
+        if !queue.drain_into(&mut batch, max_batch) {
+            return; // closed and empty
+        }
+        reqs.clear();
+        slots.clear();
+        for r in batch.drain(..) {
+            match r {
+                Request::Get(k, c) => {
+                    reqs.push(BatchRequest::Get(k));
+                    slots.push(ReplySlot::Value(c));
+                }
+                Request::Put(k, v, c) => {
+                    reqs.push(BatchRequest::Put(k, v));
+                    slots.push(ReplySlot::Done(c));
+                }
+                Request::PutMany(items, c) => {
+                    reqs.push(BatchRequest::PutMany(items));
+                    slots.push(ReplySlot::Done(c));
+                }
+                Request::Delete(k, c) => {
+                    reqs.push(BatchRequest::Delete(k));
+                    slots.push(ReplySlot::Done(c));
+                }
+            }
+        }
+        let served = {
+            let mut guard = lock(shard);
+            catch_unwind(AssertUnwindSafe(|| guard.serve_batch(&reqs))).map_err(|_| {
+                // the unwind may have abandoned a FASE mid-flight: roll
+                // it back and drop volatile residue so the lane lives on
+                guard.heal_after_panic();
+                healed.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        match served {
+            Ok(replies) => {
+                debug_assert_eq!(replies.len(), slots.len());
+                for (slot, reply) in slots.drain(..).zip(replies) {
+                    slot.fill(reply);
+                }
+            }
+            Err(()) => {
+                for slot in slots.drain(..) {
+                    slot.fail();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardConfig;
+    use nvcache_core::PolicyKind;
+
+    fn cfg(shards: usize, pipelined: bool) -> KvConfig {
+        KvConfig {
+            shards,
+            shard: ShardConfig {
+                buckets: 64,
+                data_len: 1 << 19,
+                log_len: 1 << 15,
+                policy: PolicyKind::ScFixed { capacity: 8 },
+                adapt: None,
+                pipelined,
+            },
+        }
+    }
+
+    #[test]
+    fn single_client_roundtrip() {
+        let server = KvServer::new(&cfg(2, false), &ServerConfig::default());
+        let c = server.client();
+        for k in 0..200u64 {
+            assert!(c.put(k, &k.to_le_bytes()));
+        }
+        for k in 0..200u64 {
+            assert_eq!(c.get(k).as_deref(), Some(&k.to_le_bytes()[..]), "key {k}");
+        }
+        assert!(c.delete(7));
+        assert!(!c.delete(7));
+        assert_eq!(c.get(7), None);
+        assert_eq!(server.len(), 199);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_disjoint_keys() {
+        let server = KvServer::new(&cfg(4, true), &ServerConfig::default());
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let c = server.client();
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let k = w * 1000 + i;
+                        assert!(c.put(k, &k.to_le_bytes()));
+                        assert_eq!(c.get(k).as_deref(), Some(&k.to_le_bytes()[..]));
+                    }
+                });
+            }
+        });
+        assert_eq!(server.len(), 800);
+        let qs = server.queue_stats();
+        assert_eq!(qs.enqueued, qs.drained, "nothing left behind");
+        assert!(qs.occupancy_mean() >= 1.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn put_many_spans_shards_and_commits_per_lane() {
+        let server = KvServer::new(&cfg(4, true), &ServerConfig::default());
+        let c = server.client();
+        let items: Vec<(u64, Vec<u8>)> = (0..64u64).map(|i| (i, vec![i as u8; 24])).collect();
+        assert!(c.put_many(&items));
+        for i in 0..64u64 {
+            assert_eq!(c.get(i).as_deref(), Some(&vec![i as u8; 24][..]));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn max_batch_one_still_serves_correctly() {
+        let server = KvServer::new(
+            &cfg(2, false),
+            &ServerConfig {
+                max_batch: 1,
+                ..Default::default()
+            },
+        );
+        let c = server.client();
+        for k in 0..100u64 {
+            assert!(c.put(k, b"v"));
+        }
+        assert_eq!(server.len(), 100);
+        let qs = server.queue_stats();
+        assert_eq!(qs.max_batch, 1, "unbatched lanes never group");
+        server.shutdown();
+    }
+
+    #[test]
+    fn acks_only_after_commit() {
+        // every acked write must already be durable: crash immediately
+        // after the ack and the value must survive
+        let server = KvServer::new(&cfg(2, true), &ServerConfig::default());
+        let c = server.client();
+        for k in 0..50u64 {
+            assert!(c.put(k, &(k * 7).to_le_bytes()));
+            server.crash_and_recover_all(&CrashMode::StrictDurableOnly);
+            assert_eq!(
+                c.get(k).as_deref(),
+                Some(&(k * 7).to_le_bytes()[..]),
+                "acked write lost at key {k}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_tail_and_fails_late_pushes() {
+        let server = KvServer::new(&cfg(1, false), &ServerConfig::default());
+        let c = server.client();
+        assert!(c.put(1, b"x"));
+        let dump = {
+            let s = &server;
+            let d: Vec<_> = (0..s.num_shards())
+                .flat_map(|i| s.with_shard(i, |sh| sh.dump()))
+                .collect();
+            d
+        };
+        assert_eq!(dump.len(), 1);
+        server.shutdown();
+        // the client outlives the server: calls fail cleanly
+        assert!(!c.put(2, b"y"));
+        assert_eq!(c.get(1), None, "closed queue refuses the submission");
+        assert!(!c.delete(1));
+    }
+
+    /// Reads see every earlier write of their own batch (overlay), and
+    /// cross-client grouping actually happens under contention.
+    #[test]
+    fn grouped_lanes_form_multi_request_batches() {
+        let server = KvServer::new(&cfg(1, true), &ServerConfig::default());
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let c = server.client();
+                scope.spawn(move || {
+                    for i in 0..300u64 {
+                        let k = w * 10_000 + i;
+                        assert!(c.put(k, &k.to_le_bytes()));
+                    }
+                });
+            }
+        });
+        let qs = server.queue_stats();
+        assert_eq!(qs.drained, 1200);
+        assert!(qs.batches >= 1);
+        assert!(
+            qs.max_batch <= 256,
+            "occupancy bounded by queue capacity, got {}",
+            qs.max_batch
+        );
+        server.shutdown();
+    }
+}

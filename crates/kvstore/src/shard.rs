@@ -33,6 +33,32 @@ const BUCKET_BLOCK: usize = 4096;
 /// header).
 pub const MAX_VALUE_LEN: usize = BUCKET_BLOCK - NODE_HEADER;
 
+/// One request drained from a shard's submission queue, stripped of its
+/// completion slot (the serving layer holds those; [`Shard::serve_batch`]
+/// answers positionally).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchRequest {
+    /// Look a key up (answered from the batch's pending-write overlay
+    /// first, so it sees earlier writes of its own batch).
+    Get(u64),
+    /// Insert or update one key.
+    Put(u64, Vec<u8>),
+    /// A client-side group that must stay per-request atomic even on
+    /// the replay path.
+    PutMany(Vec<(u64, Vec<u8>)>),
+    /// Remove a key. Acts as a segment barrier inside a batch.
+    Delete(u64),
+}
+
+/// Positional reply to one [`BatchRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchReply {
+    /// `Get` result.
+    Value(Option<Vec<u8>>),
+    /// `Put`/`PutMany`/`Delete` outcome.
+    Done(bool),
+}
+
 /// Live-adaptation controller configuration for one shard.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdaptConfig {
@@ -455,6 +481,149 @@ impl Shard {
         true
     }
 
+    /// Serve one drained submission-queue batch: the cross-client group
+    /// commit at the heart of the concurrent shard runtime. Requests are
+    /// processed in drain (= FIFO submission) order with *sequential*
+    /// semantics, but all writes between delete barriers accumulate into
+    /// a single [`Shard::put_many`] group — one FASE, one grouped
+    /// prelog, one ring publish — regardless of how many clients
+    /// contributed them. Reads are answered from the pending-write
+    /// overlay first, so a `Get` observes every earlier write of its own
+    /// batch exactly as it would have under per-op execution.
+    ///
+    /// Deletes split the batch into segments (unlinking inside a grouped
+    /// write set would need ordering the group can't express); each
+    /// segment commits before the delete runs. When a segment's group is
+    /// rejected (oversized value, length-changing update, heap
+    /// exhaustion), the segment — whose group left no trace — is
+    /// replayed with per-request ops, so per-request failure is precise
+    /// and the surviving requests still land.
+    ///
+    /// Crash contract: replies must only be released to clients after
+    /// this returns. Every state the region can expose after a crash
+    /// mid-batch is then a committed *prefix* of the batch's segment
+    /// FASEs — an acknowledged request is durable, an unacknowledged one
+    /// rolls back whole, never torn.
+    pub fn serve_batch(&mut self, reqs: &[BatchRequest]) -> Vec<BatchReply> {
+        let mut replies: Vec<BatchReply> = Vec::with_capacity(reqs.len());
+        // current segment: grouped writes + the request span they cover
+        let mut group: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut overlay: FxHashMap<u64, usize> = FxHashMap::default();
+        let mut seg_start = 0usize;
+
+        // Commit the pending segment group; on rejection, replay the
+        // segment's requests individually (recomputing its replies).
+        fn close_segment(
+            shard: &mut Shard,
+            reqs: &[BatchRequest],
+            replies: &mut Vec<BatchReply>,
+            group: &mut Vec<(u64, Vec<u8>)>,
+            overlay: &mut FxHashMap<u64, usize>,
+            seg_start: usize,
+            seg_end: usize,
+        ) {
+            if !group.is_empty() && !shard.put_many(group) {
+                // the grouped commit left no trace: replay this segment
+                // sequentially for exact per-request outcomes
+                replies.truncate(seg_start);
+                for req in &reqs[seg_start..seg_end] {
+                    replies.push(match req {
+                        BatchRequest::Get(k) => BatchReply::Value(shard.get(*k)),
+                        BatchRequest::Put(k, v) => BatchReply::Done(shard.put(*k, v)),
+                        BatchRequest::PutMany(items) => BatchReply::Done(shard.put_many(items)),
+                        BatchRequest::Delete(_) => unreachable!("deletes end segments"),
+                    });
+                }
+            }
+            group.clear();
+            overlay.clear();
+        }
+
+        for (i, req) in reqs.iter().enumerate() {
+            match req {
+                BatchRequest::Get(k) => {
+                    let value = match overlay.get(k) {
+                        Some(&gi) => Some(group[gi].1.clone()),
+                        None => self.get(*k),
+                    };
+                    replies.push(BatchReply::Value(value));
+                }
+                BatchRequest::Put(k, v) => {
+                    overlay.insert(*k, group.len());
+                    group.push((*k, v.clone()));
+                    replies.push(BatchReply::Done(true));
+                }
+                BatchRequest::PutMany(items) => {
+                    // overlay points at each key's *last* write in the
+                    // group (later inserts overwrite earlier ones)
+                    for (j, (k, _)) in items.iter().enumerate() {
+                        overlay.insert(*k, group.len() + j);
+                    }
+                    group.extend(items.iter().cloned());
+                    replies.push(BatchReply::Done(true));
+                }
+                BatchRequest::Delete(k) => {
+                    close_segment(
+                        self,
+                        reqs,
+                        &mut replies,
+                        &mut group,
+                        &mut overlay,
+                        seg_start,
+                        i,
+                    );
+                    replies.push(BatchReply::Done(self.delete(*k)));
+                    seg_start = i + 1;
+                }
+            }
+        }
+        close_segment(
+            self,
+            reqs,
+            &mut replies,
+            &mut group,
+            &mut overlay,
+            seg_start,
+            reqs.len(),
+        );
+        replies
+    }
+
+    /// Read-only lookup over the shard's region (no `&mut`): the
+    /// serving layer's fast path for `Get`s that bypass the submission
+    /// queue. Safe to run under a shared lock held concurrently with
+    /// nothing — the worker takes the exclusive lock for the whole
+    /// batch, so a reader never observes a mid-FASE region.
+    pub fn get_ro(&self, key: u64) -> Option<Vec<u8>> {
+        let region = self.rt.region();
+        let boff = self.bucket_off(key);
+        let mut p = region.read_u64(boff) as usize;
+        while p != 0 {
+            if region.read_u64(p) == key {
+                let vlen = region.read_u64(p + 16) as usize;
+                let mut v = vec![0u8; vlen];
+                region.read(p + NODE_HEADER, &mut v);
+                return Some(v);
+            }
+            p = region.read_u64(p + 8) as usize;
+        }
+        None
+    }
+
+    /// Recover the shard after a panic unwound through one of its
+    /// operations (see [`FaseRuntime::heal_after_panic`]): the abandoned
+    /// FASE rolls back, volatile runtime residue is dropped, and the
+    /// shard's length is rebuilt from the region. Returns whether
+    /// anything was healed.
+    pub fn heal_after_panic(&mut self) -> bool {
+        let healed = self.rt.heal_after_panic();
+        if healed {
+            self.pending_mrc = None;
+            self.len = self.walk_len();
+        }
+        healed
+    }
+
     /// Remove `key` (one FASE when present). Returns whether it existed.
     pub fn delete(&mut self, key: u64) -> bool {
         let (boff, node, prev) = self.find(key);
@@ -824,6 +993,148 @@ mod tests {
             assert!(s.get(i).is_some());
         }
         assert!(s.stream().unwrap().len() >= 2000);
+    }
+
+    #[test]
+    fn serve_batch_groups_writes_into_one_fase() {
+        let mut s = Shard::new(&small(PolicyKind::ScFixed { capacity: 8 }));
+        assert!(s.put(1, b"one"));
+        let fases = s.stats().fases;
+        let replies = s.serve_batch(&[
+            BatchRequest::Put(10, b"ten".to_vec()),
+            BatchRequest::Get(10), // sees its own batch's write (overlay)
+            BatchRequest::Get(1),  // pre-batch value
+            BatchRequest::PutMany(vec![(11, b"eleven".to_vec()), (10, b"TEN".to_vec())]),
+            BatchRequest::Get(10), // sees the overlay's *last* write
+            BatchRequest::Get(99), // absent
+        ]);
+        assert_eq!(
+            replies,
+            vec![
+                BatchReply::Done(true),
+                BatchReply::Value(Some(b"ten".to_vec())),
+                BatchReply::Value(Some(b"one".to_vec())),
+                BatchReply::Done(true),
+                BatchReply::Value(Some(b"TEN".to_vec())),
+                BatchReply::Value(None),
+            ]
+        );
+        assert_eq!(
+            s.stats().fases,
+            fases + 1,
+            "three writes from the batch formed one group-commit FASE"
+        );
+        assert_eq!(s.get(10).as_deref(), Some(&b"TEN"[..]));
+        assert_eq!(s.get(11).as_deref(), Some(&b"eleven"[..]));
+    }
+
+    #[test]
+    fn serve_batch_delete_barrier_splits_segments() {
+        let mut s = Shard::new(&small(PolicyKind::ScFixed { capacity: 8 }));
+        let fases = s.stats().fases;
+        let replies = s.serve_batch(&[
+            BatchRequest::Put(1, b"a".to_vec()),
+            BatchRequest::Put(2, b"b".to_vec()),
+            BatchRequest::Delete(1), // barrier: segment 1 commits first
+            BatchRequest::Get(1),    // post-delete view
+            BatchRequest::Put(3, b"c".to_vec()),
+        ]);
+        assert_eq!(
+            replies,
+            vec![
+                BatchReply::Done(true),
+                BatchReply::Done(true),
+                BatchReply::Done(true),
+                BatchReply::Value(None),
+                BatchReply::Done(true),
+            ]
+        );
+        // segment group + delete + trailing segment group = 3 FASEs
+        assert_eq!(s.stats().fases, fases + 3);
+        assert_eq!(s.len(), 2);
+    }
+
+    /// A segment whose grouped commit is rejected (here: a
+    /// length-changing update, which `put_many` refuses) replays
+    /// per-request: the length change succeeds through the replace
+    /// path, neighbours still land, replies are exact.
+    #[test]
+    fn serve_batch_replays_rejected_segment_per_request() {
+        let mut s = Shard::new(&small(PolicyKind::ScFixed { capacity: 8 }));
+        assert!(s.put(5, b"short"));
+        let replies = s.serve_batch(&[
+            BatchRequest::Put(6, b"six".to_vec()),
+            BatchRequest::Put(5, b"a-much-longer-value".to_vec()),
+            BatchRequest::Get(5),
+            BatchRequest::Put(7, vec![0u8; MAX_VALUE_LEN + 1]), // always refused
+        ]);
+        assert_eq!(replies[0], BatchReply::Done(true));
+        assert_eq!(replies[1], BatchReply::Done(true));
+        assert_eq!(
+            replies[2],
+            BatchReply::Value(Some(b"a-much-longer-value".to_vec()))
+        );
+        assert_eq!(
+            replies[3],
+            BatchReply::Done(false),
+            "oversized put fails precisely"
+        );
+        assert_eq!(s.get(5).as_deref(), Some(&b"a-much-longer-value"[..]));
+        assert_eq!(s.get(6).as_deref(), Some(&b"six"[..]));
+        assert_eq!(s.get(7), None);
+    }
+
+    /// `serve_batch` must equal sequential per-op execution — same
+    /// replies, same end state — on a deterministic mixed stream.
+    #[test]
+    fn serve_batch_matches_sequential_semantics() {
+        let cfg = small(PolicyKind::ScFixed { capacity: 8 });
+        let mut batched = Shard::new(&cfg);
+        let mut seq = Shard::new(&cfg);
+        let mut reqs: Vec<BatchRequest> = Vec::new();
+        let mut x = 9_u64;
+        for i in 0..120u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (x >> 33) % 24;
+            reqs.push(match x % 4 {
+                0 => BatchRequest::Get(key),
+                1 => BatchRequest::Delete(key),
+                2 => BatchRequest::PutMany(vec![
+                    (key, vec![i as u8; 16]),
+                    ((key + 1) % 24, vec![i as u8; 16]),
+                ]),
+                _ => BatchRequest::Put(key, vec![i as u8; 16]),
+            });
+        }
+        let got = batched.serve_batch(&reqs);
+        let want: Vec<BatchReply> = reqs
+            .iter()
+            .map(|r| match r {
+                BatchRequest::Get(k) => BatchReply::Value(seq.get(*k)),
+                BatchRequest::Put(k, v) => BatchReply::Done(seq.put(*k, v)),
+                BatchRequest::PutMany(items) => BatchReply::Done(seq.put_many(items)),
+                BatchRequest::Delete(k) => BatchReply::Done(seq.delete(*k)),
+            })
+            .collect();
+        assert_eq!(got, want, "replies diverge from sequential execution");
+        assert_eq!(batched.dump(), seq.dump(), "end states diverge");
+    }
+
+    #[test]
+    fn get_ro_matches_get() {
+        let mut s = Shard::new(&small(PolicyKind::Lazy));
+        for i in 0..100u64 {
+            assert!(s.put(i, &(i * 3).to_le_bytes()));
+        }
+        s.delete(4);
+        s.put(5, b"");
+        for i in 0..100u64 {
+            let want = s.get(i);
+            assert_eq!(s.get_ro(i), want, "key {i}");
+        }
+        assert_eq!(s.get_ro(1234), None);
     }
 
     /// The pipelined path (ring + grouped prelog + slab) is a pure

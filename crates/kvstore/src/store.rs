@@ -31,8 +31,10 @@ impl Default for KvConfig {
 
 /// SplitMix64 finalizer — the shard router. Deliberately a different
 /// mix than the in-shard bucket hash so shard choice and bucket choice
-/// are uncorrelated.
-fn route_hash(key: u64) -> u64 {
+/// are uncorrelated. Shared with the concurrent serving layer
+/// (`server.rs`) so a [`KvStore`] and a `KvServer` over the same config
+/// route identically.
+pub(crate) fn route_hash(key: u64) -> u64 {
     let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -181,9 +183,22 @@ impl KvStore {
 }
 
 fn lock(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
-    // a worker that panicked mid-op can poison a shard lock; recovery
-    // tests still need to inspect the store afterwards
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            // A worker panicked while holding this shard — possibly
+            // mid-FASE, leaving an open section, a stale flush buffer,
+            // and undrained ring entries. Merely taking the guard (the
+            // old behaviour) leaked all of that: the next op nested
+            // inside the abandoned section and nothing ever committed
+            // again. Heal the runtime (rollback + drop volatile
+            // residue) before handing the shard out.
+            let mut g = poisoned.into_inner();
+            g.heal_after_panic();
+            m.clear_poison();
+            g
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +280,45 @@ mod tests {
             }
         });
         assert_eq!(store.len(), 1000);
+    }
+
+    /// Regression: a worker panicking mid-FASE used to leave the shard's
+    /// runtime with an open section behind a poisoned lock; every later
+    /// op then nested inside it (no commit ever ran again) and the
+    /// in-flight flush buffer leaked. The poisoned-lock path must heal
+    /// the runtime so the store keeps committing.
+    #[test]
+    fn poisoned_shard_lock_heals_the_abandoned_fase() {
+        let store = KvStore::new(&cfg(2));
+        for k in 0..100u64 {
+            assert!(store.put(k, &k.to_le_bytes()));
+        }
+        let victim = store.shard_of(7);
+        let fases_before = store.stats().fases;
+        // panic while holding the shard mid-FASE (poisons the lock)
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.with_shard(victim, |sh| {
+                let rt = sh.runtime_mut();
+                rt.begin_fase();
+                rt.store_u64(4096, 0xDEAD_BEEF);
+                panic!("worker dies mid-FASE");
+            })
+        }));
+        assert!(res.is_err());
+        // the next access heals: rollback recorded, depth cleared
+        store.with_shard(victim, |sh| {
+            assert_eq!(sh.runtime_mut().depth(), 0, "abandoned FASE closed");
+        });
+        assert_eq!(store.stats().rollbacks, 1);
+        // ops on the healed shard commit again (the regression froze
+        // the fase counter forever)
+        assert!(store.put(7, b"after-heal"));
+        assert!(store.stats().fases > fases_before);
+        assert_eq!(store.get(7).as_deref(), Some(&b"after-heal"[..]));
+        // and the healed state is crash-consistent
+        let expect = store.dump();
+        store.crash_and_recover_all(&CrashMode::StrictDurableOnly);
+        assert_eq!(store.dump(), expect);
     }
 
     #[test]

@@ -22,7 +22,62 @@ use nvcache_telemetry::{
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::server::KvServer;
 use crate::store::KvStore;
+
+/// Anything the loadgen can drive: the direct [`KvStore`] (callers
+/// lock shards themselves) or the concurrent [`KvServer`] (requests
+/// ride per-shard submission queues into cross-client group commits).
+/// Data ops are issued from the worker threads; the stats pair is
+/// scraped from the main thread while the run serves.
+pub trait KvTarget: Sync {
+    /// Look up `key`.
+    fn get(&self, key: u64) -> Option<Vec<u8>>;
+    /// Insert or update `key → value`.
+    fn put(&self, key: u64, value: &[u8]) -> bool;
+    /// Apply a write batch (one FASE per involved shard).
+    fn put_many(&self, items: &[(u64, Vec<u8>)]) -> bool;
+    /// Interval-delta counters summed over shards.
+    fn take_stats(&self) -> FaseStats;
+    /// Restart adaptation measurement (post-load).
+    fn reset_samplers(&self);
+}
+
+impl KvTarget for KvStore {
+    fn get(&self, key: u64) -> Option<Vec<u8>> {
+        KvStore::get(self, key)
+    }
+    fn put(&self, key: u64, value: &[u8]) -> bool {
+        KvStore::put(self, key, value)
+    }
+    fn put_many(&self, items: &[(u64, Vec<u8>)]) -> bool {
+        KvStore::put_many(self, items)
+    }
+    fn take_stats(&self) -> FaseStats {
+        KvStore::take_stats(self)
+    }
+    fn reset_samplers(&self) {
+        KvStore::reset_samplers(self)
+    }
+}
+
+impl KvTarget for KvServer {
+    fn get(&self, key: u64) -> Option<Vec<u8>> {
+        self.handle().get(key)
+    }
+    fn put(&self, key: u64, value: &[u8]) -> bool {
+        self.handle().put(key, value)
+    }
+    fn put_many(&self, items: &[(u64, Vec<u8>)]) -> bool {
+        self.handle().put_many(items)
+    }
+    fn take_stats(&self) -> FaseStats {
+        KvServer::take_stats(self)
+    }
+    fn reset_samplers(&self) {
+        KvServer::reset_samplers(self)
+    }
+}
 
 /// The standard YCSB core mixes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -242,8 +297,13 @@ pub fn value_bytes(key: u64, version: u64, len: usize) -> Vec<u8> {
 /// Returns how many inserts the store accepted (all, unless a shard
 /// heap is undersized).
 pub fn load(store: &KvStore, keys: usize, value_len: usize) -> usize {
+    load_on(store, keys, value_len)
+}
+
+/// [`load`] over any [`KvTarget`] (direct store or concurrent server).
+pub fn load_on<T: KvTarget>(target: &T, keys: usize, value_len: usize) -> usize {
     (0..keys as u64)
-        .filter(|&k| store.put(k, &value_bytes(k, 0, value_len)))
+        .filter(|&k| target.put(k, &value_bytes(k, 0, value_len)))
         .count()
 }
 
@@ -271,7 +331,19 @@ fn timed<T>(
 /// open-loop pacing. Worker `w` uses seed `cfg.seed ⊕ mix(w)`, so runs
 /// are reproducible per worker regardless of interleaving.
 pub fn run(store: &KvStore, cfg: &YcsbConfig) -> YcsbReport {
+    run_on(store, cfg)
+}
+
+/// [`run`] over any [`KvTarget`]: the same loadgen drives the direct
+/// store and the concurrent server, so their measurements differ only
+/// in the serving path.
+pub fn run_on<T: KvTarget>(store: &T, cfg: &YcsbConfig) -> YcsbReport {
     assert!(cfg.workers >= 1 && cfg.ops_per_worker >= 1);
+    // One read-only zipfian table, shared by reference across every
+    // client thread below. The zetan normalizer is an O(keys) sum — at
+    // memcached-scale key counts, recomputing (or deep-copying) it per
+    // worker is measurable setup cost for zero benefit: sampling only
+    // ever reads the five precomputed constants.
     let zipf = match cfg.dist {
         KeyDist::Zipfian { theta } => Some(Zipfian::new(cfg.keys.max(2), theta)),
         KeyDist::Uniform => None,
@@ -304,8 +376,9 @@ pub fn run(store: &KvStore, cfg: &YcsbConfig) -> YcsbReport {
     let mut windows = Vec::with_capacity(cfg.windows + 1);
     std::thread::scope(|scope| {
         for w in 0..cfg.workers {
-            let zipf = zipf.clone();
-            let zipf_shifted = zipf_shifted.clone();
+            // shared read-only tables — not per-worker clones
+            let zipf = &zipf;
+            let zipf_shifted = &zipf_shifted;
             let (completed, next_key) = (&completed, &next_key);
             let (reads, updates, inserts) = (&reads, &updates, &inserts);
             let (not_found, rejected) = (&not_found, &rejected);
@@ -685,6 +758,54 @@ mod tests {
             mk(None),
             "the shift must actually change the key stream"
         );
+    }
+
+    /// The same loadgen drives the concurrent server: counts reconcile,
+    /// every write rode a submission queue, and grouped lanes formed
+    /// real multi-request batches under 4 closed-loop clients.
+    #[test]
+    fn run_on_drives_the_concurrent_server() {
+        use crate::server::{KvServer, ServerConfig};
+        use crate::shard::ShardConfig;
+        use crate::store::KvConfig;
+        use nvcache_core::PolicyKind;
+        let server = KvServer::new(
+            &KvConfig {
+                shards: 2,
+                shard: ShardConfig {
+                    buckets: 128,
+                    data_len: 1 << 19,
+                    log_len: 1 << 15,
+                    policy: PolicyKind::ScFixed { capacity: 8 },
+                    adapt: None,
+                    pipelined: true,
+                },
+            },
+            &ServerConfig::default(),
+        );
+        assert_eq!(load_on(&server, 400, 24), 400);
+        let rep = run_on(
+            &server,
+            &YcsbConfig {
+                keys: 400,
+                ops_per_worker: 800,
+                workers: 4,
+                mix: Mix::A,
+                value_len: 24,
+                windows: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rep.ops, 3200);
+        assert_eq!(rep.not_found, 0);
+        assert_eq!(rep.rejected, 0);
+        assert!(!rep.windows.is_empty());
+        let qs = server.queue_stats();
+        assert_eq!(qs.enqueued, qs.drained, "no request stranded");
+        // load (400) + serving ops all rode the queues
+        assert!(qs.drained >= 3200);
+        assert_eq!(server.healed_panics(), 0);
+        server.shutdown();
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Property suite for the bounded MPSC submission queue — the three
+//! invariants cross-client group commit leans on:
+//!
+//! 1. **Per-client FIFO**: a single producer's requests appear in the
+//!    drained stream in exactly the order it pushed them, whatever the
+//!    interleaving with other producers and however the consumer's
+//!    batch cap slices the stream.
+//! 2. **No acknowledged request is dropped (or duplicated)**: every
+//!    push that returned `Ok` is drained exactly once — under blocking
+//!    *and* rejecting backpressure, with producers racing a live
+//!    consumer. Rejected pushes ride back to the caller.
+//! 3. **Occupancy is bounded**: no drained batch exceeds the queue
+//!    capacity or the consumer's batch cap.
+
+use nvcache_kvstore::{Backpressure, PushError, SubmissionQueue};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Tag items `(producer, seq)` so the drained stream can be audited
+/// per producer afterwards.
+type Item = (usize, u64);
+
+struct Audit {
+    /// Per-producer sequences that were accepted (push returned `Ok`).
+    accepted: Vec<Vec<u64>>,
+    /// Batches in drain order.
+    batches: Vec<Vec<Item>>,
+}
+
+fn drive(
+    producers: usize,
+    per_producer: u64,
+    capacity: usize,
+    max_batch: usize,
+    backpressure: Backpressure,
+) -> Audit {
+    let q = SubmissionQueue::new(capacity, backpressure);
+    let accepted: Vec<Mutex<Vec<u64>>> = (0..producers).map(|_| Mutex::new(Vec::new())).collect();
+    let batches: Mutex<Vec<Vec<Item>>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let q = &q;
+                let accepted = &accepted;
+                scope.spawn(move || {
+                    for seq in 0..per_producer {
+                        match q.push((p, seq)) {
+                            Ok(()) => accepted[p].lock().unwrap().push(seq),
+                            Err(PushError::Full((bp, bseq))) => {
+                                // the refused request came back intact
+                                assert_eq!((bp, bseq), (p, seq));
+                            }
+                            Err(PushError::Closed(_)) => {
+                                panic!("queue closed while producers live")
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = &q;
+            let batches = &batches;
+            scope.spawn(move || {
+                let mut out: Vec<Item> = Vec::new();
+                loop {
+                    out.clear();
+                    if !q.drain_into(&mut out, max_batch) {
+                        return;
+                    }
+                    batches.lock().unwrap().push(out.clone());
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        consumer.join().unwrap();
+    });
+    Audit {
+        accepted: accepted
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect(),
+        batches: batches.into_inner().unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fifo_no_drops_bounded_occupancy(
+        producers in 1usize..5,
+        per_producer in 1u64..120,
+        capacity in 1usize..17,
+        max_batch in 1usize..33,
+        reject in any::<bool>(),
+    ) {
+        let bp = if reject { Backpressure::Reject } else { Backpressure::Block };
+        let audit = drive(producers, per_producer, capacity, max_batch, bp);
+
+        // (3) occupancy ≤ min(capacity, batch cap), and never empty
+        for b in &audit.batches {
+            prop_assert!(!b.is_empty());
+            prop_assert!(b.len() <= capacity.min(max_batch.max(1)));
+        }
+
+        // (1) per-producer FIFO across the concatenated drain stream
+        let drained: Vec<Item> = audit.batches.iter().flatten().copied().collect();
+        for p in 0..producers {
+            let got: Vec<u64> = drained
+                .iter()
+                .filter(|(who, _)| *who == p)
+                .map(|&(_, seq)| seq)
+                .collect();
+            prop_assert_eq!(&got, &audit.accepted[p], "producer {} reordered", p);
+        }
+
+        // (2) accepted ⇔ drained, exactly once
+        let total_accepted: usize = audit.accepted.iter().map(Vec::len).sum();
+        prop_assert_eq!(drained.len(), total_accepted);
+        if !reject {
+            // blocking backpressure accepts everything eventually
+            prop_assert_eq!(total_accepted as u64, producers as u64 * per_producer);
+        }
+    }
+
+    /// Sequential (single-threaded) exercise of the same invariants —
+    /// including the exact tail behaviour at close: requests queued
+    /// before the close still drain, in order.
+    #[test]
+    fn close_drains_the_exact_accepted_tail(
+        pushes in 1u64..40,
+        capacity in 1usize..9,
+    ) {
+        let q = SubmissionQueue::new(capacity, Backpressure::Reject);
+        let mut accepted = Vec::new();
+        for seq in 0..pushes {
+            if q.push((0usize, seq)).is_ok() {
+                accepted.push(seq);
+            }
+        }
+        q.close();
+        prop_assert!(q.push((0, 999)).is_err(), "closed queue refuses pushes");
+        let mut out = Vec::new();
+        let mut drained = Vec::new();
+        while q.drain_into(&mut out, capacity) {
+            prop_assert!(out.len() <= capacity);
+            drained.extend(out.drain(..).map(|(_, s)| s));
+        }
+        prop_assert_eq!(drained, accepted);
+        let stats = q.stats();
+        prop_assert_eq!(stats.enqueued, stats.drained);
+        prop_assert_eq!(stats.enqueued + stats.rejected, pushes);
+    }
+}

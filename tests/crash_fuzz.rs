@@ -79,6 +79,46 @@ fn full_matrix_every_step_every_policy_every_mode() {
     );
 }
 
+/// The concurrent-submission matrix: with `clients > 1` each FASE is a
+/// cross-client group commit — several submitters' store streams
+/// drained into one batch, the shape the shard worker produces. All six
+/// policies × all three adversaries × both flush paths, crashing at
+/// every micro-step: recovery must always land on a whole number of
+/// batches, never exposing one client's writes without the rest of the
+/// same acknowledged group.
+#[test]
+fn concurrent_submission_matrix_never_tears_a_group() {
+    let mut schedules = 0u64;
+    for flush_mode in [FlushMode::Sync, FlushMode::Pipelined] {
+        let cfg = CrashFuzzConfig {
+            fases: 3,
+            stores_per_fase: 4,
+            clients: 4,
+            flush_mode,
+            ..CrashFuzzConfig::default()
+        };
+        for kind in all_policies() {
+            for mode in all_modes(17) {
+                let r = crash_fuzz(&kind, &mode, 17, &cfg);
+                assert!(
+                    r.passed(),
+                    "policy {} mode {:?} path {} clients 4: {} failures, first: {:?}",
+                    kind.label(),
+                    mode,
+                    flush_mode.label(),
+                    r.failure_count,
+                    r.failures.first()
+                );
+                schedules += r.schedules;
+            }
+        }
+    }
+    assert!(
+        schedules >= 500,
+        "concurrent matrix must exercise at least 500 schedules, got {schedules}"
+    );
+}
+
 /// The sweep itself is deterministic: same (policy, mode, seed, cfg) →
 /// same schedule count, same step count, same verdict.
 #[test]

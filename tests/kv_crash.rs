@@ -12,7 +12,9 @@
 //! corrupt real structure, not just slot values.
 
 use nvcache::core::{AdaptiveConfig, PolicyKind};
-use nvcache::kvstore::{KvConfig, KvStore, Shard, ShardConfig};
+use nvcache::kvstore::{
+    BatchRequest, KvConfig, KvServer, KvStore, ServerConfig, Shard, ShardConfig,
+};
 use nvcache::pmem::{CrashMode, CrashPlan};
 use std::collections::HashMap;
 
@@ -237,6 +239,170 @@ fn store_survives_repeated_all_shard_crashes_between_ops() {
     let mut want: Vec<_> = model.into_iter().collect();
     want.sort();
     assert_eq!(dump, want);
+}
+
+/// Deterministic request batches for the concurrent submission path:
+/// Gets, Puts, and PutManys with fixed-length values and no Deletes, so
+/// each batch the worker drains is exactly one cross-client FASE (no
+/// segment barriers, no length-change rejection replay).
+fn batch_program(seed: u64, batches: usize, keys: u64) -> Vec<Vec<BatchRequest>> {
+    let mut s = seed;
+    (0..batches)
+        .map(|_| {
+            let n = 2 + (splitmix(&mut s) % 6) as usize;
+            (0..n)
+                .map(|_| {
+                    let r = splitmix(&mut s);
+                    let key = splitmix(&mut s) % keys;
+                    match r % 4 {
+                        0 => BatchRequest::Get(key),
+                        1 => {
+                            let m = 2 + (r % 3) as usize;
+                            BatchRequest::PutMany(
+                                (0..m)
+                                    .map(|_| {
+                                        let k = splitmix(&mut s) % keys;
+                                        (k, value(splitmix(&mut s), 24))
+                                    })
+                                    .collect(),
+                            )
+                        }
+                        _ => BatchRequest::Put(key, value(splitmix(&mut s), 24)),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The concurrent submission path's committed-prefix oracle: drive a
+/// shard through `serve_batch` group commits, crash at sampled
+/// micro-steps, recover. The recovered table must equal the state after
+/// a whole number of *acknowledged* batches (the last one whose commit
+/// step precedes the cut, or the one mid-commit at the cut) — a batch
+/// merging several clients' writes is never visible in part.
+#[test]
+fn serve_batch_recovers_a_committed_prefix_of_acked_batches() {
+    let prog = batch_program(4242, 14, 24);
+    for (policy, pipelined) in [
+        (PolicyKind::ScFixed { capacity: 8 }, true),
+        (PolicyKind::ScFixed { capacity: 8 }, false),
+        (PolicyKind::Eager, true),
+        (PolicyKind::Atlas { size: 8 }, false),
+    ] {
+        let cfg = shard_cfg(policy, pipelined);
+        // counting pass: commit step + full dump after each acked batch
+        let mut s = Shard::new(&cfg);
+        let mut commit_steps = vec![s.steps()];
+        let mut snaps = vec![s.dump()];
+        for batch in &prog {
+            s.serve_batch(batch);
+            commit_steps.push(s.steps());
+            snaps.push(s.dump());
+        }
+        let setup = commit_steps[0];
+        let total = *commit_steps.last().unwrap();
+        assert!(total > setup + 100, "program must generate real step mass");
+        let stride = ((total - setup) / 50).max(1);
+        for (mi, mode_seed) in [21u64, 22, 23].into_iter().enumerate() {
+            let mut k = setup + 1;
+            while k < total {
+                let mode = modes(mode_seed).swap_remove(mi);
+                let mut s = Shard::new(&cfg);
+                s.arm_crash(CrashPlan {
+                    at_step: k,
+                    mode: mode.clone(),
+                });
+                for batch in &prog {
+                    s.serve_batch(batch);
+                }
+                let image = s.take_crash_image().expect("crash step within program");
+                let mut rec = Shard::reopen_from_image(image, &cfg)
+                    .unwrap_or_else(|e| panic!("recovery failed at step {k}: {e:?}"));
+                let committed = commit_steps.iter().rposition(|&c| c <= k).unwrap();
+                let got = rec.dump();
+                assert!(
+                    got == snaps[committed] || Some(&got) == snaps.get(committed + 1),
+                    "policy {} path {} mode {mode:?} crash at step {k}: torn group \
+                     commit — state is neither batch {committed}'s snapshot nor \
+                     batch {}'s",
+                    cfg.policy.label(),
+                    if pipelined { "pipelined" } else { "sync" },
+                    committed + 1,
+                );
+                k += stride;
+            }
+        }
+    }
+}
+
+/// Live concurrent crash-recovery: four closed-loop clients with
+/// disjoint key spaces drive a running `KvServer` through its MPSC
+/// lanes while the main thread repeatedly power-fails and recovers
+/// every shard under the strictest adversary. Acknowledged means
+/// durable: every write a client saw acked must be present with its
+/// exact final value once the dust settles, and per-lane FIFO gives
+/// each client read-your-writes across the crashes.
+#[test]
+fn acked_writes_survive_live_crashes_under_concurrent_clients() {
+    const CLIENTS: u64 = 4;
+    const KEYS_PER: u64 = 24;
+    const ROUNDS: u64 = 150;
+    let server = KvServer::new(
+        &KvConfig {
+            shards: 2,
+            shard: shard_cfg(PolicyKind::ScFixed { capacity: 8 }, true),
+        },
+        &ServerConfig::default(),
+    );
+    let acked: Vec<HashMap<u64, Vec<u8>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let client = server.client();
+                scope.spawn(move || {
+                    let mut mine: HashMap<u64, Vec<u8>> = HashMap::new();
+                    let mut s = 0xc0ff_ee00 + c;
+                    for round in 0..ROUNDS {
+                        let key = c * 1000 + splitmix(&mut s) % KEYS_PER;
+                        let v = value(splitmix(&mut s), 24);
+                        if client.put(key, &v) {
+                            mine.insert(key, v);
+                        }
+                        if round.is_multiple_of(5) {
+                            if let Some(expect) = mine.get(&key) {
+                                assert_eq!(
+                                    client.get(key).as_deref(),
+                                    Some(&expect[..]),
+                                    "client {c} lost read-your-writes on key {key}"
+                                );
+                            }
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        // main thread: power-fail every shard mid-run, repeatedly
+        for _ in 0..5 {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            server.crash_and_recover_all(&CrashMode::StrictDurableOnly);
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    server.crash_and_recover_all(&CrashMode::StrictDurableOnly);
+    let handle = server.client();
+    let mut want: Vec<(u64, Vec<u8>)> = acked.into_iter().flatten().collect();
+    want.sort();
+    for (k, v) in &want {
+        assert_eq!(
+            handle.get(*k).as_deref(),
+            Some(&v[..]),
+            "acked write to key {k} lost"
+        );
+    }
+    let mut dump = server.dump();
+    dump.sort();
+    assert_eq!(dump, want, "store holds exactly the acked writes");
 }
 
 /// Group commit is per-shard atomic: arm a crash a few micro-steps into
