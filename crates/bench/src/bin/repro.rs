@@ -28,6 +28,13 @@
 //! wrong way by more than `T` (default 0.2 = 20%) exits 1 unless
 //! `--schema-only`. CI runs the schema-only form on two smoke passes.
 //!
+//! `repro net-smoke` runs the network serving path end to end over the
+//! in-process transport — pipelined multi-connection loadgen, crash,
+//! recover, ack-after-commit audit — and exits nonzero if any acked
+//! write did not survive. `repro kv-serve` / `repro kv-load` are the
+//! real-TCP forms: a server that runs until killed and an open-loop
+//! loadgen printing one JSON summary line.
+//!
 //! `--scale` is the fraction of the paper's problem sizes (default
 //! 0.05); absolute numbers shrink with it but orderings and ratios are
 //! scale-stable (EXPERIMENTS.md). Use `--scale 1.0` for paper sizes
@@ -126,6 +133,11 @@ fn usage(err: &str) -> ! {
          \x20            crash-matrix (crash-point fuzz; nonzero exit on failure)\n\
          \x20            telemetry-diff (compare two harness JSON artifacts;\n\
          \x20                            exits 2 on schema drift, 1 on regression)\n\
+         \x20            net-smoke [--connections N] [--depth D] [--ops N]\n\
+         \x20                      (in-process wire-protocol sweep + crash audit)\n\
+         \x20            kv-serve [--addr HOST:PORT] (TCP server, runs until killed)\n\
+         \x20            kv-load  [--addr HOST:PORT] [--connections N] [--depth D]\n\
+         \x20                     [--ops N] [--rate R] (open-loop TCP loadgen)\n\
          \x20            all | ablations"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -539,10 +551,213 @@ fn telemetry_diff(rest: Vec<String>) -> ! {
     std::process::exit(code);
 }
 
+/// Build the KV server the network subcommands share: SC-adaptive
+/// policy, pipelined flush path, group commit on.
+fn net_kv_server(shards: usize) -> std::sync::Arc<nvcache_kvstore::KvServer> {
+    use nvcache_kvstore::{AdaptConfig, KvConfig, KvServer, ServerConfig, ShardConfig};
+    std::sync::Arc::new(KvServer::new(
+        &KvConfig {
+            shards,
+            shard: ShardConfig {
+                buckets: 512,
+                data_len: 1 << 21,
+                log_len: 1 << 17,
+                policy: PolicyKind::ScAdaptive(AdaptiveConfig {
+                    external_control: true,
+                    ..Default::default()
+                }),
+                adapt: Some(AdaptConfig::default()),
+                pipelined: true,
+            },
+        },
+        &ServerConfig::default(),
+    ))
+}
+
+/// `repro net-smoke [--connections N] [--depth D] [--ops N]` — the CI
+/// acceptance sweep for the network serving path: an in-process
+/// transport, an open-loop pipelined loadgen with ack tracking, then a
+/// crash + recover and the ack-after-commit audit. Exits nonzero if any
+/// acked write is missing, stale, or corrupt after recovery.
+fn net_smoke(rest: Vec<String>) -> ! {
+    use nvcache_kvstore::{run_net, verify_acked, InProcTransport, NetLoadConfig, NetServer};
+    let (mut connections, mut depth, mut ops) = (8usize, 4usize, 2_000u64);
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| {
+            it.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| usage(&format!("missing or bad value for {name}")))
+        };
+        match a.as_str() {
+            "--connections" => connections = num("--connections") as usize,
+            "--depth" => depth = num("--depth") as usize,
+            "--ops" => ops = num("--ops"),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unexpected argument {other}")),
+        }
+    }
+    let kv = net_kv_server(2);
+    let transport = InProcTransport::new();
+    let srv = NetServer::start(&transport, "inproc", std::sync::Arc::clone(&kv))
+        .expect("in-process listener");
+    let rep = run_net(
+        &transport,
+        "inproc",
+        &NetLoadConfig {
+            connections,
+            pipeline_depth: depth,
+            ops_per_conn: ops,
+            keys: 512,
+            track_acks: true,
+            target_ops_per_sec: 100_000.0,
+            ..Default::default()
+        },
+    );
+    let frames_in = srv
+        .stats()
+        .frames_in
+        .load(std::sync::atomic::Ordering::Relaxed);
+    srv.shutdown();
+    let answered_all = rep.ops_answered == rep.ops_sent;
+    // the audit only means something after the server actually died:
+    // drop every non-durable line, recover, then check the acks
+    kv.crash_and_recover_all(&CrashMode::StrictDurableOnly);
+    let audit = verify_acked(&kv, &rep);
+    kv.close();
+    let snap = &rep.snapshot;
+    let mut merged = nvcache_telemetry::Histogram::new();
+    merged.merge(snap.hist(nvcache_telemetry::HistId::KvGetNs));
+    merged.merge(snap.hist(nvcache_telemetry::HistId::KvPutNs));
+    let (p50, p99, p999) = merged.percentiles();
+    eprintln!(
+        "[net-smoke: {connections} conns x depth {depth}, {}/{} answered, \
+         {} frames in, {:.0} ops/s, p50/p99/p999 {p50}/{p99}/{p999} ns]",
+        rep.ops_answered,
+        rep.ops_sent,
+        frames_in,
+        rep.ops_per_sec(),
+    );
+    match (&audit, answered_all) {
+        (Ok(()), true) => {
+            eprintln!("[net-smoke: every acked write survived crash + recover]");
+            std::process::exit(0);
+        }
+        (Ok(()), false) => {
+            eprintln!(
+                "error: {} requests went unanswered",
+                rep.ops_sent - rep.ops_answered
+            );
+            std::process::exit(1);
+        }
+        (Err(e), _) => {
+            eprintln!("error: ack-after-commit violated: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro kv-serve [--addr HOST:PORT]` — serve the framed wire protocol
+/// over TCP until killed. Address precedence: `--addr` > `NVKV_ADDR` >
+/// `NVKV_PORT` > the built-in default.
+fn kv_serve(rest: Vec<String>) -> ! {
+    use nvcache_kvstore::{listen_addr, NetServer, TcpTransport};
+    let mut addr_cli: Option<String> = None;
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr_cli = Some(it.next().unwrap_or_else(|| usage("missing --addr"))),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unexpected argument {other}")),
+        }
+    }
+    let addr = listen_addr(addr_cli.as_deref());
+    let kv = net_kv_server(4);
+    let transport = TcpTransport;
+    let srv = NetServer::start(&transport, &addr, std::sync::Arc::clone(&kv)).unwrap_or_else(|e| {
+        eprintln!("error: cannot listen on {addr}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "[kv-serve: listening on {} — kill to stop]",
+        srv.local_addr()
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `repro kv-load [--addr HOST:PORT] [--connections N] [--depth D]
+/// [--ops N] [--rate R]` — open-loop TCP loadgen against a running
+/// `kv-serve`, reporting throughput and intended-arrival percentiles.
+fn kv_load(rest: Vec<String>) -> ! {
+    use nvcache_kvstore::{listen_addr, run_net, NetLoadConfig, TcpTransport};
+    let mut addr_cli: Option<String> = None;
+    let (mut connections, mut depth, mut ops) = (8usize, 4usize, 10_000u64);
+    let mut rate = 50_000.0f64;
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr_cli = Some(it.next().unwrap_or_else(|| usage("missing --addr"))),
+            "--connections" | "--depth" | "--ops" | "--rate" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage(&format!("missing value for {a}")));
+                match a.as_str() {
+                    "--connections" => {
+                        connections = v.parse().unwrap_or_else(|_| usage("bad --connections"))
+                    }
+                    "--depth" => depth = v.parse().unwrap_or_else(|_| usage("bad --depth")),
+                    "--ops" => ops = v.parse().unwrap_or_else(|_| usage("bad --ops")),
+                    _ => rate = v.parse().unwrap_or_else(|_| usage("bad --rate")),
+                }
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unexpected argument {other}")),
+        }
+    }
+    let addr = listen_addr(addr_cli.as_deref());
+    let rep = run_net(
+        &TcpTransport,
+        &addr,
+        &NetLoadConfig {
+            connections,
+            pipeline_depth: depth,
+            ops_per_conn: ops,
+            target_ops_per_sec: rate,
+            ..Default::default()
+        },
+    );
+    let mut merged = nvcache_telemetry::Histogram::new();
+    merged.merge(rep.snapshot.hist(nvcache_telemetry::HistId::KvGetNs));
+    merged.merge(rep.snapshot.hist(nvcache_telemetry::HistId::KvPutNs));
+    let (p50, p99, p999) = merged.percentiles();
+    println!(
+        "{{\"connections\": {connections}, \"pipeline_depth\": {depth}, \
+         \"ops_sent\": {}, \"ops_answered\": {}, \"rejected\": {}, \
+         \"throughput_ops_s\": {:.0}, \
+         \"p50_ns\": {p50}, \"p99_ns\": {p99}, \"p999_ns\": {p999}}}",
+        rep.ops_sent,
+        rep.ops_answered,
+        rep.rejected,
+        rep.ops_per_sec(),
+    );
+    std::process::exit(if rep.ops_answered == rep.ops_sent {
+        0
+    } else {
+        1
+    });
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1);
-    if argv.next().as_deref() == Some("telemetry-diff") {
-        telemetry_diff(argv.collect());
+    match argv.next().as_deref() {
+        Some("telemetry-diff") => telemetry_diff(argv.collect()),
+        Some("net-smoke") => net_smoke(argv.collect()),
+        Some("kv-serve") => kv_serve(argv.collect()),
+        Some("kv-load") => kv_load(argv.collect()),
+        _ => {}
     }
     let args = parse_args();
     if args.experiment == "crash-matrix" {

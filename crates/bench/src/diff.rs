@@ -92,13 +92,19 @@ fn walk(base: &Json, new: &Json, path: &str, threshold: f64, rep: &mut DiffRepor
             for (k, bv) in bm {
                 match new.get(k) {
                     Some(nv) => walk(bv, nv, &format!("{path}.{k}"), threshold, rep),
+                    // a null on the only side that has the key is the
+                    // same statement as the key's absence: "no value".
+                    // Columns added after a baseline was captured (e.g.
+                    // speedup_vs_unbatched on legacy rows) emit null —
+                    // that must not read as schema drift.
+                    None if matches!(bv, Json::Null) => {}
                     None => rep
                         .schema_errors
                         .push(format!("{path}.{k}: missing in new artifact")),
                 }
             }
-            for (k, _) in nm {
-                if base.get(k).is_none() {
+            for (k, nv) in nm {
+                if base.get(k).is_none() && !matches!(nv, Json::Null) {
                     rep.schema_errors
                         .push(format!("{path}.{k}: missing in baseline"));
                 }
@@ -270,6 +276,31 @@ mod tests {
         assert!(msgs.contains("$.mix"), "{msgs}");
         assert!(msgs.contains("$.x: type number -> string"), "{msgs}");
         assert!(msgs.contains("$.arr: array length 2 -> 1"), "{msgs}");
+    }
+
+    /// A column added after the baseline was captured appears as null
+    /// on the side that has it and is absent on the other — "no value"
+    /// either way, so neither orientation is schema drift. A *real*
+    /// value opposite an absent key still is.
+    #[test]
+    fn null_against_absent_key_is_equal_not_drift() {
+        let base = parse(r#"{"mix": "A", "throughput_ops_s": 1.0}"#).unwrap();
+        let new = parse(r#"{"mix": "A", "throughput_ops_s": 1.0, "speedup_vs_unbatched": null}"#)
+            .unwrap();
+        let rep = diff(&base, &new, 0.2);
+        assert!(rep.schema_errors.is_empty(), "{:?}", rep.schema_errors);
+        assert_eq!(rep.exit_code(true), 0);
+
+        // symmetric: baseline has the null, new artifact dropped the key
+        let rep = diff(&new, &base, 0.2);
+        assert!(rep.schema_errors.is_empty(), "{:?}", rep.schema_errors);
+
+        // a concrete value against an absent key is still drift
+        let newer =
+            parse(r#"{"mix": "A", "throughput_ops_s": 1.0, "speedup_vs_unbatched": 2.5}"#).unwrap();
+        let rep = diff(&base, &newer, 0.2);
+        assert_eq!(rep.schema_errors.len(), 1);
+        assert_eq!(rep.exit_code(true), 2);
     }
 
     #[test]

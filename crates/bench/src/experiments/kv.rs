@@ -7,12 +7,14 @@
 //! *offline* exact-Mattson analysis of the same recorded store-line
 //! window would have picked. Results land in `BENCH_kv.json`.
 
+use std::sync::Arc;
+
 use crate::report::{json_str, Table};
 use nvcache_core::{AdaptiveConfig, PolicyKind};
 use nvcache_fase::FaseStats;
 use nvcache_kvstore::{
-    load, load_on, run, run_on, AdaptConfig, KeyDist, KvConfig, KvServer, KvStore, Mix,
-    ServerConfig, ShardConfig, YcsbConfig,
+    load, load_on, run, run_net, run_on, AdaptConfig, InProcTransport, KeyDist, KvConfig, KvServer,
+    KvStore, Mix, NetLoadConfig, NetServer, ServerConfig, ShardConfig, YcsbConfig,
 };
 use nvcache_locality::{lru_mrc, select_cache_size, KneeConfig};
 use nvcache_telemetry::{convergence, CapacityEvent, ConvergenceConfig, HistId, Histogram};
@@ -96,6 +98,18 @@ struct PathRun {
     wtk: Vec<Option<usize>>,
 }
 
+/// One run of a network-grid cell: pipelined loadgen connections over
+/// the framed wire protocol against a [`NetServer`].
+struct NetRun {
+    throughput: f64,
+    /// Mean requests per drained batch over the serving phase.
+    occupancy: f64,
+    serving: FaseStats,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+}
+
 /// One run of a concurrent-grid cell: N clients driving the MPSC
 /// submission queues of a live [`KvServer`].
 struct ConcRun {
@@ -123,7 +137,15 @@ struct ConcRun {
 /// (`mpsc-unbatched`, one request per FASE) and once draining
 /// everything in flight into a single cross-client FASE
 /// (`mpsc-grouped`); `speedup_vs_unbatched` and the mean drained-batch
-/// occupancy land in the same JSON. `smoke` shrinks the sizes to CI
+/// occupancy land in the same JSON.
+///
+/// A third, *network* grid drives the same single-lane grouped server
+/// through [`NetServer`] and the framed wire protocol over the
+/// in-process transport: connections × pipeline-depth cells
+/// ({1,8} × {1,4}), each an open-window loadgen whose per-connection
+/// reader feeds the submission queue and whose acks return out of
+/// order after commit. Rows carry `connections`/`pipeline_depth`
+/// (null on the other grids' rows). `smoke` shrinks the sizes to CI
 /// scale (same grids, same schema).
 pub fn kv_bench(scale: f64, smoke: bool) -> Table {
     // Oversubscribing the host measures scheduler churn, not the
@@ -350,6 +372,7 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
             records.push(format!(
                 "    {{\"mix\": {}, \"policy\": {}, \"flush_path\": {}, \
                  \"clients\": {workers}, \
+                 \"connections\": null, \"pipeline_depth\": null, \
                  \"throughput_ops_s\": {:.0}, \"speedup_vs_sync\": {:.4}, \
                  \"speedup_vs_unbatched\": null, \"batch_occupancy_mean\": null, \
                  \"flush_ratio\": {:.6}, \
@@ -509,6 +532,7 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
             records.push(format!(
                 "    {{\"mix\": {}, \"policy\": \"SC\", \"flush_path\": {}, \
                  \"clients\": {clients}, \
+                 \"connections\": null, \"pipeline_depth\": null, \
                  \"throughput_ops_s\": {:.0}, \"speedup_vs_sync\": null, \
                  \"speedup_vs_unbatched\": {:.4}, \"batch_occupancy_mean\": {:.4}, \
                  \"flush_ratio\": {:.6}, \
@@ -529,6 +553,116 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                 r.serving.data_flushes,
             ));
         }
+    }
+    // ---- network serving: framed wire protocol over the MPSC runtime ----
+    //
+    // The same single-lane grouped server, now behind the in-process
+    // transport and the length-prefixed frame protocol: N loadgen
+    // connections pipeline requests up to `depth` in flight, the
+    // per-connection reader feeds the submission queue, and responses
+    // are acked out of order after the owning FASE commits. The grid
+    // varies connections × pipeline depth; with both at their high
+    // setting the per-lane pile-up reappears through the network path
+    // (batch occupancy > 1), which is the acceptance signal that
+    // pipelining reaches group commit rather than serializing at the
+    // socket.
+    for (conns, depth) in [(1usize, 1usize), (1, 4), (8, 1), (8, 4)] {
+        let mut best: Option<NetRun> = None;
+        for _ in 0..repeats {
+            let server = Arc::new(KvServer::new(
+                &KvConfig {
+                    shards: conc_shards,
+                    ..config_for("SC", burst, true)
+                },
+                &ServerConfig::default(),
+            ));
+            load_on(server.as_ref(), keys, VALUE_LEN);
+            server.take_stats(); // isolate the serving phase
+            let qs0 = server.queue_stats();
+            let transport = InProcTransport::new();
+            let net = NetServer::start(&transport, "inproc", Arc::clone(&server))
+                .expect("in-process listener");
+            let rep = run_net(
+                &transport,
+                "inproc",
+                &NetLoadConfig {
+                    connections: conns,
+                    pipeline_depth: depth,
+                    ops_per_conn: conc_ops as u64,
+                    keys: keys as u64,
+                    mix: Mix::A,
+                    dist: KeyDist::Zipfian { theta: 0.99 },
+                    value_len: VALUE_LEN,
+                    seed: 42,
+                    target_ops_per_sec: 0.0, // closed by the window only
+                    track_acks: false,
+                },
+            );
+            assert_eq!(rep.ops_answered, rep.ops_sent, "every request answered");
+            net.shutdown();
+            let qs1 = server.queue_stats();
+            let batches = qs1.batches - qs0.batches;
+            let occupancy = if batches == 0 {
+                0.0
+            } else {
+                (qs1.drained - qs0.drained) as f64 / batches as f64
+            };
+            let serving = server.stats();
+            let mut merged = Histogram::new();
+            merged.merge(rep.snapshot.hist(HistId::KvGetNs));
+            merged.merge(rep.snapshot.hist(HistId::KvPutNs));
+            let (p50, p99, p999) = merged.percentiles();
+            server.close();
+            let this = NetRun {
+                throughput: rep.ops_per_sec(),
+                occupancy,
+                serving,
+                p50,
+                p99,
+                p999,
+            };
+            if best.as_ref().is_none_or(|b| this.throughput > b.throughput) {
+                best = Some(this);
+            }
+        }
+        let r = best.expect("at least one repeat");
+        let flush_ratio = r.serving.flush_ratio();
+        t.row(vec![
+            "A".to_string(),
+            "SC".to_string(),
+            format!("net c{conns} d{depth}"),
+            conns.to_string(),
+            format!("{:.0}", r.throughput / 1e3),
+            "-".to_string(),
+            "-".to_string(),
+            format!("{:.1}", r.occupancy),
+            format!("{flush_ratio:.4}"),
+            format!("{}/{}/{}", r.p50, r.p99, r.p999),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+        records.push(format!(
+            "    {{\"mix\": \"A\", \"policy\": \"SC\", \"flush_path\": \"net\", \
+             \"clients\": {conns}, \
+             \"connections\": {conns}, \"pipeline_depth\": {depth}, \
+             \"throughput_ops_s\": {:.0}, \"speedup_vs_sync\": null, \
+             \"speedup_vs_unbatched\": null, \"batch_occupancy_mean\": {:.4}, \
+             \"flush_ratio\": {:.6}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+             \"store_lines\": {}, \"data_flushes\": {}, \
+             \"chosen_capacity\": null, \"online_knee\": null, \
+             \"offline_knee\": null, \"windows_to_knee\": null}}",
+            r.throughput,
+            r.occupancy,
+            flush_ratio,
+            r.p50,
+            r.p99,
+            r.p999,
+            r.serving.store_lines,
+            r.serving.data_flushes,
+        ));
     }
     let json = format!(
         "{{\n  \"experiment\": \"kv_ycsb\",\n  \"shards\": {SHARDS},\n  \

@@ -72,6 +72,33 @@ fn schema_drift_exits_two_even_schema_only() {
     assert_eq!(run_diff(&a, &b, &["--schema-only"]), 2);
 }
 
+/// Legacy baselines predate columns like `speedup_vs_unbatched` (and
+/// the net grid's `connections`/`pipeline_depth`): the new artifact
+/// carries them as null on old-style rows. Null-on-one-side vs
+/// absent-on-the-other means "no value" either way — exit 0, not
+/// schema drift.
+#[test]
+fn null_column_against_legacy_baseline_exits_zero() {
+    let widened = BASE.replace(
+        "\"throughput_ops_s\": 100000,",
+        "\"throughput_ops_s\": 100000, \"speedup_vs_unbatched\": null, \
+         \"connections\": null, \"pipeline_depth\": null,",
+    );
+    let a = write_tmp("null_a", BASE);
+    let b = write_tmp("null_b", &widened);
+    assert_eq!(run_diff(&a, &b, &[]), 0, "null vs absent is not drift");
+    assert_eq!(run_diff(&b, &a, &[]), 0, "either orientation");
+    assert_eq!(run_diff(&a, &b, &["--schema-only"]), 0);
+
+    // a populated new column against a legacy baseline is still drift
+    let populated = BASE.replace(
+        "\"throughput_ops_s\": 100000,",
+        "\"throughput_ops_s\": 100000, \"speedup_vs_unbatched\": 2.5,",
+    );
+    let c = write_tmp("null_c", &populated);
+    assert_eq!(run_diff(&a, &c, &["--schema-only"]), 2);
+}
+
 #[test]
 fn unreadable_or_invalid_input_exits_two() {
     let a = write_tmp("bad_a", BASE);

@@ -42,19 +42,28 @@
 //! assert!(store.stats().data_flushes > 0);
 //! ```
 
+pub mod net;
+pub mod netload;
+pub mod proto;
 pub mod queue;
 pub mod server;
 pub mod shard;
 pub mod store;
 pub mod ycsb;
 
-pub use queue::{Backpressure, Completion, PushError, QueueStats, SubmissionQueue};
+pub use net::{
+    listen_addr, Conn, InProcTransport, Listener, NetClient, NetServer, TcpTransport, Transport,
+};
+pub use netload::{
+    run_net, stored_version, verify_acked, versioned_value, NetLoadConfig, NetLoadReport,
+};
+pub use queue::{Backpressure, Completion, Notify, PushError, QueueStats, SubmissionQueue};
 pub use server::{KvClient, KvServer, ServerConfig};
 pub use shard::{
     AdaptConfig, BatchReply, BatchRequest, CapacityChoice, Shard, ShardConfig, MAX_VALUE_LEN,
 };
 pub use store::{KvConfig, KvStore};
 pub use ycsb::{
-    load, load_on, run, run_on, value_bytes, KeyDist, KvTarget, Mix, ThetaShift, WindowStats,
-    YcsbConfig, YcsbReport, Zipfian,
+    load, load_on, run, run_on, scheduled_latency_ns, value_bytes, KeyDist, KvTarget, Mix,
+    ThetaShift, WindowStats, YcsbConfig, YcsbReport, Zipfian,
 };

@@ -221,6 +221,50 @@ impl<T> SubmissionQueue<T> {
     }
 }
 
+/// A shared fill-counter + condvar: every [`Completion`] built with
+/// [`Completion::with_notify`] bumps it on fill, so one collector
+/// thread can sleep on *many* outstanding completions at once (the
+/// network writer task does this to reap pipelined requests possibly
+/// out of order) instead of blocking on each slot in turn.
+#[derive(Debug, Default)]
+pub struct Notify {
+    state: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Notify {
+    /// A fresh notifier with a zero fill count.
+    pub fn new() -> Self {
+        Notify::default()
+    }
+
+    /// Total fills observed so far. Snapshot this *before* scanning the
+    /// pending set, then [`wait_past`](Notify::wait_past) the snapshot:
+    /// a fill that lands mid-scan bumps the count past the snapshot and
+    /// the wait returns immediately — no lost wakeup.
+    pub fn count(&self) -> u64 {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record one fill and wake all sleepers.
+    pub fn post(&self) {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *g += 1;
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Block until the fill count exceeds `seen` (a snapshot taken with
+    /// [`count`](Notify::count)). Returns the current count.
+    pub fn wait_past(&self, seen: u64) -> u64 {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while *g <= seen {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        *g
+    }
+}
+
 /// One-shot completion slot: the worker [`fill`]s it after the batch's
 /// FASE committed; the issuing client [`wait`]s on it. Cloning shares
 /// the slot (one clone rides inside the request, the other stays with
@@ -231,12 +275,14 @@ impl<T> SubmissionQueue<T> {
 #[derive(Debug)]
 pub struct Completion<T> {
     slot: Arc<(Mutex<Option<T>>, Condvar)>,
+    notify: Option<Arc<Notify>>,
 }
 
 impl<T> Clone for Completion<T> {
     fn clone(&self) -> Self {
         Completion {
             slot: Arc::clone(&self.slot),
+            notify: self.notify.clone(),
         }
     }
 }
@@ -252,6 +298,16 @@ impl<T> Completion<T> {
     pub fn new() -> Self {
         Completion {
             slot: Arc::new((Mutex::new(None), Condvar::new())),
+            notify: None,
+        }
+    }
+
+    /// An unfilled slot whose fill additionally posts to `notify`, so a
+    /// collector multiplexed over many slots learns something landed.
+    pub fn with_notify(notify: Arc<Notify>) -> Self {
+        Completion {
+            slot: Arc::new((Mutex::new(None), Condvar::new())),
+            notify: Some(notify),
         }
     }
 
@@ -263,6 +319,9 @@ impl<T> Completion<T> {
         *g = Some(value);
         drop(g);
         cv.notify_all();
+        if let Some(n) = &self.notify {
+            n.post();
+        }
     }
 
     /// Block until the worker fills the slot, then take the result.
@@ -362,6 +421,74 @@ mod tests {
             }
             assert_eq!(got, vec![0, 1, 2]);
         });
+    }
+
+    /// Regression: a producer parked in `Backpressure::Block` on a full
+    /// queue must be woken by `close()` and handed `Closed` back in
+    /// bounded time — not left asleep on the condvar forever. (`close`
+    /// must notify `not_full`, and the woken `push` must re-check
+    /// `closed` *before* re-checking capacity, since the buffer is
+    /// still full.)
+    #[test]
+    fn close_wakes_blocked_producer_in_bounded_time() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        let q = Arc::new(SubmissionQueue::new(1, Backpressure::Block));
+        q.push(0u32).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let qp = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            // blocks: queue is at capacity and nothing ever drains it
+            let res = qp.push(1u32);
+            tx.send(()).unwrap();
+            res
+        });
+        // give the producer time to actually park on not_full
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("blocked producer not woken by close() within 5s");
+        match producer.join().unwrap() {
+            Err(PushError::Closed(1)) => {}
+            other => panic!("expected Closed(1), got {other:?}"),
+        }
+        // the pre-close item still drains; the refused one left no trace
+        let mut out = Vec::new();
+        assert!(q.drain_into(&mut out, 64));
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn notify_multiplexes_many_completions() {
+        let n = Arc::new(Notify::new());
+        let slots: Vec<Completion<u32>> = (0..4)
+            .map(|_| Completion::with_notify(Arc::clone(&n)))
+            .collect();
+        assert_eq!(n.count(), 0);
+        std::thread::scope(|s| {
+            for (i, c) in slots.iter().enumerate() {
+                let c = c.clone();
+                s.spawn(move || c.fill(i as u32));
+            }
+            // collector: snapshot-then-wait loop reaps all four fills
+            // without ever blocking on an individual slot
+            let mut got = Vec::new();
+            while got.len() < 4 {
+                let seen = n.count();
+                for c in &slots {
+                    if let Some(v) = c.try_take() {
+                        got.push(v);
+                    }
+                }
+                if got.len() < 4 {
+                    n.wait_past(seen);
+                }
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        });
+        assert_eq!(n.count(), 4);
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::thread::JoinHandle;
 use nvcache_fase::FaseStats;
 use nvcache_pmem::CrashMode;
 
-use crate::queue::{Backpressure, Completion, PushError, QueueStats, SubmissionQueue};
+use crate::queue::{Backpressure, Completion, QueueStats, SubmissionQueue};
 use crate::shard::{BatchReply, BatchRequest, CapacityChoice, Shard};
 use crate::store::{route_hash, KvConfig};
 
@@ -100,7 +100,9 @@ impl ReplySlot {
 struct Lane {
     shard: Arc<Mutex<Shard>>,
     queue: Arc<SubmissionQueue<Request>>,
-    worker: Option<JoinHandle<()>>,
+    /// Behind a mutex so shutdown can join through `&self` — the
+    /// network layer shares the server via `Arc<KvServer>`.
+    worker: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// A [`KvStore`]-shaped store served by per-shard worker threads (see
@@ -151,7 +153,7 @@ impl KvServer {
                 Lane {
                     shard,
                     queue,
-                    worker: Some(worker),
+                    worker: Mutex::new(Some(worker)),
                 }
             })
             .collect::<Vec<Lane>>();
@@ -276,16 +278,19 @@ impl KvServer {
     /// Close the queues, drain the tails, and join the workers. Pending
     /// requests still get served (close lets queued work finish);
     /// pushes racing the close fail with their request handed back.
-    pub fn shutdown(mut self) {
-        self.shutdown_in_place();
+    pub fn shutdown(self) {
+        self.close();
     }
 
-    fn shutdown_in_place(&mut self) {
+    /// [`shutdown`](KvServer::shutdown) through a shared reference —
+    /// what the network layer calls on its `Arc<KvServer>`. Idempotent.
+    pub fn close(&self) {
         for l in &self.lanes {
             l.queue.close();
         }
-        for l in &mut self.lanes {
-            if let Some(h) = l.worker.take() {
+        for l in &self.lanes {
+            let h = l.worker.lock().unwrap_or_else(|e| e.into_inner()).take();
+            if let Some(h) = h {
                 let _ = h.join();
             }
         }
@@ -294,7 +299,7 @@ impl KvServer {
 
 impl Drop for KvServer {
     fn drop(&mut self) {
-        self.shutdown_in_place();
+        self.close();
     }
 }
 
@@ -316,7 +321,60 @@ impl std::fmt::Debug for KvClient {
 
 impl KvClient {
     fn queue_for(&self, key: u64) -> &SubmissionQueue<Request> {
-        &self.queues[(route_hash(key) % self.queues.len() as u64) as usize]
+        &self.queues[self.lane_of(key)]
+    }
+
+    /// Number of shard lanes behind this handle.
+    pub fn num_lanes(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Lane index serving `key` (same routing as the store).
+    pub fn lane_of(&self, key: u64) -> usize {
+        (route_hash(key) % self.queues.len() as u64) as usize
+    }
+
+    /// Non-blocking submit of a `Get`: enqueue with a caller-provided
+    /// completion slot (typically built with [`Completion::with_notify`]
+    /// so one collector can multiplex many in-flight requests). Returns
+    /// `false` when the submission was refused — full queue under
+    /// [`Backpressure::Reject`] or a closed server — in which case the
+    /// slot will never be filled.
+    ///
+    /// [`Backpressure::Reject`]: crate::queue::Backpressure::Reject
+    pub fn submit_get(&self, key: u64, c: Completion<Option<Vec<u8>>>) -> bool {
+        self.queue_for(key).push(Request::Get(key, c)).is_ok()
+    }
+
+    /// Non-blocking submit of a `Put` (see [`submit_get`]).
+    ///
+    /// [`submit_get`]: KvClient::submit_get
+    pub fn submit_put(&self, key: u64, value: Vec<u8>, c: Completion<bool>) -> bool {
+        self.queue_for(key)
+            .push(Request::Put(key, value, c))
+            .is_ok()
+    }
+
+    /// Non-blocking submit of a `Delete` (see [`submit_get`]).
+    ///
+    /// [`submit_get`]: KvClient::submit_get
+    pub fn submit_delete(&self, key: u64, c: Completion<bool>) -> bool {
+        self.queue_for(key).push(Request::Delete(key, c)).is_ok()
+    }
+
+    /// Non-blocking submit of one per-lane `PutMany` slice. The caller
+    /// has already split the batch by [`lane_of`]; every key in `items`
+    /// must route to `lane`.
+    ///
+    /// [`lane_of`]: KvClient::lane_of
+    pub fn submit_put_many(
+        &self,
+        lane: usize,
+        items: Vec<(u64, Vec<u8>)>,
+        c: Completion<bool>,
+    ) -> bool {
+        debug_assert!(items.iter().all(|&(k, _)| self.lane_of(k) == lane));
+        self.queues[lane].push(Request::PutMany(items, c)).is_ok()
     }
 
     /// Look up `key`. `None` covers both absence and a refused
@@ -324,9 +382,10 @@ impl KvClient {
     /// server that shut down).
     pub fn get(&self, key: u64) -> Option<Vec<u8>> {
         let c = Completion::new();
-        match self.queue_for(key).push(Request::Get(key, c.clone())) {
-            Ok(()) => c.wait(),
-            Err(PushError::Full(_) | PushError::Closed(_)) => None,
+        if self.submit_get(key, c.clone()) {
+            c.wait()
+        } else {
+            None
         }
     }
 
@@ -334,12 +393,10 @@ impl KvClient {
     /// the write *or* the submission itself was refused.
     pub fn put(&self, key: u64, value: &[u8]) -> bool {
         let c = Completion::new();
-        match self
-            .queue_for(key)
-            .push(Request::Put(key, value.to_vec(), c.clone()))
-        {
-            Ok(()) => c.wait(),
-            Err(_) => false,
+        if self.submit_put(key, value.to_vec(), c.clone()) {
+            c.wait()
+        } else {
+            false
         }
     }
 
@@ -351,7 +408,7 @@ impl KvClient {
     pub fn put_many(&self, items: &[(u64, Vec<u8>)]) -> bool {
         let mut by_shard: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); self.queues.len()];
         for (k, v) in items {
-            by_shard[(route_hash(*k) % self.queues.len() as u64) as usize].push((*k, v.clone()));
+            by_shard[self.lane_of(*k)].push((*k, v.clone()));
         }
         let mut waits: Vec<Completion<bool>> = Vec::new();
         let mut ok = true;
@@ -360,9 +417,10 @@ impl KvClient {
                 continue;
             }
             let c = Completion::new();
-            match self.queues[i].push(Request::PutMany(group, c.clone())) {
-                Ok(()) => waits.push(c),
-                Err(_) => ok = false,
+            if self.submit_put_many(i, group, c.clone()) {
+                waits.push(c);
+            } else {
+                ok = false;
             }
         }
         for c in waits {
@@ -374,9 +432,10 @@ impl KvClient {
     /// Remove `key`; `false` for absent keys and refused submissions.
     pub fn delete(&self, key: u64) -> bool {
         let c = Completion::new();
-        match self.queue_for(key).push(Request::Delete(key, c.clone())) {
-            Ok(()) => c.wait(),
-            Err(_) => false,
+        if self.submit_delete(key, c.clone()) {
+            c.wait()
+        } else {
+            false
         }
     }
 }

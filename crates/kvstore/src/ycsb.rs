@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use nvcache_fase::FaseStats;
 use nvcache_telemetry::{
-    MonoClock, Recorder, SpanId, TelemetryConfig, TelemetrySnapshot, ThreadRecorder,
+    Clock, MonoClock, Recorder, SpanId, TelemetryConfig, TelemetrySnapshot, ThreadRecorder,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -307,20 +307,42 @@ pub fn load_on<T: KvTarget>(target: &T, keys: usize, value_len: usize) -> usize 
         .count()
 }
 
-/// Run `f` under a latency span when a recorder is live (the span
-/// guard reads the clock twice); plain call otherwise.
+/// Open-loop latency accounting: elapsed nanoseconds from an op's
+/// *intended* (scheduled) arrival to its completion. Measuring from
+/// the intended time — not the actual submit time — is what defeats
+/// coordinated omission: when the store stalls and the issuing loop
+/// falls behind its schedule, every scheduled-but-delayed op is
+/// charged the queueing delay the stall imposed on it, instead of the
+/// stall silently compressing into one long sample.
+#[inline]
+pub fn scheduled_latency_ns(intended_ns: u64, completed_ns: u64) -> u64 {
+    completed_ns.saturating_sub(intended_ns)
+}
+
+/// Run `f` under latency accounting when a recorder is live; plain
+/// call otherwise. Closed loop (`intended_ns` = `None`) spans from the
+/// call (the span guard reads the clock twice); open loop measures
+/// from the op's scheduled arrival via [`scheduled_latency_ns`].
 #[inline]
 fn timed<T>(
     rec: &mut Option<ThreadRecorder>,
     clock: &MonoClock,
     id: SpanId,
+    intended_ns: Option<u64>,
     f: impl FnOnce() -> T,
 ) -> T {
     match rec {
-        Some(r) => {
-            let _g = r.span(clock, id);
-            f()
-        }
+        Some(r) => match intended_ns {
+            Some(t0) => {
+                let out = f();
+                r.observe(id.hist(), scheduled_latency_ns(t0, clock.now_ns()));
+                out
+            }
+            None => {
+                let _g = r.span(clock, id);
+                f()
+            }
+        },
         None => f(),
     }
 }
@@ -387,30 +409,40 @@ pub fn run_on<T: KvTarget>(store: &T, cfg: &YcsbConfig) -> YcsbReport {
                 let mut rng = SmallRng::seed_from_u64(
                     cfg.seed ^ (w as u64).wrapping_mul(0xa076_1d64_78bd_642f),
                 );
-                let pace = cfg.target_ops_per_sec.map(|r| (Instant::now(), r));
                 let clock = MonoClock::new();
                 let mut rec = cfg
                     .latency
                     .then(|| ThreadRecorder::new(w as u32, &TelemetryConfig::default()));
                 // group-commit buffer (batch > 1): writes park here and
-                // land together via put_many as one FASE per shard
+                // land together via put_many as one FASE per shard;
+                // under open loop the batch is charged from its first
+                // member's intended arrival (the op that waited longest)
                 let mut pending: Vec<(u64, Vec<u8>)> = Vec::new();
+                let mut pending_intended: Option<u64> = None;
                 let flush = |pending: &mut Vec<(u64, Vec<u8>)>,
+                             pending_intended: &mut Option<u64>,
                              rec: &mut Option<ThreadRecorder>| {
                     if pending.is_empty() {
                         return;
                     }
-                    if !timed(rec, &clock, SpanId::KvPutMany, || store.put_many(pending)) {
+                    let intended = pending_intended.take();
+                    if !timed(rec, &clock, SpanId::KvPutMany, intended, || {
+                        store.put_many(pending)
+                    }) {
                         rejected.fetch_add(pending.len() as u64, Ordering::Relaxed);
                     }
                     completed.fetch_add(pending.len() as u64, Ordering::Relaxed);
                     pending.clear();
                 };
                 for i in 0..cfg.ops_per_worker {
-                    if let Some((t0, rate)) = pace {
-                        // open loop: op i is due at t0 + i/rate
-                        let due = i as f64 / rate;
-                        while t0.elapsed().as_secs_f64() < due {
+                    // open loop: op i is *intended* at t0 + i/rate on
+                    // the worker's own clock; wait out any head start,
+                    // and charge latency from this scheduled instant
+                    let intended_ns = cfg
+                        .target_ops_per_sec
+                        .map(|rate| (i as f64 * 1e9 / rate) as u64);
+                    if let Some(due) = intended_ns {
+                        while clock.now_ns() < due {
                             std::hint::spin_loop();
                         }
                     }
@@ -428,7 +460,11 @@ pub fn run_on<T: KvTarget>(store: &T, cfg: &YcsbConfig) -> YcsbReport {
                     let r = rng.gen::<f64>();
                     if r < read_f {
                         reads.fetch_add(1, Ordering::Relaxed);
-                        if timed(&mut rec, &clock, SpanId::KvGet, || store.get(key)).is_none() {
+                        if timed(&mut rec, &clock, SpanId::KvGet, intended_ns, || {
+                            store.get(key)
+                        })
+                        .is_none()
+                        {
                             not_found.fetch_add(1, Ordering::Relaxed);
                         }
                         completed.fetch_add(1, Ordering::Relaxed);
@@ -443,18 +479,23 @@ pub fn run_on<T: KvTarget>(store: &T, cfg: &YcsbConfig) -> YcsbReport {
                         (k, value_bytes(k, 0, cfg.value_len))
                     };
                     if cfg.batch > 1 {
+                        if pending.is_empty() {
+                            pending_intended = intended_ns;
+                        }
                         pending.push((k, v));
                         if pending.len() >= cfg.batch {
-                            flush(&mut pending, &mut rec);
+                            flush(&mut pending, &mut pending_intended, &mut rec);
                         }
                     } else {
-                        if !timed(&mut rec, &clock, SpanId::KvPut, || store.put(k, &v)) {
+                        if !timed(&mut rec, &clock, SpanId::KvPut, intended_ns, || {
+                            store.put(k, &v)
+                        }) {
                             rejected.fetch_add(1, Ordering::Relaxed);
                         }
                         completed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                flush(&mut pending, &mut rec);
+                flush(&mut pending, &mut pending_intended, &mut rec);
                 if let Some(r) = rec {
                     recorders.lock().unwrap_or_else(|e| e.into_inner()).push(r);
                 }
@@ -547,6 +588,68 @@ mod tests {
             let (r, u, i) = m.fractions();
             assert!((r + u + i - 1.0).abs() < 1e-12, "mix {}", m.label());
         }
+    }
+
+    /// Regression for coordinated omission: latency must be charged
+    /// from the op's *intended* (scheduled) arrival, so a server stall
+    /// inflates the tail of the fixed accounting while the buggy
+    /// from-submit accounting hides it — and throughput (one and the
+    /// same execution) is identical under both.
+    #[test]
+    fn open_loop_stall_shifts_p999_not_throughput() {
+        use nvcache_telemetry::{Clock, FakeClock, Histogram};
+
+        let period_ns = 1_000u64; // one op intended every µs
+        let service_ns = 400u64; // store serves in 0.4 µs
+        let stall_ns = 2_000_000u64; // a 2 ms server stall
+        let ops = 4_000u64;
+        let stall_at = 500u64;
+
+        // deterministic simulation of the worker loop: FakeClock time
+        // passes only when we advance it (waiting or being served)
+        let clock = FakeClock::new(0, 0);
+        let mut fixed = Histogram::new(); // from intended arrival
+        let mut buggy = Histogram::new(); // from actual submit
+        for i in 0..ops {
+            let intended = i * period_ns;
+            let now = clock.now_ns();
+            if now < intended {
+                clock.advance(intended - now); // pacing wait
+            }
+            if i == stall_at {
+                clock.advance(stall_ns); // the deliberate stall
+            }
+            let submit = clock.now_ns();
+            clock.advance(service_ns); // the op itself
+            let done = clock.now_ns();
+            fixed.observe(scheduled_latency_ns(intended, done));
+            buggy.observe(done - submit);
+        }
+        let end_ns = clock.now_ns();
+
+        // same execution ⇒ same throughput either way
+        let throughput = ops as f64 / (end_ns as f64 / 1e9);
+        assert!(throughput > 0.0);
+
+        let (_, _, fixed_p999) = fixed.percentiles();
+        let (_, _, buggy_p999) = buggy.percentiles();
+        // the buggy accounting sees every op at ~service time, hiding
+        // the stall entirely except for one sample out of 4000 (below
+        // p999 resolution); the fixed accounting charges the backlog
+        // to every op scheduled during the stall's drain
+        assert!(
+            buggy_p999 < 10 * service_ns,
+            "from-submit accounting should hide the stall, p999 = {buggy_p999}"
+        );
+        assert!(
+            fixed_p999 >= stall_ns / 2,
+            "from-intended accounting must surface the stall in p999, \
+             got {fixed_p999} vs stall {stall_ns}"
+        );
+        assert_eq!(
+            fixed.count, buggy.count,
+            "both accountings observed every op (throughput unchanged)"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::test_runner::TestRng;
 use core::marker::PhantomData;
-use core::ops::Range;
+use core::ops::{Range, RangeInclusive};
 
 /// A recipe for generating values of `Self::Value`.
 pub trait Strategy {
@@ -55,6 +55,26 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "strategy range is empty");
+                // span can exceed u64 for 0..=u64::MAX: widen to u128
+                let span = (*self.end() - *self.start()) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    rng.next_u64() as $t
+                } else {
+                    self.start() + rng.below(span as u64) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize);
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
