@@ -11,6 +11,12 @@
 //!              bench-replay (replay-engine throughput → BENCH_replay.json)
 //!              kv-bench     (YCSB grid over the sharded KV store
 //!                            → BENCH_kv.json; --smoke for CI sizes)
+//!              tree-bench   (YCSB C/E/F over the CoW B+-tree engine;
+//!                            appends engine:"tree" rows — scan
+//!                            throughput + scan p99 — to BENCH_kv.json)
+//!              tree-crash   (crash-point sweep over tree transactions:
+//!                            committed-prefix oracle on both flush
+//!                            paths × crash modes; nonzero on failure)
 //!              crash-matrix (crash-point fuzz: all policies × crash
 //!                            modes × seeds; exits nonzero on failure)
 //!              all          (tables + figures)
@@ -45,7 +51,7 @@
 //! prints a summary table and writes the full per-run snapshots to
 //! FILE as JSON. Simulated results are identical with or without it.
 
-use nvcache_bench::experiments::{ablations, figs, kv, tables, DEFAULT_SCALE, THREAD_SWEEP};
+use nvcache_bench::experiments::{ablations, figs, kv, tables, tree, DEFAULT_SCALE, THREAD_SWEEP};
 use nvcache_bench::report::{json_str, telemetry_envelope, telemetry_table};
 use nvcache_bench::{diff, jsonv, telemetry, Table};
 use nvcache_cachesim::MachineConfig;
@@ -130,6 +136,10 @@ fn usage(err: &str) -> ! {
          \x20            ablation-clwb ablation-phased ablation-groups\n\
          \x20            bench-replay (writes BENCH_replay.json)\n\
          \x20            kv-bench [--smoke] (YCSB grid; writes BENCH_kv.json)\n\
+         \x20            tree-bench [--smoke] (YCSB C/E/F over the B+-tree\n\
+         \x20                       engine; appends tree rows to BENCH_kv.json)\n\
+         \x20            tree-crash [--seeds N] (tree txn crash-point sweep;\n\
+         \x20                       nonzero exit on a torn transaction)\n\
          \x20            crash-matrix (crash-point fuzz; nonzero exit on failure)\n\
          \x20            telemetry-diff (compare two harness JSON artifacts;\n\
          \x20                            exits 2 on schema drift, 1 on regression)\n\
@@ -189,6 +199,7 @@ fn run_one(name: &str, scale: f64, threads: &[usize], smoke: bool) -> Vec<Table>
         }
         "bench-replay" => bench_replay(scale),
         "kv-bench" => vec![kv::kv_bench(scale, smoke)],
+        "tree-bench" => vec![tree::tree_bench(scale, smoke)],
         other => usage(&format!("unknown experiment {other}")),
     }
 }
@@ -484,6 +495,145 @@ fn crash_matrix(seeds: u64) -> (Table, u64, bool) {
     (t, total, all_ok)
 }
 
+/// `repro tree-crash [--seeds N]` — the CI smoke form of
+/// `tests/tree_crash.rs`: deterministic programs of committed CoW
+/// transactions per seed, a crash injected at strided micro-steps under
+/// all three adversaries on both flush paths, recovery via
+/// `Tree::reopen_from_image`, and the committed-prefix oracle — the
+/// recovered tree must equal the state after a whole number of
+/// committed transactions. Returns the per-cell table, the total
+/// recovery count, and whether all held.
+fn tree_crash_matrix(seeds: u64) -> (Table, u64, bool) {
+    use nvcache_pmem::CrashPlan;
+    use nvcache_treestore::{Tree, TreeConfig};
+    fn mix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    // one txn = (key, Some(value-tag)) puts and (key, None) deletes
+    type Txn = Vec<(u64, Option<u64>)>;
+    fn program(seed: u64, txns: usize, keys: u64) -> Vec<Txn> {
+        let mut s = seed;
+        (0..txns)
+            .map(|_| {
+                let n = 3 + (mix64(&mut s) % 6) as usize;
+                (0..n)
+                    .map(|_| {
+                        let r = mix64(&mut s);
+                        let key = mix64(&mut s) % keys;
+                        if r.is_multiple_of(5) {
+                            (key, None)
+                        } else {
+                            (key, Some(mix64(&mut s)))
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+    fn apply(t: &mut nvcache_treestore::Tree, txn: &Txn) {
+        t.begin();
+        for (key, tag) in txn {
+            match tag {
+                Some(tag) => {
+                    let len = 8 + (tag % 40) as usize;
+                    let v: Vec<u8> = (0..len).map(|i| (tag >> (8 * (i % 8))) as u8).collect();
+                    t.put(*key, &v).expect("put within capacity");
+                }
+                None => {
+                    t.delete(*key).expect("delete");
+                }
+            }
+        }
+        t.commit();
+    }
+    let cfg_for = |pipelined| TreeConfig {
+        data_len: 1 << 21,
+        log_len: 1 << 18,
+        policy: PolicyKind::ScFixed { capacity: 8 },
+        pipelined,
+    };
+    let dump = |t: &nvcache_treestore::Tree| t.scan(None, 0, u64::MAX, usize::MAX);
+    let mut t = Table::new(
+        &format!("Tree crash-point matrix: 12 txns/program, {seeds} seeds, strided micro-steps"),
+        &["path", "mode", "seeds", "recoveries", "failures", "result"],
+    );
+    let mut total = 0u64;
+    let mut all_ok = true;
+    for pipelined in [false, true] {
+        let cfg = cfg_for(pipelined);
+        let path = if pipelined { "pipelined" } else { "sync" };
+        for mode_name in ["strict", "all-in-flight", "random"] {
+            let mut recoveries = 0u64;
+            let mut failures = 0u64;
+            for seed in 0..seeds {
+                let prog = program(0xa11ce + seed, 12, 32);
+                let mut rec_tree = Tree::create(&cfg).expect("format tree heap");
+                let mut commit_steps = vec![rec_tree.steps()];
+                let mut snaps = vec![dump(&rec_tree)];
+                for txn in &prog {
+                    apply(&mut rec_tree, txn);
+                    commit_steps.push(rec_tree.steps());
+                    snaps.push(dump(&rec_tree));
+                }
+                let setup = commit_steps[0];
+                let total_steps = *commit_steps.last().unwrap();
+                let stride = ((total_steps - setup) / 12).max(1);
+                let mut k = setup + 1;
+                while k < total_steps {
+                    let mode = match mode_name {
+                        "strict" => CrashMode::StrictDurableOnly,
+                        "all-in-flight" => CrashMode::AllInFlightLands,
+                        _ => CrashMode::random(0.5, 0.5, seed),
+                    };
+                    let mut tr = Tree::create(&cfg).expect("format tree heap");
+                    tr.arm_crash(CrashPlan { at_step: k, mode });
+                    for txn in &prog {
+                        apply(&mut tr, txn);
+                    }
+                    let image = tr.take_crash_image().expect("crash step within program");
+                    recoveries += 1;
+                    match Tree::reopen_from_image(image, &cfg) {
+                        Ok(rec) => {
+                            let committed = commit_steps.iter().rposition(|&c| c <= k).unwrap();
+                            let got = dump(&rec);
+                            if !(got == snaps[committed] || Some(&got) == snaps.get(committed + 1))
+                            {
+                                failures += 1;
+                                eprintln!(
+                                    "FAIL {path} {mode_name} seed {seed} step {k}: \
+                                     torn transaction (neither txn {committed}'s \
+                                     state nor txn {}'s)",
+                                    committed + 1
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            failures += 1;
+                            eprintln!("FAIL {path} {mode_name} seed {seed} step {k}: {e:?}");
+                        }
+                    }
+                    k += stride;
+                }
+            }
+            total += recoveries;
+            all_ok &= failures == 0;
+            t.row(vec![
+                path.to_string(),
+                mode_name.to_string(),
+                seeds.to_string(),
+                recoveries.to_string(),
+                failures.to_string(),
+                if failures == 0 { "pass" } else { "FAIL" }.to_string(),
+            ]);
+        }
+    }
+    (t, total, all_ok)
+}
+
 /// `repro telemetry-diff BASE NEW [--threshold T] [--schema-only]
 /// [--json]` — own arg grammar (two positionals), so it is dispatched
 /// before the generic experiment parser.
@@ -772,6 +922,25 @@ fn main() {
             "[crash-matrix: {schedules} schedules, {} in {:.1}s]",
             if ok {
                 "all consistent"
+            } else {
+                "ORACLE VIOLATED"
+            },
+            start.elapsed().as_secs_f64()
+        );
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+    if args.experiment == "tree-crash" {
+        let start = std::time::Instant::now();
+        let (t, recoveries, ok) = tree_crash_matrix(args.seeds);
+        if args.json {
+            println!("{}", t.to_json());
+        } else {
+            t.print();
+        }
+        eprintln!(
+            "[tree-crash: {recoveries} recoveries, {} in {:.1}s]",
+            if ok {
+                "all committed-prefix"
             } else {
                 "ORACLE VIOLATED"
             },

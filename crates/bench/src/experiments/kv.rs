@@ -379,7 +379,8 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                  \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
                  \"store_lines\": {}, \"data_flushes\": {}, \
                  \"chosen_capacity\": {}, \"online_knee\": {}, \"offline_knee\": {}, \
-                 \"windows_to_knee\": {}}}",
+                 \"windows_to_knee\": {}, \
+                 \"engine\": \"hash\", \"scan_p99_ns\": null}}",
                 json_str(cell.mix.label()),
                 json_str(cell.policy_label),
                 json_str(r.path),
@@ -539,7 +540,8 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                  \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
                  \"store_lines\": {}, \"data_flushes\": {}, \
                  \"chosen_capacity\": null, \"online_knee\": null, \
-                 \"offline_knee\": null, \"windows_to_knee\": null}}",
+                 \"offline_knee\": null, \"windows_to_knee\": null, \
+                 \"engine\": \"hash\", \"scan_p99_ns\": null}}",
                 json_str(mix.label()),
                 json_str(r.path),
                 r.throughput,
@@ -596,6 +598,7 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
                     seed: 42,
                     target_ops_per_sec: 0.0, // closed by the window only
                     track_acks: false,
+                    scan_len: 16,
                 },
             );
             assert_eq!(rep.ops_answered, rep.ops_sent, "every request answered");
@@ -653,7 +656,8 @@ pub fn kv_bench(scale: f64, smoke: bool) -> Table {
              \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
              \"store_lines\": {}, \"data_flushes\": {}, \
              \"chosen_capacity\": null, \"online_knee\": null, \
-             \"offline_knee\": null, \"windows_to_knee\": null}}",
+             \"offline_knee\": null, \"windows_to_knee\": null, \
+             \"engine\": \"hash\", \"scan_p99_ns\": null}}",
             r.throughput,
             r.occupancy,
             flush_ratio,

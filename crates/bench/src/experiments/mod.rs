@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod figs;
 pub mod kv;
 pub mod tables;
+pub mod tree;
 
 use crate::calibrate::{adaptive_config_for, machine_for, offline_capacity};
 use crate::telemetry;

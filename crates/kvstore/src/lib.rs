@@ -42,6 +42,7 @@
 //! assert!(store.stats().data_flushes > 0);
 //! ```
 
+pub mod engine;
 pub mod net;
 pub mod netload;
 pub mod proto;
@@ -51,6 +52,7 @@ pub mod shard;
 pub mod store;
 pub mod ycsb;
 
+pub use engine::{Engine, TreeEngine, TreeEngineConfig};
 pub use net::{
     listen_addr, Conn, InProcTransport, Listener, NetClient, NetServer, TcpTransport, Transport,
 };
@@ -64,6 +66,6 @@ pub use shard::{
 };
 pub use store::{KvConfig, KvStore};
 pub use ycsb::{
-    load, load_on, run, run_on, scheduled_latency_ns, value_bytes, KeyDist, KvTarget, Mix,
+    load, load_on, run, run_on, scheduled_latency_ns, value_bytes, KeyDist, KvTarget, Mix, OpMix,
     ThetaShift, WindowStats, YcsbConfig, YcsbReport, Zipfian,
 };

@@ -49,9 +49,10 @@ use std::thread::JoinHandle;
 
 use nvcache_telemetry::{CounterId, Recorder};
 
-use crate::proto::{encode_response, FrameDecoder, Request, Response};
+use crate::engine::Engine;
+use crate::proto::{encode_response, fit_entries, FrameDecoder, Request, Response};
 use crate::queue::{Completion, Notify};
-use crate::server::KvServer;
+use crate::server::{KvServer, ScanEntries};
 
 /// Default TCP listen address (wrongodb-style: a fixed well-known
 /// loopback port, overridable by environment or CLI).
@@ -412,6 +413,14 @@ enum PendingState {
         parts: Vec<Completion<bool>>,
         got: Vec<Option<bool>>,
     },
+    /// A `Scan` fanned out to every lane (keys are hash-routed): ready
+    /// when each lane returned its slice; the response is the merged,
+    /// sorted, limit-truncated union, further cut to fit one frame.
+    Scan {
+        parts: Vec<Completion<ScanEntries>>,
+        got: Vec<Option<ScanEntries>>,
+        limit: usize,
+    },
     /// Ready immediately (Pong, Rejected).
     Ready(Response),
 }
@@ -464,10 +473,10 @@ impl NetServer {
     /// Bind `transport` on `addr` and start accepting. Every accepted
     /// connection gets a reader + writer thread pair over `kv`'s
     /// submission queues.
-    pub fn start(
+    pub fn start<E: Engine>(
         transport: &dyn Transport,
         addr: &str,
-        kv: Arc<KvServer>,
+        kv: Arc<KvServer<E>>,
     ) -> io::Result<NetServer> {
         let listener: Arc<Box<dyn Listener>> = Arc::new(transport.listen(addr)?);
         let stats = Arc::new(NetStats::default());
@@ -546,9 +555,9 @@ impl Drop for NetServer {
 }
 
 /// Spawn the reader/writer pair for one accepted connection.
-fn spawn_conn(
+fn spawn_conn<E: Engine>(
     conn: Box<dyn Conn>,
-    kv: Arc<KvServer>,
+    kv: Arc<KvServer<E>>,
     stats: Arc<NetStats>,
 ) -> io::Result<ConnHandle> {
     let read_half = conn.try_clone_conn()?;
@@ -582,7 +591,12 @@ fn spawn_conn(
 /// Decode frames off the connection and submit them. Returns on EOF,
 /// read error, or a fatal protocol error (which also tears the
 /// connection down so the peer notices).
-fn reader_loop(mut conn: Box<dyn Conn>, kv: &KvServer, shared: &ConnShared, stats: &NetStats) {
+fn reader_loop<E: Engine>(
+    mut conn: Box<dyn Conn>,
+    kv: &KvServer<E>,
+    shared: &ConnShared,
+    stats: &NetStats,
+) {
     let client = kv.handle();
     let mut dec = FrameDecoder::new();
     let mut buf = vec![0u8; 64 * 1024];
@@ -683,6 +697,34 @@ fn submit(client: &crate::server::KvClient, shared: &ConnShared, req: Request) {
                 shared.reject(id);
             }
         }
+        Request::Scan { id, lo, hi, limit } => {
+            if lo > hi || limit == 0 {
+                push_entry(PendingState::Ready(Response::Entries {
+                    id,
+                    items: Vec::new(),
+                }));
+                shared.notify.post();
+                return;
+            }
+            // keys are hash-routed: every lane may hold part of the
+            // range, so fan the scan out and merge at response time
+            let parts: Vec<Completion<ScanEntries>> = (0..client.num_lanes())
+                .map(|_| Completion::with_notify(Arc::clone(&shared.notify)))
+                .collect();
+            let got = vec![None; parts.len()];
+            push_entry(PendingState::Scan {
+                parts: parts.clone(),
+                got,
+                limit: limit as usize,
+            });
+            let mut ok = true;
+            for (lane, c) in parts.into_iter().enumerate() {
+                ok &= client.submit_scan(lane, lo, hi, limit, c);
+            }
+            if !ok {
+                shared.reject(id);
+            }
+        }
     }
 }
 
@@ -753,6 +795,25 @@ fn take_ready(entry: &mut PendingEntry) -> Option<Response> {
                     id,
                     ok: got.iter().all(|s| s == &Some(true)),
                 })
+            } else {
+                None
+            }
+        }
+        PendingState::Scan { parts, got, limit } => {
+            for (slot, c) in got.iter_mut().zip(parts.iter()) {
+                if slot.is_none() {
+                    *slot = c.try_take();
+                }
+            }
+            if got.iter().all(|s| s.is_some()) {
+                let mut items: Vec<(u64, Vec<u8>)> =
+                    got.iter_mut().flat_map(|s| s.take().unwrap()).collect();
+                items.sort_unstable_by_key(|&(k, _)| k);
+                items.truncate(*limit);
+                // never emit an unframeable response: cut to the
+                // longest prefix that encodes under MAX_BODY
+                items.truncate(fit_entries(&items));
+                Some(Response::Entries { id, items })
             } else {
                 None
             }
@@ -868,6 +929,18 @@ impl NetClient {
             other => Err(unexpected(&other)),
         }
     }
+
+    /// Range scan `lo..=hi`, at most `limit` entries, sorted by key.
+    /// The server may return fewer than `limit` entries when the full
+    /// result would not fit one response frame.
+    pub fn scan(&mut self, lo: u64, hi: u64, limit: u32) -> io::Result<Vec<(u64, Vec<u8>)>> {
+        let id = self.id();
+        match self.call(&Request::Scan { id, lo, hi, limit })? {
+            Response::Entries { items, .. } => Ok(items),
+            Response::Rejected { .. } => Ok(Vec::new()),
+            other => Err(unexpected(&other)),
+        }
+    }
 }
 
 fn unexpected(resp: &Response) -> io::Error {
@@ -930,6 +1003,16 @@ mod tests {
             .put_many(&[(3, b"three".to_vec()), (4, b"four".to_vec())])
             .unwrap());
         assert_eq!(c.get(4).unwrap().as_deref(), Some(&b"four"[..]));
+        assert_eq!(
+            c.scan(0, 10, 16).unwrap(),
+            vec![
+                (1, b"one".to_vec()),
+                (3, b"three".to_vec()),
+                (4, b"four".to_vec()),
+            ],
+            "scan merges all lanes sorted"
+        );
+        assert_eq!(c.scan(3, 10, 1).unwrap().len(), 1, "limit respected");
         assert!(c.delete(1).unwrap());
         assert!(!c.delete(1).unwrap());
         let st = srv.stats();
@@ -1020,6 +1103,33 @@ mod tests {
         };
         assert_eq!(resp, Response::Pong { id: 2 });
         assert_eq!(srv.stats().proto_errors.load(Ordering::Relaxed), 1);
+        srv.shutdown();
+        kv.close();
+    }
+
+    /// The net layer is engine-generic: a tree-engine server speaks the
+    /// same wire protocol, and its scans come back sorted.
+    #[test]
+    fn tree_engine_serves_over_the_wire() {
+        use crate::engine::{TreeEngine, TreeEngineConfig};
+        let kv = Arc::new(KvServer::<TreeEngine>::new_tree(
+            2,
+            &TreeEngineConfig::default(),
+            &ServerConfig::default(),
+        ));
+        let t = InProcTransport::new();
+        let srv = NetServer::start(&t, "inproc", Arc::clone(&kv)).unwrap();
+        let mut c = NetClient::connect(&t, "inproc").unwrap();
+        for k in 0..50u64 {
+            assert!(c.put(k, &k.to_le_bytes()).unwrap());
+        }
+        assert_eq!(c.get(7).unwrap().as_deref(), Some(&7u64.to_le_bytes()[..]));
+        let got = c.scan(10, 19, 100).unwrap();
+        assert_eq!(got.len(), 10);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        assert_eq!(got[0].0, 10);
+        assert!(c.delete(7).unwrap());
+        assert_eq!(c.get(7).unwrap(), None);
         srv.shutdown();
         kv.close();
     }

@@ -34,6 +34,7 @@ use nvcache_telemetry::{
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::engine::Engine;
 use crate::net::{Conn, Transport};
 use crate::proto::{encode_request, FrameDecoder, Request, Response};
 use crate::server::KvServer;
@@ -52,7 +53,10 @@ pub struct NetLoadConfig {
     /// Key-space size per connection (ranges are disjoint across
     /// connections when `track_acks`, shared otherwise).
     pub keys: u64,
-    /// Read/update mix (insert fraction is folded into updates).
+    /// Operation mix. Reads issue `Get`, the scan fraction (mix E)
+    /// issues `Scan` over a `scan_len`-wide window, and every other
+    /// fraction (update/insert/rmw) is folded into versioned `Put`s so
+    /// the ack audit stays meaningful.
     pub mix: Mix,
     /// Key popularity.
     pub dist: KeyDist,
@@ -66,6 +70,9 @@ pub struct NetLoadConfig {
     pub target_ops_per_sec: f64,
     /// Record per-key acked/sent versions for [`verify_acked`].
     pub track_acks: bool,
+    /// Window width and entry cap of each `Scan` request issued by the
+    /// scan fraction of the mix.
+    pub scan_len: u32,
 }
 
 impl Default for NetLoadConfig {
@@ -81,6 +88,7 @@ impl Default for NetLoadConfig {
             seed: 42,
             target_ops_per_sec: 50_000.0,
             track_acks: false,
+            scan_len: 16,
         }
     }
 }
@@ -99,7 +107,8 @@ pub struct NetLoadReport {
     /// Wall-clock span of the run.
     pub elapsed_ns: u64,
     /// Merged per-connection latency histograms (`KvGetNs` for reads,
-    /// `KvPutNs` for writes, intended-arrival based).
+    /// `KvPutNs` for writes, `KvScanNs` for scans — intended-arrival
+    /// based).
     pub snapshot: TelemetrySnapshot,
     /// Per key: newest acked version (`track_acks` only).
     pub acked: Option<HashMap<u64, u64>>,
@@ -227,7 +236,8 @@ pub fn run_net(transport: &dyn Transport, addr: &str, cfg: &NetLoadConfig) -> Ne
                 } else {
                     0.0
                 };
-                let (read_f, _, _) = cfg.mix.fractions();
+                let m = cfg.mix.op_mix();
+                let (read_f, scan_f) = (m.read, m.scan);
                 let zipf = match cfg.dist {
                     KeyDist::Zipfian { theta } => {
                         Some(Zipfian::new(cfg.keys.max(2) as usize, theta))
@@ -279,14 +289,25 @@ pub fn run_net(transport: &dyn Transport, addr: &str, cfg: &NetLoadConfig) -> Ne
                         None => rng.gen_range(0..cfg.keys.max(1)),
                     };
                     let key = key_base + (rank % cfg.keys.max(1));
-                    let is_read = rng.gen::<f64>() < read_f;
+                    let r = rng.gen::<f64>();
                     let intended_ns = if period_ns > 0.0 {
                         intended_ns
                     } else {
                         clock.now_ns() // unpaced: measure from send
                     };
-                    let (req, write) = if is_read {
+                    let (req, write) = if r < read_f {
                         (Request::Get { id: i, key }, None)
+                    } else if r < read_f + scan_f {
+                        let len = cfg.scan_len.max(1);
+                        (
+                            Request::Scan {
+                                id: i,
+                                lo: key,
+                                hi: key.saturating_add(len as u64 - 1),
+                                limit: len,
+                            },
+                            None,
+                        )
                     } else {
                         let v = versions.entry(key).or_insert(0);
                         *v += 1;
@@ -419,6 +440,12 @@ fn receiver_loop(
                         }
                     }
                 }
+                Response::Entries { items, .. } => {
+                    out.recorder.observe(HistId::KvScanNs, lat);
+                    if items.is_empty() {
+                        out.not_found += 1;
+                    }
+                }
                 Response::Pong { .. } => {}
                 Response::Rejected { .. } => {
                     out.recorder.observe(HistId::KvPutNs, lat);
@@ -436,7 +463,7 @@ fn receiver_loop(
 /// crash + recover, hold a versioned value no older than the newest
 /// acked version and no newer than the newest sent version. Returns
 /// the first violation as an error string.
-pub fn verify_acked(kv: &KvServer, report: &NetLoadReport) -> Result<(), String> {
+pub fn verify_acked<E: Engine>(kv: &KvServer<E>, report: &NetLoadReport) -> Result<(), String> {
     let acked = report
         .acked
         .as_ref()
@@ -533,6 +560,47 @@ mod tests {
         // acked writes survive crash + recover
         kv.crash_and_recover_all(&nvcache_pmem::CrashMode::StrictDurableOnly);
         verify_acked(&kv, &rep).unwrap();
+        srv.shutdown();
+        kv.close();
+    }
+
+    /// Mix E over the wire against the tree engine: the loadgen issues
+    /// real `Scan` frames, every one is answered, and scan latency
+    /// lands in its own histogram.
+    #[test]
+    fn mix_e_scans_the_tree_engine_over_the_wire() {
+        use crate::engine::{TreeEngine, TreeEngineConfig};
+        let kv = Arc::new(KvServer::<TreeEngine>::new_tree(
+            2,
+            &TreeEngineConfig::default(),
+            &ServerConfig::default(),
+        ));
+        // preload so scans hit data
+        let client = kv.client();
+        for k in 0..200u64 {
+            assert!(client.put(k, &k.to_le_bytes()));
+        }
+        let t = InProcTransport::new();
+        let srv = NetServer::start(&t, "inproc", Arc::clone(&kv)).unwrap();
+        let cfg = NetLoadConfig {
+            connections: 2,
+            pipeline_depth: 4,
+            ops_per_conn: 300,
+            keys: 200,
+            mix: Mix::E,
+            target_ops_per_sec: 0.0,
+            scan_len: 8,
+            ..Default::default()
+        };
+        let rep = run_net(&t, "inproc", &cfg);
+        assert_eq!(rep.ops_answered, rep.ops_sent, "every request answered");
+        assert_eq!(rep.rejected, 0);
+        let scans = rep.snapshot.hist(HistId::KvScanNs).count;
+        let puts = rep.snapshot.hist(HistId::KvPutNs).count;
+        assert!(scans > 450, "~95% of 600 ops are scans, got {scans}");
+        assert!(puts > 0, "~5% inserts, got {puts}");
+        assert_eq!(scans + puts, rep.ops_answered);
+        assert_eq!(rep.not_found, 0, "scans over a loaded keyspace hit");
         srv.shutdown();
         kv.close();
     }

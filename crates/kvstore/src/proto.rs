@@ -13,6 +13,7 @@
 //!   3 PutMany  [count u32] ([key u64][vlen u32][value])*
 //!   4 Delete   [key u64]
 //!   5 Ping     (empty)
+//!   6 Scan     [lo u64][hi u64][limit u32]
 //! response body: [id u64 LE][status u8][payload]
 //!   0 Value·none  (empty)          — Get miss
 //!   1 Value·some  [vlen u32][value]
@@ -20,7 +21,13 @@
 //!   3 Done·false  (empty)          — write refused by the shard
 //!   4 Pong        (empty)
 //!   5 Rejected    (empty)          — server refused the submission
+//!   6 Entries     [count u32] ([key u64][vlen u32][value])*
 //! ```
+//!
+//! `Entries` frames must fit [`MAX_BODY`] like any other frame; the
+//! server truncates a scan result to the longest prefix that encodes
+//! under the cap (see [`fit_entries`]) rather than emit an unframeable
+//! response.
 //!
 //! Error discipline: a frame whose *length prefix* exceeds
 //! [`MAX_BODY`] is **fatal** — the stream cannot be trusted to resync,
@@ -63,6 +70,13 @@ pub enum Request {
     Delete { id: u64, key: u64 },
     /// Liveness probe; answered without touching the store.
     Ping { id: u64 },
+    /// Range scan `lo..=hi`, at most `limit` entries.
+    Scan {
+        id: u64,
+        lo: u64,
+        hi: u64,
+        limit: u32,
+    },
 }
 
 impl Request {
@@ -73,7 +87,8 @@ impl Request {
             | Request::Put { id, .. }
             | Request::PutMany { id, .. }
             | Request::Delete { id, .. }
-            | Request::Ping { id } => *id,
+            | Request::Ping { id }
+            | Request::Scan { id, .. } => *id,
         }
     }
 }
@@ -91,6 +106,8 @@ pub enum Response {
     /// The server refused the submission (shutting down or overloaded);
     /// the operation was **not** performed.
     Rejected { id: u64 },
+    /// Scan result: `(key, value)` pairs sorted by key.
+    Entries { id: u64, items: Vec<(u64, Vec<u8>)> },
 }
 
 impl Response {
@@ -100,7 +117,8 @@ impl Response {
             Response::Value { id, .. }
             | Response::Done { id, .. }
             | Response::Pong { id }
-            | Response::Rejected { id } => *id,
+            | Response::Rejected { id }
+            | Response::Entries { id, .. } => *id,
         }
     }
 }
@@ -200,8 +218,35 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u64(&mut b, *id);
             b.push(5);
         }
+        Request::Scan { id, lo, hi, limit } => {
+            put_u64(&mut b, *id);
+            b.push(6);
+            put_u64(&mut b, *lo);
+            put_u64(&mut b, *hi);
+            put_u32(&mut b, *limit);
+        }
     }
     frame(b)
+}
+
+/// Bytes one `(key, value)` entry occupies inside an `Entries` payload.
+fn entry_wire_len(value_len: usize) -> usize {
+    8 + 4 + value_len
+}
+
+/// Longest prefix of `items` whose `Entries` body (id, status, count,
+/// entries) still fits [`MAX_BODY`]. The serving layer applies this
+/// before encoding so a huge scan degrades into a shorter, well-formed
+/// result instead of an oversized (fatal) frame.
+pub fn fit_entries(items: &[(u64, Vec<u8>)]) -> usize {
+    let mut used = 8 + 1 + 4; // id + status + count
+    for (i, (_, v)) in items.iter().enumerate() {
+        used += entry_wire_len(v.len());
+        if used > MAX_BODY {
+            return i;
+        }
+    }
+    items.len()
 }
 
 /// Encode one response into a complete frame (header + body).
@@ -229,6 +274,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Rejected { id } => {
             put_u64(&mut b, *id);
             b.push(5);
+        }
+        Response::Entries { id, items } => {
+            put_u64(&mut b, *id);
+            b.push(6);
+            put_u32(&mut b, items.len() as u32);
+            for (k, v) in items {
+                put_u64(&mut b, *k);
+                put_u32(&mut b, v.len() as u32);
+                b.extend_from_slice(v);
+            }
         }
     }
     frame(b)
@@ -337,6 +392,12 @@ fn parse_request(body: &[u8]) -> Result<Request, ProtoError> {
         }
         4 => Request::Delete { id, key: b.u64()? },
         5 => Request::Ping { id },
+        6 => Request::Scan {
+            id,
+            lo: b.u64()?,
+            hi: b.u64()?,
+            limit: b.u32()?,
+        },
         _ => {
             return Err(ProtoError::Malformed {
                 reason: "unknown opcode",
@@ -364,6 +425,23 @@ fn parse_response(body: &[u8]) -> Result<Response, ProtoError> {
         3 => Response::Done { id, ok: false },
         4 => Response::Pong { id },
         5 => Response::Rejected { id },
+        6 => {
+            let count = b.u32()? as usize;
+            // same structural guard as put_many: a count claiming more
+            // entries than the body could hold is corrupt
+            if count > body.len() {
+                return Err(ProtoError::Malformed {
+                    reason: "entries count exceeds body",
+                });
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                let k = b.u64()?;
+                let len = b.u32()? as usize;
+                items.push((k, b.bytes(len)?));
+            }
+            Response::Entries { id, items }
+        }
         _ => {
             return Err(ProtoError::Malformed {
                 reason: "unknown status",
@@ -495,6 +573,12 @@ mod tests {
             },
             Request::Delete { id: 4, key: 9 },
             Request::Ping { id: u64::MAX },
+            Request::Scan {
+                id: 5,
+                lo: 10,
+                hi: 99,
+                limit: 25,
+            },
         ] {
             assert_eq!(roundtrip_req(&req), req);
         }
@@ -516,9 +600,39 @@ mod tests {
             Response::Done { id: 5, ok: false },
             Response::Pong { id: 6 },
             Response::Rejected { id: 7 },
+            Response::Entries {
+                id: 8,
+                items: Vec::new(),
+            },
+            Response::Entries {
+                id: 9,
+                items: vec![(1, b"one".to_vec()), (2, Vec::new()), (3, vec![0xee; 200])],
+            },
         ] {
             assert_eq!(roundtrip_resp(&resp), resp);
         }
+    }
+
+    #[test]
+    fn fit_entries_bounds_the_frame() {
+        // small results fit whole
+        let small = vec![(1u64, vec![7u8; 100]); 10];
+        assert_eq!(fit_entries(&small), 10);
+        // a result that would blow MAX_BODY is cut to a framable prefix
+        let big: Vec<(u64, Vec<u8>)> = (0..2000u64).map(|k| (k, vec![k as u8; 1000])).collect();
+        let n = fit_entries(&big);
+        assert!(n > 0 && n < big.len(), "prefix cut, got {n}");
+        let resp = Response::Entries {
+            id: 1,
+            items: big[..n].to_vec(),
+        };
+        let wire = encode_response(&resp);
+        assert!(wire.len() <= HEADER_LEN + MAX_BODY, "frame under the cap");
+        // one more entry would not have fit
+        assert!(fit_entries(&big[..n + 1]) == n);
+        let mut d = FrameDecoder::new();
+        d.extend_from(&wire);
+        assert_eq!(d.next_response().unwrap(), Some(resp));
     }
 
     #[test]

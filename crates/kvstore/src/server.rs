@@ -35,6 +35,7 @@ use std::thread::JoinHandle;
 use nvcache_fase::FaseStats;
 use nvcache_pmem::CrashMode;
 
+use crate::engine::{Engine, TreeEngine, TreeEngineConfig};
 use crate::queue::{Backpressure, Completion, QueueStats, SubmissionQueue};
 use crate::shard::{BatchReply, BatchRequest, CapacityChoice, Shard};
 use crate::store::{route_hash, KvConfig};
@@ -62,6 +63,9 @@ impl Default for ServerConfig {
     }
 }
 
+/// Sorted `(key, value)` entries a scan hands back.
+pub type ScanEntries = Vec<(u64, Vec<u8>)>;
+
 /// A queued request: the operation plus the completion slot its ack
 /// flows back through.
 enum Request {
@@ -69,6 +73,7 @@ enum Request {
     Put(u64, Vec<u8>, Completion<bool>),
     PutMany(Vec<(u64, Vec<u8>)>, Completion<bool>),
     Delete(u64, Completion<bool>),
+    Scan(u64, u64, u32, Completion<Vec<(u64, Vec<u8>)>>),
 }
 
 /// The completion half of a request, split off for positional reply
@@ -76,6 +81,7 @@ enum Request {
 enum ReplySlot {
     Value(Completion<Option<Vec<u8>>>),
     Done(Completion<bool>),
+    Entries(Completion<Vec<(u64, Vec<u8>)>>),
 }
 
 impl ReplySlot {
@@ -83,6 +89,7 @@ impl ReplySlot {
         match (self, reply) {
             (ReplySlot::Value(c), BatchReply::Value(v)) => c.fill(v),
             (ReplySlot::Done(c), BatchReply::Done(b)) => c.fill(b),
+            (ReplySlot::Entries(c), BatchReply::Entries(e)) => c.fill(e),
             _ => unreachable!("serve_batch replies positionally"),
         }
     }
@@ -93,12 +100,13 @@ impl ReplySlot {
         match self {
             ReplySlot::Value(c) => c.fill(None),
             ReplySlot::Done(c) => c.fill(false),
+            ReplySlot::Entries(c) => c.fill(Vec::new()),
         }
     }
 }
 
-struct Lane {
-    shard: Arc<Mutex<Shard>>,
+struct Lane<E> {
+    shard: Arc<Mutex<E>>,
     queue: Arc<SubmissionQueue<Request>>,
     /// Behind a mutex so shutdown can join through `&self` — the
     /// network layer shares the server via `Arc<KvServer>`.
@@ -106,13 +114,16 @@ struct Lane {
 }
 
 /// A [`KvStore`]-shaped store served by per-shard worker threads (see
-/// the module docs). Build with [`KvServer::new`], hand out cheap
-/// [`KvClient`] handles with [`KvServer::client`], and shut down with
-/// [`KvServer::shutdown`] (or let `Drop` do it).
+/// the module docs), generic over the lane [`Engine`]: hash shards by
+/// default ([`KvServer::new`]), B+-tree lanes via
+/// [`KvServer::new_tree`], arbitrary engines via
+/// [`KvServer::with_engines`]. Hand out cheap [`KvClient`] handles with
+/// [`KvServer::client`], and shut down with [`KvServer::shutdown`] (or
+/// let `Drop` do it).
 ///
 /// [`KvStore`]: crate::store::KvStore
-pub struct KvServer {
-    lanes: Vec<Lane>,
+pub struct KvServer<E: Engine = Shard> {
+    lanes: Vec<Lane<E>>,
     /// A resident client handle for callers that drive the server
     /// directly (e.g. the loadgen's `KvTarget` impl) without paying a
     /// handle allocation per op.
@@ -121,7 +132,7 @@ pub struct KvServer {
     healed_panics: Arc<AtomicU64>,
 }
 
-impl std::fmt::Debug for KvServer {
+impl<E: Engine> std::fmt::Debug for KvServer<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KvServer")
             .field("lanes", &self.lanes.len())
@@ -129,20 +140,37 @@ impl std::fmt::Debug for KvServer {
     }
 }
 
-fn lock(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+fn lock<E>(m: &Mutex<E>) -> std::sync::MutexGuard<'_, E> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-impl KvServer {
-    /// Spawn one worker thread (and queue) per shard of `cfg`.
+impl KvServer<Shard> {
+    /// Spawn one worker thread (and queue) per hash shard of `cfg`.
     pub fn new(cfg: &KvConfig, scfg: &ServerConfig) -> Self {
         assert!(cfg.shards >= 1, "at least one shard");
+        KvServer::with_engines((0..cfg.shards).map(|_| Shard::new(&cfg.shard)), scfg)
+    }
+}
+
+impl KvServer<TreeEngine> {
+    /// Spawn `lanes` B+-tree engine lanes (each a private CoW tree over
+    /// its own FASE heap) behind the same queues and group commit.
+    pub fn new_tree(lanes: usize, cfg: &TreeEngineConfig, scfg: &ServerConfig) -> Self {
+        assert!(lanes >= 1, "at least one lane");
+        KvServer::with_engines((0..lanes).map(|_| TreeEngine::new(cfg)), scfg)
+    }
+}
+
+impl<E: Engine> KvServer<E> {
+    /// Spawn one worker thread (and queue) per engine.
+    pub fn with_engines(engines: impl IntoIterator<Item = E>, scfg: &ServerConfig) -> Self {
         assert!(scfg.max_batch >= 1, "a batch holds at least one request");
         let healed_panics = Arc::new(AtomicU64::new(0));
         let max_batch = scfg.max_batch.min(scfg.queue_capacity);
-        let lanes = (0..cfg.shards)
-            .map(|_| {
-                let shard = Arc::new(Mutex::new(Shard::new(&cfg.shard)));
+        let lanes = engines
+            .into_iter()
+            .map(|engine| {
+                let shard = Arc::new(Mutex::new(engine));
                 let queue = Arc::new(SubmissionQueue::new(scfg.queue_capacity, scfg.backpressure));
                 let worker = {
                     let shard = Arc::clone(&shard);
@@ -156,7 +184,8 @@ impl KvServer {
                     worker: Mutex::new(Some(worker)),
                 }
             })
-            .collect::<Vec<Lane>>();
+            .collect::<Vec<Lane<E>>>();
+        assert!(!lanes.is_empty(), "at least one engine lane");
         let client = KvClient {
             queues: lanes.iter().map(|l| Arc::clone(&l.queue)).collect(),
         };
@@ -189,10 +218,10 @@ impl KvServer {
         (route_hash(key) % self.lanes.len() as u64) as usize
     }
 
-    /// Run `f` with shard `i` locked (stats scraping, crash plumbing in
+    /// Run `f` with engine `i` locked (stats scraping, crash plumbing in
     /// tests). Serializes with the worker's batches: the worker holds
     /// the same lock while serving, never between batches.
-    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&mut Shard) -> R) -> R {
+    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&mut E) -> R) -> R {
         f(&mut lock(&self.lanes[i].shard))
     }
 
@@ -230,10 +259,7 @@ impl KvServer {
 
     /// Live-controller capacity decisions per shard.
     pub fn chosen(&self) -> Vec<Vec<CapacityChoice>> {
-        self.lanes
-            .iter()
-            .map(|l| lock(&l.shard).chosen().to_vec())
-            .collect()
+        self.lanes.iter().map(|l| lock(&l.shard).chosen()).collect()
     }
 
     /// Total live keys across shards.
@@ -297,7 +323,7 @@ impl KvServer {
     }
 }
 
-impl Drop for KvServer {
+impl<E: Engine> Drop for KvServer<E> {
     fn drop(&mut self) {
         self.close();
     }
@@ -438,12 +464,57 @@ impl KvClient {
             false
         }
     }
+
+    /// Non-blocking submit of a per-lane `Scan` (see [`submit_get`]).
+    /// Keys are hash-routed over lanes, so a range scan must visit
+    /// every lane; [`scan`] does the fan-out and merge.
+    ///
+    /// [`submit_get`]: KvClient::submit_get
+    /// [`scan`]: KvClient::scan
+    pub fn submit_scan(
+        &self,
+        lane: usize,
+        lo: u64,
+        hi: u64,
+        limit: u32,
+        c: Completion<Vec<(u64, Vec<u8>)>>,
+    ) -> bool {
+        self.queues[lane]
+            .push(Request::Scan(lo, hi, limit, c))
+            .is_ok()
+    }
+
+    /// Range scan `lo..=hi`, at most `limit` entries, sorted by key:
+    /// one `Scan` per lane (issued concurrently — each lane snapshots
+    /// its slice inside its own serve barrier), merged and truncated
+    /// client-side. Per-lane results are each consistent; the merged
+    /// view spans lanes like any multi-shard read does.
+    pub fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
+        if lo > hi || limit == 0 {
+            return Vec::new();
+        }
+        let per_lane = limit.min(u32::MAX as usize) as u32;
+        let mut waits: Vec<Completion<ScanEntries>> = Vec::new();
+        for lane in 0..self.queues.len() {
+            let c = Completion::new();
+            if self.submit_scan(lane, lo, hi, per_lane, c.clone()) {
+                waits.push(c);
+            }
+        }
+        let mut out: Vec<(u64, Vec<u8>)> = Vec::new();
+        for c in waits {
+            out.extend(c.wait());
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out.truncate(limit);
+        out
+    }
 }
 
 /// The per-shard worker: drain everything in flight, serve it as one
-/// grouped batch under the shard lock, ack after commit. Panics heal.
-fn worker_loop(
-    shard: &Mutex<Shard>,
+/// grouped batch under the engine lock, ack after commit. Panics heal.
+fn worker_loop<E: Engine>(
+    shard: &Mutex<E>,
     queue: &SubmissionQueue<Request>,
     max_batch: usize,
     healed: &AtomicU64,
@@ -475,6 +546,10 @@ fn worker_loop(
                 Request::Delete(k, c) => {
                     reqs.push(BatchRequest::Delete(k));
                     slots.push(ReplySlot::Done(c));
+                }
+                Request::Scan(lo, hi, limit, c) => {
+                    reqs.push(BatchRequest::Scan(lo, hi, limit));
+                    slots.push(ReplySlot::Entries(c));
                 }
             }
         }

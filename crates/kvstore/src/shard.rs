@@ -48,6 +48,11 @@ pub enum BatchRequest {
     PutMany(Vec<(u64, Vec<u8>)>),
     /// Remove a key. Acts as a segment barrier inside a batch.
     Delete(u64),
+    /// Range scan `lo..=hi` (inclusive), at most `limit` entries, in
+    /// key order. Also a segment barrier: the pending write group
+    /// commits first, so the scan observes every earlier write of its
+    /// own batch.
+    Scan(u64, u64, u32),
 }
 
 /// Positional reply to one [`BatchRequest`].
@@ -57,6 +62,8 @@ pub enum BatchReply {
     Value(Option<Vec<u8>>),
     /// `Put`/`PutMany`/`Delete` outcome.
     Done(bool),
+    /// `Scan` result: sorted, gap-free within the shard.
+    Entries(Vec<(u64, Vec<u8>)>),
 }
 
 /// Live-adaptation controller configuration for one shard.
@@ -531,7 +538,9 @@ impl Shard {
                         BatchRequest::Get(k) => BatchReply::Value(shard.get(*k)),
                         BatchRequest::Put(k, v) => BatchReply::Done(shard.put(*k, v)),
                         BatchRequest::PutMany(items) => BatchReply::Done(shard.put_many(items)),
-                        BatchRequest::Delete(_) => unreachable!("deletes end segments"),
+                        BatchRequest::Delete(_) | BatchRequest::Scan(..) => {
+                            unreachable!("barriers end segments")
+                        }
                     });
                 }
             }
@@ -575,6 +584,19 @@ impl Shard {
                     replies.push(BatchReply::Done(self.delete(*k)));
                     seg_start = i + 1;
                 }
+                BatchRequest::Scan(lo, hi, limit) => {
+                    close_segment(
+                        self,
+                        reqs,
+                        &mut replies,
+                        &mut group,
+                        &mut overlay,
+                        seg_start,
+                        i,
+                    );
+                    replies.push(BatchReply::Entries(self.scan(*lo, *hi, *limit as usize)));
+                    seg_start = i + 1;
+                }
             }
         }
         close_segment(
@@ -587,6 +609,33 @@ impl Shard {
             reqs.len(),
         );
         replies
+    }
+
+    /// Range scan `lo..=hi`, at most `limit` entries, sorted by key.
+    /// A hash table has no key order, so this is a full bucket walk +
+    /// sort — the structural price the tree engine's B+-tree avoids
+    /// (that contrast is exactly what YCSB-E measures across engines).
+    pub fn scan(&mut self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
+        if lo > hi || limit == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(u64, Vec<u8>)> = Vec::new();
+        for b in 0..self.buckets {
+            let mut p = self.rt.load_u64(self.bucket_base + b * 8) as usize;
+            while p != 0 {
+                let key = self.rt.load_u64(p);
+                if (lo..=hi).contains(&key) {
+                    let vlen = self.rt.load_u64(p + 16) as usize;
+                    let mut v = vec![0u8; vlen];
+                    self.rt.load(p + NODE_HEADER, &mut v);
+                    out.push((key, v));
+                }
+                p = self.rt.load_u64(p + 8) as usize;
+            }
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out.truncate(limit);
+        out
     }
 
     /// Read-only lookup over the shard's region (no `&mut`): the
@@ -1098,13 +1147,14 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             let key = (x >> 33) % 24;
-            reqs.push(match x % 4 {
+            reqs.push(match x % 5 {
                 0 => BatchRequest::Get(key),
                 1 => BatchRequest::Delete(key),
                 2 => BatchRequest::PutMany(vec![
                     (key, vec![i as u8; 16]),
                     ((key + 1) % 24, vec![i as u8; 16]),
                 ]),
+                3 => BatchRequest::Scan(key, key + 7, 5),
                 _ => BatchRequest::Put(key, vec![i as u8; 16]),
             });
         }
@@ -1116,6 +1166,9 @@ mod tests {
                 BatchRequest::Put(k, v) => BatchReply::Done(seq.put(*k, v)),
                 BatchRequest::PutMany(items) => BatchReply::Done(seq.put_many(items)),
                 BatchRequest::Delete(k) => BatchReply::Done(seq.delete(*k)),
+                BatchRequest::Scan(lo, hi, l) => {
+                    BatchReply::Entries(seq.scan(*lo, *hi, *l as usize))
+                }
             })
             .collect();
         assert_eq!(got, want, "replies diverge from sequential execution");

@@ -105,6 +105,21 @@ impl KvStore {
         self.shard(self.shard_of(key)).delete(key)
     }
 
+    /// Range scan `lo..=hi`, at most `limit` entries, sorted by key:
+    /// every shard is visited (keys are hash-routed) and the slices
+    /// merged. Shards are scanned one at a time under their own locks —
+    /// per-shard consistency, cross-shard best effort, same as any
+    /// multi-shard read.
+    pub fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
+        let mut out: Vec<(u64, Vec<u8>)> = Vec::new();
+        for s in &self.shards {
+            out.extend(lock(s).scan(lo, hi, limit));
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out.truncate(limit);
+        out
+    }
+
     /// Total live keys across shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| lock(s).len()).sum()

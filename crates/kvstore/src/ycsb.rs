@@ -1,6 +1,7 @@
 //! YCSB-style concurrent load generation for [`KvStore`]: zipfian or
-//! uniform key choice, the classic read/update/insert mixes A/B/C,
-//! deterministic per-worker seeds, and open- or closed-loop issue.
+//! uniform key choice, the classic mixes A–F (reads, updates, inserts,
+//! short range scans, read-modify-writes), deterministic per-worker
+//! seeds, and open- or closed-loop issue.
 //!
 //! The harness mirrors the paper's memcached evaluation shape: a
 //! long-running store serving a skewed key-popularity stream while each
@@ -22,6 +23,7 @@ use nvcache_telemetry::{
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::engine::Engine;
 use crate::server::KvServer;
 use crate::store::KvStore;
 
@@ -37,6 +39,8 @@ pub trait KvTarget: Sync {
     fn put(&self, key: u64, value: &[u8]) -> bool;
     /// Apply a write batch (one FASE per involved shard).
     fn put_many(&self, items: &[(u64, Vec<u8>)]) -> bool;
+    /// Range scan `lo..=hi`, at most `limit` entries, sorted by key.
+    fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Vec<u8>)>;
     /// Interval-delta counters summed over shards.
     fn take_stats(&self) -> FaseStats;
     /// Restart adaptation measurement (post-load).
@@ -53,6 +57,9 @@ impl KvTarget for KvStore {
     fn put_many(&self, items: &[(u64, Vec<u8>)]) -> bool {
         KvStore::put_many(self, items)
     }
+    fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
+        KvStore::scan(self, lo, hi, limit)
+    }
     fn take_stats(&self) -> FaseStats {
         KvStore::take_stats(self)
     }
@@ -61,7 +68,7 @@ impl KvTarget for KvStore {
     }
 }
 
-impl KvTarget for KvServer {
+impl<E: Engine> KvTarget for KvServer<E> {
     fn get(&self, key: u64) -> Option<Vec<u8>> {
         self.handle().get(key)
     }
@@ -70,6 +77,9 @@ impl KvTarget for KvServer {
     }
     fn put_many(&self, items: &[(u64, Vec<u8>)]) -> bool {
         self.handle().put_many(items)
+    }
+    fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
+        self.handle().scan(lo, hi, limit)
     }
     fn take_stats(&self) -> FaseStats {
         KvServer::take_stats(self)
@@ -91,16 +101,54 @@ pub enum Mix {
     /// 90% reads / 5% updates / 5% inserts of fresh keys (the
     /// insert-bearing mix; YCSB-D-shaped working-set growth).
     D,
+    /// 95% short range scans / 5% inserts (YCSB-E; the ordered-engine
+    /// workload — scan lengths drawn zipfian up to
+    /// [`YcsbConfig::max_scan_len`]).
+    E,
+    /// 50% reads / 50% read-modify-writes (YCSB-F).
+    F,
+}
+
+/// Per-op-type fractions of one [`Mix`]; sums to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Point reads.
+    pub read: f64,
+    /// In-place updates of loaded keys.
+    pub update: f64,
+    /// Inserts of fresh keys.
+    pub insert: f64,
+    /// Short range scans.
+    pub scan: f64,
+    /// Read-modify-writes.
+    pub rmw: f64,
 }
 
 impl Mix {
-    /// `(read, update, insert)` fractions; sums to 1.
+    /// `(read, update, insert)` fractions; sums to 1 for the scan-free
+    /// mixes A–D (E and F carry scan/rmw weight — see
+    /// [`Mix::op_mix`]).
     pub fn fractions(&self) -> (f64, f64, f64) {
-        match self {
-            Mix::A => (0.50, 0.50, 0.0),
-            Mix::B => (0.95, 0.05, 0.0),
-            Mix::C => (1.0, 0.0, 0.0),
-            Mix::D => (0.90, 0.05, 0.05),
+        let m = self.op_mix();
+        (m.read, m.update, m.insert)
+    }
+
+    /// Full per-op-type fractions (always sums to 1).
+    pub fn op_mix(&self) -> OpMix {
+        let (read, update, insert, scan, rmw) = match self {
+            Mix::A => (0.50, 0.50, 0.0, 0.0, 0.0),
+            Mix::B => (0.95, 0.05, 0.0, 0.0, 0.0),
+            Mix::C => (1.0, 0.0, 0.0, 0.0, 0.0),
+            Mix::D => (0.90, 0.05, 0.05, 0.0, 0.0),
+            Mix::E => (0.0, 0.0, 0.05, 0.95, 0.0),
+            Mix::F => (0.50, 0.0, 0.0, 0.0, 0.50),
+        };
+        OpMix {
+            read,
+            update,
+            insert,
+            scan,
+            rmw,
         }
     }
 
@@ -111,6 +159,8 @@ impl Mix {
             Mix::B => "B",
             Mix::C => "C",
             Mix::D => "D",
+            Mix::E => "E",
+            Mix::F => "F",
         }
     }
 }
@@ -218,10 +268,14 @@ pub struct YcsbConfig {
     /// shift for convergence measurement).
     pub theta_shift: Option<ThetaShift>,
     /// Span-time every op into per-worker latency histograms
-    /// (`kv_get_ns`/`kv_put_ns`/`kv_put_many_ns`), merged in tid order
-    /// into [`YcsbReport::latency`]. Off by default: the timed closed
-    /// loop stays free of clock reads.
+    /// (`kv_get_ns`/`kv_put_ns`/`kv_put_many_ns`/`kv_scan_ns`), merged
+    /// in tid order into [`YcsbReport::latency`]. Off by default: the
+    /// timed closed loop stays free of clock reads.
     pub latency: bool,
+    /// Largest range-scan length for the scan-bearing mixes (YCSB-E);
+    /// per-scan lengths are drawn zipfian over `1..=max_scan_len`, so
+    /// most scans are short and a few sweep the full window.
+    pub max_scan_len: usize,
 }
 
 impl Default for YcsbConfig {
@@ -239,6 +293,7 @@ impl Default for YcsbConfig {
             windows: 8,
             theta_shift: None,
             latency: false,
+            max_scan_len: 100,
         }
     }
 }
@@ -263,6 +318,10 @@ pub struct YcsbReport {
     pub updates: u64,
     /// Inserts issued.
     pub inserts: u64,
+    /// Range scans issued (mix E).
+    pub scans: u64,
+    /// Read-modify-writes issued (mix F).
+    pub rmws: u64,
     /// Reads that found no value (0 for mixes without deletes).
     pub not_found: u64,
     /// Inserts/updates refused by a full shard heap.
@@ -377,13 +436,19 @@ pub fn run_on<T: KvTarget>(store: &T, cfg: &YcsbConfig) -> YcsbReport {
     let shift_at = cfg
         .theta_shift
         .map(|s| (s.at_frac.clamp(0.0, 1.0) * cfg.ops_per_worker as f64) as usize);
-    let (read_f, update_f, _) = cfg.mix.fractions();
+    let m = cfg.mix.op_mix();
+    let (read_f, update_f, insert_f, scan_f) = (m.read, m.update, m.insert, m.scan);
+    // scan lengths are themselves zipfian (YCSB-E: mostly-short scans
+    // with an occasional window-wide sweep)
+    let scan_len = (scan_f > 0.0).then(|| Zipfian::new(cfg.max_scan_len.max(2), 0.99));
     let recorders: Mutex<Vec<ThreadRecorder>> = Mutex::new(Vec::new());
     let completed = AtomicU64::new(0);
     let next_key = AtomicU64::new(cfg.keys as u64);
     let reads = AtomicU64::new(0);
     let updates = AtomicU64::new(0);
     let inserts = AtomicU64::new(0);
+    let scans = AtomicU64::new(0);
+    let rmws = AtomicU64::new(0);
     let not_found = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
     let total_ops = (cfg.workers * cfg.ops_per_worker) as u64;
@@ -401,8 +466,10 @@ pub fn run_on<T: KvTarget>(store: &T, cfg: &YcsbConfig) -> YcsbReport {
             // shared read-only tables — not per-worker clones
             let zipf = &zipf;
             let zipf_shifted = &zipf_shifted;
+            let scan_len = &scan_len;
             let (completed, next_key) = (&completed, &next_key);
             let (reads, updates, inserts) = (&reads, &updates, &inserts);
+            let (scans, rmws) = (&scans, &rmws);
             let (not_found, rejected) = (&not_found, &rejected);
             let recorders = &recorders;
             scope.spawn(move || {
@@ -466,6 +533,41 @@ pub fn run_on<T: KvTarget>(store: &T, cfg: &YcsbConfig) -> YcsbReport {
                         .is_none()
                         {
                             not_found.fetch_add(1, Ordering::Relaxed);
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if r >= read_f + update_f + insert_f {
+                        if r < read_f + update_f + insert_f + scan_f {
+                            // range scan from the sampled key (mix E)
+                            scans.fetch_add(1, Ordering::Relaxed);
+                            let len = scan_len
+                                .as_ref()
+                                .map_or(1, |z| z.rank(rng.gen::<f64>()) + 1)
+                                as usize;
+                            let hi = key.saturating_add(len as u64 - 1);
+                            let got = timed(&mut rec, &clock, SpanId::KvScan, intended_ns, || {
+                                store.scan(key, hi, len)
+                            });
+                            if got.is_empty() {
+                                not_found.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else {
+                            // read-modify-write (mix F): reread the
+                            // current value, then write a successor
+                            // version; the composite is charged to the
+                            // put histogram as one sample
+                            rmws.fetch_add(1, Ordering::Relaxed);
+                            let v = value_bytes(key, i as u64 + 1, cfg.value_len);
+                            let ok = timed(&mut rec, &clock, SpanId::KvPut, intended_ns, || {
+                                if store.get(key).is_none() {
+                                    not_found.fetch_add(1, Ordering::Relaxed);
+                                }
+                                store.put(key, &v)
+                            });
+                            if !ok {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                         completed.fetch_add(1, Ordering::Relaxed);
                         continue;
@@ -536,6 +638,8 @@ pub fn run_on<T: KvTarget>(store: &T, cfg: &YcsbConfig) -> YcsbReport {
         reads: reads.into_inner(),
         updates: updates.into_inner(),
         inserts: inserts.into_inner(),
+        scans: scans.into_inner(),
+        rmws: rmws.into_inner(),
         not_found: not_found.into_inner(),
         rejected: rejected.into_inner(),
         elapsed_secs: elapsed,
@@ -587,6 +691,11 @@ mod tests {
         for m in [Mix::A, Mix::B, Mix::C, Mix::D] {
             let (r, u, i) = m.fractions();
             assert!((r + u + i - 1.0).abs() < 1e-12, "mix {}", m.label());
+        }
+        for m in [Mix::A, Mix::B, Mix::C, Mix::D, Mix::E, Mix::F] {
+            let om = m.op_mix();
+            let sum = om.read + om.update + om.insert + om.scan + om.rmw;
+            assert!((sum - 1.0).abs() < 1e-12, "op_mix {}", m.label());
         }
     }
 
@@ -729,6 +838,63 @@ mod tests {
         );
         assert!(rep.inserts > 0);
         assert_eq!(store.len(), 300 + rep.inserts as usize);
+    }
+
+    #[test]
+    fn mix_e_scans_with_zipfian_lengths() {
+        use nvcache_telemetry::HistId;
+        let store = small_store(2);
+        load(&store, 300, 16);
+        let rep = run(
+            &store,
+            &YcsbConfig {
+                keys: 300,
+                ops_per_worker: 400,
+                workers: 2,
+                mix: Mix::E,
+                value_len: 16,
+                seed: 11,
+                windows: 0,
+                latency: true,
+                max_scan_len: 50,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rep.ops, 800);
+        assert_eq!(rep.reads + rep.updates + rep.rmws, 0);
+        assert_eq!(rep.scans + rep.inserts, 800);
+        assert!(rep.scans > 700, "~95% scans, got {}", rep.scans);
+        assert!(rep.inserts > 0, "~5% inserts");
+        assert_eq!(
+            rep.not_found, 0,
+            "every scan starts at a loaded key: none comes back empty"
+        );
+        let snap = rep.latency.unwrap();
+        assert_eq!(snap.hist(HistId::KvScanNs).count, rep.scans);
+    }
+
+    #[test]
+    fn mix_f_read_modify_writes() {
+        let store = small_store(2);
+        load(&store, 300, 16);
+        let rep = run(
+            &store,
+            &YcsbConfig {
+                keys: 300,
+                ops_per_worker: 400,
+                workers: 2,
+                mix: Mix::F,
+                value_len: 16,
+                seed: 13,
+                windows: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rep.reads + rep.rmws, 800);
+        assert!(rep.rmws > 300 && rep.rmws < 500, "~half rmw: {}", rep.rmws);
+        assert_eq!(rep.not_found, 0, "rmw rereads always hit loaded keys");
+        assert_eq!(store.len(), 300, "rmw rewrites in place, no growth");
+        assert!(store.stats().stores > 0, "rmws persisted new versions");
     }
 
     #[test]

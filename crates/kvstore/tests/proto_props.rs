@@ -28,17 +28,23 @@ fn request_from(
     value: Vec<u8>,
     items: Vec<(u64, Vec<u8>)>,
 ) -> Request {
-    match kind % 5 {
+    match kind % 6 {
         0 => Request::Get { id, key },
         1 => Request::Put { id, key, value },
         2 => Request::PutMany { id, items },
         3 => Request::Delete { id, key },
+        4 => Request::Scan {
+            id,
+            lo: key,
+            hi: key.saturating_add(value.len() as u64),
+            limit: value.len() as u32 + 1,
+        },
         _ => Request::Ping { id },
     }
 }
 
-fn response_from(kind: u8, id: u64, value: Vec<u8>) -> Response {
-    match kind % 6 {
+fn response_from(kind: u8, id: u64, value: Vec<u8>, items: Vec<(u64, Vec<u8>)>) -> Response {
+    match kind % 7 {
         0 => Response::Value { id, value: None },
         1 => Response::Value {
             id,
@@ -47,6 +53,7 @@ fn response_from(kind: u8, id: u64, value: Vec<u8>) -> Response {
         2 => Response::Done { id, ok: true },
         3 => Response::Done { id, ok: false },
         4 => Response::Pong { id },
+        5 => Response::Entries { id, items },
         _ => Response::Rejected { id },
     }
 }
@@ -56,7 +63,7 @@ proptest! {
 
     #[test]
     fn request_encode_decode_is_identity(
-        kind in 0u8..5,
+        kind in 0u8..6,
         id in 0u64..u64::MAX,
         key in 0u64..u64::MAX,
         value in prop::collection::vec(0u8..=255, 0..600),
@@ -74,11 +81,15 @@ proptest! {
 
     #[test]
     fn response_encode_decode_is_identity(
-        kind in 0u8..6,
+        kind in 0u8..7,
         id in 0u64..u64::MAX,
         value in prop::collection::vec(0u8..=255, 0..600),
+        items in prop::collection::vec(
+            (0u64..1_000_000, prop::collection::vec(0u8..=255, 0..80)),
+            0..12,
+        ),
     ) {
-        let resp = response_from(kind, id, value);
+        let resp = response_from(kind, id, value, items);
         let mut d = FrameDecoder::new();
         d.extend_from(&encode_response(&resp));
         prop_assert_eq!(d.next_response().unwrap(), Some(resp));
@@ -88,7 +99,7 @@ proptest! {
     #[test]
     fn pipelined_streams_survive_arbitrary_read_boundaries(
         seeds in prop::collection::vec(
-            (0u8..5, 0u64..1_000, prop::collection::vec(0u8..=255, 0..64)),
+            (0u8..6, 0u64..1_000, prop::collection::vec(0u8..=255, 0..64)),
             1..16,
         ),
         chunk in 1usize..64,

@@ -125,6 +125,8 @@ pub enum HistId {
     KvPutNs,
     /// KV `put_many` group-commit latency in nanoseconds (span-timed).
     KvPutManyNs,
+    /// KV `scan` (range read) latency in nanoseconds (span-timed).
+    KvScanNs,
     /// FASE commit (`end_fase`) latency in nanoseconds (span-timed).
     FaseCommitNs,
     /// Flush-ring drain-pass latency in nanoseconds (span-timed).
@@ -134,7 +136,7 @@ pub enum HistId {
 }
 
 /// Number of histograms.
-pub const NUM_HISTS: usize = 11;
+pub const NUM_HISTS: usize = 12;
 
 /// All histograms, in shard order.
 pub const ALL_HISTS: [HistId; NUM_HISTS] = [
@@ -146,6 +148,7 @@ pub const ALL_HISTS: [HistId; NUM_HISTS] = [
     HistId::KvGetNs,
     HistId::KvPutNs,
     HistId::KvPutManyNs,
+    HistId::KvScanNs,
     HistId::FaseCommitNs,
     HistId::RingDrainNs,
     HistId::RecoveryNs,
@@ -163,6 +166,7 @@ impl HistId {
             HistId::KvGetNs => "kv_get_ns",
             HistId::KvPutNs => "kv_put_ns",
             HistId::KvPutManyNs => "kv_put_many_ns",
+            HistId::KvScanNs => "kv_scan_ns",
             HistId::FaseCommitNs => "fase_commit_ns",
             HistId::RingDrainNs => "ring_drain_ns",
             HistId::RecoveryNs => "recovery_ns",

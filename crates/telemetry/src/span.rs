@@ -16,6 +16,8 @@ pub enum SpanId {
     KvPut,
     /// One KV `put_many` group commit.
     KvPutMany,
+    /// One KV `scan` (range read).
+    KvScan,
     /// One FASE commit (`end_fase` of the outermost section).
     FaseCommit,
     /// One flush-ring drain pass.
@@ -32,6 +34,7 @@ impl SpanId {
             SpanId::KvGet => HistId::KvGetNs,
             SpanId::KvPut => HistId::KvPutNs,
             SpanId::KvPutMany => HistId::KvPutManyNs,
+            SpanId::KvScan => HistId::KvScanNs,
             SpanId::FaseCommit => HistId::FaseCommitNs,
             SpanId::RingDrain => HistId::RingDrainNs,
             SpanId::Recovery => HistId::RecoveryNs,
@@ -134,6 +137,7 @@ mod tests {
             SpanId::KvGet,
             SpanId::KvPut,
             SpanId::KvPutMany,
+            SpanId::KvScan,
             SpanId::FaseCommit,
             SpanId::RingDrain,
             SpanId::Recovery,

@@ -1,0 +1,1772 @@
+//! The recoverable copy-on-write B+-tree with MVCC snapshot reads.
+//!
+//! # Layout
+//!
+//! Fixed 256-byte pages carved from 4 KiB segments (PAlloc's largest
+//! size class), addressed by *physical page id* `phys` through a
+//! durable segment table. Every tree page opens with a 24-byte header
+//! of three little-endian words:
+//!
+//! ```text
+//! w0: tag (low 8 bits) | count (bits 8..32)
+//! w1: logical page id (value cells store LPID_NONE)
+//! w2: version of the commit that wrote the page
+//! ```
+//!
+//! Leaves hold up to 14 `(key, value-cell phys)` pairs; inner nodes up
+//! to 14 separator keys and 15 child *logical* ids; value cells hold
+//! up to 232 raw bytes (`count` = length). Values larger than one cell
+//! are rejected up front (`TreeError::ValueTooLarge`) — the KV engine
+//! layered above enforces the same cap at its boundary.
+//!
+//! # Logical indirection and MVCC
+//!
+//! Tree nodes reference children by **logical** page id; a volatile
+//! remap table (`lpid -> [(version, phys)]`, ascending) names which
+//! physical copy serves which commit version. Copy-on-write keeps the
+//! logical id stable, so rewriting a leaf touches *no* ancestor — only
+//! structural changes (splits) edit parents. A writer stages CoW
+//! copies under `version + 1` inside one failure-atomic section and
+//! publishes the new root + remap entries at commit; a reader calls
+//! [`Tree::pin`] to freeze a `(version, root)` pair and scans it
+//! without blocking the writer. Superseded copies are retired with the
+//! version that replaced them and recycled by [`Tree::reclaim`] once
+//! no pin can still reach them.
+//!
+//! # Recovery
+//!
+//! The durable facts are: the meta block (root lpid, version, page
+//! high-water mark, segment table, key count) published atomically per
+//! commit, and the page headers. [`Tree::attach`] rebuilds everything
+//! else: scan headers keeping the newest copy per lpid at or below the
+//! committed version, walk the tree from the durable root to mark
+//! reachable pages (validating tags, fanouts, key order, and depth),
+//! and put every unreachable page — orphaned CoW copies from the
+//! crashed transaction included — back on the free list. Structural
+//! damage surfaces as a typed [`TreeError`], never as undefined reads.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use nvcache_fase::{FaseStats, RecoveryError};
+use nvcache_pmem::{CrashMode, CrashPlan};
+
+use crate::pager::{FasePager, PageStore, TreeConfig, PAGE};
+
+/// Page-header bytes (three u64 words).
+const HDR: usize = 24;
+/// Page tag: B+-tree leaf.
+const TAG_LEAF: u64 = 1;
+/// Page tag: B+-tree inner node.
+const TAG_INNER: u64 = 2;
+/// Page tag: immutable value cell.
+const TAG_VAL: u64 = 3;
+/// Entries per leaf.
+const LEAF_CAP: usize = 14;
+/// Separator keys per inner node (children = keys + 1).
+const INNER_CAP: usize = 14;
+/// Byte offset of child slot 0 in an inner page.
+const CHILD0: usize = HDR + 8 * INNER_CAP;
+/// Header lpid used by value cells (they have no logical id).
+const LPID_NONE: u64 = u64::MAX;
+/// Largest value a single cell can hold.
+pub const MAX_VALUE: usize = PAGE - HDR;
+/// Hard bound on tree depth (fanout 8+ makes real trees far shallower).
+const MAX_DEPTH: u64 = 32;
+
+/// Meta-block magic ("TREESTOR").
+const MAGIC: u64 = 0x5452_4545_5354_4f52;
+/// Meta block size (one PAlloc max-class allocation).
+const META_BYTES: usize = 4096;
+/// Byte offset of the table-block directory inside the meta block.
+const SEG_TABLE: u64 = 64;
+/// Table-block directory capacity (meta block tail).
+const SEG_SLOTS: usize = (META_BYTES - SEG_TABLE as usize) / 8;
+/// Bytes per page segment (PAlloc's largest size class).
+const SEG_BYTES: usize = 4096;
+/// Pages per segment.
+const PAGES_PER_SEG: u64 = (SEG_BYTES / PAGE) as u64;
+/// Segment entries per table block. The segment table is two-level —
+/// the meta block indexes table blocks, each indexing segments — so
+/// the tree can address `SEG_SLOTS * SEG_TABLE_SLOTS` segments (~1 GiB
+/// of pages) despite the heap's 4 KiB allocation cap.
+const SEG_TABLE_SLOTS: usize = SEG_BYTES / 8;
+/// Hard segment-count cap.
+const MAX_SEGS: usize = SEG_SLOTS * SEG_TABLE_SLOTS;
+
+// ---- byte helpers -----------------------------------------------------
+
+#[inline]
+fn get64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
+#[inline]
+fn set64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn hdr_write(buf: &mut [u8; PAGE], tag: u64, count: u64, lpid: u64, version: u64) {
+    set64(buf, 0, tag | (count << 8));
+    set64(buf, 8, lpid);
+    set64(buf, 16, version);
+}
+
+#[inline]
+fn hdr_tag(buf: &[u8; PAGE]) -> u64 {
+    get64(buf, 0) & 0xff
+}
+
+#[inline]
+fn hdr_count(buf: &[u8; PAGE]) -> usize {
+    ((get64(buf, 0) >> 8) & 0xff_ffff) as usize
+}
+
+#[inline]
+fn hdr_lpid(buf: &[u8; PAGE]) -> u64 {
+    get64(buf, 8)
+}
+
+#[inline]
+fn hdr_version(buf: &[u8; PAGE]) -> u64 {
+    get64(buf, 16)
+}
+
+#[inline]
+fn set_count(buf: &mut [u8; PAGE], count: usize) {
+    let tag = get64(buf, 0) & 0xff;
+    set64(buf, 0, tag | ((count as u64) << 8));
+}
+
+#[inline]
+fn set_version(buf: &mut [u8; PAGE], version: u64) {
+    set64(buf, 16, version);
+}
+
+#[inline]
+fn leaf_key(buf: &[u8; PAGE], i: usize) -> u64 {
+    get64(buf, HDR + 16 * i)
+}
+
+#[inline]
+fn leaf_vptr(buf: &[u8; PAGE], i: usize) -> u64 {
+    get64(buf, HDR + 16 * i + 8)
+}
+
+#[inline]
+fn set_leaf_entry(buf: &mut [u8; PAGE], i: usize, key: u64, vptr: u64) {
+    set64(buf, HDR + 16 * i, key);
+    set64(buf, HDR + 16 * i + 8, vptr);
+}
+
+#[inline]
+fn inner_key(buf: &[u8; PAGE], i: usize) -> u64 {
+    get64(buf, HDR + 8 * i)
+}
+
+#[inline]
+fn set_inner_key(buf: &mut [u8; PAGE], i: usize, key: u64) {
+    set64(buf, HDR + 8 * i, key);
+}
+
+#[inline]
+fn inner_child(buf: &[u8; PAGE], i: usize) -> u64 {
+    get64(buf, CHILD0 + 8 * i)
+}
+
+#[inline]
+fn set_inner_child(buf: &mut [u8; PAGE], i: usize, child: u64) {
+    set64(buf, CHILD0 + 8 * i, child);
+}
+
+// ---- errors -----------------------------------------------------------
+
+/// Typed failures from the tree engine. Structural variants
+/// (`BadMeta` / `BadPage` / `UnresolvedChild`) only arise when
+/// attaching to a damaged image; live operations see `ValueTooLarge`
+/// and `Full`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The value exceeds one cell ([`MAX_VALUE`] bytes).
+    ValueTooLarge {
+        /// Offered length.
+        len: usize,
+        /// The cap.
+        max: usize,
+    },
+    /// The backing heap (or the segment table) is exhausted.
+    Full,
+    /// The durable meta block is missing or inconsistent.
+    BadMeta(&'static str),
+    /// A reachable page violates a structural invariant.
+    BadPage {
+        /// Physical page id of the offender.
+        phys: u64,
+        /// Which invariant broke.
+        why: &'static str,
+    },
+    /// A child logical id has no surviving physical copy.
+    UnresolvedChild {
+        /// The unresolvable logical page id.
+        lpid: u64,
+    },
+    /// The FASE layer itself could not recover the image.
+    Recovery(RecoveryError),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::ValueTooLarge { len, max } => {
+                write!(f, "value of {len} bytes exceeds the {max}-byte cell cap")
+            }
+            TreeError::Full => write!(f, "tree storage exhausted"),
+            TreeError::BadMeta(why) => write!(f, "bad tree meta block: {why}"),
+            TreeError::BadPage { phys, why } => write!(f, "bad tree page {phys}: {why}"),
+            TreeError::UnresolvedChild { lpid } => {
+                write!(f, "no surviving copy of logical page {lpid}")
+            }
+            TreeError::Recovery(e) => write!(f, "FASE recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl From<RecoveryError> for TreeError {
+    fn from(e: RecoveryError) -> Self {
+        TreeError::Recovery(e)
+    }
+}
+
+// ---- MVCC surface -----------------------------------------------------
+
+/// A pinned read view: `(version, root)` frozen at [`Tree::pin`] time.
+/// Reads through a snapshot never observe commits newer than its
+/// version; the pages it can reach are not recycled until the snapshot
+/// is passed back to [`Tree::unpin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    version: u64,
+    root_lpid: u64,
+}
+
+impl Snapshot {
+    /// The commit version this snapshot reads at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// A retired physical page: superseded (or orphaned) by the commit at
+/// `version`, freeable once no pin is older than that commit.
+#[derive(Debug, Clone, Copy)]
+struct Retired {
+    phys: u64,
+    /// The logical id whose remap entry must be pruned on free
+    /// (`LPID_NONE` for value cells).
+    lpid: u64,
+    version: u64,
+}
+
+/// Open-transaction state: everything staged under `version`, published
+/// to the volatile maps only when the FASE commits.
+struct Txn {
+    version: u64,
+    root_lpid: u64,
+    next_lpid: u64,
+    len: u64,
+    height: u64,
+    /// Index into `segs` where this transaction's new segments begin
+    /// (their table entries are written at commit).
+    first_new_seg: usize,
+    /// Index into `seg_tables` where this transaction's new table
+    /// blocks begin (their directory entries are written at commit).
+    first_new_table: usize,
+    /// lpid -> phys CoW'd this transaction (second write hits the same
+    /// physical copy in place).
+    dirty: HashMap<u64, u64>,
+    /// Pages this commit supersedes.
+    retired: Vec<(u64, u64)>,
+}
+
+/// Volatile state rebuilt from the durable image by
+/// [`rebuild_state`] — shared by [`Tree::attach`] and post-crash
+/// reloads.
+struct Volatile {
+    meta_off: u64,
+    version: u64,
+    root_lpid: u64,
+    next_lpid: u64,
+    bump: u64,
+    nsegs: u64,
+    len: u64,
+    height: u64,
+    seg_tables: Vec<u64>,
+    segs: Vec<u64>,
+    free: Vec<u64>,
+    remap: HashMap<u64, Vec<(u64, u64)>>,
+}
+
+// ---- the tree ---------------------------------------------------------
+
+/// The copy-on-write B+-tree engine over any [`PageStore`] backend
+/// (production: [`FasePager`]; tests: `MemPager`).
+///
+/// Writes are transactional: [`Tree::begin`] opens a failure-atomic
+/// section, [`Tree::put`] / [`Tree::delete`] stage CoW pages under the
+/// next version, [`Tree::commit`] makes the whole group durable and
+/// visible at once. Reads ([`Tree::get`], [`Tree::scan`],
+/// [`Tree::cursor`]) take `&self` and may target a pinned
+/// [`Snapshot`].
+pub struct Tree<S: PageStore = FasePager> {
+    store: S,
+    meta_off: u64,
+    /// Latest committed version.
+    version: u64,
+    root_lpid: u64,
+    next_lpid: u64,
+    /// Physical-page high-water mark.
+    bump: u64,
+    nsegs: u64,
+    len: u64,
+    height: u64,
+    /// Table-block offsets (mirrors the durable directory).
+    seg_tables: Vec<u64>,
+    /// Segment base offsets (mirrors the durable two-level table).
+    segs: Vec<u64>,
+    /// Recycled physical pages.
+    free: Vec<u64>,
+    /// Superseded pages awaiting a safe reclaim horizon.
+    retired: Vec<Retired>,
+    /// lpid -> [(version, phys)] ascending by version.
+    remap: HashMap<u64, Vec<(u64, u64)>>,
+    /// version -> pin count.
+    pins: BTreeMap<u64, u64>,
+    txn: Option<Txn>,
+}
+
+impl<S: PageStore> Tree<S> {
+    /// Format a fresh tree (empty root leaf, version 1) onto `store`
+    /// and attach to it.
+    pub fn format(mut store: S) -> Result<Tree<S>, TreeError> {
+        let meta_off = store.alloc_block(META_BYTES).ok_or(TreeError::Full)?;
+        let table0 = store.alloc_block(SEG_BYTES).ok_or(TreeError::Full)?;
+        let seg0 = store.alloc_block(SEG_BYTES).ok_or(TreeError::Full)?;
+        let mut leaf = [0u8; PAGE];
+        hdr_write(&mut leaf, TAG_LEAF, 0, 0, 1);
+        let mut head = [0u8; SEG_TABLE as usize];
+        set64(&mut head, 0, MAGIC);
+        set64(&mut head, 8, 1); // version
+        set64(&mut head, 16, 0); // root lpid
+        set64(&mut head, 24, 1); // next lpid
+        set64(&mut head, 32, 1); // bump: page 0 = root leaf
+        set64(&mut head, 40, 1); // nsegs
+        set64(&mut head, 48, 0); // len
+        set64(&mut head, 56, 1); // height
+        store.begin();
+        store.write(meta_off, &head);
+        store.write(meta_off + SEG_TABLE, &table0.to_le_bytes());
+        store.write(table0, &seg0.to_le_bytes());
+        store.write(seg0, &leaf);
+        store.commit();
+        store.set_root(meta_off);
+        Tree::attach(store)
+    }
+
+    /// Attach to a store already holding a formatted tree, rebuilding
+    /// all volatile state (remap table, free list) from the durable
+    /// root. Orphaned CoW pages from an interrupted transaction are
+    /// swept onto the free list; structural damage is reported as a
+    /// typed error.
+    pub fn attach(store: S) -> Result<Tree<S>, TreeError> {
+        let v = rebuild_state(&store)?;
+        Ok(Tree {
+            store,
+            meta_off: v.meta_off,
+            version: v.version,
+            root_lpid: v.root_lpid,
+            next_lpid: v.next_lpid,
+            bump: v.bump,
+            nsegs: v.nsegs,
+            len: v.len,
+            height: v.height,
+            seg_tables: v.seg_tables,
+            segs: v.segs,
+            free: v.free,
+            retired: Vec::new(),
+            remap: v.remap,
+            pins: BTreeMap::new(),
+            txn: None,
+        })
+    }
+
+    /// Re-derive volatile state from the durable image (after a crash
+    /// or rollback). Discards pins and the retired list.
+    fn reload(&mut self) -> Result<(), TreeError> {
+        let v = rebuild_state(&self.store)?;
+        self.meta_off = v.meta_off;
+        self.version = v.version;
+        self.root_lpid = v.root_lpid;
+        self.next_lpid = v.next_lpid;
+        self.bump = v.bump;
+        self.nsegs = v.nsegs;
+        self.len = v.len;
+        self.height = v.height;
+        self.seg_tables = v.seg_tables;
+        self.segs = v.segs;
+        self.free = v.free;
+        self.remap = v.remap;
+        self.retired.clear();
+        self.pins.clear();
+        Ok(())
+    }
+
+    // ---- accessors ----
+
+    /// Number of live keys (sees the open transaction's staged count).
+    pub fn len(&self) -> u64 {
+        self.txn.as_ref().map_or(self.len, |t| t.len)
+    }
+
+    /// True when no keys are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Latest committed version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Current tree height (1 = root is a leaf).
+    pub fn height(&self) -> u64 {
+        self.txn.as_ref().map_or(self.height, |t| t.height)
+    }
+
+    /// Physical pages ever allocated (high-water mark).
+    pub fn pages_allocated(&self) -> u64 {
+        self.bump
+    }
+
+    /// Recycled pages ready for reuse.
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Superseded pages still held back by pins.
+    pub fn retired_pages(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// Oldest pinned version, if any snapshot is live.
+    pub fn min_pinned(&self) -> Option<u64> {
+        self.pins.keys().next().copied()
+    }
+
+    /// The backing page store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The backing page store, mutably.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    // ---- MVCC ----
+
+    /// Pin the latest committed version for stable reads. Must be
+    /// released with [`Tree::unpin`] or the pages it reaches are never
+    /// recycled.
+    pub fn pin(&mut self) -> Snapshot {
+        *self.pins.entry(self.version).or_insert(0) += 1;
+        Snapshot {
+            version: self.version,
+            root_lpid: self.root_lpid,
+        }
+    }
+
+    /// Release a pin taken with [`Tree::pin`] and reclaim anything it
+    /// was holding back.
+    pub fn unpin(&mut self, snap: Snapshot) {
+        if let Some(c) = self.pins.get_mut(&snap.version) {
+            *c -= 1;
+            if *c == 0 {
+                self.pins.remove(&snap.version);
+            }
+        }
+        self.reclaim();
+    }
+
+    /// Free retired pages no live pin can still reach; returns how many
+    /// were recycled. Runs automatically on commit and unpin.
+    pub fn reclaim(&mut self) -> usize {
+        let floor = self.min_pinned().unwrap_or(self.version);
+        let mut freed = 0;
+        let mut kept = Vec::new();
+        for r in std::mem::take(&mut self.retired) {
+            if r.version <= floor {
+                if r.lpid != LPID_NONE {
+                    if let Some(vs) = self.remap.get_mut(&r.lpid) {
+                        vs.retain(|&(_, p)| p != r.phys);
+                    }
+                }
+                self.free.push(r.phys);
+                freed += 1;
+            } else {
+                kept.push(r);
+            }
+        }
+        self.retired = kept;
+        freed
+    }
+
+    // ---- transactions ----
+
+    /// Open a write transaction (one failure-atomic section). All
+    /// staged updates become durable and visible together at
+    /// [`Tree::commit`]; a crash before that rolls every one back.
+    ///
+    /// # Panics
+    /// When a transaction is already open (they do not nest).
+    pub fn begin(&mut self) {
+        assert!(self.txn.is_none(), "treestore transactions do not nest");
+        self.store.begin();
+        self.txn = Some(Txn {
+            version: self.version + 1,
+            root_lpid: self.root_lpid,
+            next_lpid: self.next_lpid,
+            len: self.len,
+            height: self.height,
+            first_new_seg: self.segs.len(),
+            first_new_table: self.seg_tables.len(),
+            dirty: HashMap::new(),
+            retired: Vec::new(),
+        });
+    }
+
+    /// Commit the open transaction: publish the new meta block inside
+    /// the section, close it (durable), then expose the staged remap
+    /// entries to readers and retire superseded pages.
+    ///
+    /// # Panics
+    /// When no transaction is open.
+    pub fn commit(&mut self) {
+        let txn = self.txn.take().expect("commit without begin");
+        let mut head = [0u8; SEG_TABLE as usize];
+        set64(&mut head, 0, MAGIC);
+        set64(&mut head, 8, txn.version);
+        set64(&mut head, 16, txn.root_lpid);
+        set64(&mut head, 24, txn.next_lpid);
+        set64(&mut head, 32, self.bump);
+        set64(&mut head, 40, self.nsegs);
+        set64(&mut head, 48, txn.len);
+        set64(&mut head, 56, txn.height);
+        self.store.write(self.meta_off, &head);
+        for i in txn.first_new_table..self.seg_tables.len() {
+            let off = self.meta_off + SEG_TABLE + 8 * i as u64;
+            self.store.write(off, &self.seg_tables[i].to_le_bytes());
+        }
+        for i in txn.first_new_seg..self.segs.len() {
+            let off = self.seg_tables[i / SEG_TABLE_SLOTS] + 8 * (i % SEG_TABLE_SLOTS) as u64;
+            self.store.write(off, &self.segs[i].to_le_bytes());
+        }
+        self.store.commit();
+        for (lpid, phys) in txn.dirty {
+            // versions only grow, so pushing keeps the list ascending
+            self.remap
+                .entry(lpid)
+                .or_default()
+                .push((txn.version, phys));
+        }
+        for (phys, lpid) in txn.retired {
+            self.retired.push(Retired {
+                phys,
+                lpid,
+                version: txn.version,
+            });
+        }
+        self.version = txn.version;
+        self.root_lpid = txn.root_lpid;
+        self.next_lpid = txn.next_lpid;
+        self.len = txn.len;
+        self.height = txn.height;
+        self.reclaim();
+    }
+
+    /// True while a write transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Insert or overwrite `key`. Capacity and value-size checks run
+    /// before any page is touched, so a failed put stages nothing.
+    ///
+    /// # Panics
+    /// When no transaction is open.
+    pub fn put(&mut self, key: u64, val: &[u8]) -> Result<(), TreeError> {
+        assert!(self.txn.is_some(), "put outside a transaction");
+        if val.len() > MAX_VALUE {
+            return Err(TreeError::ValueTooLarge {
+                len: val.len(),
+                max: MAX_VALUE,
+            });
+        }
+        // worst case: value cell + leaf CoW/split + one CoW and one
+        // split per inner level + a new root
+        let needed = 2 * self.height() + 4;
+        self.ensure_capacity(needed)?;
+        let tv = self.txn.as_ref().unwrap().version;
+
+        // descend, remembering the inner path for possible splits
+        let mut path: Vec<(u64, usize)> = Vec::new();
+        let mut lpid = self.txn.as_ref().unwrap().root_lpid;
+        let leaf = loop {
+            let b = self.load_page(lpid, tv)?;
+            if hdr_tag(&b) == TAG_LEAF {
+                break b;
+            }
+            let n = hdr_count(&b);
+            let mut idx = 0;
+            while idx < n && key >= inner_key(&b, idx) {
+                idx += 1;
+            }
+            path.push((lpid, idx));
+            lpid = inner_child(&b, idx);
+        };
+
+        let n = hdr_count(&leaf);
+        let mut pos = 0;
+        while pos < n && leaf_key(&leaf, pos) < key {
+            pos += 1;
+        }
+        let exists = pos < n && leaf_key(&leaf, pos) == key;
+
+        let vptr = self.write_value_cell(val)?;
+        let (lphys, mut lbuf) = self.cow(lpid)?;
+
+        if exists {
+            let old = leaf_vptr(&lbuf, pos);
+            set_leaf_entry(&mut lbuf, pos, key, vptr);
+            self.write_page(lphys, &lbuf);
+            self.txn.as_mut().unwrap().retired.push((old, LPID_NONE));
+            return Ok(());
+        }
+
+        if n < LEAF_CAP {
+            let mut i = n;
+            while i > pos {
+                let (k, v) = (leaf_key(&lbuf, i - 1), leaf_vptr(&lbuf, i - 1));
+                set_leaf_entry(&mut lbuf, i, k, v);
+                i -= 1;
+            }
+            set_leaf_entry(&mut lbuf, pos, key, vptr);
+            set_count(&mut lbuf, n + 1);
+            self.write_page(lphys, &lbuf);
+            self.txn.as_mut().unwrap().len += 1;
+            return Ok(());
+        }
+
+        // leaf split: 15 entries -> left 8 (keeps the lpid) + right 7
+        let mut ks = [0u64; LEAF_CAP + 1];
+        let mut vs = [0u64; LEAF_CAP + 1];
+        for (i, (k, v)) in ks.iter_mut().zip(vs.iter_mut()).enumerate() {
+            if i < pos {
+                *k = leaf_key(&lbuf, i);
+                *v = leaf_vptr(&lbuf, i);
+            } else if i == pos {
+                *k = key;
+                *v = vptr;
+            } else {
+                *k = leaf_key(&lbuf, i - 1);
+                *v = leaf_vptr(&lbuf, i - 1);
+            }
+        }
+        const LEFT: usize = LEAF_CAP / 2 + 1;
+        for i in 0..LEFT {
+            set_leaf_entry(&mut lbuf, i, ks[i], vs[i]);
+        }
+        set_count(&mut lbuf, LEFT);
+        self.write_page(lphys, &lbuf);
+
+        let rlpid = self.alloc_lpid();
+        let rphys = self.alloc_page().ok_or(TreeError::Full)?;
+        let mut rbuf = [0u8; PAGE];
+        hdr_write(&mut rbuf, TAG_LEAF, (LEAF_CAP + 1 - LEFT) as u64, rlpid, tv);
+        for i in LEFT..LEAF_CAP + 1 {
+            set_leaf_entry(&mut rbuf, i - LEFT, ks[i], vs[i]);
+        }
+        self.write_page(rphys, &rbuf);
+        self.txn.as_mut().unwrap().dirty.insert(rlpid, rphys);
+        self.txn.as_mut().unwrap().len += 1;
+
+        self.insert_into_parents(path, ks[LEFT], rlpid)
+    }
+
+    /// Remove `key`; returns whether it was present. Deletes are lazy:
+    /// leaves are never merged, so an emptied leaf simply stays.
+    ///
+    /// # Panics
+    /// When no transaction is open.
+    pub fn delete(&mut self, key: u64) -> Result<bool, TreeError> {
+        assert!(self.txn.is_some(), "delete outside a transaction");
+        self.ensure_capacity(2)?;
+        let tv = self.txn.as_ref().unwrap().version;
+        let mut lpid = self.txn.as_ref().unwrap().root_lpid;
+        let leaf = loop {
+            let b = self.load_page(lpid, tv)?;
+            if hdr_tag(&b) == TAG_LEAF {
+                break b;
+            }
+            let n = hdr_count(&b);
+            let mut idx = 0;
+            while idx < n && key >= inner_key(&b, idx) {
+                idx += 1;
+            }
+            lpid = inner_child(&b, idx);
+        };
+        let n = hdr_count(&leaf);
+        let mut pos = 0;
+        while pos < n && leaf_key(&leaf, pos) < key {
+            pos += 1;
+        }
+        if pos == n || leaf_key(&leaf, pos) != key {
+            return Ok(false);
+        }
+        let (lphys, mut lbuf) = self.cow(lpid)?;
+        let old = leaf_vptr(&lbuf, pos);
+        for i in pos..n - 1 {
+            let (k, v) = (leaf_key(&lbuf, i + 1), leaf_vptr(&lbuf, i + 1));
+            set_leaf_entry(&mut lbuf, i, k, v);
+        }
+        set_count(&mut lbuf, n - 1);
+        self.write_page(lphys, &lbuf);
+        let t = self.txn.as_mut().unwrap();
+        t.retired.push((old, LPID_NONE));
+        t.len -= 1;
+        Ok(true)
+    }
+
+    // ---- reads ----
+
+    /// Look up `key` in the current view (the open transaction's
+    /// staged state if one is live, else the latest commit).
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        let (v, root) = self.view();
+        self.lookup(v, root, key)
+    }
+
+    /// Look up `key` as of a pinned snapshot.
+    pub fn get_at(&self, snap: &Snapshot, key: u64) -> Option<Vec<u8>> {
+        self.lookup(snap.version, snap.root_lpid, key)
+    }
+
+    /// Range scan over `lo..=hi`, at most `limit` entries, in key
+    /// order. `snap = None` reads the current view. The result is a
+    /// consistent prefix of the range at that version; resume a
+    /// truncated scan from `last_key + 1`.
+    pub fn scan(
+        &self,
+        snap: Option<&Snapshot>,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Vec<(u64, Vec<u8>)> {
+        let (v, root) = snap.map_or_else(|| self.view(), |s| (s.version, s.root_lpid));
+        let mut out = Vec::new();
+        if limit == 0 || lo > hi {
+            return out;
+        }
+        let mut next = lo;
+        loop {
+            let (leaf, ub) = self.find_leaf(v, root, next);
+            let n = hdr_count(&leaf);
+            for i in 0..n {
+                let k = leaf_key(&leaf, i);
+                if k < next {
+                    continue;
+                }
+                if k > hi {
+                    return out;
+                }
+                out.push((k, self.read_value(leaf_vptr(&leaf, i))));
+                if out.len() == limit {
+                    return out;
+                }
+            }
+            match ub {
+                // separators are strictly above every key to their
+                // left, so `next` advances every iteration
+                Some(u) if u <= hi => next = u,
+                _ => return out,
+            }
+        }
+    }
+
+    /// Streaming cursor over `lo..=hi` (no limit; stop consuming when
+    /// done). Holds `&self`, so pair it with a pinned snapshot when a
+    /// writer may run between pulls.
+    pub fn cursor(&self, snap: Option<&Snapshot>, lo: u64, hi: u64) -> Cursor<'_, S> {
+        let (version, root) = snap.map_or_else(|| self.view(), |s| (s.version, s.root_lpid));
+        Cursor {
+            tree: self,
+            version,
+            root,
+            next: lo,
+            hi,
+            done: lo > hi,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// `(version, root)` of the current read view.
+    fn view(&self) -> (u64, u64) {
+        self.txn
+            .as_ref()
+            .map_or((self.version, self.root_lpid), |t| (t.version, t.root_lpid))
+    }
+
+    fn lookup(&self, version: u64, root: u64, key: u64) -> Option<Vec<u8>> {
+        let (leaf, _) = self.find_leaf(version, root, key);
+        let n = hdr_count(&leaf);
+        for i in 0..n {
+            let k = leaf_key(&leaf, i);
+            if k == key {
+                return Some(self.read_value(leaf_vptr(&leaf, i)));
+            }
+            if k > key {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Descend to the leaf covering `key` at `version`, returning the
+    /// leaf image and the smallest separator above the leaf's range
+    /// (the next leaf's first possible key).
+    fn find_leaf(&self, version: u64, root: u64, key: u64) -> ([u8; PAGE], Option<u64>) {
+        let mut lpid = root;
+        let mut ub = None;
+        let mut depth = 0u64;
+        loop {
+            let b = self
+                .load_page(lpid, version)
+                .unwrap_or_else(|e| panic!("treestore read at v{version}: {e}"));
+            depth += 1;
+            assert!(depth <= MAX_DEPTH, "treestore descent depth exceeded");
+            if hdr_tag(&b) == TAG_LEAF {
+                return (b, ub);
+            }
+            let n = hdr_count(&b);
+            let mut idx = 0;
+            while idx < n && key >= inner_key(&b, idx) {
+                idx += 1;
+            }
+            if idx < n {
+                ub = Some(inner_key(&b, idx));
+            }
+            lpid = inner_child(&b, idx);
+        }
+    }
+
+    fn read_value(&self, vptr: u64) -> Vec<u8> {
+        let mut b = [0u8; PAGE];
+        self.store.read_page(self.page_off(vptr), &mut b);
+        debug_assert_eq!(hdr_tag(&b), TAG_VAL, "leaf points at a non-value page");
+        let n = hdr_count(&b).min(MAX_VALUE);
+        b[HDR..HDR + n].to_vec()
+    }
+
+    // ---- internals ----
+
+    /// Latest physical copy of `lpid` visible at `version` (the open
+    /// transaction's staged copy when reading at its version).
+    fn resolve(&self, lpid: u64, version: u64) -> Option<u64> {
+        if let Some(t) = &self.txn {
+            if version >= t.version {
+                if let Some(&p) = t.dirty.get(&lpid) {
+                    return Some(p);
+                }
+            }
+        }
+        let vs = self.remap.get(&lpid)?;
+        vs.iter()
+            .rev()
+            .find(|&&(w, _)| w <= version)
+            .map(|&(_, p)| p)
+    }
+
+    fn load_page(&self, lpid: u64, version: u64) -> Result<[u8; PAGE], TreeError> {
+        let phys = self
+            .resolve(lpid, version)
+            .ok_or(TreeError::UnresolvedChild { lpid })?;
+        let mut b = [0u8; PAGE];
+        self.store.read_page(self.page_off(phys), &mut b);
+        Ok(b)
+    }
+
+    fn page_off(&self, phys: u64) -> u64 {
+        self.segs[(phys / PAGES_PER_SEG) as usize] + (phys % PAGES_PER_SEG) * PAGE as u64
+    }
+
+    fn write_page(&mut self, phys: u64, buf: &[u8; PAGE]) {
+        let off = self.page_off(phys);
+        self.store.write(off, buf);
+    }
+
+    fn alloc_lpid(&mut self) -> u64 {
+        let t = self.txn.as_mut().unwrap();
+        let l = t.next_lpid;
+        t.next_lpid += 1;
+        l
+    }
+
+    /// Carve one more segment (and, every `SEG_TABLE_SLOTS` segments, a
+    /// fresh table block) from the heap. The heap blocks are durable
+    /// immediately; their table entries land with the commit. A crash
+    /// in between leaks the blocks — bounded per crashed transaction.
+    fn grow_segment(&mut self) -> Option<()> {
+        if self.segs.len() >= MAX_SEGS {
+            return None;
+        }
+        if self.segs.len() == self.seg_tables.len() * SEG_TABLE_SLOTS {
+            let tb = self.store.alloc_block(SEG_BYTES)?;
+            self.seg_tables.push(tb);
+        }
+        let seg = self.store.alloc_block(SEG_BYTES)?;
+        self.segs.push(seg);
+        self.nsegs += 1;
+        Some(())
+    }
+
+    /// Take a physical page from the free list, the bump cursor, or a
+    /// freshly carved segment.
+    fn alloc_page(&mut self) -> Option<u64> {
+        if let Some(p) = self.free.pop() {
+            return Some(p);
+        }
+        if self.bump >= self.nsegs * PAGES_PER_SEG {
+            self.grow_segment()?;
+        }
+        let p = self.bump;
+        self.bump += 1;
+        Some(p)
+    }
+
+    /// Grow segments until at least `needed` pages are allocatable, so
+    /// a multi-page operation cannot fail with half its pages staged.
+    fn ensure_capacity(&mut self, needed: u64) -> Result<(), TreeError> {
+        loop {
+            let slack = self.nsegs * PAGES_PER_SEG - self.bump;
+            if self.free.len() as u64 + slack >= needed {
+                return Ok(());
+            }
+            self.grow_segment().ok_or(TreeError::Full)?;
+        }
+    }
+
+    /// Copy-on-write `lpid` for the open transaction: returns the
+    /// staged physical copy and its current image. The first touch per
+    /// transaction allocates and retires the committed copy; later
+    /// touches edit the staged copy in place.
+    fn cow(&mut self, lpid: u64) -> Result<(u64, [u8; PAGE]), TreeError> {
+        let tv = self.txn.as_ref().unwrap().version;
+        if let Some(&p) = self.txn.as_ref().unwrap().dirty.get(&lpid) {
+            let mut b = [0u8; PAGE];
+            self.store.read_page(self.page_off(p), &mut b);
+            return Ok((p, b));
+        }
+        let old = self
+            .resolve(lpid, tv)
+            .ok_or(TreeError::UnresolvedChild { lpid })?;
+        let mut b = [0u8; PAGE];
+        self.store.read_page(self.page_off(old), &mut b);
+        set_version(&mut b, tv);
+        let p = self.alloc_page().ok_or(TreeError::Full)?;
+        let t = self.txn.as_mut().unwrap();
+        t.dirty.insert(lpid, p);
+        t.retired.push((old, lpid));
+        Ok((p, b))
+    }
+
+    fn write_value_cell(&mut self, val: &[u8]) -> Result<u64, TreeError> {
+        let tv = self.txn.as_ref().unwrap().version;
+        let phys = self.alloc_page().ok_or(TreeError::Full)?;
+        let mut b = [0u8; PAGE];
+        hdr_write(&mut b, TAG_VAL, val.len() as u64, LPID_NONE, tv);
+        b[HDR..HDR + val.len()].copy_from_slice(val);
+        let off = self.page_off(phys);
+        self.store.write(off, &b[..HDR + val.len()]);
+        Ok(phys)
+    }
+
+    /// Propagate a split: insert `(sep, right)` into the parents along
+    /// `path`, splitting them in turn as needed; an empty path grows a
+    /// new root.
+    fn insert_into_parents(
+        &mut self,
+        mut path: Vec<(u64, usize)>,
+        mut sep: u64,
+        mut right: u64,
+    ) -> Result<(), TreeError> {
+        let tv = self.txn.as_ref().unwrap().version;
+        loop {
+            let Some((plpid, idx)) = path.pop() else {
+                let nl = self.alloc_lpid();
+                let np = self.alloc_page().ok_or(TreeError::Full)?;
+                let old_root = self.txn.as_ref().unwrap().root_lpid;
+                let mut b = [0u8; PAGE];
+                hdr_write(&mut b, TAG_INNER, 1, nl, tv);
+                set_inner_key(&mut b, 0, sep);
+                set_inner_child(&mut b, 0, old_root);
+                set_inner_child(&mut b, 1, right);
+                self.write_page(np, &b);
+                let t = self.txn.as_mut().unwrap();
+                t.dirty.insert(nl, np);
+                t.root_lpid = nl;
+                t.height += 1;
+                return Ok(());
+            };
+            let (pphys, mut pbuf) = self.cow(plpid)?;
+            let n = hdr_count(&pbuf);
+            if n < INNER_CAP {
+                let mut i = n;
+                while i > idx {
+                    let k = inner_key(&pbuf, i - 1);
+                    set_inner_key(&mut pbuf, i, k);
+                    i -= 1;
+                }
+                let mut i = n + 1;
+                while i > idx + 1 {
+                    let c = inner_child(&pbuf, i - 1);
+                    set_inner_child(&mut pbuf, i, c);
+                    i -= 1;
+                }
+                set_inner_key(&mut pbuf, idx, sep);
+                set_inner_child(&mut pbuf, idx + 1, right);
+                set_count(&mut pbuf, n + 1);
+                self.write_page(pphys, &pbuf);
+                return Ok(());
+            }
+            // inner split: 15 keys / 16 children -> left 7/8, middle
+            // key promoted, right 7/8
+            let mut ks = [0u64; INNER_CAP + 1];
+            let mut cs = [0u64; INNER_CAP + 2];
+            for (i, k) in ks.iter_mut().enumerate() {
+                *k = if i < idx {
+                    inner_key(&pbuf, i)
+                } else if i == idx {
+                    sep
+                } else {
+                    inner_key(&pbuf, i - 1)
+                };
+            }
+            for (i, c) in cs.iter_mut().enumerate() {
+                *c = if i <= idx {
+                    inner_child(&pbuf, i)
+                } else if i == idx + 1 {
+                    right
+                } else {
+                    inner_child(&pbuf, i - 1)
+                };
+            }
+            const LEFTK: usize = INNER_CAP / 2;
+            for (i, &k) in ks.iter().enumerate().take(LEFTK) {
+                set_inner_key(&mut pbuf, i, k);
+            }
+            for (i, &c) in cs.iter().enumerate().take(LEFTK + 1) {
+                set_inner_child(&mut pbuf, i, c);
+            }
+            set_count(&mut pbuf, LEFTK);
+            self.write_page(pphys, &pbuf);
+
+            let rlpid = self.alloc_lpid();
+            let rphys = self.alloc_page().ok_or(TreeError::Full)?;
+            let mut rbuf = [0u8; PAGE];
+            hdr_write(&mut rbuf, TAG_INNER, (INNER_CAP - LEFTK) as u64, rlpid, tv);
+            for (i, &k) in ks.iter().enumerate().take(INNER_CAP + 1).skip(LEFTK + 1) {
+                set_inner_key(&mut rbuf, i - (LEFTK + 1), k);
+            }
+            for (i, &c) in cs.iter().enumerate().take(INNER_CAP + 2).skip(LEFTK + 1) {
+                set_inner_child(&mut rbuf, i - (LEFTK + 1), c);
+            }
+            self.write_page(rphys, &rbuf);
+            self.txn.as_mut().unwrap().dirty.insert(rlpid, rphys);
+
+            sep = ks[LEFTK];
+            right = rlpid;
+        }
+    }
+}
+
+// ---- production-backend conveniences ----------------------------------
+
+impl Tree<FasePager> {
+    /// Format a fresh tree over a new FASE runtime.
+    pub fn create(cfg: &TreeConfig) -> Result<Tree<FasePager>, TreeError> {
+        Tree::format(FasePager::new(cfg))
+    }
+
+    /// Re-attach to a crash image: FASE recovery (undo-log rollback)
+    /// first, then the structural rebuild.
+    pub fn reopen_from_image(
+        image: Vec<u8>,
+        cfg: &TreeConfig,
+    ) -> Result<Tree<FasePager>, TreeError> {
+        let pager = FasePager::reopen_from_image(image, cfg)?;
+        Tree::attach(pager)
+    }
+
+    /// In-process power failure + full recovery. An open transaction is
+    /// rolled back; live pins are invalidated.
+    pub fn crash_and_recover(&mut self, mode: &CrashMode) -> Result<(), TreeError> {
+        self.txn = None;
+        self.store.crash_and_recover(mode);
+        self.reload()
+    }
+
+    /// Roll back a transaction that panicked mid-flight and re-derive
+    /// volatile state. Returns whether anything was rolled back.
+    pub fn heal_after_panic(&mut self) -> Result<bool, TreeError> {
+        self.txn = None;
+        let healed = self.store.heal_after_panic();
+        self.reload()?;
+        Ok(healed)
+    }
+
+    /// Drain buffered flush obligations (clean shutdown).
+    pub fn sync(&mut self) {
+        self.store.sync();
+    }
+
+    /// Micro-step counter for crash-point injection.
+    pub fn steps(&self) -> u64 {
+        self.store.steps()
+    }
+
+    /// Arm a crash plan on the backing region.
+    pub fn arm_crash(&mut self, plan: CrashPlan) {
+        self.store.arm_crash(plan);
+    }
+
+    /// Take the image captured by a tripped crash plan.
+    pub fn take_crash_image(&mut self) -> Option<Vec<u8>> {
+        self.store.take_crash_image()
+    }
+
+    /// Persistence counters since creation.
+    pub fn stats(&self) -> FaseStats {
+        self.store.stats()
+    }
+
+    /// Persistence counters since the last take.
+    pub fn take_stats(&mut self) -> FaseStats {
+        self.store.take_stats()
+    }
+}
+
+// ---- cursor -----------------------------------------------------------
+
+/// Iterator over a key range in ascending order, produced by
+/// [`Tree::cursor`]. Re-seeks leaf by leaf, so it needs no sibling
+/// pointers and never blocks writers when reading a pinned snapshot.
+pub struct Cursor<'a, S: PageStore> {
+    tree: &'a Tree<S>,
+    version: u64,
+    root: u64,
+    next: u64,
+    hi: u64,
+    done: bool,
+    buf: VecDeque<(u64, Vec<u8>)>,
+}
+
+impl<S: PageStore> Iterator for Cursor<'_, S> {
+    type Item = (u64, Vec<u8>);
+
+    fn next(&mut self) -> Option<(u64, Vec<u8>)> {
+        loop {
+            if let Some(e) = self.buf.pop_front() {
+                return Some(e);
+            }
+            if self.done {
+                return None;
+            }
+            let (leaf, ub) = self.tree.find_leaf(self.version, self.root, self.next);
+            let n = hdr_count(&leaf);
+            for i in 0..n {
+                let k = leaf_key(&leaf, i);
+                if k < self.next {
+                    continue;
+                }
+                if k > self.hi {
+                    self.done = true;
+                    break;
+                }
+                self.buf
+                    .push_back((k, self.tree.read_value(leaf_vptr(&leaf, i))));
+            }
+            if !self.done {
+                match ub {
+                    Some(u) if u <= self.hi => self.next = u,
+                    _ => self.done = true,
+                }
+            }
+        }
+    }
+}
+
+// ---- recovery ---------------------------------------------------------
+
+/// Rebuild the volatile view from the durable image: read and validate
+/// the meta block, scan page headers keeping the newest committed copy
+/// per logical id, walk the tree from the durable root (validating
+/// structure as it goes), and free every unreachable page.
+fn rebuild_state<S: PageStore>(store: &S) -> Result<Volatile, TreeError> {
+    let meta_off = store.root();
+    if meta_off == 0 {
+        return Err(TreeError::BadMeta("no durable root pointer"));
+    }
+    let mut head = [0u8; SEG_TABLE as usize];
+    store.read_bytes(meta_off, &mut head);
+    if get64(&head, 0) != MAGIC {
+        return Err(TreeError::BadMeta("bad magic"));
+    }
+    let version = get64(&head, 8);
+    let root_lpid = get64(&head, 16);
+    let next_lpid = get64(&head, 24);
+    let bump = get64(&head, 32);
+    let nsegs = get64(&head, 40);
+    let len = get64(&head, 48);
+    let height = get64(&head, 56);
+    if nsegs as usize > MAX_SEGS
+        || nsegs == 0
+        || bump > nsegs * PAGES_PER_SEG
+        || root_lpid >= next_lpid
+        || height == 0
+        || height > MAX_DEPTH
+    {
+        return Err(TreeError::BadMeta("inconsistent header fields"));
+    }
+    let ntables = (nsegs as usize).div_ceil(SEG_TABLE_SLOTS);
+    let mut seg_tables = Vec::with_capacity(ntables);
+    for t in 0..ntables {
+        let tb = store.read_u64_at(meta_off + SEG_TABLE + 8 * t as u64);
+        if tb == 0 {
+            return Err(TreeError::BadMeta("missing segment table block"));
+        }
+        seg_tables.push(tb);
+    }
+    let mut segs = Vec::with_capacity(nsegs as usize);
+    for i in 0..nsegs as usize {
+        segs.push(
+            store.read_u64_at(seg_tables[i / SEG_TABLE_SLOTS] + 8 * (i % SEG_TABLE_SLOTS) as u64),
+        );
+    }
+    let page_off =
+        |phys: u64| segs[(phys / PAGES_PER_SEG) as usize] + (phys % PAGES_PER_SEG) * PAGE as u64;
+
+    // newest committed copy per logical id: stale copies of an lpid
+    // always carry an older version than its live one (pages are only
+    // retired when a newer commit supersedes them), so max-wins is safe
+    let mut winners: HashMap<u64, (u64, u64)> = HashMap::new();
+    for phys in 0..bump {
+        let mut b = [0u8; PAGE];
+        store.read_page(page_off(phys), &mut b);
+        let tag = hdr_tag(&b);
+        if tag != TAG_LEAF && tag != TAG_INNER {
+            continue;
+        }
+        let l = hdr_lpid(&b);
+        let v = hdr_version(&b);
+        if l >= next_lpid || v > version {
+            continue;
+        }
+        match winners.entry(l) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if v > e.get().0 {
+                    e.insert((v, phys));
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((v, phys));
+            }
+        }
+    }
+
+    // reachability walk from the durable root, validating structure
+    let mut reach = vec![false; bump as usize];
+    let mut remap: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut counted = 0u64;
+    let mut stack = vec![(root_lpid, 1u64)];
+    while let Some((l, depth)) = stack.pop() {
+        let &(v, phys) = winners
+            .get(&l)
+            .ok_or(TreeError::UnresolvedChild { lpid: l })?;
+        if !visited.insert(l) {
+            return Err(TreeError::BadPage {
+                phys,
+                why: "logical page reached twice (cycle)",
+            });
+        }
+        reach[phys as usize] = true;
+        remap.insert(l, vec![(v, phys)]);
+        let mut b = [0u8; PAGE];
+        store.read_page(page_off(phys), &mut b);
+        let n = hdr_count(&b);
+        if hdr_tag(&b) == TAG_LEAF {
+            if n > LEAF_CAP {
+                return Err(TreeError::BadPage {
+                    phys,
+                    why: "leaf fanout overflow",
+                });
+            }
+            if depth != height {
+                return Err(TreeError::BadPage {
+                    phys,
+                    why: "leaf at wrong depth",
+                });
+            }
+            let mut prev: Option<u64> = None;
+            for i in 0..n {
+                let k = leaf_key(&b, i);
+                if prev.is_some_and(|p| p >= k) {
+                    return Err(TreeError::BadPage {
+                        phys,
+                        why: "leaf keys out of order",
+                    });
+                }
+                prev = Some(k);
+                let vp = leaf_vptr(&b, i);
+                if vp >= bump {
+                    return Err(TreeError::BadPage {
+                        phys,
+                        why: "value pointer out of range",
+                    });
+                }
+                let mut vb = [0u8; PAGE];
+                store.read_page(page_off(vp), &mut vb);
+                if hdr_tag(&vb) != TAG_VAL || hdr_count(&vb) > MAX_VALUE {
+                    return Err(TreeError::BadPage {
+                        phys: vp,
+                        why: "leaf points at a non-value page",
+                    });
+                }
+                reach[vp as usize] = true;
+                counted += 1;
+            }
+        } else {
+            if n == 0 || n > INNER_CAP {
+                return Err(TreeError::BadPage {
+                    phys,
+                    why: "inner fanout out of range",
+                });
+            }
+            if depth >= height {
+                return Err(TreeError::BadPage {
+                    phys,
+                    why: "inner node at leaf depth",
+                });
+            }
+            for i in 0..=n {
+                let c = inner_child(&b, i);
+                if c >= next_lpid {
+                    return Err(TreeError::BadPage {
+                        phys,
+                        why: "child lpid out of range",
+                    });
+                }
+                stack.push((c, depth + 1));
+            }
+        }
+    }
+    if counted != len {
+        return Err(TreeError::BadMeta("key count does not match the tree"));
+    }
+    let free = (0..bump).filter(|&p| !reach[p as usize]).collect();
+    Ok(Volatile {
+        meta_off,
+        version,
+        root_lpid,
+        next_lpid,
+        bump,
+        nsegs,
+        len,
+        height,
+        seg_tables,
+        segs,
+        free,
+        remap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn mem_tree() -> Tree<MemPager> {
+        Tree::format(MemPager::new()).unwrap()
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty_tree_reads() {
+        let t = mem_tree();
+        assert!(t.is_empty());
+        assert_eq!(t.get(42), None);
+        assert!(t.scan(None, 0, u64::MAX, 100).is_empty());
+    }
+
+    #[test]
+    fn put_get_overwrite_delete() {
+        let mut t = mem_tree();
+        t.begin();
+        t.put(7, b"seven").unwrap();
+        t.put(3, b"three").unwrap();
+        t.commit();
+        assert_eq!(t.get(7).as_deref(), Some(&b"seven"[..]));
+        assert_eq!(t.get(3).as_deref(), Some(&b"three"[..]));
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.len(), 2);
+
+        t.begin();
+        t.put(7, b"SEVEN").unwrap();
+        assert!(t.delete(3).unwrap());
+        assert!(!t.delete(99).unwrap());
+        t.commit();
+        assert_eq!(t.get(7).as_deref(), Some(&b"SEVEN"[..]));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn read_your_writes_inside_txn() {
+        let mut t = mem_tree();
+        t.begin();
+        t.put(1, b"a").unwrap();
+        assert_eq!(t.get(1).as_deref(), Some(&b"a"[..]));
+        t.put(1, b"b").unwrap();
+        assert_eq!(t.get(1).as_deref(), Some(&b"b"[..]));
+        assert!(t.delete(1).unwrap());
+        assert_eq!(t.get(1), None);
+        t.commit();
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn thousand_keys_split_scan_sorted() {
+        let mut t = mem_tree();
+        let mut s = 0xfeedu64;
+        let mut keys = Vec::new();
+        t.begin();
+        for _ in 0..1000 {
+            let k = splitmix(&mut s);
+            keys.push(k);
+            t.put(k, &k.to_le_bytes()).unwrap();
+        }
+        t.commit();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(t.len(), keys.len() as u64);
+        assert!(t.height() > 2, "1000 keys must split past two levels");
+        let got = t.scan(None, 0, u64::MAX, usize::MAX);
+        assert_eq!(got.len(), keys.len());
+        for (i, (k, v)) in got.iter().enumerate() {
+            assert_eq!(*k, keys[i], "scan order at {i}");
+            assert_eq!(v.as_slice(), &k.to_le_bytes());
+        }
+        for &k in keys.iter().step_by(37) {
+            assert_eq!(t.get(k).as_deref(), Some(&k.to_le_bytes()[..]));
+        }
+    }
+
+    #[test]
+    fn growth_spills_into_second_table_block() {
+        // SEG_TABLE_SLOTS segments = 8192 pages; 20k keys need more,
+        // so the segment table must go two-level
+        let mut t = mem_tree();
+        let mut s = 0x1234u64;
+        for chunk in 0..20 {
+            t.begin();
+            for i in 0..1000u64 {
+                let k = chunk * 1000 + i;
+                let _ = splitmix(&mut s);
+                t.put(k, &s.to_le_bytes()).unwrap();
+            }
+            t.commit();
+        }
+        assert_eq!(t.len(), 20_000);
+        assert!(
+            t.pages_allocated() > (SEG_TABLE_SLOTS as u64) * PAGES_PER_SEG,
+            "test must outgrow one table block: bump={}",
+            t.pages_allocated()
+        );
+        // volatile state from a cold rebuild matches
+        let t2 = Tree::attach(t.store).unwrap();
+        assert_eq!(t2.len(), 20_000);
+        assert!(t2.get(19_999).is_some());
+        assert_eq!(t2.scan(None, 500, 520, usize::MAX).len(), 21);
+    }
+
+    #[test]
+    fn scan_bounds_and_limit() {
+        let mut t = mem_tree();
+        t.begin();
+        for k in (0..100u64).map(|i| i * 10) {
+            t.put(k, &[k as u8]).unwrap();
+        }
+        t.commit();
+        let mid = t.scan(None, 205, 405, usize::MAX);
+        let mid_keys: Vec<u64> = mid.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            mid_keys,
+            vec![
+                210, 220, 230, 240, 250, 260, 270, 280, 290, 300, 310, 320, 330, 340, 350, 360,
+                370, 380, 390, 400
+            ]
+        );
+        let capped = t.scan(None, 0, u64::MAX, 7);
+        assert_eq!(capped.len(), 7);
+        assert_eq!(capped[6].0, 60);
+        // inclusive bounds on exact keys
+        let exact = t.scan(None, 300, 320, usize::MAX);
+        assert_eq!(
+            exact.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![300, 310, 320]
+        );
+        assert!(t.scan(None, 401, 409, usize::MAX).is_empty());
+        assert!(t.scan(None, 10, 5, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn cursor_streams_in_order() {
+        let mut t = mem_tree();
+        t.begin();
+        for k in 0..300u64 {
+            t.put(k * 3, &[1]).unwrap();
+        }
+        t.commit();
+        let got: Vec<u64> = t.cursor(None, 30, 600).map(|(k, _)| k).collect();
+        let want: Vec<u64> = (10..=200u64).map(|i| i * 3).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn snapshot_reads_are_frozen() {
+        let mut t = mem_tree();
+        t.begin();
+        for k in 0..50u64 {
+            t.put(k, b"old").unwrap();
+        }
+        t.commit();
+        let snap = t.pin();
+
+        t.begin();
+        for k in 25..75u64 {
+            t.put(k, b"new").unwrap();
+        }
+        t.delete(0).unwrap();
+        t.commit();
+
+        // snapshot: original 50 keys, original values
+        assert_eq!(t.get_at(&snap, 0).as_deref(), Some(&b"old"[..]));
+        assert_eq!(t.get_at(&snap, 30).as_deref(), Some(&b"old"[..]));
+        assert_eq!(t.get_at(&snap, 60), None);
+        let s = t.scan(Some(&snap), 0, u64::MAX, usize::MAX);
+        assert_eq!(s.len(), 50);
+        assert!(s.iter().all(|(_, v)| v == b"old"));
+
+        // current view: the new state
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(30).as_deref(), Some(&b"new"[..]));
+        assert_eq!(t.get(60).as_deref(), Some(&b"new"[..]));
+        assert_eq!(t.len(), 74);
+
+        // pinned pages were withheld from reclaim, then recycled
+        let held = t.retired_pages();
+        assert!(held > 0, "snapshot must hold retired pages");
+        t.unpin(snap);
+        assert_eq!(t.retired_pages(), 0);
+        assert!(t.free_pages() >= held);
+    }
+
+    #[test]
+    fn overwrites_recycle_pages() {
+        let mut t = mem_tree();
+        for round in 0..200u64 {
+            t.begin();
+            t.put(1, &round.to_le_bytes()).unwrap();
+            t.commit();
+        }
+        // one live leaf + one live value cell; everything else recycled
+        assert!(
+            t.pages_allocated() < 16,
+            "200 overwrites leaked pages: bump={}",
+            t.pages_allocated()
+        );
+    }
+
+    #[test]
+    fn value_size_edges() {
+        let mut t = mem_tree();
+        t.begin();
+        let big = vec![0x5a; MAX_VALUE];
+        t.put(1, &big).unwrap();
+        t.put(2, b"").unwrap();
+        let err = t.put(3, &vec![0; MAX_VALUE + 1]).unwrap_err();
+        assert!(matches!(err, TreeError::ValueTooLarge { .. }));
+        t.commit();
+        assert_eq!(t.get(1).unwrap(), big);
+        assert_eq!(t.get(2).unwrap(), Vec::<u8>::new());
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn attach_rebuilds_from_store() {
+        let mut t = mem_tree();
+        t.begin();
+        for k in 0..500u64 {
+            t.put(k, &k.to_le_bytes()).unwrap();
+        }
+        t.commit();
+        t.begin();
+        for k in 0..100u64 {
+            t.delete(k * 5).unwrap();
+        }
+        t.commit();
+        let (len, version) = (t.len(), t.version());
+        let want = t.scan(None, 0, u64::MAX, usize::MAX);
+
+        let t2 = Tree::attach(t.store).unwrap();
+        assert_eq!(t2.len(), len);
+        assert_eq!(t2.version(), version);
+        assert_eq!(t2.scan(None, 0, u64::MAX, usize::MAX), want);
+    }
+
+    #[test]
+    fn attach_rejects_unformatted_store() {
+        let err = Tree::attach(MemPager::new()).map(|_| ()).unwrap_err();
+        assert!(matches!(err, TreeError::BadMeta(_)));
+    }
+
+    // ---- FasePager-backed ----
+
+    fn small_cfg() -> TreeConfig {
+        TreeConfig {
+            data_len: 1 << 19,
+            log_len: 1 << 18,
+            ..TreeConfig::default()
+        }
+    }
+
+    #[test]
+    fn fase_tree_survives_power_failure() {
+        let mut t = Tree::create(&small_cfg()).unwrap();
+        t.begin();
+        for k in 0..200u64 {
+            t.put(k, &k.to_be_bytes()).unwrap();
+        }
+        t.commit();
+        let want = t.scan(None, 0, u64::MAX, usize::MAX);
+        t.crash_and_recover(&CrashMode::StrictDurableOnly).unwrap();
+        assert_eq!(t.scan(None, 0, u64::MAX, usize::MAX), want);
+        assert_eq!(t.len(), 200);
+        // still writable after recovery
+        t.begin();
+        t.put(1000, b"post").unwrap();
+        t.commit();
+        assert_eq!(t.get(1000).as_deref(), Some(&b"post"[..]));
+    }
+
+    #[test]
+    fn fase_tree_rolls_back_open_txn_on_crash() {
+        let mut t = Tree::create(&small_cfg()).unwrap();
+        t.begin();
+        for k in 0..50u64 {
+            t.put(k, b"committed").unwrap();
+        }
+        t.commit();
+        t.begin();
+        for k in 25..60u64 {
+            t.put(k, b"doomed").unwrap();
+        }
+        t.delete(0).unwrap();
+        let high_water = t.pages_allocated();
+        // crash with the transaction open: all of it must vanish
+        t.crash_and_recover(&CrashMode::random(0.5, 0.5, 0x51ab))
+            .unwrap();
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.get(0).as_deref(), Some(&b"committed"[..]));
+        assert_eq!(t.get(30).as_deref(), Some(&b"committed"[..]));
+        assert_eq!(t.get(55), None);
+        // the crashed transaction's pages (free-list reuse below the
+        // durable bump, cursor slack above it) are all reusable, so
+        // replaying the same writes must not grow the arena
+        t.begin();
+        for k in 25..60u64 {
+            t.put(k, b"retry").unwrap();
+        }
+        t.commit();
+        assert!(
+            t.pages_allocated() <= high_water,
+            "orphans were not recycled: {} > {high_water}",
+            t.pages_allocated()
+        );
+    }
+
+    #[test]
+    fn fase_tree_crash_image_reopens() {
+        let cfg = small_cfg();
+        let mut t = Tree::create(&cfg).unwrap();
+        t.begin();
+        for k in 0..100u64 {
+            t.put(k, &[k as u8; 32]).unwrap();
+        }
+        t.commit();
+        // arm a crash inside the next transaction's commit window
+        let at = t.steps() + 40;
+        t.arm_crash(CrashPlan {
+            at_step: at,
+            mode: CrashMode::StrictDurableOnly,
+        });
+        t.begin();
+        for k in 100..140u64 {
+            t.put(k, &[k as u8; 32]).unwrap();
+        }
+        t.commit();
+        let image = t.take_crash_image().expect("plan must trip");
+        let t2 = Tree::reopen_from_image(image, &cfg).unwrap();
+        // committed prefix: either the first 100 keys alone or all 140
+        let n = t2.len();
+        assert!(n == 100 || n == 140, "len {n} is not a committed state");
+        assert_eq!(t2.get(5).as_deref(), Some(&[5u8; 32][..]));
+        let scanned = t2.scan(None, 0, u64::MAX, usize::MAX);
+        assert_eq!(scanned.len() as u64, n);
+    }
+
+    #[test]
+    fn heal_after_panic_discards_open_txn() {
+        let mut t = Tree::create(&small_cfg()).unwrap();
+        t.begin();
+        t.put(1, b"keep").unwrap();
+        t.commit();
+        t.begin();
+        t.put(2, b"drop").unwrap();
+        assert!(t.heal_after_panic().unwrap());
+        assert_eq!(t.get(1).as_deref(), Some(&b"keep"[..]));
+        assert_eq!(t.get(2), None);
+        assert!(!t.in_txn());
+    }
+}

@@ -1,443 +1,192 @@
-//! A copy-on-write B+-tree over the FASE runtime.
+//! The MDB B+-tree workload surface, now a compatibility shim over the
+//! first-class [`nvcache_treestore::Tree`] engine.
 //!
-//! Same structural behaviour the paper relies on in MDB/LMDB:
-//! writers copy the root-to-leaf path into fresh pages and swing the
-//! root pointer at commit; readers traverse from a root offset they
-//! captured at snapshot time and never lock. A write transaction is one
-//! FASE, so commit is failure-atomic. Old pages are kept until
-//! explicitly reclaimed (LMDB keeps them for its reader table; we expose
-//! [`PBTree::reclaim`] as the simplified equivalent and leak instead of
-//! dangling when snapshots may exist).
+//! Earlier revisions carried a self-contained toy CoW tree here; the
+//! engine it prototyped graduated into `crates/treestore` (logical-page
+//! remap table, MVCC snapshot pins, free-list reclamation, typed
+//! recovery). This module keeps the `u64 -> u64` API the Mtest workload
+//! and the registry were written against, mapping it onto the engine:
 //!
-//! Page layout (256 bytes = 4 cache lines, `CAP = 13` keys):
-//!
-//! ```text
-//! 0   tag     u64   (0 = leaf, 1 = internal)
-//! 8   nkeys   u64
-//! 16  keys    [u64; 13]
-//! 120 vals    [u64; 13]   (leaf)  |  children [u64; 14] (internal)
-//! ```
+//! * `begin_txn`/`commit` — one engine transaction = one FASE, same as
+//!   before.
+//! * `snapshot()` — pins an engine [`Snapshot`] and hands back a compact
+//!   token; `get_at(token, …)` reads through the pin. The toy returned a
+//!   raw root offset with no lifetime tracking; tokens let the engine
+//!   reclaim CoW garbage the moment [`PBTree::release`] drops the pin.
+//! * `reclaim()` — delegates to the engine's pin-bounded page
+//!   reclamation (the toy freed unconditionally and relied on callers
+//!   to never hold snapshots across it).
+//! * per-op meta bookkeeping — the toy updated LMDB-style meta-page
+//!   fields (txnid, dirty count) on every insert; the shim keeps those
+//!   stores so the workload's cache-locality profile (the Table 3 /
+//!   knee pins in `mtest`) still reflects MDB's meta-page traffic.
 
 use nvcache_core::PolicyKind;
 use nvcache_fase::FaseRuntime;
-use std::collections::HashSet;
+use nvcache_treestore::{FasePager, Snapshot, Tree, TreeConfig};
+use std::collections::HashMap;
 
-/// Keys per page.
-pub const CAP: usize = 13;
-const PAGE: usize = 256;
-
-const TAG_LEAF: u64 = 0;
-const TAG_INNER: u64 = 1;
-
-#[inline]
-fn k_off(page: usize, i: usize) -> usize {
-    page + 16 + i * 8
-}
-#[inline]
-fn v_off(page: usize, i: usize) -> usize {
-    page + 120 + i * 8
-}
-
-/// Result of a recursive COW insert.
-enum Ins {
-    /// Subtree replaced by a new page.
-    New(usize),
-    /// Subtree split: left page, separator, right page.
-    Split(usize, u64, usize),
-}
-
-/// The copy-on-write persistent B+-tree.
-#[derive(Debug)]
+/// The persistent B+-tree the MDB workload drives (engine shim).
 pub struct PBTree {
-    rt: FaseRuntime,
-    /// Offset of the meta block (root pointer, txnid, dirty count —
-    /// one cache line, like LMDB's meta page fields).
+    t: Tree<FasePager>,
+    /// LMDB-style meta fields (txnid, dirty count) updated per op —
+    /// heap offset inside the engine's region.
     meta: usize,
     /// Monotone transaction-op counter (LMDB meta-page txnid).
     txid: u64,
-    /// Pages superseded by COW since the last reclaim.
-    retired: Vec<u64>,
-    /// Pages created or shadow-copied by the open transaction: these are
-    /// modified *in place* on subsequent touches (LMDB dirties a page at
-    /// most once per transaction — the source of MDB's write locality).
-    dirty_txn: HashSet<usize>,
-    in_txn: bool,
+    /// Live snapshot tokens -> engine pins.
+    snaps: HashMap<u64, Snapshot>,
+    next_snap: u64,
 }
 
 impl PBTree {
     /// New tree with room for roughly `capacity` key/value pairs.
     pub fn new(capacity: usize, policy: &PolicyKind) -> Self {
-        // COW burns ~tree-depth pages per operation; without reclaim a
-        // bulk load of `capacity` keys in one transaction allocates up
-        // to capacity × depth pages
-        let pages = capacity.max(16) * 4 + 64;
-        let data = 4096 + pages * PAGE;
-        // a single transaction may COW-log every touched page: size the
-        // log for bulk loads of the whole capacity in one FASE
-        let log = (capacity * 2400).max(1 << 20);
-        let mut rt = FaseRuntime::with_heap(data, log, policy);
-        let meta = rt.alloc(64).expect("meta block") as usize;
-        rt.set_root(meta as u64); // discoverable after reopen
-        let mut t = PBTree {
-            rt,
+        let cap = capacity.max(64);
+        // each live key needs one 256 B value cell plus its share of a
+        // leaf; double it for CoW churn between reclaims and add fixed
+        // slack for meta/table blocks and allocator overhead
+        let data = (cap * 2 + 1024) * 256;
+        // a single transaction may undo-log every page it touches:
+        // size the log for bulk loads of the whole capacity in one FASE
+        let log = (cap * 1200).max(1 << 20);
+        let cfg = TreeConfig {
+            data_len: data,
+            log_len: log,
+            policy: policy.clone(),
+            pipelined: false,
+        };
+        let mut t = Tree::create(&cfg).expect("format tree heap");
+        let meta = t.store_mut().runtime_mut().alloc(64).expect("meta block") as usize;
+        PBTree {
+            t,
             meta,
             txid: 0,
-            retired: Vec::new(),
-            dirty_txn: HashSet::new(),
-            in_txn: false,
-        };
-        let root = t.alloc_page();
-        let m = t.meta;
-        t.rt.fase(|rt| {
-            rt.store_u64(root, TAG_LEAF);
-            rt.store_u64(root + 8, 0);
-            rt.store_u64(m, root as u64);
-        });
-        t
-    }
-
-    fn alloc_page(&mut self) -> usize {
-        self.rt.alloc(PAGE).expect("btree heap exhausted") as usize
+            snaps: HashMap::new(),
+            next_snap: 1,
+        }
     }
 
     /// Enable trace recording on the runtime.
     pub fn record_trace(&mut self) {
-        self.rt.record_trace();
+        self.t.store_mut().runtime_mut().record_trace();
     }
 
     /// The underlying runtime.
     pub fn runtime_mut(&mut self) -> &mut FaseRuntime {
-        &mut self.rt
+        self.t.store_mut().runtime_mut()
     }
 
-    /// Current root page offset — capture it for a snapshot read.
+    /// The underlying engine.
+    pub fn tree(&self) -> &Tree<FasePager> {
+        &self.t
+    }
+
+    /// Pin the current version for stable reads; returns a token for
+    /// [`PBTree::get_at`]. Release it with [`PBTree::release`] so the
+    /// engine can recycle the pages it holds.
     pub fn snapshot(&mut self) -> u64 {
-        self.rt.load_u64(self.meta)
+        let snap = self.t.pin();
+        let tok = self.next_snap;
+        self.next_snap += 1;
+        self.snaps.insert(tok, snap);
+        tok
+    }
+
+    /// Drop a snapshot token (unpins the engine version).
+    pub fn release(&mut self, token: u64) {
+        if let Some(s) = self.snaps.remove(&token) {
+            self.t.unpin(s);
+        }
     }
 
     // ---- transactions ----------------------------------------------------
 
     /// Open a write transaction (one FASE).
     pub fn begin_txn(&mut self) {
-        assert!(!self.in_txn, "write transactions do not nest");
-        self.in_txn = true;
-        self.dirty_txn.clear();
-        self.rt.begin_fase();
+        self.t.begin();
     }
 
     /// Commit the open write transaction.
     pub fn commit(&mut self) {
-        assert!(self.in_txn);
-        self.rt.end_fase();
-        self.in_txn = false;
+        self.t.commit();
     }
 
-    /// Free pages retired by COW. Only safe when no snapshot captured
-    /// before the retiring transactions is still in use.
+    /// Recycle pages retired by CoW that no live snapshot can reach.
     pub fn reclaim(&mut self) {
-        for p in std::mem::take(&mut self.retired) {
-            self.rt.free(p, PAGE);
-        }
+        self.t.reclaim();
     }
 
     // ---- reads -------------------------------------------------------------
 
     /// Look up `key` in the current tree.
     pub fn get(&mut self, key: u64) -> Option<u64> {
-        let root = self.snapshot();
-        self.get_at(root, key)
+        self.t.get(key).map(decode)
     }
 
-    /// Look up `key` in the tree rooted at snapshot `root`.
-    pub fn get_at(&mut self, root: u64, key: u64) -> Option<u64> {
-        let mut page = root as usize;
-        loop {
-            let tag = self.rt.load_u64(page);
-            let n = self.rt.load_u64(page + 8) as usize;
-            self.rt.work(n as u32 + 2); // key comparisons
-                                        // find first key > search key
-            let mut i = 0;
-            while i < n && self.rt.load_u64(k_off(page, i)) <= key {
-                i += 1;
-            }
-            if tag == TAG_LEAF {
-                if i > 0 && self.rt.load_u64(k_off(page, i - 1)) == key {
-                    return Some(self.rt.load_u64(v_off(page, i - 1)));
-                }
-                return None;
-            }
-            page = self.rt.load_u64(v_off(page, i)) as usize;
-        }
+    /// Look up `key` as of snapshot `token`.
+    pub fn get_at(&mut self, token: u64, key: u64) -> Option<u64> {
+        let snap = *self.snaps.get(&token).expect("unknown snapshot token");
+        self.t.get_at(&snap, key).map(decode)
     }
 
     /// In-order key/value pairs (test helper / traversal workload).
     pub fn scan(&mut self) -> Vec<(u64, u64)> {
-        let root = self.snapshot() as usize;
-        let mut out = Vec::new();
-        self.scan_rec(root, &mut out);
-        out
-    }
-
-    fn scan_rec(&mut self, page: usize, out: &mut Vec<(u64, u64)>) {
-        let tag = self.rt.load_u64(page);
-        let n = self.rt.load_u64(page + 8) as usize;
-        if tag == TAG_LEAF {
-            for i in 0..n {
-                out.push((
-                    self.rt.load_u64(k_off(page, i)),
-                    self.rt.load_u64(v_off(page, i)),
-                ));
-            }
-        } else {
-            for i in 0..=n {
-                let c = self.rt.load_u64(v_off(page, i)) as usize;
-                self.scan_rec(c, out);
-            }
-        }
+        self.t
+            .scan(None, 0, u64::MAX, usize::MAX)
+            .into_iter()
+            .map(|(k, v)| (k, decode(v)))
+            .collect()
     }
 
     /// Number of keys.
     pub fn len(&mut self) -> usize {
-        self.scan().len()
+        self.t.len() as usize
     }
 
     /// True iff no keys.
     pub fn is_empty(&mut self) -> bool {
-        self.len() == 0
+        self.t.is_empty()
     }
 
     // ---- writes ------------------------------------------------------------
 
     /// Insert or update `key → value` inside the open transaction.
+    ///
+    /// # Panics
+    /// When no transaction is open.
     pub fn insert(&mut self, key: u64, value: u64) {
-        assert!(self.in_txn, "insert requires an open transaction");
-        let root = self.snapshot() as usize;
-        match self.insert_rec(root, key, value) {
-            Ins::New(new_root) => {
-                let m = self.meta;
-                self.rt.store_u64(m, new_root as u64)
-            }
-            Ins::Split(l, sep, r) => {
-                let nr = self.alloc_page();
-                self.dirty_txn.insert(nr);
-                self.rt.store_u64(nr, TAG_INNER);
-                self.rt.store_u64(nr + 8, 1);
-                self.rt.store_u64(k_off(nr, 0), sep);
-                self.rt.store_u64(v_off(nr, 0), l as u64);
-                self.rt.store_u64(v_off(nr, 1), r as u64);
-                let m = self.meta;
-                self.rt.store_u64(m, nr as u64);
-            }
-        }
-        // meta bookkeeping (txnid, dirty count) shares the root line,
-        // like LMDB's meta page fields
-        self.txid += 1;
-        let m = self.meta;
-        self.rt.store_u64(m + 8, self.txid);
-        self.rt.store_u64(m + 16, self.dirty_txn.len() as u64);
-        self.rt.work(4);
+        assert!(self.t.in_txn(), "insert requires an open transaction");
+        self.t
+            .put(key, &value.to_le_bytes())
+            .expect("btree heap exhausted");
+        self.touch_meta();
     }
 
     /// Remove `key` inside the open transaction (lazy: no rebalancing,
     /// like LMDB's page-level deletes before compaction).
     pub fn delete(&mut self, key: u64) {
-        assert!(self.in_txn);
-        let root = self.snapshot() as usize;
-        if let Some(new_root) = self.delete_rec(root, key) {
-            let m = self.meta;
-            self.rt.store_u64(m, new_root as u64);
-        }
-        self.rt.work(2);
+        assert!(self.t.in_txn(), "delete requires an open transaction");
+        self.t.delete(key).expect("btree heap exhausted");
+        self.touch_meta();
     }
 
-    /// Copy `src` into a fresh page, returning its offset.
-    fn cow_page(&mut self, src: usize) -> usize {
-        let dst = self.alloc_page();
-        let tag = self.rt.load_u64(src);
-        let n = self.rt.load_u64(src + 8) as usize;
-        self.rt.store_u64(dst, tag);
-        self.rt.store_u64(dst + 8, n as u64);
-        for i in 0..n {
-            let k = self.rt.load_u64(k_off(src, i));
-            self.rt.store_u64(k_off(dst, i), k);
-        }
-        let vals = if tag == TAG_LEAF { n } else { n + 1 };
-        for i in 0..vals {
-            let v = self.rt.load_u64(v_off(src, i));
-            self.rt.store_u64(v_off(dst, i), v);
-        }
-        dst
+    /// LMDB-style meta-page bookkeeping: txnid + dirty-page count share
+    /// one hot cache line, stored on every operation.
+    fn touch_meta(&mut self) {
+        self.txid += 1;
+        let (m, txid) = (self.meta, self.txid);
+        let rt = self.t.store_mut().runtime_mut();
+        rt.store_u64(m, txid);
+        rt.store_u64(m + 8, txid & 0x3f);
+        rt.work(4);
     }
+}
 
-    /// The writable version of `page` for this transaction: pages
-    /// already dirtied are modified in place; clean pages are
-    /// shadow-copied once (and the original retired).
-    fn shadow(&mut self, page: usize) -> usize {
-        if self.dirty_txn.contains(&page) {
-            return page;
-        }
-        let dst = self.cow_page(page);
-        self.retired.push(page as u64);
-        self.dirty_txn.insert(dst);
-        dst
-    }
-
-    fn insert_rec(&mut self, page: usize, key: u64, value: u64) -> Ins {
-        let tag = self.rt.load_u64(page);
-        let n = self.rt.load_u64(page + 8) as usize;
-        self.rt.work(n as u32 + 4); // descent comparisons + bookkeeping
-        if tag == TAG_LEAF {
-            // copy with key inserted/updated
-            let mut keys = Vec::with_capacity(n + 1);
-            let mut vals = Vec::with_capacity(n + 1);
-            let mut placed = false;
-            for i in 0..n {
-                let k = self.rt.load_u64(k_off(page, i));
-                let v = self.rt.load_u64(v_off(page, i));
-                if k == key {
-                    keys.push(key);
-                    vals.push(value);
-                    placed = true;
-                } else {
-                    if !placed && k > key {
-                        keys.push(key);
-                        vals.push(value);
-                        placed = true;
-                    }
-                    keys.push(k);
-                    vals.push(v);
-                }
-            }
-            if !placed {
-                keys.push(key);
-                vals.push(value);
-            }
-            if keys.len() <= CAP {
-                let dst = self.shadow(page);
-                self.fill_leaf(dst, &keys, &vals);
-                Ins::New(dst)
-            } else {
-                let mid = keys.len() / 2;
-                let l = self.write_leaf(&keys[..mid], &vals[..mid]);
-                let r = self.write_leaf(&keys[mid..], &vals[mid..]);
-                self.retired.push(page as u64);
-                // separator: smallest key of the right leaf (search uses
-                // `keys[i] <= key ⇒ go right`, so equal keys go right)
-                Ins::Split(l, keys[mid], r)
-            }
-        } else {
-            let mut i = 0;
-            while i < n && self.rt.load_u64(k_off(page, i)) <= key {
-                i += 1;
-            }
-            let child = self.rt.load_u64(v_off(page, i)) as usize;
-            let res = self.insert_rec(child, key, value);
-            match res {
-                Ins::New(c) => {
-                    let dst = self.shadow(page);
-                    self.rt.store_u64(v_off(dst, i), c as u64);
-                    Ins::New(dst)
-                }
-                Ins::Split(l, sep, r) => {
-                    // gather keys/children with the split spliced in —
-                    // never overfill a page in place (a 14th key would
-                    // overlap the children array)
-                    let mut keys = Vec::with_capacity(n + 1);
-                    let mut kids = Vec::with_capacity(n + 2);
-                    for j in 0..n {
-                        keys.push(self.rt.load_u64(k_off(page, j)));
-                    }
-                    for j in 0..=n {
-                        kids.push(self.rt.load_u64(v_off(page, j)));
-                    }
-                    keys.insert(i, sep);
-                    kids[i] = l as u64;
-                    kids.insert(i + 1, r as u64);
-                    if keys.len() <= CAP {
-                        let dst = self.shadow(page);
-                        self.fill_inner(dst, &keys, &kids);
-                        Ins::New(dst)
-                    } else {
-                        let mid = keys.len() / 2;
-                        let sep_up = keys[mid];
-                        let l2 = self.write_inner(&keys[..mid], &kids[..=mid]);
-                        let r2 = self.write_inner(&keys[mid + 1..], &kids[mid + 1..]);
-                        self.retired.push(page as u64);
-                        Ins::Split(l2, sep_up, r2)
-                    }
-                }
-            }
-        }
-    }
-
-    fn fill_inner(&mut self, dst: usize, keys: &[u64], kids: &[u64]) {
-        debug_assert_eq!(kids.len(), keys.len() + 1);
-        debug_assert!(keys.len() <= CAP);
-        self.rt.store_u64(dst, TAG_INNER);
-        self.rt.store_u64(dst + 8, keys.len() as u64);
-        for (i, &k) in keys.iter().enumerate() {
-            self.rt.store_u64(k_off(dst, i), k);
-        }
-        for (i, &c) in kids.iter().enumerate() {
-            self.rt.store_u64(v_off(dst, i), c);
-        }
-    }
-
-    fn write_inner(&mut self, keys: &[u64], kids: &[u64]) -> usize {
-        let dst = self.alloc_page();
-        self.dirty_txn.insert(dst);
-        self.fill_inner(dst, keys, kids);
-        dst
-    }
-
-    fn fill_leaf(&mut self, dst: usize, keys: &[u64], vals: &[u64]) {
-        debug_assert!(keys.len() <= CAP);
-        self.rt.store_u64(dst, TAG_LEAF);
-        self.rt.store_u64(dst + 8, keys.len() as u64);
-        for (i, &k) in keys.iter().enumerate() {
-            self.rt.store_u64(k_off(dst, i), k);
-        }
-        for (i, &v) in vals.iter().enumerate() {
-            self.rt.store_u64(v_off(dst, i), v);
-        }
-    }
-
-    fn write_leaf(&mut self, keys: &[u64], vals: &[u64]) -> usize {
-        let dst = self.alloc_page();
-        self.dirty_txn.insert(dst);
-        self.fill_leaf(dst, keys, vals);
-        dst
-    }
-
-    /// COW delete; returns the new subtree root, or `None` if the key
-    /// was absent (no copy made).
-    fn delete_rec(&mut self, page: usize, key: u64) -> Option<usize> {
-        let tag = self.rt.load_u64(page);
-        let n = self.rt.load_u64(page + 8) as usize;
-        if tag == TAG_LEAF {
-            let idx = (0..n).find(|&i| self.rt.load_u64(k_off(page, i)) == key)?;
-            let dst = self.shadow(page);
-            // shift the suffix left in place
-            for i in idx..n - 1 {
-                let k = self.rt.load_u64(k_off(dst, i + 1));
-                let v = self.rt.load_u64(v_off(dst, i + 1));
-                self.rt.store_u64(k_off(dst, i), k);
-                self.rt.store_u64(v_off(dst, i), v);
-            }
-            self.rt.store_u64(dst + 8, (n - 1) as u64);
-            Some(dst)
-        } else {
-            let mut i = 0;
-            while i < n && self.rt.load_u64(k_off(page, i)) <= key {
-                i += 1;
-            }
-            let child = self.rt.load_u64(v_off(page, i)) as usize;
-            let new_child = self.delete_rec(child, key)?;
-            let dst = self.shadow(page);
-            self.rt.store_u64(v_off(dst, i), new_child as u64);
-            Some(dst)
-        }
-    }
+fn decode(v: Vec<u8>) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&v[..8]);
+    u64::from_le_bytes(b)
 }
 
 #[cfg(test)]
@@ -497,6 +246,7 @@ mod tests {
         }
         t.commit();
         assert_eq!(t.len(), 1000);
+        assert!(t.tree().height() > 2, "1000 keys must split");
         for i in (0..1000u64).step_by(37) {
             assert_eq!(t.get(i), Some(i));
         }
@@ -542,8 +292,8 @@ mod tests {
             t.insert(i, i + 1);
         }
         t.commit();
-        t.runtime_mut()
-            .crash_and_recover(&CrashMode::StrictDurableOnly);
+        t.t.crash_and_recover(&CrashMode::StrictDurableOnly)
+            .unwrap();
         for i in 0..50u64 {
             assert_eq!(t.get(i), Some(i + 1));
         }
@@ -563,11 +313,7 @@ mod tests {
         }
         t.insert(1000, 1000);
         // crash mid-transaction, worst case: everything in flight lands
-        t.runtime_mut()
-            .crash_and_recover(&CrashMode::AllInFlightLands);
-        t.in_txn = false;
-        t.retired.clear(); // rolled-back txn: retirements are void
-        t.dirty_txn.clear();
+        t.t.crash_and_recover(&CrashMode::AllInFlightLands).unwrap();
         for i in 0..20u64 {
             assert_eq!(t.get(i), Some(1), "old value visible for {i}");
         }
@@ -583,7 +329,7 @@ mod tests {
         }
         t.commit();
         let snap = t.snapshot();
-        // writer moves on (COW: old pages intact, not reclaimed)
+        // writer moves on (CoW: pinned pages intact, not reclaimed)
         t.begin_txn();
         for i in 0..30u64 {
             t.insert(i, 2);
@@ -598,6 +344,11 @@ mod tests {
         // current tree sees version 2
         assert_eq!(t.get(5), Some(2));
         assert_eq!(t.get(500), Some(9));
+        // releasing the pin lets the engine recycle the old version
+        let held = t.tree().retired_pages();
+        assert!(held > 0, "pin must hold retired pages");
+        t.release(snap);
+        assert_eq!(t.tree().retired_pages(), 0);
     }
 
     #[test]
@@ -612,6 +363,12 @@ mod tests {
             t.reclaim();
         }
         assert_eq!(t.len(), 10);
+        // 10 live keys: a handful of pages, not 30 rounds' worth
+        assert!(
+            t.tree().pages_allocated() < 128,
+            "rounds leaked pages: {}",
+            t.tree().pages_allocated()
+        );
     }
 
     #[test]

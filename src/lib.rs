@@ -20,6 +20,7 @@
 //! | [`core`] | `nvcache-core` | the software cache and the six persistence policies |
 //! | [`fase`] | `nvcache-fase` | FASE runtime: undo log, recovery, instrumentation API |
 //! | [`kvstore`] | `nvcache-kvstore` | sharded persistent KV store, YCSB loadgen, live MRC-driven adaptation |
+//! | [`treestore`] | `nvcache-treestore` | recoverable copy-on-write B+-tree engine: MVCC snapshots, range scans |
 //! | [`workloads`] | `nvcache-workloads` | micro-benchmarks, SPLASH2-style kernels, MDB B+-tree |
 //!
 //! ## Quickstart
@@ -54,6 +55,7 @@ pub use nvcache_locality as locality;
 pub use nvcache_pmem as pmem;
 pub use nvcache_telemetry as telemetry;
 pub use nvcache_trace as trace;
+pub use nvcache_treestore as treestore;
 pub use nvcache_workloads as workloads;
 
 /// Convenience re-exports of the most-used types.

@@ -1,0 +1,269 @@
+//! Crash-point sweeps over the CoW B+-tree engine: deterministic
+//! programs of committed transactions, a crash injected at sampled
+//! persistence micro-steps under all three crash adversaries, recovery
+//! via `Tree::reopen_from_image` — the recovered tree must equal the
+//! state after the last *committed* transaction, exactly (each
+//! `begin()..commit()` is one FASE: the whole batch of puts and
+//! deletes lands or none of it does).
+//!
+//! This is the tree-engine analogue of `kv_crash.rs`: that suite
+//! stresses hash-table structure (bucket threading, node replacement);
+//! this one stresses copy-on-write structure — page splits, inner-node
+//! rebuilds, root swings, free-list pushes — where a torn commit would
+//! surface as a broken tree, not just a stale value.
+
+use nvcache::core::PolicyKind;
+use nvcache::pmem::{CrashMode, CrashPlan};
+use nvcache::treestore::{Tree, TreeConfig};
+use std::collections::BTreeMap;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn value(tag: u64, len: usize) -> Vec<u8> {
+    (0..len).map(|i| (tag >> (8 * (i % 8))) as u8).collect()
+}
+
+#[derive(Clone, Debug)]
+enum TxnOp {
+    Put(u64, Vec<u8>),
+    Delete(u64),
+}
+
+/// A deterministic program of transactions over a small key universe:
+/// each txn mixes puts (varying value classes → leaf churn, splits,
+/// value-extent reallocation) with deletes (merges, free-list traffic).
+fn program(seed: u64, txns: usize, keys: u64) -> Vec<Vec<TxnOp>> {
+    let mut s = seed;
+    (0..txns)
+        .map(|_| {
+            let n = 3 + (splitmix(&mut s) % 10) as usize;
+            (0..n)
+                .map(|_| {
+                    let r = splitmix(&mut s);
+                    let key = splitmix(&mut s) % keys;
+                    if r.is_multiple_of(5) {
+                        TxnOp::Delete(key)
+                    } else {
+                        TxnOp::Put(key, value(splitmix(&mut s), 8 + (r % 40) as usize))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn apply_txn(t: &mut Tree, txn: &[TxnOp]) {
+    t.begin();
+    for op in txn {
+        match op {
+            TxnOp::Put(k, v) => {
+                t.put(*k, v).expect("put within capacity");
+            }
+            TxnOp::Delete(k) => {
+                t.delete(*k).expect("delete");
+            }
+        }
+    }
+    t.commit();
+}
+
+fn cfg(pipelined: bool) -> TreeConfig {
+    TreeConfig {
+        data_len: 1 << 21,
+        log_len: 1 << 18,
+        policy: PolicyKind::ScFixed { capacity: 8 },
+        pipelined,
+    }
+}
+
+fn modes(seed: u64) -> Vec<CrashMode> {
+    vec![
+        CrashMode::StrictDurableOnly,
+        CrashMode::AllInFlightLands,
+        CrashMode::random(0.5, 0.5, seed),
+    ]
+}
+
+type Snapshot = Vec<(u64, Vec<u8>)>;
+
+fn dump(t: &Tree) -> Snapshot {
+    t.scan(None, 0, u64::MAX, usize::MAX)
+}
+
+/// Record, per committed txn, the micro-step counter and a full dump.
+/// `commit_steps[j]` / `snaps[j]` describe the state after `j` txns.
+fn record(cfg: &TreeConfig, prog: &[Vec<TxnOp>]) -> (Vec<u64>, Vec<Snapshot>) {
+    let mut t = Tree::create(cfg).expect("format tree heap");
+    let mut commit_steps = vec![t.steps()];
+    let mut snaps = vec![dump(&t)];
+    for txn in prog {
+        apply_txn(&mut t, txn);
+        commit_steps.push(t.steps());
+        snaps.push(dump(&t));
+    }
+    (commit_steps, snaps)
+}
+
+/// Crash at micro-step `k` (sampled), recover, compare to the snapshot
+/// of the last txn whose commit step is ≤ `k` — committed-prefix
+/// semantics over whole transactions, on both flush paths.
+#[test]
+fn tree_recovers_committed_prefix_at_sampled_micro_steps() {
+    let prog = program(1986, 24, 48);
+    for pipelined in [false, true] {
+        let cfg = cfg(pipelined);
+        let (commit_steps, snaps) = record(&cfg, &prog);
+        let setup = commit_steps[0];
+        let total = *commit_steps.last().unwrap();
+        assert!(total > setup + 200, "program must generate real step mass");
+        // ~45 crash points per mode, spread over the program
+        let stride = ((total - setup) / 45).max(1);
+        for (mi, mode_seed) in [11u64, 12, 13].into_iter().enumerate() {
+            let mut k = setup + 1;
+            while k < total {
+                let mode = modes(mode_seed).swap_remove(mi);
+                let mut t = Tree::create(&cfg).expect("format tree heap");
+                t.arm_crash(CrashPlan {
+                    at_step: k,
+                    mode: mode.clone(),
+                });
+                for txn in &prog {
+                    apply_txn(&mut t, txn);
+                }
+                let image = t.take_crash_image().expect("crash step within program");
+                let rec = Tree::reopen_from_image(image, &cfg)
+                    .unwrap_or_else(|e| panic!("recovery failed at step {k}: {e:?}"));
+                let committed = commit_steps.iter().rposition(|&c| c <= k).unwrap();
+                let got = dump(&rec);
+                // The txn in progress may already have committed its
+                // FASE at the cut (post-commit bookkeeping — version
+                // bumps, free-list pushes — also advances the step
+                // counter), so its own snapshot is legal too. Nothing
+                // in between ever is: a txn is never visible in part.
+                assert!(
+                    got == snaps[committed] || Some(&got) == snaps.get(committed + 1),
+                    "path {} mode {mode:?} crash at step {k}: torn transaction — \
+                     state is neither txn {committed}'s snapshot nor txn {}'s",
+                    if pipelined { "pipelined" } else { "sync" },
+                    committed + 1,
+                );
+                // recovered structural metadata must agree with the data
+                assert_eq!(rec.len(), got.len() as u64, "len() vs full scan");
+                for (key, v) in &got {
+                    assert_eq!(
+                        rec.get(*key).as_deref(),
+                        Some(&v[..]),
+                        "point read disagrees with scan after recovery at step {k}"
+                    );
+                }
+                k += stride;
+            }
+        }
+    }
+}
+
+/// In-process power-fail between transactions under rotating
+/// adversaries: with no txn open, *every* committed txn must survive
+/// `crash_and_recover`, and the recovered tree must stay fully usable
+/// (new txns commit, scans agree with a shadow model, reclamation
+/// still drains retired pages).
+#[test]
+fn tree_survives_repeated_crashes_between_transactions() {
+    let cfg = cfg(true);
+    let mut t = Tree::create(&cfg).expect("format tree heap");
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut s = 777u64;
+    for round in 0..8u64 {
+        for _ in 0..5 {
+            t.begin();
+            for _ in 0..12 {
+                let r = splitmix(&mut s);
+                let key = splitmix(&mut s) % 96;
+                if r.is_multiple_of(5) {
+                    t.delete(key).unwrap();
+                    model.remove(&key);
+                } else {
+                    let v = value(splitmix(&mut s), 8 + (r % 48) as usize);
+                    t.put(key, &v).unwrap();
+                    model.insert(key, v);
+                }
+            }
+            t.commit();
+        }
+        let mode = modes(round).swap_remove((round % 3) as usize);
+        t.crash_and_recover(&mode)
+            .unwrap_or_else(|e| panic!("round {round}: recovery failed: {e:?}"));
+        assert_eq!(t.len(), model.len() as u64, "round {round}: live-key count");
+        let want: Snapshot = model.iter().map(|(k, v)| (*k, v.clone())).collect();
+        assert_eq!(dump(&t), want, "round {round}: committed txns lost");
+        t.reclaim();
+    }
+    // the healed tree still takes new commits
+    t.begin();
+    t.put(u64::MAX, b"last").unwrap();
+    t.commit();
+    assert_eq!(t.get(u64::MAX).as_deref(), Some(&b"last"[..]));
+}
+
+/// A crash *inside* a structure-heavy transaction — one that forces a
+/// cascade of leaf splits and a root swing from a cold start — must
+/// recover to the exact pre-txn state at every early micro-step: CoW
+/// means the old root's page graph is never modified in place.
+#[test]
+fn mid_split_crash_recovers_the_old_root_graph() {
+    let cfg = cfg(true);
+    // baseline: 40 keys committed, then one txn inserting 300 more
+    let big: Vec<TxnOp> = (1000..1300u64)
+        .map(|k| TxnOp::Put(k, value(k, 24)))
+        .collect();
+    let mut t = Tree::create(&cfg).unwrap();
+    apply_txn(
+        &mut t,
+        &(0..40u64)
+            .map(|k| TxnOp::Put(k, value(k, 16)))
+            .collect::<Vec<_>>(),
+    );
+    let base_steps = t.steps();
+    let base = dump(&t);
+    apply_txn(&mut t, &big);
+    let end_steps = t.steps();
+    let full = dump(&t);
+    assert!(
+        end_steps > base_steps + 300,
+        "split cascade must cost steps"
+    );
+
+    let stride = ((end_steps - base_steps) / 30).max(1);
+    let mut k = base_steps + 1;
+    while k < end_steps {
+        let mut t = Tree::create(&cfg).unwrap();
+        apply_txn(
+            &mut t,
+            &(0..40u64)
+                .map(|k| TxnOp::Put(k, value(k, 16)))
+                .collect::<Vec<_>>(),
+        );
+        t.arm_crash(CrashPlan {
+            at_step: k,
+            mode: CrashMode::StrictDurableOnly,
+        });
+        apply_txn(&mut t, &big);
+        let image = t.take_crash_image().expect("crash inside the big txn");
+        let rec = Tree::reopen_from_image(image, &cfg)
+            .unwrap_or_else(|e| panic!("recovery failed at step {k}: {e:?}"));
+        let got = dump(&rec);
+        assert!(
+            got == base || got == full,
+            "crash at step {k}: partial split cascade visible \
+             ({} of 300 inserted keys present)",
+            got.len().saturating_sub(base.len()),
+        );
+        k += stride;
+    }
+}

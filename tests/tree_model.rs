@@ -1,0 +1,258 @@
+//! Differential model tests for the CoW B+-tree engine: the tree must
+//! agree with `std::collections::BTreeMap` — the obviously-correct
+//! ordered-map oracle — over long randomized op streams (puts with
+//! varying value classes, deletes, point gets, bounded range scans),
+//! and its MVCC snapshots must stay frozen while writers commit.
+
+use nvcache::core::PolicyKind;
+use nvcache::treestore::{Tree, TreeConfig, MAX_VALUE};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn value(tag: u64, len: usize) -> Vec<u8> {
+    (0..len).map(|i| (tag >> (8 * (i % 8))) as u8).collect()
+}
+
+fn cfg() -> TreeConfig {
+    TreeConfig {
+        data_len: 1 << 21,
+        log_len: 1 << 18,
+        policy: PolicyKind::ScFixed { capacity: 8 },
+        pipelined: true,
+    }
+}
+
+/// Model scan: the BTreeMap's answer to `scan(lo..=hi, limit)`.
+fn model_scan(
+    model: &BTreeMap<u64, Vec<u8>>,
+    lo: u64,
+    hi: u64,
+    limit: usize,
+) -> Vec<(u64, Vec<u8>)> {
+    if lo > hi {
+        return Vec::new();
+    }
+    model
+        .range(lo..=hi)
+        .take(limit)
+        .map(|(k, v)| (*k, v.clone()))
+        .collect()
+}
+
+/// 3000 randomized ops over a small key universe (forcing updates,
+/// replacements, and delete/re-insert churn), chunked into
+/// transactions, interleaved with point-get and range-scan probes —
+/// every probe must match the BTreeMap oracle exactly.
+#[test]
+fn tree_matches_btreemap_over_randomized_streams() {
+    for seed in [3u64, 1717, 0xdead_beef] {
+        let mut t = Tree::create(&cfg()).expect("format tree heap");
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut s = seed;
+        let keys = 160u64;
+        let mut in_txn_ops = 0;
+        t.begin();
+        for _ in 0..3000 {
+            let r = splitmix(&mut s);
+            let key = splitmix(&mut s) % keys;
+            match r % 10 {
+                // puts dominate so the tree grows, splits, and churns
+                0..=4 => {
+                    // vary the value class: empty, short, spanning, max
+                    let len = match r % 4 {
+                        0 => 0,
+                        1 => 1 + (splitmix(&mut s) % 40) as usize,
+                        2 => 100 + (splitmix(&mut s) % 100) as usize,
+                        _ => MAX_VALUE,
+                    };
+                    let v = value(splitmix(&mut s), len);
+                    t.put(key, &v).expect("put within capacity");
+                    model.insert(key, v);
+                }
+                5..=6 => {
+                    let existed = t.delete(key).expect("delete");
+                    assert_eq!(existed, model.remove(&key).is_some(), "delete({key})");
+                }
+                7..=8 => {
+                    assert_eq!(t.get(key), model.get(&key).cloned(), "get({key})");
+                }
+                _ => {
+                    let a = splitmix(&mut s) % (keys + 20);
+                    let b = splitmix(&mut s) % (keys + 20);
+                    let limit = (splitmix(&mut s) % 32) as usize + 1;
+                    // both orientations: forward ranges and inverted
+                    // (lo > hi ⇒ empty) must agree with the model
+                    assert_eq!(
+                        t.scan(None, a, b, limit),
+                        model_scan(&model, a, b, limit),
+                        "scan({a}..={b}, {limit})"
+                    );
+                }
+            }
+            in_txn_ops += 1;
+            if in_txn_ops >= 64 {
+                t.commit();
+                t.begin();
+                in_txn_ops = 0;
+            }
+        }
+        t.commit();
+        assert_eq!(t.len(), model.len() as u64, "live-key count");
+        assert_eq!(
+            t.scan(None, 0, u64::MAX, usize::MAX),
+            model_scan(&model, 0, u64::MAX, usize::MAX),
+            "full dump"
+        );
+    }
+}
+
+/// Scan boundary semantics, pinned explicitly: inclusive bounds,
+/// lo == hi point ranges, inverted ranges, limit truncation, and
+/// scanning past the last key.
+#[test]
+fn scan_boundaries_are_inclusive_and_limit_bounded() {
+    let mut t = Tree::create(&cfg()).unwrap();
+    t.begin();
+    for k in (10..=100u64).step_by(10) {
+        t.put(k, &k.to_le_bytes()).unwrap();
+    }
+    t.commit();
+
+    // inclusive on both ends
+    let got = t.scan(None, 20, 40, usize::MAX);
+    assert_eq!(
+        got.iter().map(|e| e.0).collect::<Vec<_>>(),
+        vec![20, 30, 40]
+    );
+    // bounds between keys
+    let got = t.scan(None, 21, 39, usize::MAX);
+    assert_eq!(got.iter().map(|e| e.0).collect::<Vec<_>>(), vec![30]);
+    // point range: hit and miss
+    assert_eq!(t.scan(None, 50, 50, usize::MAX).len(), 1);
+    assert_eq!(t.scan(None, 51, 51, usize::MAX).len(), 0);
+    // inverted range is empty
+    assert_eq!(t.scan(None, 60, 20, usize::MAX).len(), 0);
+    // limit cuts the front of the range, preserving order
+    let got = t.scan(None, 0, u64::MAX, 3);
+    assert_eq!(
+        got.iter().map(|e| e.0).collect::<Vec<_>>(),
+        vec![10, 20, 30]
+    );
+    // zero limit, and ranges wholly past the data
+    assert_eq!(t.scan(None, 0, u64::MAX, 0).len(), 0);
+    assert_eq!(t.scan(None, 101, u64::MAX, usize::MAX).len(), 0);
+}
+
+/// MVCC: a pinned snapshot must keep answering with its frozen state
+/// while a concurrent writer thread commits transaction after
+/// transaction over the same tree (shared behind a mutex — the reader
+/// never holds the lock across a writer commit, so stability can only
+/// come from version pinning, not mutual exclusion).
+#[test]
+fn pinned_snapshot_stays_frozen_under_concurrent_writer_commits() {
+    let t = Mutex::new(Tree::create(&cfg()).unwrap());
+    {
+        let mut g = t.lock().unwrap();
+        g.begin();
+        for k in 0..100u64 {
+            g.put(k, &k.to_le_bytes()).unwrap();
+        }
+        g.commit();
+    }
+    let (snap, frozen) = {
+        let mut g = t.lock().unwrap();
+        let snap = g.pin();
+        let frozen = g.scan(Some(&snap), 0, u64::MAX, usize::MAX);
+        (snap, frozen)
+    };
+    assert_eq!(frozen.len(), 100);
+
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            // 20 committed transactions: overwrites, deletes, inserts
+            for round in 0..20u64 {
+                let mut g = t.lock().unwrap();
+                g.begin();
+                for k in 0..40u64 {
+                    g.put(k, &(k ^ round.rotate_left(13)).to_le_bytes())
+                        .unwrap();
+                }
+                g.delete(40 + round).unwrap();
+                g.put(1000 + round, b"fresh").unwrap();
+                g.commit();
+            }
+        });
+        // reader: between writer commits, the pinned snapshot must not
+        // move — point reads and scans both answer from version `snap`
+        for probe in 0..40 {
+            {
+                let g = t.lock().unwrap();
+                assert_eq!(
+                    g.scan(Some(&snap), 0, u64::MAX, usize::MAX),
+                    frozen,
+                    "snapshot drifted at probe {probe}"
+                );
+                assert_eq!(
+                    g.get_at(&snap, 17).as_deref(),
+                    Some(&17u64.to_le_bytes()[..])
+                );
+                assert_eq!(g.get_at(&snap, 1005), None, "future insert invisible");
+            }
+            std::thread::yield_now();
+        }
+        writer.join().unwrap();
+    });
+
+    let mut g = t.lock().unwrap();
+    // the live view moved on...
+    assert_eq!(g.get(1005).as_deref(), Some(&b"fresh"[..]));
+    assert_eq!(g.get(45), None, "live delete applied");
+    // ...while the snapshot still answers the original state
+    assert_eq!(g.scan(Some(&snap), 0, u64::MAX, usize::MAX), frozen);
+    // releasing the pin lets retired CoW pages be reclaimed
+    let retired_before = g.retired_pages();
+    assert!(retired_before > 0, "writer CoW must have retired pages");
+    g.unpin(snap);
+    g.reclaim();
+    assert_eq!(g.retired_pages(), 0, "unpinned versions reclaimed");
+}
+
+/// Snapshots taken at different versions each see exactly their own
+/// history point (version-ordered reads).
+#[test]
+fn snapshots_observe_version_ordered_history() {
+    let mut t = Tree::create(&cfg()).unwrap();
+    let mut pins = Vec::new();
+    for round in 0..5u64 {
+        t.begin();
+        t.put(7, &round.to_le_bytes()).unwrap();
+        t.put(100 + round, &round.to_le_bytes()).unwrap();
+        t.commit();
+        pins.push((round, t.pin()));
+    }
+    for (round, snap) in &pins {
+        assert_eq!(
+            t.get_at(snap, 7).as_deref(),
+            Some(&round.to_le_bytes()[..]),
+            "snapshot of round {round} sees its own overwrite"
+        );
+        assert_eq!(
+            t.scan(Some(snap), 100, 200, usize::MAX).len(),
+            *round as usize + 1,
+            "snapshot of round {round} sees exactly its inserts"
+        );
+    }
+    for (_, snap) in pins {
+        t.unpin(snap);
+    }
+    t.reclaim();
+    assert_eq!(t.retired_pages(), 0);
+}
